@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks: the arithmetic and packing primitives on the
+//! accelerator's critical paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zskip_quant::{LockstepGroup, PackedTile, QuantParams, Requantizer, Sm8};
+use zskip_tensor::{Tensor, Tile, TiledFeatureMap};
+
+fn sm8_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sm8");
+    let values: Vec<Sm8> = (-127..=127).map(Sm8::from_i32_saturating).collect();
+    g.throughput(Throughput::Elements(values.len() as u64 * values.len() as u64));
+    g.bench_function("mul_exact_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &values {
+                for &y in &values {
+                    acc += x.mul_exact(y) as i64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack");
+    let tiles: Vec<Tile<Sm8>> = (0..256)
+        .map(|t| Tile::from_fn(|y, x| Sm8::from_i32_saturating(if (y * 4 + x + t) % 3 == 0 { 0 } else { (t % 120) as i32 - 60 })))
+        .collect();
+    g.throughput(Throughput::Elements(tiles.len() as u64));
+    g.bench_function("pack_tiles", |b| {
+        b.iter(|| {
+            let n: usize = tiles.iter().map(|t| PackedTile::pack(t).nnz()).sum();
+            black_box(n)
+        })
+    });
+    let packed: Vec<PackedTile> = tiles.iter().map(PackedTile::pack).collect();
+    g.bench_function("serialize_roundtrip", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for p in &packed {
+                let bytes = p.to_bytes();
+                let (q, used) = PackedTile::from_bytes(&bytes).expect("well-formed");
+                total += used + q.nnz();
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("lockstep_iterate", |b| {
+        b.iter(|| {
+            let mut steps = 0;
+            for w in packed.chunks_exact(4) {
+                let g = LockstepGroup::new([&w[0], &w[1], &w[2], &w[3]]);
+                steps += g.iter().count();
+            }
+            black_box(steps)
+        })
+    });
+    g.finish();
+}
+
+fn quantization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize");
+    let data: Vec<f32> = (0..65536).map(|i| ((i as f32) * 0.137).sin()).collect();
+    g.throughput(Throughput::Elements(data.len() as u64));
+    let q = QuantParams::from_max_abs(&data);
+    g.bench_function("quantize_64k", |b| b.iter(|| black_box(q.quantize_all(&data))));
+    let r = Requantizer::from_ratio(1.0 / 42.0);
+    g.bench_function("requantize_64k", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for i in 0..65536i64 {
+                acc ^= r.apply_relu(i * 37 - 1_000_000).to_i32();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn tiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tiling");
+    let t = Tensor::from_fn(64, 56, 56, |c, y, x| Sm8::from_i32_saturating(((c + y * 3 + x) % 200) as i32 - 100));
+    g.bench_function("fm_tile_56x56x64", |b| b.iter(|| black_box(TiledFeatureMap::from_tensor(&t))));
+    let tiled = TiledFeatureMap::from_tensor(&t);
+    g.bench_function("fm_untile_56x56x64", |b| b.iter(|| black_box(tiled.to_tensor())));
+    g.bench_function("quad_region_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for ty in 0..13 {
+                for tx in 0..13 {
+                    let r = tiled.quad_region(0, ty, tx);
+                    acc += r[0].to_i32() + r[63].to_i32();
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sm8_ops, packing, quantization, tiling);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmarks at network scale: full VGG-16 sweep points on the
+//! stats-only model backend (what the figure harnesses run), plus HLS
+//! synthesis of all four variants.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zskip_bench::{build_vgg16, run_sweep_point, ModelKind};
+use zskip_hls::Variant;
+
+fn vgg16_sweep_point(c: &mut Criterion) {
+    let qnet = build_vgg16(ModelKind::Pruned);
+    let mut g = c.benchmark_group("vgg16");
+    g.sample_size(10);
+    g.bench_function("sweep_point_256opt_pruned", |b| {
+        b.iter(|| black_box(run_sweep_point(Variant::U256Opt, ModelKind::Pruned, &qnet).mean_gops()))
+    });
+    g.finish();
+}
+
+fn hls_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hls");
+    g.bench_function("synthesize_all_variants", |b| {
+        b.iter(|| {
+            let total: f64 = Variant::all().iter().map(|v| v.synthesize().total.alms).sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, vgg16_sweep_point, hls_synthesis);
+criterion_main!(benches);

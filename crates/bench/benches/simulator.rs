@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the cycle-level simulation engine itself:
+//! kernel/FIFO overhead per simulated cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use zskip_sim::{Barrier, Ctx, Engine, Fifo, FifoId, Kernel, Progress};
+
+struct Source {
+    out: FifoId,
+    left: u64,
+}
+impl Kernel<u64> for Source {
+    fn name(&self) -> &str {
+        "source"
+    }
+    fn tick(&mut self, ctx: &mut Ctx<'_, u64>) -> Progress {
+        if self.left == 0 {
+            return Progress::Done;
+        }
+        match ctx.fifos.try_push(self.out, self.left) {
+            Ok(()) => {
+                self.left -= 1;
+                Progress::Busy
+            }
+            Err(_) => Progress::Blocked,
+        }
+    }
+}
+
+struct Sink {
+    inp: FifoId,
+    expect: u64,
+}
+impl Kernel<u64> for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+    fn tick(&mut self, ctx: &mut Ctx<'_, u64>) -> Progress {
+        if self.expect == 0 {
+            return Progress::Done;
+        }
+        match ctx.fifos.try_pop(self.inp) {
+            Some(_) => {
+                self.expect -= 1;
+                Progress::Busy
+            }
+            None => Progress::Blocked,
+        }
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for &n in &[1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_function(format!("producer_consumer_{n}"), |b| {
+            b.iter(|| {
+                let mut e = Engine::new();
+                let q = e.add_fifo(Fifo::new("q", 8));
+                e.add_kernel(Box::new(Source { out: q, left: n }));
+                e.add_kernel(Box::new(Sink { inp: q, expect: n }));
+                black_box(e.run(n * 4).expect("completes").cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn barrier_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("four_party_100k_generations", |b| {
+        b.iter(|| {
+            let mut bar = Barrier::new(4);
+            for _ in 0..100_000 {
+                for p in 0..3 {
+                    assert!(!bar.arrive_and_poll(p));
+                }
+                assert!(bar.arrive_and_poll(3));
+                for p in 0..3 {
+                    assert!(bar.arrive_and_poll(p));
+                }
+            }
+            black_box(bar.generations())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, barrier_throughput);
+criterion_main!(benches);

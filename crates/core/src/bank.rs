@@ -1,0 +1,205 @@
+//! The four dual-port on-FPGA SRAM banks.
+//!
+//! "An entire tile of data (16 values) can be read from an SRAM bank in a
+//! single cycle. The on-FPGA SRAM banks are dual-port: reads are from port
+//! A; writes are to port B." (paper §III-A). The paper's RTL post-
+//! processing step gave reads and writes exclusive ports precisely to
+//! avoid arbitration; we enforce one read and one write per bank per cycle
+//! and count violations as conflicts.
+
+use crate::config::AccelConfig;
+use zskip_quant::Sm8;
+use zskip_soc::dma::{TileStore, TILE_BYTES};
+use zskip_tensor::Tile;
+
+/// Per-bank access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Port-A reads performed.
+    pub reads: u64,
+    /// Port-B writes performed.
+    pub writes: u64,
+    /// Read attempts refused because port A was busy this cycle.
+    pub read_conflicts: u64,
+    /// Write attempts refused because port B was busy this cycle.
+    pub write_conflicts: u64,
+}
+
+/// A set of SRAM banks storing tile words of [`Sm8`] values.
+#[derive(Debug, Clone)]
+pub struct BankSet {
+    banks: Vec<Vec<Tile<Sm8>>>,
+    read_used: Vec<bool>,
+    write_used: Vec<bool>,
+    stats: Vec<BankStats>,
+}
+
+impl BankSet {
+    /// Creates zeroed banks per the configuration.
+    pub fn new(config: &AccelConfig) -> BankSet {
+        Self::with_geometry(AccelConfig::BANKS, config.bank_tiles)
+    }
+
+    /// Creates zeroed banks with explicit geometry.
+    pub fn with_geometry(banks: usize, tiles_per_bank: usize) -> BankSet {
+        BankSet {
+            banks: vec![vec![Tile::zero(); tiles_per_bank]; banks],
+            read_used: vec![false; banks],
+            write_used: vec![false; banks],
+            stats: vec![BankStats::default(); banks],
+        }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Capacity of each bank in tile words.
+    pub fn capacity(&self) -> usize {
+        self.banks.first().map_or(0, Vec::len)
+    }
+
+    /// Cycle-free read (host/DMA-side or model backend; no port
+    /// accounting).
+    ///
+    /// # Panics
+    /// Panics on out-of-range bank or address.
+    pub fn peek(&self, bank: usize, addr: usize) -> Tile<Sm8> {
+        self.banks[bank][addr]
+    }
+
+    /// Cycle-free write (host/DMA-side or model backend).
+    pub fn poke(&mut self, bank: usize, addr: usize, tile: Tile<Sm8>) {
+        self.banks[bank][addr] = tile;
+    }
+
+    /// Port-A read: succeeds at most once per bank per cycle.
+    pub fn read_port_a(&mut self, bank: usize, addr: usize) -> Option<Tile<Sm8>> {
+        if self.read_used[bank] {
+            self.stats[bank].read_conflicts += 1;
+            return None;
+        }
+        self.read_used[bank] = true;
+        self.stats[bank].reads += 1;
+        Some(self.banks[bank][addr])
+    }
+
+    /// Port-B write: succeeds at most once per bank per cycle.
+    pub fn write_port_b(&mut self, bank: usize, addr: usize, tile: Tile<Sm8>) -> bool {
+        if self.write_used[bank] {
+            self.stats[bank].write_conflicts += 1;
+            return false;
+        }
+        self.write_used[bank] = true;
+        self.stats[bank].writes += 1;
+        self.banks[bank][addr] = tile;
+        true
+    }
+
+    /// Releases the per-cycle port reservations. Call once per cycle.
+    pub fn end_cycle(&mut self) {
+        self.read_used.iter_mut().for_each(|u| *u = false);
+        self.write_used.iter_mut().for_each(|u| *u = false);
+    }
+
+    /// Per-bank statistics.
+    pub fn stats(&self) -> &[BankStats] {
+        &self.stats
+    }
+
+    /// Total reads across banks.
+    pub fn total_reads(&self) -> u64 {
+        self.stats.iter().map(|s| s.reads).sum()
+    }
+
+    /// Total writes across banks.
+    pub fn total_writes(&self) -> u64 {
+        self.stats.iter().map(|s| s.writes).sum()
+    }
+}
+
+impl TileStore for BankSet {
+    fn banks(&self) -> usize {
+        self.bank_count()
+    }
+
+    fn bank_capacity(&self) -> usize {
+        self.capacity()
+    }
+
+    fn write_tile_bytes(&mut self, bank: usize, index: usize, bytes: &[u8; TILE_BYTES]) {
+        let mut tile = Tile::zero();
+        for (i, b) in bytes.iter().enumerate() {
+            tile.as_mut_array()[i] = Sm8::from_bits(*b);
+        }
+        self.banks[bank][index] = tile;
+    }
+
+    fn read_tile_bytes(&self, bank: usize, index: usize) -> [u8; TILE_BYTES] {
+        let tile = &self.banks[bank][index];
+        let mut out = [0u8; TILE_BYTES];
+        for (i, v) in tile.as_array().iter().enumerate() {
+            out[i] = v.to_bits();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_of(v: i32) -> Tile<Sm8> {
+        Tile::from_fn(|_, _| Sm8::from_i32_saturating(v))
+    }
+
+    #[test]
+    fn poke_peek_round_trip() {
+        let mut b = BankSet::with_geometry(4, 8);
+        b.poke(2, 3, tile_of(7));
+        assert_eq!(b.peek(2, 3), tile_of(7));
+        assert_eq!(b.peek(2, 4), Tile::zero());
+    }
+
+    #[test]
+    fn one_read_per_bank_per_cycle() {
+        let mut b = BankSet::with_geometry(4, 8);
+        b.poke(0, 0, tile_of(1));
+        b.poke(0, 1, tile_of(2));
+        assert_eq!(b.read_port_a(0, 0), Some(tile_of(1)));
+        assert_eq!(b.read_port_a(0, 1), None, "port A busy");
+        // Other banks unaffected.
+        assert!(b.read_port_a(1, 0).is_some());
+        b.end_cycle();
+        assert_eq!(b.read_port_a(0, 1), Some(tile_of(2)));
+        assert_eq!(b.stats()[0].read_conflicts, 1);
+    }
+
+    #[test]
+    fn reads_and_writes_use_independent_ports() {
+        let mut b = BankSet::with_geometry(4, 8);
+        b.poke(0, 0, tile_of(5));
+        // Same cycle: read port A and write port B on the same bank.
+        assert!(b.read_port_a(0, 0).is_some());
+        assert!(b.write_port_b(0, 1, tile_of(9)));
+        assert!(!b.write_port_b(0, 2, tile_of(9)), "port B busy");
+        b.end_cycle();
+        assert_eq!(b.peek(0, 1), tile_of(9));
+        assert_eq!(b.stats()[0].write_conflicts, 1);
+        assert_eq!(b.total_reads(), 1);
+        assert_eq!(b.total_writes(), 1);
+    }
+
+    #[test]
+    fn tile_store_preserves_sign_magnitude_bits() {
+        let mut b = BankSet::with_geometry(2, 4);
+        let mut bytes = [0u8; TILE_BYTES];
+        bytes[0] = 0x85; // -5 in sign+magnitude
+        bytes[15] = 0x7f; // +127
+        b.write_tile_bytes(1, 2, &bytes);
+        assert_eq!(b.peek(1, 2).as_array()[0].to_i32(), -5);
+        assert_eq!(b.peek(1, 2).as_array()[15].to_i32(), 127);
+        assert_eq!(b.read_tile_bytes(1, 2), bytes);
+    }
+}

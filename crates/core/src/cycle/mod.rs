@@ -1,0 +1,170 @@
+//! The cycle-exact accelerator backend.
+//!
+//! Assembles the paper's Fig. 3 microarchitecture on the `zskip-sim`
+//! engine: per instance, `units` data-staging/control kernels, `units`
+//! convolution kernels, `lanes` accumulator kernels synchronized by a
+//! Pthreads-style barrier, `units` pool/pad kernels and `units`
+//! write-to-memory kernels, plus a main controller — 21 kernels for the
+//! full 256-MAC configuration, every one a streaming unit fed by FIFOs
+//! exactly as LegUp synthesizes Pthreads threads.
+
+pub mod accum;
+pub mod conv;
+pub mod ctrl;
+pub mod msg;
+pub mod poolpad_unit;
+pub mod staging;
+pub mod write;
+
+use crate::bank::BankSet;
+use crate::config::AccelConfig;
+use crate::isa::Instruction;
+use msg::Msg;
+use std::cell::RefCell;
+use std::rc::Rc;
+use zskip_sim::{Barrier, Counters, Engine, Fifo, RunReport, SimError};
+
+/// Result of running an instruction stream on the cycle-exact backend.
+#[derive(Debug)]
+pub struct CycleOutcome {
+    /// Total cycles from dispatch of the first instruction to completion
+    /// of the last write.
+    pub cycles: u64,
+    /// The banks after execution (OFM data written in place).
+    pub banks: BankSet,
+    /// Activity counters (MACs, bank traffic, bubbles) for the power
+    /// model.
+    pub counters: Counters,
+    /// Full per-kernel statistics.
+    pub report: RunReport,
+}
+
+/// Runs an instruction stream to completion on one accelerator instance.
+///
+/// `banks` must hold the resident IFM stripe in the layout the
+/// instructions reference; `scratchpad` holds the packed weight image.
+///
+/// # Errors
+/// Propagates [`SimError`] (deadlock or cycle limit) — either indicates a
+/// malformed instruction stream or an RTL-level bug.
+pub fn run_instructions(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    instructions: &[Instruction],
+    max_cycles: u64,
+) -> Result<CycleOutcome, SimError> {
+    let (outcome, _) = run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None)?;
+    Ok(outcome)
+}
+
+/// Like [`run_instructions`], additionally recording an activity waveform
+/// of up to `trace_cycles` cycles (see [`zskip_sim::Trace`]).
+///
+/// # Errors
+/// See [`run_instructions`].
+pub fn run_instructions_traced(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    instructions: &[Instruction],
+    max_cycles: u64,
+    trace_cycles: usize,
+) -> Result<(CycleOutcome, zskip_sim::Trace), SimError> {
+    let (outcome, trace) =
+        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, Some(trace_cycles))?;
+    Ok((outcome, trace.expect("tracing was enabled")))
+}
+
+fn run_instructions_inner(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    instructions: &[Instruction],
+    max_cycles: u64,
+    trace_cycles: Option<usize>,
+) -> Result<(CycleOutcome, Option<zskip_sim::Trace>), SimError> {
+    assert_eq!(config.units, config.lanes, "accumulator lanes map 1:1 onto write units");
+    let units = config.units;
+    let banks = Rc::new(RefCell::new(banks));
+    let scratchpad = Rc::new(scratchpad);
+    let barrier = Rc::new(RefCell::new(Barrier::new(config.lanes)));
+    let mut engine: Engine<Msg> = Engine::new();
+    if let Some(capacity) = trace_cycles {
+        engine.enable_trace(capacity);
+    }
+
+    // FIFOs. Command/config queues are depth-2 (dispatch is one message
+    // deep plus shutdown); data queues use the configured depth.
+    let depth = config.fifo_depth;
+    let staging_cmds: Vec<_> = (0..units).map(|s| engine.add_fifo(Fifo::new(format!("cmd{s}"), 2))).collect();
+    let conv_work: Vec<_> = (0..units).map(|s| engine.add_fifo(Fifo::new(format!("work{s}"), depth))).collect();
+    let pool_work: Vec<_> = (0..units).map(|s| engine.add_fifo(Fifo::new(format!("pwork{s}"), depth))).collect();
+    // lane_fifos[s][o]: conv unit s -> accumulator o.
+    let lane_fifos: Vec<Vec<_>> = (0..units)
+        .map(|s| (0..config.lanes).map(|o| engine.add_fifo(Fifo::new(format!("prod{s}_{o}"), depth))).collect())
+        .collect();
+    let accum_cfgs: Vec<_> = (0..config.lanes).map(|o| engine.add_fifo(Fifo::new(format!("acfg{o}"), 2))).collect();
+    let accum_out: Vec<_> = (0..config.lanes).map(|o| engine.add_fifo(Fifo::new(format!("aout{o}"), 2))).collect();
+    let pool_out: Vec<_> = (0..units).map(|s| engine.add_fifo(Fifo::new(format!("pout{s}"), 2))).collect();
+    let write_cmds: Vec<_> = (0..units).map(|s| engine.add_fifo(Fifo::new(format!("wcmd{s}"), 2))).collect();
+    let done = engine.add_fifo(Fifo::new("done", units.max(2)));
+
+    // Kernels, in Fig. 3 order.
+    for s in 0..units {
+        engine.add_kernel(Box::new(staging::StagingKernel::new(
+            s,
+            config,
+            Rc::clone(&banks),
+            Rc::clone(&scratchpad),
+            staging_cmds[s],
+            conv_work[s],
+            pool_work[s],
+        )));
+    }
+    for s in 0..units {
+        let lanes: Rc<[_]> = lane_fifos[s].clone().into();
+        engine.add_kernel(Box::new(conv::ConvKernel::new(s, conv_work[s], lanes)));
+    }
+    for o in 0..config.lanes {
+        let inputs: Rc<[_]> = (0..units).map(|s| lane_fifos[s][o]).collect::<Vec<_>>().into();
+        engine.add_kernel(Box::new(accum::AccumKernel::new(
+            o,
+            accum_cfgs[o],
+            inputs,
+            accum_out[o],
+            Rc::clone(&barrier),
+        )));
+    }
+    for s in 0..units {
+        engine.add_kernel(Box::new(poolpad_unit::PoolPadKernel::new(s, pool_work[s], pool_out[s])));
+    }
+    for s in 0..units {
+        engine.add_kernel(Box::new(write::WriteKernel::new(
+            s,
+            Rc::clone(&banks),
+            write_cmds[s],
+            vec![accum_out[s], pool_out[s]],
+            done,
+        )));
+    }
+    // Controller last: it commits bank port state each cycle.
+    engine.add_kernel(Box::new(ctrl::CtrlKernel::new(
+        *config,
+        Rc::clone(&banks),
+        instructions.to_vec(),
+        staging_cmds,
+        accum_cfgs,
+        write_cmds,
+        done,
+    )));
+
+    let report = engine.run(max_cycles)?;
+    let trace = engine.trace().cloned();
+    drop(engine);
+    let banks = Rc::try_unwrap(banks).expect("engine dropped, sole owner").into_inner();
+    Ok((CycleOutcome { cycles: report.cycles, banks, counters: report.counters.clone(), report }, trace))
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,1057 @@
+//! The host-side driver: what the paper's ARM software does.
+//!
+//! "Software executing on the on-chip ARM processor handles the loading
+//! and pre-processing of network weights, biases and test images.
+//! Pre-processing includes the reordering of data into tiled format for
+//! our accelerator. The framework sends the instruction and calls the
+//! hardware driver for inference." (paper §IV-C)
+//!
+//! Responsibilities:
+//!
+//! * **striping**: large layers are subdivided into stripes whose input
+//!   and output both fit the SRAM banks (paper Fig. 2), with the halo
+//!   re-fetch overhead that inflates the ideal throughput by "~15% but
+//!   varies by layer";
+//! * **weight packing**: per OFM group, non-zero weights + offsets are
+//!   packed offline and staged in DDR;
+//! * **instruction generation**: one conv instruction per (stripe, group),
+//!   pool/pad instructions per stripe;
+//! * **DMA orchestration**: activations live in DDR between passes and
+//!   are moved stripe-by-stripe; compute overlaps IFM/OFM DMA
+//!   (double-buffering) while scratchpad weight preloads serialize — the
+//!   paper's weight-unpack overhead that hits deep layers hardest;
+//! * **scale-out**: with two accelerator instances (`512-opt`), stripes
+//!   are distributed round-robin and the instances run concurrently
+//!   ("each instance operates concurrently on separate stripes of FMs");
+//! * **host fallback**: FC layers and softmax execute on the ARM, as in
+//!   the paper.
+
+use crate::bank::BankSet;
+use crate::config::AccelConfig;
+use crate::cycle;
+use crate::isa::{ConvInstr, Instruction, PoolPadInstr, PoolPadOp};
+use crate::layout::FmLayout;
+use crate::model;
+use crate::weights::GroupWeights;
+use zskip_nn::conv::QuantConvWeights;
+use zskip_nn::fc::fc_quant;
+use zskip_nn::layer::LayerSpec;
+use zskip_nn::model::QuantizedNetwork;
+use zskip_quant::grouping::FilterGrouping;
+use zskip_quant::Sm8;
+use zskip_sim::Counters;
+use zskip_soc::ddr::DdrModel;
+use zskip_soc::dma::TILE_BYTES;
+use zskip_tensor::{Shape, Tensor, TiledFeatureMap};
+
+/// Which execution backend computes each stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Transaction-level model: closed-form cycles (fast; default).
+    Model,
+    /// Cycle-exact simulation of all kernels (slow; for validation).
+    Cycle,
+}
+
+/// The inference driver.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    /// The accelerator configuration.
+    pub config: AccelConfig,
+    /// Stripe execution backend.
+    pub backend: BackendKind,
+    /// Enable the paper's future-work filter grouping (sort filters by
+    /// non-zero count before forming lockstep groups).
+    pub filter_grouping: bool,
+    /// When `false`, skip the functional arithmetic and produce cycle
+    /// counts and counters only (cycle counts are value-independent).
+    /// Throughput sweeps over full VGG-16 use this. Model backend only.
+    pub functional: bool,
+    /// When `false`, pack every weight slot (zeros included): the ablation
+    /// baseline without the paper's zero-weight skipping.
+    pub zero_skipping: bool,
+}
+
+/// Statistics of one accelerator pass (pad, conv, or pool).
+#[derive(Debug, Clone, Default)]
+pub struct PassStats {
+    /// Compute cycles of the busiest instance.
+    pub compute_cycles: u64,
+    /// Per-instance compute cycles.
+    pub per_instance_cycles: Vec<u64>,
+    /// IFM + OFM DMA cycles (shared System I bus).
+    pub io_dma_cycles: u64,
+    /// Scratchpad weight preload cycles.
+    pub weight_dma_cycles: u64,
+    /// Wall cycles with the overlap policy:
+    /// `max(compute, io_dma) + weight_dma`.
+    pub total_cycles: u64,
+    /// Number of stripes.
+    pub stripes: usize,
+    /// Ideal-inflating striping factor: fetched input tile rows over the
+    /// un-striped minimum (>= 1).
+    pub striping_factor: f64,
+    /// Merged activity counters.
+    pub counters: Counters,
+}
+
+impl PassStats {
+    fn finish(&mut self) {
+        self.compute_cycles = self.per_instance_cycles.iter().copied().max().unwrap_or(0);
+        self.total_cycles = self.compute_cycles.max(self.io_dma_cycles) + self.weight_dma_cycles;
+    }
+
+    /// Accumulates another pass (e.g. pad + conv of the same layer).
+    pub fn merge(&mut self, other: &PassStats) {
+        self.compute_cycles += other.compute_cycles;
+        self.io_dma_cycles += other.io_dma_cycles;
+        self.weight_dma_cycles += other.weight_dma_cycles;
+        self.total_cycles += other.total_cycles;
+        self.stripes += other.stripes;
+        self.striping_factor = self.striping_factor.max(other.striping_factor);
+        self.counters.merge(&other.counters);
+    }
+}
+
+/// Per-layer inference report.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer name from the network spec.
+    pub name: String,
+    /// `true` for conv layers (the ones the paper's figures evaluate).
+    pub is_conv: bool,
+    /// Dense MAC count of the layer (pruning does not reduce this; the
+    /// paper's *effective* GOPS divides dense work by elapsed time).
+    pub dense_macs: u64,
+    /// Accelerator statistics (zeroed for host-executed layers).
+    pub stats: PassStats,
+}
+
+impl LayerReport {
+    /// Elapsed seconds at the configured clock.
+    pub fn seconds(&self, config: &AccelConfig) -> f64 {
+        self.stats.total_cycles as f64 * config.cycle_seconds()
+    }
+
+    /// Effective GOPS: dense ops (2 x MACs) over elapsed time.
+    pub fn effective_gops(&self, config: &AccelConfig) -> f64 {
+        let s = self.seconds(config);
+        if s == 0.0 {
+            0.0
+        } else {
+            2.0 * self.dense_macs as f64 / s / 1e9
+        }
+    }
+}
+
+/// Whole-network inference report.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// Per-layer reports, in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Final quantized outputs (logits for classifier networks).
+    pub output: Vec<Sm8>,
+    /// Total accelerator cycles across layers.
+    pub total_cycles: u64,
+    /// Total DDR traffic in bytes.
+    pub ddr_bytes: u64,
+}
+
+impl InferenceReport {
+    /// Conv-layer reports only (the population of paper Figs. 7-8).
+    pub fn conv_layers(&self) -> impl Iterator<Item = &LayerReport> {
+        self.layers.iter().filter(|l| l.is_conv)
+    }
+
+    /// Mean effective GOPS across conv layers (paper Fig. 8 "average").
+    pub fn mean_gops(&self, config: &AccelConfig) -> f64 {
+        let v: Vec<f64> = self.conv_layers().map(|l| l.effective_gops(config)).collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    /// Best conv-layer effective GOPS (paper Fig. 8 "peak").
+    pub fn peak_gops(&self, config: &AccelConfig) -> f64 {
+        self.conv_layers().map(|l| l.effective_gops(config)).fold(0.0, f64::max)
+    }
+
+    /// Mean MAC-array switching activity over the run: actually-issued
+    /// multiplies over peak slots. Feeds the power model's average-power
+    /// estimate (peak power uses activity 1.0).
+    pub fn mean_mac_activity(&self, config: &AccelConfig) -> f64 {
+        let macs: u64 = self.layers.iter().map(|l| l.stats.counters.get("macs")).sum();
+        let cycles: u64 = self.layers.iter().map(|l| l.stats.total_cycles).sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        (macs as f64 / (cycles as f64 * config.macs_per_cycle() as f64)).min(1.0)
+    }
+}
+
+/// Driver-level failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverError {
+    /// A stripe of even one output tile row cannot fit the banks.
+    LayerTooLarge {
+        /// Layer name.
+        layer: String,
+        /// Words needed for the minimal stripe.
+        needed: usize,
+        /// Bank capacity in words.
+        capacity: usize,
+    },
+    /// The cycle backend failed (deadlock/limit) — an RTL-level bug.
+    Sim(String),
+    /// The layer uses geometry the accelerator does not implement.
+    Unsupported {
+        /// Layer name.
+        layer: String,
+        /// What is unsupported.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::LayerTooLarge { layer, needed, capacity } => {
+                write!(f, "layer {layer}: minimal stripe needs {needed} words/bank, capacity {capacity}")
+            }
+            DriverError::Sim(e) => write!(f, "cycle backend failed: {e}"),
+            DriverError::Unsupported { layer, reason } => {
+                write!(f, "layer {layer}: unsupported geometry ({reason})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Serializes a tiled FM into the DDR byte image (channel-major,
+/// row-major tiles, 16 bytes per tile).
+pub fn fm_to_bytes(fm: &TiledFeatureMap<Sm8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(fm.tile_count() * TILE_BYTES);
+    for t in fm.as_tiles() {
+        for v in t.as_array() {
+            out.push(v.to_bits());
+        }
+    }
+    out
+}
+
+/// One stripe of a pass.
+#[derive(Debug, Clone, Copy)]
+struct Stripe {
+    /// Output tile rows [a, b).
+    out_a: usize,
+    out_b: usize,
+    /// Input tile rows [lo, hi) resident.
+    in_lo: usize,
+    in_hi: usize,
+}
+
+/// Input tile-row range needed for output tile rows `[a, b)`.
+fn input_rows_for(op: Option<PoolPadOp>, a: usize, b: usize, in_rows: usize) -> (usize, usize) {
+    let (lo, hi) = match op {
+        // Convolution on pre-padded input: out row r needs in rows r..r+2.
+        None => (a, b + 1),
+        Some(PoolPadOp::MaxPool { k, stride }) => {
+            let (k, s) = (k as usize, stride as usize);
+            (a * s, ((4 * b - 1) * s + k - 1) / 4 + 1)
+        }
+        Some(PoolPadOp::Pad { amount }) => {
+            let p = amount as usize;
+            ((4 * a).saturating_sub(p) / 4, (4 * b).saturating_sub(p).div_ceil(4).max(1))
+        }
+    };
+    (lo.min(in_rows), hi.min(in_rows).max(lo.min(in_rows)))
+}
+
+/// Plans stripes so input + output words fit the banks.
+fn plan_stripes(
+    layer: &str,
+    op: Option<PoolPadOp>,
+    out_rows: usize,
+    in_rows: usize,
+    words_in_per_row: usize,
+    words_out_per_row: usize,
+    bank_tiles: usize,
+) -> Result<Vec<Stripe>, DriverError> {
+    let fits = |a: usize, ro: usize| {
+        let (lo, hi) = input_rows_for(op, a, a + ro, in_rows);
+        (hi - lo) * words_in_per_row + ro * words_out_per_row <= bank_tiles
+    };
+    let mut stripes = Vec::new();
+    let mut a = 0;
+    while a < out_rows {
+        let mut ro = out_rows - a;
+        while ro > 1 && !fits(a, ro) {
+            ro -= 1;
+        }
+        if !fits(a, ro) {
+            let (lo, hi) = input_rows_for(op, a, a + 1, in_rows);
+            return Err(DriverError::LayerTooLarge {
+                layer: layer.to_string(),
+                needed: (hi - lo) * words_in_per_row + words_out_per_row,
+                capacity: bank_tiles,
+            });
+        }
+        let (in_lo, in_hi) = input_rows_for(op, a, a + ro, in_rows);
+        stripes.push(Stripe { out_a: a, out_b: a + ro, in_lo, in_hi });
+        a += ro;
+    }
+    Ok(stripes)
+}
+
+/// Mutable SoC context threaded through a network run.
+struct Soc {
+    ddr: DdrModel,
+    dma: zskip_soc::dma::DmaController,
+}
+
+impl Soc {
+    fn new() -> Soc {
+        // 1 GiB DDR4 region, default System I timing.
+        Soc { ddr: DdrModel::new(1 << 30), dma: zskip_soc::dma::DmaController::new() }
+    }
+}
+
+/// DDR staging area for activations: ping-pong between two regions.
+const DDR_FM_A: usize = 0;
+const DDR_FM_B: usize = 256 << 20;
+const DDR_WEIGHTS: usize = 512 << 20;
+
+impl Driver {
+    /// Creates a driver.
+    pub fn new(config: AccelConfig, backend: BackendKind) -> Driver {
+        Driver { config, backend, filter_grouping: false, functional: true, zero_skipping: true }
+    }
+
+    /// A driver that reports throughput only (no arithmetic): used for
+    /// full-network sweeps where outputs are not inspected.
+    pub fn stats_only(config: AccelConfig) -> Driver {
+        Driver {
+            config,
+            backend: BackendKind::Model,
+            filter_grouping: false,
+            functional: false,
+            zero_skipping: true,
+        }
+    }
+
+    /// Runs full network inference on the simulated SoC.
+    ///
+    /// # Errors
+    /// [`DriverError::LayerTooLarge`] when a layer cannot be striped into
+    /// the banks; [`DriverError::Sim`] on cycle-backend failures.
+    pub fn run_network(
+        &self,
+        qnet: &QuantizedNetwork,
+        input: &Tensor<f32>,
+    ) -> Result<InferenceReport, DriverError> {
+        let mut soc = Soc::new();
+        let mut act_q: Tensor<Sm8> = input.map(|v| qnet.input_params.quantize(v));
+        let mut fm = TiledFeatureMap::from_tensor(&act_q);
+        let mut layers = Vec::new();
+        let mut conv_i = 0;
+        let mut fc_i = 0;
+        let mut flat: Option<Vec<Sm8>> = None;
+        let shapes = qnet.spec.shapes().expect("network validated at quantization time");
+
+        for (li, layer) in qnet.spec.layers.iter().enumerate() {
+            match layer {
+                LayerSpec::Conv { name, stride, pad, k, .. } => {
+                    if *stride != 1 {
+                        return Err(DriverError::Unsupported {
+                            layer: name.clone(),
+                            reason: format!("conv stride {stride}; the datapath is stride-1 (VGG-style)"),
+                        });
+                    }
+                    if *k > zskip_tensor::TILE_DIM {
+                        return Err(DriverError::Unsupported {
+                            layer: name.clone(),
+                            reason: format!("kernel {k}x{k} exceeds the 4x4 weight tile"),
+                        });
+                    }
+                    let qw = &qnet.conv[conv_i].weights;
+                    let mut stats = PassStats::default();
+                    let mut src = fm;
+                    // Explicit pad pass (hardware pad instruction).
+                    if *pad > 0 {
+                        let (padded, pad_stats) = self.run_poolpad_pass(
+                            &format!("{name}/pad"),
+                            &src,
+                            PoolPadOp::Pad { amount: *pad as u8 },
+                            Shape::new(
+                                src.logical_shape().c,
+                                src.logical_shape().h + 2 * pad,
+                                src.logical_shape().w + 2 * pad,
+                            ),
+                            &mut soc,
+                        )?;
+                        stats.merge(&pad_stats);
+                        src = padded;
+                    }
+                    let out_shape = shapes[li + 1];
+                    let (out, conv_stats) = self.run_conv_pass(name, &src, qw, out_shape, &mut soc)?;
+                    stats.merge(&conv_stats);
+                    layers.push(LayerReport {
+                        name: name.clone(),
+                        is_conv: true,
+                        dense_macs: layer.macs(shapes[li]),
+                        stats,
+                    });
+                    fm = out;
+                    act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
+                    conv_i += 1;
+                }
+                LayerSpec::MaxPool { name, k, stride } => {
+                    let out_shape = shapes[li + 1];
+                    let (out, stats) = self.run_poolpad_pass(
+                        name,
+                        &fm,
+                        PoolPadOp::MaxPool { k: *k as u8, stride: *stride as u8 },
+                        out_shape,
+                        &mut soc,
+                    )?;
+                    layers.push(LayerReport { name: name.clone(), is_conv: false, dense_macs: 0, stats });
+                    fm = out;
+                    act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
+                }
+                LayerSpec::Fc { name, .. } => {
+                    // Host-side (ARM) execution, as in the paper.
+                    let input_flat: Vec<Sm8> = flat.take().unwrap_or_else(|| act_q.as_slice().to_vec());
+                    flat = Some(fc_quant(&input_flat, &qnet.fc[fc_i]));
+                    fc_i += 1;
+                    layers.push(LayerReport {
+                        name: name.clone(),
+                        is_conv: false,
+                        dense_macs: layer.macs(shapes[li]),
+                        stats: PassStats::default(),
+                    });
+                }
+                LayerSpec::Softmax => {
+                    // Monotone; host applies it for probabilities, argmax
+                    // unchanged on logits.
+                }
+            }
+        }
+
+        let output = flat.unwrap_or_else(|| act_q.as_slice().to_vec());
+        let total_cycles = layers.iter().map(|l| l.stats.total_cycles).sum();
+        let ddr_bytes = soc.ddr.bytes_read() + soc.ddr.bytes_written();
+        Ok(InferenceReport { layers, output, total_cycles, ddr_bytes })
+    }
+
+    /// Runs one convolution pass (input already padded; stride 1).
+    fn run_conv_pass(
+        &self,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        qw: &QuantConvWeights,
+        out_shape: Shape,
+        soc: &mut Soc,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        // Optional future-work filter grouping: reorder output channels by
+        // non-zero count so lockstep lanes balance; un-permuted on output.
+        let grouping = if self.filter_grouping {
+            let nnz: Vec<usize> = (0..qw.out_c).map(|o| qw.output_filter_nnz(o)).collect();
+            Some(FilterGrouping::by_nnz(&nnz, self.config.lanes))
+        } else {
+            None
+        };
+        let permuted;
+        let qw = if let Some(g) = &grouping {
+            permuted = permute_filters(qw, &g.order);
+            &permuted
+        } else {
+            qw
+        };
+
+        let in_rows = input.tiles_y();
+        let out = TiledFeatureMap::<Sm8>::zeros(out_shape);
+        let out_rows = out.tiles_y();
+        let words_in = input.channels().div_ceil(4) * input.tiles_x();
+        let words_out = out_shape.c.div_ceil(4) * out.tiles_x();
+        let stripes = plan_stripes(name, None, out_rows, in_rows, words_in, words_out, self.config.bank_tiles)?;
+
+        // Stage activations and packed weights in DDR.
+        let in_bytes = fm_to_bytes(input);
+        soc.ddr.write_block(DDR_FM_A, &in_bytes);
+        let groups: Vec<GroupWeights> = (0..qw.out_c.div_ceil(self.config.lanes))
+            .map(|g| {
+                GroupWeights::from_filters_with_skipping(
+                    qw,
+                    g * self.config.lanes,
+                    self.config.lanes,
+                    self.zero_skipping,
+                )
+            })
+            .collect();
+        let mut group_offsets = Vec::with_capacity(groups.len());
+        {
+            let mut w_all = Vec::new();
+            for g in &groups {
+                group_offsets.push(w_all.len());
+                w_all.extend_from_slice(&g.to_bytes());
+            }
+            soc.ddr.write_block(DDR_WEIGHTS, &w_all);
+        }
+
+        let mut stats = PassStats {
+            per_instance_cycles: vec![0; self.config.instances],
+            stripes: stripes.len(),
+            striping_factor: stripes.iter().map(|s| s.in_hi - s.in_lo).sum::<usize>() as f64
+                / in_rows.max(1) as f64,
+            ..Default::default()
+        };
+        let mut out_fm = out;
+
+        // Work distribution across instances: multi-stripe layers give each
+        // instance separate stripes (the paper's "each instance operates
+        // concurrently on separate stripes of FMs"); single-stripe layers
+        // (deep, small-FM) instead replicate the IFM stripe into both
+        // instances' banks and split the OFM groups between them.
+        let split_groups = stripes.len() < self.config.instances && self.config.instances > 1;
+
+        for (si, stripe) in stripes.iter().enumerate() {
+            let in_layout = FmLayout {
+                base: 0,
+                channels: input.channels(),
+                tiles_x: input.tiles_x(),
+                tile_rows: stripe.in_hi - stripe.in_lo,
+            };
+            let out_layout = FmLayout {
+                base: in_layout.end(),
+                channels: out_shape.c,
+                tiles_x: out_fm.tiles_x(),
+                tile_rows: stripe.out_b - stripe.out_a,
+            };
+
+            let parts = if split_groups { self.config.instances } else { 1 };
+            let chunk = groups.len().div_ceil(parts);
+            for part in 0..parts {
+                let instance = if split_groups { part } else { si % self.config.instances };
+                let group_range = (part * chunk)..((part + 1) * chunk).min(groups.len());
+                if group_range.is_empty() {
+                    continue;
+                }
+                let mut banks = BankSet::new(&self.config);
+
+                // DMA in: one descriptor per channel (replicated per part
+                // when groups are split — both instances need the IFMs).
+                stats.io_dma_cycles += self.dma_fm_stripe(
+                    soc,
+                    DDR_FM_A,
+                    input,
+                    stripe.in_lo..stripe.in_hi,
+                    &in_layout,
+                    &mut banks,
+                    true,
+                );
+
+                // Per-group: weight preload + conv instruction.
+                let mut scratchpad = Vec::new();
+                let mut instrs = Vec::new();
+                for gi in group_range {
+                    let g = &groups[gi];
+                    let bytes = g.total_bytes();
+                    let (_, wcycles) = soc.ddr.read_block(DDR_WEIGHTS + group_offsets[gi], bytes);
+                    stats.weight_dma_cycles += wcycles;
+                    let ofm_first = gi * self.config.lanes;
+                    let wgt_base = scratchpad.len() as u32;
+                    scratchpad.extend_from_slice(&g.to_bytes());
+                    let active = self.config.lanes.min(qw.out_c - ofm_first);
+                    let mut bias = [0i32; 4];
+                    for (lane, b) in bias.iter_mut().enumerate().take(active) {
+                        *b = qw.bias_acc[ofm_first + lane].clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                    }
+                    instrs.push(Instruction::Conv(ConvInstr {
+                        ofm_first: ofm_first as u16,
+                        ifm_count: qw.in_c as u16,
+                        ifm_base: 0,
+                        ifm_tiles_x: in_layout.tiles_x as u16,
+                        ifm_tile_rows: in_layout.tile_rows as u16,
+                        ifm_row_offset: (stripe.out_a - stripe.in_lo) as u16,
+                        ofm_base: out_layout.base as u32,
+                        ofm_tiles_x: out_layout.tiles_x as u16,
+                        ofm_tile_rows: out_layout.tile_rows as u16,
+                        wgt_base,
+                        bias,
+                        requant_mult: qw.requant.mult as u16,
+                        requant_shift: qw.requant.shift as u8,
+                        relu: qw.relu,
+                        active_lanes: active as u8,
+                    }));
+                }
+
+                let (cycles, result_banks) = self.execute(banks, scratchpad, &instrs, &mut stats.counters)?;
+                stats.per_instance_cycles[instance] += cycles;
+                let mut banks = result_banks;
+
+                // DMA out this part's OFM channels.
+                out_layout.load_channels(
+                    &banks,
+                    &mut out_fm,
+                    stripe.out_a..stripe.out_b,
+                    (part * chunk * self.config.lanes)..(((part + 1) * chunk * self.config.lanes).min(out_shape.c)),
+                );
+                stats.io_dma_cycles += self.dma_fm_stripe(
+                    soc,
+                    DDR_FM_B,
+                    &out_fm,
+                    stripe.out_a..stripe.out_b,
+                    &out_layout,
+                    &mut banks,
+                    false,
+                );
+            }
+        }
+
+        stats.finish();
+        // Tile-aligned compute fills whole tiles; cells beyond the logical
+        // extent are don't-cares that downstream boundary windows must
+        // read as zero.
+        out_fm.zero_round_up_region();
+        // Undo the grouping permutation so downstream layers see model
+        // channel order (host-side relabeling; free at DMA time).
+        if let Some(g) = &grouping {
+            out_fm = unpermute_channels(&out_fm, &g.order);
+        }
+        Ok((out_fm, stats))
+    }
+
+    /// Runs one pad or pool pass.
+    fn run_poolpad_pass(
+        &self,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        op: PoolPadOp,
+        out_shape: Shape,
+        soc: &mut Soc,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        let in_rows = input.tiles_y();
+        let mut out_fm = TiledFeatureMap::<Sm8>::zeros(out_shape);
+        let out_rows = out_fm.tiles_y();
+        let channels = input.channels();
+        let words_in = channels.div_ceil(4) * input.tiles_x();
+        let words_out = channels.div_ceil(4) * out_fm.tiles_x();
+        let stripes =
+            plan_stripes(name, Some(op), out_rows, in_rows, words_in, words_out, self.config.bank_tiles)?;
+
+        let in_bytes = fm_to_bytes(input);
+        soc.ddr.write_block(DDR_FM_A, &in_bytes);
+
+        let mut stats = PassStats {
+            per_instance_cycles: vec![0; self.config.instances],
+            stripes: stripes.len(),
+            striping_factor: stripes.iter().map(|s| s.in_hi - s.in_lo).sum::<usize>() as f64
+                / in_rows.max(1) as f64,
+            ..Default::default()
+        };
+
+        for (si, stripe) in stripes.iter().enumerate() {
+            let instance = si % self.config.instances;
+            let mut banks = BankSet::new(&self.config);
+            let in_layout = FmLayout {
+                base: 0,
+                channels,
+                tiles_x: input.tiles_x(),
+                tile_rows: stripe.in_hi - stripe.in_lo,
+            };
+            let out_layout = FmLayout {
+                base: in_layout.end(),
+                channels,
+                tiles_x: out_fm.tiles_x(),
+                tile_rows: stripe.out_b - stripe.out_a,
+            };
+            stats.io_dma_cycles +=
+                self.dma_fm_stripe(soc, DDR_FM_A, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true);
+
+            let instr = Instruction::PoolPad(PoolPadInstr {
+                channels: channels as u16,
+                in_base: 0,
+                in_tiles_x: in_layout.tiles_x as u16,
+                in_tile_rows: in_layout.tile_rows as u16,
+                in_row_start: stripe.in_lo as u16,
+                out_base: out_layout.base as u32,
+                out_tiles_x: out_layout.tiles_x as u16,
+                out_tile_rows: out_layout.tile_rows as u16,
+                out_row_start: stripe.out_a as u16,
+                op,
+            });
+            let (cycles, result_banks) = self.execute(banks, Vec::new(), &[instr], &mut stats.counters)?;
+            stats.per_instance_cycles[instance] += cycles;
+            let mut banks = result_banks;
+            out_layout.load(&banks, &mut out_fm, stripe.out_a..stripe.out_b);
+            stats.io_dma_cycles +=
+                self.dma_fm_stripe(soc, DDR_FM_B, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false);
+        }
+        stats.finish();
+        out_fm.zero_round_up_region();
+        Ok((out_fm, stats))
+    }
+
+    /// Executes an instruction batch on the configured backend.
+    fn execute(
+        &self,
+        mut banks: BankSet,
+        scratchpad: Vec<u8>,
+        instrs: &[Instruction],
+        counters: &mut Counters,
+    ) -> Result<(u64, BankSet), DriverError> {
+        match self.backend {
+            BackendKind::Model => {
+                let outcome = model::run_instructions_with_mode(
+                    &self.config,
+                    &mut banks,
+                    &scratchpad,
+                    instrs,
+                    counters,
+                    self.functional,
+                );
+                Ok((outcome.cycles, banks))
+            }
+            BackendKind::Cycle => {
+                let outcome = cycle::run_instructions(&self.config, banks, scratchpad, instrs, u64::MAX)
+                    .map_err(|e| DriverError::Sim(e.to_string()))?;
+                counters.merge(&outcome.counters);
+                Ok((outcome.cycles, outcome.banks))
+            }
+        }
+    }
+
+    /// Moves one FM stripe between DDR and banks via the DMA engine,
+    /// returning the cycle cost. `to_banks` selects the direction.
+    #[allow(clippy::too_many_arguments)]
+    fn dma_fm_stripe(
+        &self,
+        soc: &mut Soc,
+        ddr_base: usize,
+        fm: &TiledFeatureMap<Sm8>,
+        rows: std::ops::Range<usize>,
+        layout: &FmLayout,
+        banks: &mut BankSet,
+        to_banks: bool,
+    ) -> u64 {
+        use zskip_soc::dma::{DmaDescriptor, DmaDirection};
+        let mut cycles = 0;
+        let tiles_per_row = fm.tiles_x();
+        let rows_per_channel = fm.tiles_y();
+        for c in 0..fm.channels() {
+            let ddr_addr = ddr_base + (c * rows_per_channel + rows.start) * tiles_per_row * TILE_BYTES;
+            let desc = DmaDescriptor {
+                direction: if to_banks { DmaDirection::DdrToBank } else { DmaDirection::BankToDdr },
+                ddr_addr,
+                bank: FmLayout::bank_of(c),
+                bank_tile_index: layout.addr(c, 0, 0),
+                tiles: rows.len() * tiles_per_row,
+            };
+            cycles += soc.dma.run(&desc, &mut soc.ddr, banks).expect("driver-planned DMA is in range");
+        }
+        cycles
+    }
+}
+
+/// Reorders a layer's output filters (weights + bias) by `order`.
+fn permute_filters(qw: &QuantConvWeights, order: &[usize]) -> QuantConvWeights {
+    let kk = qw.k * qw.k;
+    let per_filter = qw.in_c * kk;
+    let mut w = Vec::with_capacity(qw.w.len());
+    let mut bias = Vec::with_capacity(qw.bias_acc.len());
+    for &o in order {
+        w.extend_from_slice(&qw.w[o * per_filter..(o + 1) * per_filter]);
+        bias.push(qw.bias_acc[o]);
+    }
+    QuantConvWeights { w, bias_acc: bias, ..qw.clone() }
+}
+
+/// Un-permutes channels of an FM produced under a filter grouping.
+fn unpermute_channels(fm: &TiledFeatureMap<Sm8>, order: &[usize]) -> TiledFeatureMap<Sm8> {
+    let mut out = TiledFeatureMap::zeros(fm.logical_shape());
+    for (pos, &orig) in order.iter().enumerate() {
+        for ty in 0..fm.tiles_y() {
+            for tx in 0..fm.tiles_x() {
+                *out.tile_mut(orig, ty, tx) = *fm.tile(pos, ty, tx);
+            }
+        }
+    }
+    out
+}
+
+// `Soc` must be nameable by callers of the public pass runners.
+pub use self::soc_public::SocHandle;
+mod soc_public {
+    /// Opaque SoC handle for single-pass benchmarking entry points.
+    pub struct SocHandle(pub(super) super::Soc);
+
+    impl SocHandle {
+        /// Creates a fresh SoC context (1 GiB DDR, default timing).
+        pub fn new() -> SocHandle {
+            SocHandle(super::Soc::new())
+        }
+    }
+
+    impl Default for SocHandle {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+impl Driver {
+    /// Single-layer conv entry point for benches/ablations.
+    ///
+    /// # Errors
+    /// See [`Driver::run_network`].
+    pub fn conv_pass(
+        &self,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        qw: &QuantConvWeights,
+        out_shape: Shape,
+        soc: &mut SocHandle,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        self.run_conv_pass(name, input, qw, out_shape, &mut soc.0)
+    }
+
+    /// Single-layer pool/pad entry point for benches/ablations.
+    ///
+    /// # Errors
+    /// See [`Driver::run_network`].
+    pub fn poolpad_pass(
+        &self,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        op: PoolPadOp,
+        out_shape: Shape,
+        soc: &mut SocHandle,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        self.run_poolpad_pass(name, input, op, out_shape, &mut soc.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_hls::AccelArch;
+    use zskip_nn::eval::synthetic_inputs;
+    use zskip_nn::layer::{conv3x3, maxpool2x2, NetworkSpec};
+    use zskip_nn::model::{Network, SyntheticModelConfig};
+    use zskip_quant::DensityProfile;
+
+    fn tiny_spec() -> NetworkSpec {
+        NetworkSpec {
+            name: "tiny".into(),
+            input: Shape::new(3, 12, 12),
+            layers: vec![
+                conv3x3("c1", 3, 6),
+                maxpool2x2("p1"),
+                conv3x3("c2", 6, 9),
+                maxpool2x2("p2"),
+                LayerSpec::Fc { name: "fc".into(), in_features: 9 * 3 * 3, out_features: 5, relu: false },
+            ],
+        }
+    }
+
+    fn quantized(density: f64, seed: u64) -> (QuantizedNetwork, Tensor<f32>) {
+        let spec = tiny_spec();
+        let net = Network::synthetic(
+            spec.clone(),
+            &SyntheticModelConfig { seed, density: DensityProfile::uniform(2, density) },
+        );
+        let calib = synthetic_inputs(seed ^ 1, 2, spec.input);
+        let qnet = net.quantize(&calib);
+        let input = synthetic_inputs(seed ^ 2, 1, spec.input).pop().expect("one input");
+        (qnet, input)
+    }
+
+    fn config(bank_tiles: usize, instances: usize) -> AccelConfig {
+        AccelConfig::from_arch(
+            &AccelArch { conv_units: 4, lanes: 4, instances, bank_tiles },
+            100.0,
+        )
+    }
+
+    #[test]
+    fn model_backend_matches_software_reference_bit_exact() {
+        let (qnet, input) = quantized(0.6, 11);
+        let driver = Driver::new(config(4096, 1), BackendKind::Model);
+        let report = driver.run_network(&qnet, &input).expect("network runs");
+        assert_eq!(report.output, qnet.forward_quant(&input));
+        assert!(report.total_cycles > 0);
+        assert!(report.ddr_bytes > 0);
+        assert_eq!(report.conv_layers().count(), 2);
+    }
+
+    #[test]
+    fn cycle_backend_matches_software_reference_bit_exact() {
+        let (qnet, input) = quantized(0.5, 22);
+        let driver = Driver::new(config(4096, 1), BackendKind::Cycle);
+        let report = driver.run_network(&qnet, &input).expect("network runs");
+        assert_eq!(report.output, qnet.forward_quant(&input));
+    }
+
+    #[test]
+    fn model_and_cycle_backends_agree_on_cycles_within_tolerance() {
+        let (qnet, input) = quantized(0.4, 33);
+        let model = Driver::new(config(4096, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
+        let cycle = Driver::new(config(4096, 1), BackendKind::Cycle).run_network(&qnet, &input).unwrap();
+        assert_eq!(model.output, cycle.output, "functional equality");
+        let diff = model.total_cycles.abs_diff(cycle.total_cycles) as f64;
+        assert!(
+            diff <= 0.03 * cycle.total_cycles as f64 + 400.0,
+            "model {} vs cycle {}",
+            model.total_cycles,
+            cycle.total_cycles
+        );
+    }
+
+    #[test]
+    fn striping_preserves_results() {
+        let (qnet, input) = quantized(0.7, 44);
+        // Tiny banks: forces multiple stripes per layer.
+        let striped = Driver::new(config(20, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
+        assert_eq!(striped.output, qnet.forward_quant(&input));
+        let roomy = Driver::new(config(8192, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
+        let stripes_tight: usize = striped.layers.iter().map(|l| l.stats.stripes).sum();
+        let stripes_roomy: usize = roomy.layers.iter().map(|l| l.stats.stripes).sum();
+        assert!(stripes_tight > stripes_roomy, "{stripes_tight} vs {stripes_roomy}");
+        // Halo re-fetch shows up as striping factor > 1 on conv layers.
+        assert!(striped.conv_layers().any(|l| l.stats.striping_factor > 1.01));
+    }
+
+    #[test]
+    fn two_instances_cut_compute_on_striped_layers() {
+        let (qnet, input) = quantized(1.0, 55);
+        let one = Driver::new(config(20, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
+        let two = Driver::new(config(20, 2), BackendKind::Model).run_network(&qnet, &input).unwrap();
+        assert_eq!(two.output, qnet.forward_quant(&input));
+        let c1: u64 = one.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        let c2: u64 = two.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        assert!(c2 < c1, "scale-out must reduce busiest-instance compute: {c2} vs {c1}");
+    }
+
+    #[test]
+    fn filter_grouping_keeps_results_and_not_slower() {
+        let (qnet, input) = quantized(0.3, 66);
+        let mut plain = Driver::new(config(4096, 1), BackendKind::Model);
+        plain.filter_grouping = false;
+        let mut grouped = plain.clone();
+        grouped.filter_grouping = true;
+        let a = plain.run_network(&qnet, &input).unwrap();
+        let b = grouped.run_network(&qnet, &input).unwrap();
+        assert_eq!(a.output, b.output, "grouping must not change results");
+        let ca: u64 = a.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        let cb: u64 = b.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        assert!(cb <= ca + ca / 50, "grouping should not slow down: {cb} vs {ca}");
+    }
+
+    #[test]
+    fn pruned_network_runs_faster_than_dense() {
+        let (dense, input) = quantized(1.0, 77);
+        let (pruned, _) = quantized(0.3, 77);
+        let driver = Driver::new(config(4096, 1), BackendKind::Model);
+        let d = driver.run_network(&dense, &input).unwrap();
+        let p = driver.run_network(&pruned, &input).unwrap();
+        let cd: u64 = d.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        let cp: u64 = p.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        assert!(cp < cd, "zero-skipping must help: pruned {cp} vs dense {cd}");
+    }
+
+    #[test]
+    fn layer_too_large_is_reported() {
+        let (qnet, input) = quantized(1.0, 88);
+        let err = Driver::new(config(8, 1), BackendKind::Model).run_network(&qnet, &input).unwrap_err();
+        match err {
+            DriverError::LayerTooLarge { needed, capacity, .. } => {
+                assert!(needed > capacity);
+            }
+            other => panic!("expected LayerTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gops_reporting_is_consistent() {
+        let (qnet, input) = quantized(1.0, 99);
+        let cfg = config(4096, 1);
+        let report = Driver::new(cfg, BackendKind::Model).run_network(&qnet, &input).unwrap();
+        let mean = report.mean_gops(&cfg);
+        let peak = report.peak_gops(&cfg);
+        assert!(peak >= mean && mean > 0.0, "peak {peak} mean {mean}");
+        // Effective GOPS can never exceed peak arithmetic throughput for a
+        // dense (unpruned) network.
+        assert!(peak <= cfg.peak_gops() * 1.001, "peak {peak} vs hw {}", cfg.peak_gops());
+    }
+}
+
+#[cfg(test)]
+mod stripe_math_tests {
+    use super::*;
+
+    #[test]
+    fn conv_needs_one_halo_row_below() {
+        // Output tile rows [a, b) read input tile rows [a, b+1) (3x3 conv
+        // on pre-padded input anchored at the same tile row).
+        assert_eq!(input_rows_for(None, 0, 4, 100), (0, 5));
+        assert_eq!(input_rows_for(None, 7, 9, 100), (7, 10));
+        // Clamped at the input extent.
+        assert_eq!(input_rows_for(None, 7, 9, 9), (7, 9));
+    }
+
+    #[test]
+    fn pool_2x2_s2_maps_rows_two_to_one() {
+        let op = Some(PoolPadOp::MaxPool { k: 2, stride: 2 });
+        // Out tile row r covers element rows 4r..4r+4 -> in elements
+        // 8r..8r+8 -> in tile rows 2r..2r+2.
+        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 2));
+        assert_eq!(input_rows_for(op, 3, 5, 100), (6, 10));
+    }
+
+    #[test]
+    fn pool_3x3_s2_needs_overlap_row() {
+        let op = Some(PoolPadOp::MaxPool { k: 3, stride: 2 });
+        // Last element of out tile row 0 is row 3: window rows 6..9 ->
+        // in tile rows 0..3.
+        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 3));
+    }
+
+    #[test]
+    fn pad_shifts_rows_up_by_the_amount() {
+        let op = Some(PoolPadOp::Pad { amount: 1 });
+        // Out tile row 0 (elements 0..4) reads in elements -1..3 -> tile 0.
+        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 1));
+        // Out tile row 2 (elements 8..12) reads in elements 7..11 ->
+        // tiles 1..3.
+        assert_eq!(input_rows_for(op, 2, 3, 100), (1, 3));
+    }
+
+    #[test]
+    fn planner_covers_output_exactly_once_under_pressure() {
+        let stripes = plan_stripes("t", None, 17, 18, 10, 12, 80).expect("fits");
+        let mut next = 0;
+        for s in &stripes {
+            assert_eq!(s.out_a, next, "no gaps or overlaps");
+            assert!(s.out_b > s.out_a);
+            // Capacity respected.
+            assert!((s.in_hi - s.in_lo) * 10 + (s.out_b - s.out_a) * 12 <= 80);
+            next = s.out_b;
+        }
+        assert_eq!(next, 17);
+        assert!(stripes.len() > 1, "pressure must force striping");
+    }
+
+    #[test]
+    fn planner_reports_impossible_capacity() {
+        let err = plan_stripes("t", None, 4, 5, 10, 12, 20).unwrap_err();
+        match err {
+            DriverError::LayerTooLarge { needed, capacity, .. } => {
+                assert!(needed > capacity);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The zero-weight-skipping CNN inference accelerator (paper Figs. 3-5).
+//!
+//! This crate is the paper's primary contribution, rebuilt as a simulated
+//! microarchitecture:
+//!
+//! * [`config`] — runtime configuration tying an HLS variant (clock,
+//!   MACs/cycle, bank capacity) to the simulated accelerator;
+//! * [`isa`] — the instruction set the ARM host issues (convolution,
+//!   padding, max-pooling) with a binary encoding;
+//! * [`bank`] — the four dual-port on-FPGA SRAM banks (one tile word per
+//!   port per cycle);
+//! * [`layout`] — how tiled feature maps map onto banks (channel `c` lives
+//!   in bank `c mod 4`, giving each data-staging unit private read access
+//!   to its quarter of the IFMs);
+//! * [`weights`] — packed zero-skip weight streams for an OFM group, in
+//!   scratchpad byte format, with lockstep lane iteration;
+//! * [`poolpad`] — the micro-op programs that drive the generic
+//!   padding/max-pooling unit (any window, stride or pad amount);
+//! * [`cycle`] — the **cycle-exact backend**: 20 streaming kernels
+//!   (4 each of data-staging/control, convolution, accumulator, pool/pad,
+//!   write-to-memory) plus a main controller, connected by FIFOs on the
+//!   `zskip-sim` engine, synchronized by a Pthreads-style barrier;
+//! * [`model`] — the **transaction-level backend**: closed-form cycle
+//!   costs (validated cycle-for-cycle against [`cycle`] by property tests)
+//!   with functional results from the `zskip-nn` golden reference, fast
+//!   enough for full VGG-16 sweeps;
+//! * [`driver`] — the host-side driver: stripe planning under bank
+//!   capacity, weight packing, instruction generation, DMA orchestration
+//!   and multi-instance scale-out.
+
+pub mod analysis;
+pub mod bank;
+pub mod config;
+pub mod cycle;
+pub mod driver;
+pub mod isa;
+pub mod layout;
+pub mod model;
+pub mod poolpad;
+pub mod weights;
+
+pub use analysis::LayerPackingStats;
+pub use bank::BankSet;
+pub use config::AccelConfig;
+pub use driver::{BackendKind, Driver, InferenceReport, LayerReport, PassStats, SocHandle};
+pub use isa::{ConvInstr, Instruction, PoolPadInstr, PoolPadOp};
+pub use layout::FmLayout;
+pub use weights::GroupWeights;

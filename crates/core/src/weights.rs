@@ -1,0 +1,250 @@
+//! Packed zero-skip weight streams for an OFM group.
+//!
+//! Offline, the host packs each filter's weights into (offset, value)
+//! pairs per weight tile (paper §III-B); a group bundles `lanes` filters
+//! (4 in the full design) whose packed tiles are streamed in lockstep by
+//! the data-staging unit. This module owns the group-level format: lane
+//! tiles per IFM, scratchpad serialization, and the per-IFM step counts
+//! that determine cycle cost.
+
+use zskip_nn::conv::QuantConvWeights;
+use zskip_quant::{PackedTile, Sm8};
+use zskip_tensor::{dydx_to_offset, Tile, TILE_DIM};
+
+/// Packed weights of one OFM group (up to `lanes` filters) over all IFMs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupWeights {
+    lanes: usize,
+    ifm_count: usize,
+    /// `tiles[ifm * lanes + lane]`.
+    tiles: Vec<PackedTile>,
+}
+
+impl GroupWeights {
+    /// Packs the filters `[ofm_first, ofm_first + lanes)` of a quantized
+    /// conv layer. Lanes past `out_c` pack as empty (all-zero) tiles.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit a 4x4 weight tile (`k > 4`); the
+    /// paper's tiling targets the ubiquitous 3x3 (and smaller) filters.
+    pub fn from_filters(qw: &QuantConvWeights, ofm_first: usize, lanes: usize) -> GroupWeights {
+        Self::from_filters_with_skipping(qw, ofm_first, lanes, true)
+    }
+
+    /// Like [`GroupWeights::from_filters`], with zero-skipping optionally
+    /// disabled (every weight slot packed, zeros included) — the ablation
+    /// baseline quantifying the paper's novel contribution.
+    pub fn from_filters_with_skipping(
+        qw: &QuantConvWeights,
+        ofm_first: usize,
+        lanes: usize,
+        skip_zeros: bool,
+    ) -> GroupWeights {
+        assert!(qw.k <= TILE_DIM, "kernel {}x{} does not fit a 4x4 weight tile", qw.k, qw.k);
+        let mut tiles = Vec::with_capacity(qw.in_c * lanes);
+        for ifm in 0..qw.in_c {
+            for lane in 0..lanes {
+                let o = ofm_first + lane;
+                let tile = if o < qw.out_c {
+                    let mut t = Tile::<Sm8>::zero();
+                    for ky in 0..qw.k {
+                        for kx in 0..qw.k {
+                            t.as_mut_array()[dydx_to_offset(ky, kx) as usize] = qw.at(o, ifm, ky, kx);
+                        }
+                    }
+                    if skip_zeros {
+                        PackedTile::pack(&t)
+                    } else {
+                        PackedTile::pack_dense(&t)
+                    }
+                } else {
+                    PackedTile::default()
+                };
+                tiles.push(tile);
+            }
+        }
+        GroupWeights { lanes, ifm_count: qw.in_c, tiles }
+    }
+
+    /// Number of filter lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of IFM channels covered.
+    pub fn ifm_count(&self) -> usize {
+        self.ifm_count
+    }
+
+    /// The packed tile for `(ifm, lane)`.
+    pub fn lane_tile(&self, ifm: usize, lane: usize) -> &PackedTile {
+        &self.tiles[ifm * self.lanes + lane]
+    }
+
+    /// Lockstep steps for one IFM: the maximum lane non-zero count. Zero
+    /// means every lane is empty and the IFM is skipped outright.
+    pub fn steps(&self, ifm: usize) -> usize {
+        (0..self.lanes).map(|l| self.lane_tile(ifm, l).nnz()).max().unwrap_or(0)
+    }
+
+    /// Idle lane-slots (pipeline bubbles) for one IFM.
+    pub fn bubbles(&self, ifm: usize) -> usize {
+        let steps = self.steps(ifm);
+        (0..self.lanes).map(|l| steps - self.lane_tile(ifm, l).nnz()).sum()
+    }
+
+    /// Total non-zero weights across the group.
+    pub fn total_nnz(&self) -> usize {
+        self.tiles.iter().map(PackedTile::nnz).sum()
+    }
+
+    /// Scratchpad bytes for one IFM's lane tiles.
+    pub fn ifm_bytes(&self, ifm: usize) -> usize {
+        (0..self.lanes).map(|l| self.lane_tile(ifm, l).byte_len()).sum()
+    }
+
+    /// Total scratchpad bytes for the group.
+    pub fn total_bytes(&self) -> usize {
+        (0..self.ifm_count).map(|i| self.ifm_bytes(i)).sum()
+    }
+
+    /// Serializes to the scratchpad stream: per IFM, the `lanes` packed
+    /// tiles concatenated.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes());
+        for t in &self.tiles {
+            out.extend_from_slice(&t.to_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a scratchpad stream. Trailing bytes are permitted —
+    /// the stream may be a window into a larger scratchpad image holding
+    /// several groups.
+    ///
+    /// # Errors
+    /// Propagates packed-tile decode errors.
+    pub fn from_bytes(
+        bytes: &[u8],
+        ifm_count: usize,
+        lanes: usize,
+    ) -> Result<GroupWeights, zskip_quant::pack::PackDecodeError> {
+        let mut tiles = Vec::with_capacity(ifm_count * lanes);
+        let mut pos = 0;
+        for _ in 0..ifm_count * lanes {
+            let (t, used) = PackedTile::from_bytes(&bytes[pos..])?;
+            pos += used;
+            tiles.push(t);
+        }
+        Ok(GroupWeights { lanes, ifm_count, tiles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_quant::Requantizer;
+
+    /// A quantized layer with deterministic per-filter sparsity.
+    fn layer(out_c: usize, in_c: usize, k: usize) -> QuantConvWeights {
+        let w: Vec<Sm8> = (0..out_c * in_c * k * k)
+            .map(|i| {
+                // Filter o keeps weights where (i + o) % 3 != 0, giving
+                // different densities per filter.
+                let o = i / (in_c * k * k);
+                if (i + o) % 3 == 0 {
+                    Sm8::ZERO
+                } else {
+                    Sm8::from_i32_saturating((i % 13) as i32 - 6)
+                }
+            })
+            .collect();
+        QuantConvWeights { out_c, in_c, k, w, bias_acc: vec![0; out_c], requant: Requantizer::IDENTITY, relu: false }
+    }
+
+    #[test]
+    fn packs_filters_at_kernel_offsets() {
+        let qw = layer(4, 2, 3);
+        let g = GroupWeights::from_filters(&qw, 0, 4);
+        assert_eq!(g.ifm_count(), 2);
+        // Every packed entry's offset decodes within the 3x3 area.
+        for ifm in 0..2 {
+            for lane in 0..4 {
+                for e in g.lane_tile(ifm, lane).entries() {
+                    let (dy, dx) = zskip_tensor::offset_to_dydx(e.offset);
+                    assert!(dy < 3 && dx < 3, "offset ({dy},{dx}) outside 3x3");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpacked_tiles_match_source_weights() {
+        let qw = layer(4, 3, 3);
+        let g = GroupWeights::from_filters(&qw, 0, 4);
+        for ifm in 0..3 {
+            for lane in 0..4 {
+                let t = g.lane_tile(ifm, lane).unpack();
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        assert_eq!(t[(ky, kx)], qw.at(lane, ifm, ky, kx));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steps_is_max_lane_nnz() {
+        let qw = layer(4, 2, 3);
+        let g = GroupWeights::from_filters(&qw, 0, 4);
+        for ifm in 0..2 {
+            let max = (0..4).map(|l| g.lane_tile(ifm, l).nnz()).max().unwrap();
+            assert_eq!(g.steps(ifm), max);
+            assert_eq!(g.bubbles(ifm), (0..4).map(|l| max - g.lane_tile(ifm, l).nnz()).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn ragged_group_pads_with_empty_lanes() {
+        // 6 filters, group starting at 4: lanes 2,3 are past out_c.
+        let qw = layer(6, 2, 3);
+        let g = GroupWeights::from_filters(&qw, 4, 4);
+        assert_eq!(g.lane_tile(0, 2).nnz(), 0);
+        assert_eq!(g.lane_tile(0, 3).nnz(), 0);
+        assert!(g.lane_tile(0, 0).nnz() > 0);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let qw = layer(4, 5, 3);
+        let g = GroupWeights::from_filters(&qw, 0, 4);
+        let bytes = g.to_bytes();
+        assert_eq!(bytes.len(), g.total_bytes());
+        let h = GroupWeights::from_bytes(&bytes, 5, 4).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn all_zero_ifm_reports_zero_steps() {
+        let qw = QuantConvWeights {
+            out_c: 4,
+            in_c: 1,
+            k: 3,
+            w: vec![Sm8::ZERO; 36],
+            bias_acc: vec![0; 4],
+            requant: Requantizer::IDENTITY,
+            relu: false,
+        };
+        let g = GroupWeights::from_filters(&qw, 0, 4);
+        assert_eq!(g.steps(0), 0);
+        assert_eq!(g.total_nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn rejects_wide_kernels() {
+        let qw = layer(4, 1, 5);
+        let _ = GroupWeights::from_filters(&qw, 0, 4);
+    }
+}

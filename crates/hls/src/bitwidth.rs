@@ -1,0 +1,206 @@
+//! Automated bitwidth minimization — range analysis on datapath values.
+//!
+//! "The primary HLS constraints applied were loop pipelining,
+//! if-conversion, **automated bitwidth minimization** \[Gort & Anderson,
+//! ASP-DAC'13\], and clock-period constraints." (paper §IV-A)
+//!
+//! The pass propagates value ranges through the accelerator's datapath
+//! and narrows every operator to the width its range actually needs:
+//! an 8-bit sign+magnitude product fits 15 bits, and accumulating
+//! `512 x 9` such products (the deepest VGG-16 layer) plus a bias fits
+//! 28 bits — not the conservative 32. Narrower adders and alignment
+//! muxes are the area dividend.
+
+/// An inclusive signed value range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueRange {
+    /// Smallest value.
+    pub min: i64,
+    /// Largest value.
+    pub max: i64,
+}
+
+impl ValueRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn new(min: i64, max: i64) -> ValueRange {
+        assert!(min <= max, "empty range {min}..{max}");
+        ValueRange { min, max }
+    }
+
+    /// The symmetric range of an 8-bit sign+magnitude value.
+    pub const SM8: ValueRange = ValueRange { min: -127, max: 127 };
+
+    /// Range of the sum of two values.
+    pub fn add(self, rhs: ValueRange) -> ValueRange {
+        ValueRange { min: self.min + rhs.min, max: self.max + rhs.max }
+    }
+
+    /// Range of the product of two values.
+    pub fn mul(self, rhs: ValueRange) -> ValueRange {
+        let candidates = [
+            self.min * rhs.min,
+            self.min * rhs.max,
+            self.max * rhs.min,
+            self.max * rhs.max,
+        ];
+        ValueRange {
+            min: *candidates.iter().min().expect("non-empty"),
+            max: *candidates.iter().max().expect("non-empty"),
+        }
+    }
+
+    /// Range of a sum of `n` values drawn from this range (an
+    /// accumulation), optionally plus a bias from `bias`.
+    pub fn accumulate(self, n: u64, bias: Option<ValueRange>) -> ValueRange {
+        let mut r = ValueRange { min: self.min * n as i64, max: self.max * n as i64 };
+        if let Some(b) = bias {
+            r = r.add(b);
+        }
+        r
+    }
+
+    /// Bits of a two's-complement register holding every value in the
+    /// range (at least 1).
+    pub fn required_bits(self) -> usize {
+        let mut bits = 1;
+        // Find the smallest b with -2^(b-1) <= min and max <= 2^(b-1)-1.
+        while bits < 63 {
+            let lo = -(1i64 << (bits - 1));
+            let hi = (1i64 << (bits - 1)) - 1;
+            if self.min >= lo && self.max <= hi {
+                return bits;
+            }
+            bits += 1;
+        }
+        64
+    }
+}
+
+/// Datapath widths of the accelerator derived by range analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatapathWidths {
+    /// Product of a weight and an activation.
+    pub product_bits: usize,
+    /// Accumulator register and accumulate adder.
+    pub accum_bits: usize,
+    /// Partial-sum adder tree stage (sums of up to `units` products).
+    pub partial_bits: usize,
+}
+
+/// Bias budget in product-equivalents: the driver clamps accumulator-
+/// domain biases to the range of this many worst-case products (a larger
+/// bias would saturate the 8-bit output anyway).
+pub const BIAS_PRODUCT_EQUIVALENTS: u64 = 16;
+
+/// Largest accumulator-domain bias the driver will emit.
+pub const MAX_BIAS_MAGNITUDE: i64 = BIAS_PRODUCT_EQUIVALENTS as i64 * 127 * 127;
+
+/// Derives minimized widths for a workload bound: the largest number of
+/// accumulated terms any OFM value sees (`in_c x k^2` of the deepest
+/// layer), with an 8-bit sign+magnitude datapath.
+pub fn minimize_widths(max_accum_terms: u64) -> DatapathWidths {
+    let product = ValueRange::SM8.mul(ValueRange::SM8);
+    let bias = ValueRange::new(-MAX_BIAS_MAGNITUDE, MAX_BIAS_MAGNITUDE);
+    let accum = product.accumulate(max_accum_terms.max(1), Some(bias));
+    // Tree stage: one conv unit contributes up to 4 lanes' products per
+    // cycle but each accumulator input sums `units` unit outputs.
+    let partial = product.accumulate(4, None);
+    DatapathWidths {
+        product_bits: product.required_bits(),
+        accum_bits: accum.required_bits(),
+        partial_bits: partial.required_bits(),
+    }
+}
+
+/// Conservative (no range analysis) widths: everything 32-bit past the
+/// multipliers — the ablation baseline.
+pub fn conservative_widths() -> DatapathWidths {
+    DatapathWidths { product_bits: 16, accum_bits: 32, partial_bits: 32 }
+}
+
+/// The deepest VGG-16 accumulation: 512 input channels x 3x3 kernel.
+pub const VGG16_MAX_ACCUM_TERMS: u64 = 512 * 9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sm8_product_fits_15_bits() {
+        let p = ValueRange::SM8.mul(ValueRange::SM8);
+        assert_eq!(p.max, 16129);
+        assert_eq!(p.min, -16129);
+        assert_eq!(p.required_bits(), 15);
+    }
+
+    #[test]
+    fn required_bits_boundaries() {
+        assert_eq!(ValueRange::new(0, 0).required_bits(), 1);
+        assert_eq!(ValueRange::new(-1, 0).required_bits(), 1);
+        assert_eq!(ValueRange::new(0, 1).required_bits(), 2);
+        assert_eq!(ValueRange::new(-128, 127).required_bits(), 8);
+        assert_eq!(ValueRange::new(-129, 127).required_bits(), 9);
+        assert_eq!(ValueRange::new(0, 65535).required_bits(), 17);
+    }
+
+    #[test]
+    fn vgg_accumulator_fits_28_bits() {
+        let w = minimize_widths(VGG16_MAX_ACCUM_TERMS);
+        assert_eq!(w.product_bits, 15);
+        // (4608 + 16) * 16129 ~ 74.6M: 28 bits, four fewer than the
+        // conservative 32-bit datapath.
+        assert_eq!(w.accum_bits, 28);
+        assert!(w.partial_bits < w.accum_bits);
+        // Smaller workloads need fewer bits.
+        let small = minimize_widths(9);
+        assert!(small.accum_bits < w.accum_bits);
+    }
+
+    #[test]
+    fn conservative_is_never_narrower() {
+        let min = minimize_widths(VGG16_MAX_ACCUM_TERMS);
+        let cons = conservative_widths();
+        assert!(cons.product_bits >= min.product_bits);
+        // (conservative accum may be narrower than a pathological bound;
+        // for the VGG bound it is wider or equal on the tree stage.)
+        assert!(cons.partial_bits >= min.partial_bits);
+    }
+
+    proptest! {
+        #[test]
+        fn add_and_mul_ranges_contain_samples(
+            a in -1000i64..1000, b in -1000i64..1000,
+            c in -1000i64..1000, d in -1000i64..1000,
+        ) {
+            let r1 = ValueRange::new(a.min(b), a.max(b));
+            let r2 = ValueRange::new(c.min(d), c.max(d));
+            let sum = r1.add(r2);
+            prop_assert!(sum.min <= a.min(b) + c.min(d) && a.max(b) + c.max(d) <= sum.max);
+            let prod = r1.mul(r2);
+            for x in [r1.min, r1.max] {
+                for y in [r2.min, r2.max] {
+                    prop_assert!(prod.min <= x * y && x * y <= prod.max);
+                }
+            }
+        }
+
+        #[test]
+        fn required_bits_is_sufficient(min in -100000i64..0, max in 0i64..100000) {
+            let r = ValueRange::new(min, max);
+            let b = r.required_bits();
+            let lo = -(1i64 << (b - 1));
+            let hi = (1i64 << (b - 1)) - 1;
+            prop_assert!(lo <= min && max <= hi);
+            // And one bit fewer would not suffice (when b > 1).
+            if b > 1 {
+                let lo2 = -(1i64 << (b - 2));
+                let hi2 = (1i64 << (b - 2)) - 1;
+                prop_assert!(min < lo2 || max > hi2);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Operation-level IR of a streaming kernel's pipelined loop body.
+//!
+//! Each LegUp streaming kernel is an infinite `while` loop pipelined to
+//! II=1; its body is a chain of operations. The HLS model works from that
+//! chain: delays drive pipeline scheduling ([`crate::schedule`]), and op
+//! inventories drive area estimation ([`crate::resource`]).
+//!
+//! Delay numbers are documented first-order estimates for a 20 nm FPGA
+//! fabric (Arria 10 class): one LUT level ≈ 0.4 ns logic + 0.5 ns local
+//! routing. They are *model constants*, not measurements; what matters for
+//! the reproduction is their relative magnitudes, which set pipeline depths
+//! and the fmax ordering of variants.
+
+/// One hardware operation in a kernel's loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Pop from a FIFO (registered output read).
+    FifoRead,
+    /// Push to a FIFO.
+    FifoWrite,
+    /// N:1 multiplexer, `bits` wide — the workhorse of the steering logic
+    /// (paper Fig. 4b) and the pool/pad output selects (Fig. 5).
+    Mux {
+        /// Fan-in of the multiplexer.
+        inputs: usize,
+        /// Data width in bits.
+        bits: usize,
+    },
+    /// Integer multiplier (maps to a DSP block).
+    Mult {
+        /// Operand width in bits.
+        bits: usize,
+    },
+    /// Integer adder.
+    Add {
+        /// Operand width in bits.
+        bits: usize,
+    },
+    /// Two-input max (compare + select), as in the pool/pad MAX units.
+    Max {
+        /// Operand width in bits.
+        bits: usize,
+    },
+    /// Comparator (e.g. done-detection).
+    Cmp {
+        /// Operand width in bits.
+        bits: usize,
+    },
+    /// FSM next-state/output decode for a controller with `states` states.
+    /// Large monolithic controllers decode slowly and fan out widely — the
+    /// paper split its controller into two C functions for exactly this
+    /// reason (§IV-A).
+    Decode {
+        /// Number of FSM states.
+        states: usize,
+    },
+    /// On-chip SRAM read (one tile word).
+    MemRead,
+    /// On-chip SRAM write.
+    MemWrite,
+    /// Sign XOR of a sign+magnitude multiply.
+    SignXor,
+}
+
+impl Op {
+    /// Combinational delay in nanoseconds (20 nm fabric estimate).
+    pub fn delay_ns(&self) -> f64 {
+        const LUT_LEVEL: f64 = 0.9; // 0.4 ns logic + 0.5 ns routing
+        match self {
+            Op::FifoRead | Op::FifoWrite => 1.0,
+            // A 4:1 mux fits one LUT level; wider muxes cascade.
+            Op::Mux { inputs, .. } => LUT_LEVEL * ((*inputs).max(2) as f64).log2() / 2.0,
+            Op::Mult { bits } => 1.8 + 0.05 * *bits as f64, // DSP block + routing
+            Op::Add { bits } => 0.9 + 0.04 * *bits as f64,  // carry chain
+            Op::Max { bits } => 0.9 + 0.04 * *bits as f64 + LUT_LEVEL, // cmp + select
+            Op::Cmp { bits } => 0.9 + 0.04 * *bits as f64,
+            // log-depth decode of the state register plus output fanout.
+            Op::Decode { states } => LUT_LEVEL * ((*states).max(2) as f64).log2() / 2.0 + 0.8,
+            Op::MemRead | Op::MemWrite => 2.0, // M20K access
+            Op::SignXor => 0.5,
+        }
+    }
+
+    /// ALM cost of one instance of this op.
+    pub fn alms(&self) -> f64 {
+        match self {
+            // FIFO control logic (pointers, full/empty flags); the storage
+            // itself is LUT RAM, counted by the resource module.
+            Op::FifoRead | Op::FifoWrite => 8.0,
+            // Roughly 0.68 ALMs per bit per input leg of an N:1 mux: each
+            // ALM packs two 2:1 mux bits in the ideal case, but select
+            // fanout and routing duplication push the realized cost up.
+            Op::Mux { inputs, bits } => (*inputs as f64 - 1.0) * 0.68 * *bits as f64,
+            Op::Mult { .. } => 4.0, // interface registers; multiply is in DSP
+            Op::Add { bits } => *bits as f64 / 2.0,
+            Op::Max { bits } => *bits as f64 * 1.0, // cmp + mux
+            Op::Cmp { bits } => *bits as f64 / 2.0,
+            // State register + one-hot decode + next-state logic; grows
+            // linearly in states (the "high-fanout FSM stall logic" cost).
+            Op::Decode { states } => 10.0 + 1.8 * *states as f64,
+            Op::MemRead | Op::MemWrite => 12.0, // address/byte-enable logic
+            Op::SignXor => 1.0,
+        }
+    }
+
+    /// DSP-block cost of one instance (fractional: two 8-bit multiplies
+    /// can share one variable-precision DSP block, but following the
+    /// paper's synthesis results we model no packing across units).
+    pub fn dsps(&self) -> f64 {
+        match self {
+            Op::Mult { bits } if *bits <= 19 => 1.0,
+            Op::Mult { .. } => 2.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The accelerator's module classes (paper Fig. 3 plus infrastructure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModuleKind {
+    /// Data-staging / control unit.
+    Staging,
+    /// Convolution unit.
+    Conv,
+    /// Accumulator unit.
+    Accum,
+    /// Padding / max-pooling unit.
+    PoolPad,
+    /// Write-to-memory unit.
+    Write,
+    /// Inter-kernel FIFO queues (LUT-RAM storage + control).
+    Fifos,
+    /// DMA engine (the one hand-written RTL block in the paper).
+    Dma,
+    /// Qsys interconnect, CSRs, clock crossing.
+    Interconnect,
+}
+
+impl ModuleKind {
+    /// Display name matching the paper's Fig. 6 labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModuleKind::Staging => "data-staging/control",
+            ModuleKind::Conv => "convolution",
+            ModuleKind::Accum => "accumulator",
+            ModuleKind::PoolPad => "pool/pad",
+            ModuleKind::Write => "write-to-memory",
+            ModuleKind::Fifos => "FIFOs",
+            ModuleKind::Dma => "DMA",
+            ModuleKind::Interconnect => "interconnect",
+        }
+    }
+
+    /// All module kinds, accelerator compute units first.
+    pub fn all() -> [ModuleKind; 8] {
+        [
+            ModuleKind::Staging,
+            ModuleKind::Conv,
+            ModuleKind::Accum,
+            ModuleKind::PoolPad,
+            ModuleKind::Write,
+            ModuleKind::Fifos,
+            ModuleKind::Dma,
+            ModuleKind::Interconnect,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_positive_and_ordered() {
+        assert!(Op::SignXor.delay_ns() > 0.0);
+        // A multiplier is slower than an 8-bit add.
+        assert!(Op::Mult { bits: 8 }.delay_ns() > Op::Add { bits: 8 }.delay_ns());
+        // Wider muxes are slower.
+        assert!(Op::Mux { inputs: 16, bits: 8 }.delay_ns() > Op::Mux { inputs: 4, bits: 8 }.delay_ns());
+        // Bigger FSMs decode slower.
+        assert!(Op::Decode { states: 400 }.delay_ns() > Op::Decode { states: 40 }.delay_ns());
+    }
+
+    #[test]
+    fn mux_area_scales_with_fanin_and_width() {
+        let small = Op::Mux { inputs: 4, bits: 8 }.alms();
+        let wide = Op::Mux { inputs: 16, bits: 8 }.alms();
+        let wider = Op::Mux { inputs: 16, bits: 16 }.alms();
+        assert!(wide > small * 3.0);
+        assert!((wider / wide - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_mults_use_dsps() {
+        assert_eq!(Op::Mult { bits: 8 }.dsps(), 1.0);
+        assert_eq!(Op::Mult { bits: 27 }.dsps(), 2.0);
+        assert_eq!(Op::Add { bits: 32 }.dsps(), 0.0);
+        assert_eq!(Op::Mux { inputs: 16, bits: 8 }.dsps(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> = ModuleKind::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+}

@@ -1,0 +1,192 @@
+//! FPGA resource accounting: ALMs, DSP blocks, M20K memory blocks.
+
+use std::ops::{Add, AddAssign};
+
+/// A resource bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// Adaptive Logic Modules.
+    pub alms: f64,
+    /// Variable-precision DSP blocks.
+    pub dsps: f64,
+    /// M20K block-RAM blocks (20 Kb each).
+    pub m20k: f64,
+}
+
+impl Resources {
+    /// The zero bundle.
+    pub const ZERO: Resources = Resources { alms: 0.0, dsps: 0.0, m20k: 0.0 };
+
+    /// Creates a bundle.
+    pub fn new(alms: f64, dsps: f64, m20k: f64) -> Resources {
+        Resources { alms, dsps, m20k }
+    }
+
+    /// Scales every component (e.g. per-unit cost times unit count).
+    pub fn scaled(&self, by: f64) -> Resources {
+        Resources { alms: self.alms * by, dsps: self.dsps * by, m20k: self.m20k * by }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources { alms: self.alms + rhs.alms, dsps: self.dsps + rhs.dsps, m20k: self.m20k + rhs.m20k }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+/// An FPGA device's capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// ALM count.
+    pub alms: u64,
+    /// DSP block count.
+    pub dsps: u64,
+    /// M20K block count.
+    pub m20k: u64,
+}
+
+impl Device {
+    /// The paper's target: mid-sized Intel Arria 10 SX660 SoC FPGA
+    /// (nominal datasheet capacities).
+    pub fn arria10_sx660() -> Device {
+        Device { name: "Arria 10 SX660", alms: 251_680, dsps: 1_687, m20k: 2_131 }
+    }
+
+    /// A larger family member the paper mentions for further scale-out
+    /// ("on a larger Arria 10 FPGA family member (e.g. GT1150), with nearly
+    /// double the capacity, software changes alone would allow us to scale
+    /// out the design further").
+    pub fn arria10_gt1150() -> Device {
+        Device { name: "Arria 10 GT1150", alms: 427_200, dsps: 1_518, m20k: 2_713 }
+    }
+
+    /// Utilization of this device by a resource bundle.
+    pub fn utilization(&self, used: Resources) -> Utilization {
+        Utilization {
+            alm: used.alms / self.alms as f64,
+            dsp: used.dsps / self.dsps as f64,
+            m20k: used.m20k / self.m20k as f64,
+        }
+    }
+}
+
+/// Fractional device utilization per resource class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// ALM fraction used.
+    pub alm: f64,
+    /// DSP fraction used.
+    pub dsp: f64,
+    /// M20K fraction used.
+    pub m20k: f64,
+}
+
+impl Utilization {
+    /// The binding (maximum) utilization across resource classes.
+    pub fn max(&self) -> f64 {
+        self.alm.max(self.dsp).max(self.m20k)
+    }
+
+    /// Whether the design fits the device.
+    pub fn fits(&self) -> bool {
+        self.max() <= 1.0
+    }
+}
+
+impl std::fmt::Display for Utilization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ALM {:.0}%, DSP {:.0}%, M20K {:.0}%",
+            self.alm * 100.0,
+            self.dsp * 100.0,
+            self.m20k * 100.0
+        )
+    }
+}
+
+/// Congestion-derated fmax: routing pressure grows with ALM utilization.
+///
+/// The paper observed this directly: "Routing of the 512-opt architecture
+/// failed at higher performance targets due to high congestion", capping
+/// it at 120 MHz where the single-instance 256-opt closed at 150 MHz. The
+/// model derates linearly above a congestion knee; the slope is calibrated
+/// so that doubling the accelerator (≈88% ALM) costs ≈20% of fmax.
+pub fn congestion_derate(fmax_mhz: f64, alm_utilization: f64) -> f64 {
+    const KNEE: f64 = 0.50;
+    const SLOPE: f64 = 0.90;
+    if alm_utilization <= KNEE {
+        fmax_mhz
+    } else {
+        fmax_mhz * (1.0 - SLOPE * (alm_utilization - KNEE)).max(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resources_add_and_scale() {
+        let a = Resources::new(100.0, 2.0, 1.0);
+        let b = Resources::new(50.0, 1.0, 0.0);
+        let sum = a + b;
+        assert_eq!(sum, Resources::new(150.0, 3.0, 1.0));
+        assert_eq!(a.scaled(2.0), Resources::new(200.0, 4.0, 2.0));
+        let mut c = Resources::ZERO;
+        c += a;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn utilization_against_sx660() {
+        let d = Device::arria10_sx660();
+        let u = d.utilization(Resources::new(125_840.0, 421.75, 1_065.5));
+        assert!((u.alm - 0.5).abs() < 1e-12);
+        assert!((u.dsp - 0.25).abs() < 1e-12);
+        assert!((u.m20k - 0.5).abs() < 1e-12);
+        assert!(u.fits());
+        assert_eq!(u.max(), 0.5);
+    }
+
+    #[test]
+    fn overfull_design_does_not_fit() {
+        let d = Device::arria10_sx660();
+        let u = d.utilization(Resources::new(300_000.0, 0.0, 0.0));
+        assert!(!u.fits());
+    }
+
+    #[test]
+    fn congestion_kicks_in_above_knee() {
+        assert_eq!(congestion_derate(150.0, 0.44), 150.0);
+        // Calibration point: a ~167 MHz path at ~81% ALM utilization lands
+        // near the paper's congestion-limited 120 MHz.
+        let derated = congestion_derate(167.0, 0.81);
+        assert!(derated < 128.0 && derated > 112.0, "derated {derated}");
+    }
+
+    #[test]
+    fn derate_never_goes_negative() {
+        assert!(congestion_derate(150.0, 5.0) > 0.0);
+    }
+
+    #[test]
+    fn gt1150_is_bigger_in_logic() {
+        assert!(Device::arria10_gt1150().alms > Device::arria10_sx660().alms);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let u = Utilization { alm: 0.44, dsp: 0.25, m20k: 0.49 };
+        assert_eq!(u.to_string(), "ALM 44%, DSP 25%, M20K 49%");
+    }
+}

@@ -1,0 +1,190 @@
+//! Clock-constrained operation chaining: the opt/unopt axis.
+//!
+//! "To produce higher-performance variants, we tightened the clock-period
+//! constraint supplied to the LegUp HLS tool" (paper §V). This module
+//! reproduces that lever: ops from a kernel's loop body are packed greedily
+//! into pipeline stages whose combinational delay stays within the target
+//! period. A loose constraint yields one fat stage (cheap, slow clock); a
+//! tight one yields a deep pipeline (register cost, fast clock).
+
+use crate::ir::Op;
+
+/// HLS constraints for one synthesis run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HlsConstraints {
+    /// Target clock period in nanoseconds.
+    pub target_period_ns: f64,
+    /// Whether RTL-level performance optimizations (retiming, physical
+    /// synthesis, high place/route effort) are enabled. Models the paper's
+    /// `-opt` variants; grants a timing bonus but costs area and power.
+    pub performance_optimized: bool,
+}
+
+impl HlsConstraints {
+    /// The paper's non-optimized flow at a 55 MHz functional-test clock.
+    pub fn unoptimized_55mhz() -> HlsConstraints {
+        HlsConstraints { target_period_ns: 1000.0 / 55.0, performance_optimized: false }
+    }
+
+    /// The paper's performance-optimized flow targeting 150 MHz.
+    pub fn optimized_150mhz() -> HlsConstraints {
+        HlsConstraints { target_period_ns: 1000.0 / 150.0, performance_optimized: true }
+    }
+}
+
+/// A scheduled pipeline for one kernel loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSchedule {
+    /// Ops per stage, in chain order.
+    pub stages: Vec<Vec<Op>>,
+    /// Worst stage delay in nanoseconds (the achievable period before
+    /// congestion derating).
+    pub critical_path_ns: f64,
+    /// Initiation interval in cycles: 1 unless a single op exceeds the
+    /// target period *and* carries a loop dependency. All the paper's
+    /// compute kernels achieve II=1.
+    pub ii: u32,
+}
+
+impl PipelineSchedule {
+    /// Pipeline depth in stages (register stages added = depth - 1).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Achievable clock in MHz for this schedule alone.
+    pub fn fmax_mhz(&self) -> f64 {
+        1000.0 / self.critical_path_ns
+    }
+
+    /// Number of pipeline registers implied (stage boundaries).
+    pub fn register_stages(&self) -> usize {
+        self.stages.len().saturating_sub(1)
+    }
+}
+
+/// Chains `ops` (a kernel's loop body, in dependence order) into pipeline
+/// stages under the clock constraint. Greedy ASAP chaining: each op joins
+/// the current stage unless it would exceed the target period.
+///
+/// Ops slower than the target period occupy a stage alone; the schedule's
+/// `critical_path_ns` then exceeds the target, modeling a timing-constraint
+/// miss (the synthesis result reports the achieved, not requested, clock).
+///
+/// # Panics
+/// Panics if `ops` is empty or the target period is not positive.
+pub fn schedule_ops(ops: &[Op], constraints: &HlsConstraints) -> PipelineSchedule {
+    assert!(!ops.is_empty(), "cannot schedule an empty op chain");
+    assert!(constraints.target_period_ns > 0.0, "target period must be positive");
+    // The optimized flow (retiming + physical synthesis) buys ~15% delay
+    // reduction on every path, at area/power cost accounted in resource.rs.
+    let opt_factor = if constraints.performance_optimized { 0.85 } else { 1.0 };
+
+    let mut stages: Vec<Vec<Op>> = vec![Vec::new()];
+    let mut stage_delay = 0.0f64;
+    let mut critical = 0.0f64;
+    for &op in ops {
+        let d = op.delay_ns() * opt_factor;
+        let current = stages.last_mut().expect("at least one stage");
+        if !current.is_empty() && stage_delay + d > constraints.target_period_ns {
+            critical = critical.max(stage_delay);
+            stages.push(vec![op]);
+            stage_delay = d;
+        } else {
+            current.push(op);
+            stage_delay += d;
+        }
+    }
+    critical = critical.max(stage_delay);
+    PipelineSchedule { stages, critical_path_ns: critical, ii: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conv_body() -> Vec<Op> {
+        vec![
+            Op::FifoRead,
+            Op::Mux { inputs: 16, bits: 8 },
+            Op::Mult { bits: 8 },
+            Op::SignXor,
+            Op::FifoWrite,
+        ]
+    }
+
+    #[test]
+    fn loose_constraint_gives_single_stage() {
+        let s = schedule_ops(&conv_body(), &HlsConstraints::unoptimized_55mhz());
+        assert_eq!(s.depth(), 1);
+        assert!(s.critical_path_ns <= 1000.0 / 55.0);
+        assert_eq!(s.ii, 1);
+    }
+
+    #[test]
+    fn tight_constraint_deepens_pipeline() {
+        // A staging-like body with FSM decode and memory access cannot fit
+        // one 150 MHz stage.
+        let body = vec![
+            Op::FifoRead,
+            Op::Decode { states: 160 },
+            Op::Add { bits: 24 },
+            Op::MemRead,
+            Op::Mux { inputs: 8, bits: 16 },
+            Op::FifoWrite,
+        ];
+        let loose = schedule_ops(&body, &HlsConstraints::unoptimized_55mhz());
+        let tight = schedule_ops(&body, &HlsConstraints::optimized_150mhz());
+        assert!(tight.depth() > loose.depth());
+        assert!(tight.fmax_mhz() > loose.fmax_mhz());
+    }
+
+    #[test]
+    fn optimized_flow_meets_150mhz_on_conv_body() {
+        let s = schedule_ops(&conv_body(), &HlsConstraints::optimized_150mhz());
+        assert!(s.fmax_mhz() >= 150.0, "fmax {:.1}", s.fmax_mhz());
+    }
+
+    #[test]
+    fn oversized_op_occupies_stage_alone_and_misses_timing() {
+        let ops = vec![Op::Decode { states: 100_000 }, Op::FifoWrite];
+        let c = HlsConstraints { target_period_ns: 2.0, performance_optimized: false };
+        let s = schedule_ops(&ops, &c);
+        assert_eq!(s.stages[0].len(), 1);
+        assert!(s.critical_path_ns > 2.0, "constraint must be reported as missed");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_chain_rejected() {
+        let _ = schedule_ops(&[], &HlsConstraints::unoptimized_55mhz());
+    }
+
+    proptest! {
+        #[test]
+        fn all_ops_scheduled_exactly_once(
+            n in 1usize..30,
+            period in 1.0f64..20.0,
+        ) {
+            let ops: Vec<Op> = (0..n).map(|i| match i % 4 {
+                0 => Op::Add { bits: 8 + (i % 3) * 8 },
+                1 => Op::Mux { inputs: 4 << (i % 3), bits: 8 },
+                2 => Op::Mult { bits: 8 },
+                _ => Op::FifoRead,
+            }).collect();
+            let s = schedule_ops(&ops, &HlsConstraints { target_period_ns: period, performance_optimized: false });
+            let flat: Vec<Op> = s.stages.iter().flatten().copied().collect();
+            prop_assert_eq!(flat, ops);
+            prop_assert!(s.critical_path_ns > 0.0);
+        }
+
+        #[test]
+        fn tighter_period_never_shallower(n in 2usize..20) {
+            let ops: Vec<Op> = (0..n).map(|_| Op::Add { bits: 32 }).collect();
+            let shallow = schedule_ops(&ops, &HlsConstraints { target_period_ns: 18.0, performance_optimized: false });
+            let deep = schedule_ops(&ops, &HlsConstraints { target_period_ns: 3.0, performance_optimized: false });
+            prop_assert!(deep.depth() >= shallow.depth());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's four architecture variants (§V).
+
+use crate::design::{synthesize, AccelArch, SynthesisResult};
+use crate::resource::Device;
+use crate::schedule::HlsConstraints;
+
+/// The four design points evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Variant {
+    /// Simplified single conv sub-module, 16 MACs/cycle, 55 MHz.
+    U16Unopt,
+    /// One full accelerator (Fig. 3), 256 MACs/cycle, not performance
+    /// optimized, 55 MHz.
+    U256Unopt,
+    /// One full accelerator, performance optimized, 150 MHz.
+    U256Opt,
+    /// Two full accelerator instances on separate stripes, 512 MACs/cycle,
+    /// 120 MHz (congestion-limited).
+    U512Opt,
+}
+
+impl Variant {
+    /// All four variants in the paper's order.
+    pub fn all() -> [Variant; 4] {
+        [Variant::U16Unopt, Variant::U256Unopt, Variant::U256Opt, Variant::U512Opt]
+    }
+
+    /// The paper's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::U16Unopt => "16-unopt",
+            Variant::U256Unopt => "256-unopt",
+            Variant::U256Opt => "256-opt",
+            Variant::U512Opt => "512-opt",
+        }
+    }
+
+    /// The architecture parameters.
+    pub fn arch(&self) -> AccelArch {
+        match self {
+            Variant::U16Unopt => AccelArch::single_submodule(),
+            Variant::U256Unopt | Variant::U256Opt => AccelArch::full(1),
+            Variant::U512Opt => AccelArch::full(2),
+        }
+    }
+
+    /// The HLS/RTL constraints applied.
+    pub fn constraints(&self) -> HlsConstraints {
+        match self {
+            Variant::U16Unopt | Variant::U256Unopt => HlsConstraints::unoptimized_55mhz(),
+            Variant::U256Opt | Variant::U512Opt => HlsConstraints::optimized_150mhz(),
+        }
+    }
+
+    /// Synthesizes this variant for the paper's device.
+    pub fn synthesize(&self) -> SynthesisResult {
+        synthesize(&self.arch(), &self.constraints(), &Device::arria10_sx660())
+    }
+
+    /// Peak MACs per cycle.
+    pub fn macs_per_cycle(&self) -> u64 {
+        self.arch().macs_per_cycle()
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_macs_match_paper() {
+        let macs: Vec<u64> = Variant::all().iter().map(Variant::macs_per_cycle).collect();
+        assert_eq!(macs, vec![16, 256, 256, 512]);
+        let labels: Vec<&str> = Variant::all().iter().map(Variant::label).collect();
+        assert_eq!(labels, vec!["16-unopt", "256-unopt", "256-opt", "512-opt"]);
+    }
+
+    #[test]
+    fn synthesized_clock_ordering() {
+        let clocks: Vec<f64> = Variant::all().iter().map(|v| v.synthesize().operating_mhz).collect();
+        // 55, 55, 150, ~120.
+        assert!((clocks[0] - 55.0).abs() < 1.0);
+        assert!((clocks[1] - 55.0).abs() < 1.0);
+        assert!(clocks[2] > clocks[3] && clocks[3] > clocks[1]);
+    }
+
+    #[test]
+    fn every_variant_fits_the_device() {
+        for v in Variant::all() {
+            let r = v.synthesize();
+            assert!(r.utilization.fits(), "{v} does not fit: {}", r.utilization);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = Variant::U512Opt.synthesize();
+        let b = Variant::U512Opt.synthesize();
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.operating_mhz, b.operating_mhz);
+    }
+
+    #[test]
+    fn gt1150_carries_two_instances_at_full_clock() {
+        // The paper: "on a larger Arria 10 FPGA family member (e.g.
+        // GT1150), with nearly double the capacity, software changes alone
+        // would allow us to scale out the design further."
+        use crate::design::synthesize;
+        use crate::resource::Device;
+        use crate::schedule::HlsConstraints;
+        let r = synthesize(
+            &crate::design::AccelArch::full(2),
+            &HlsConstraints::optimized_150mhz(),
+            &Device::arria10_gt1150(),
+        );
+        assert!(r.utilization.fits());
+        assert!((r.operating_mhz - 150.0).abs() < 1.0, "no congestion derate at {:.0}%", r.utilization.alm * 100.0);
+        assert_eq!(r.arch.macs_per_cycle(), 512);
+    }
+
+    #[test]
+    fn sixteen_unopt_is_tiny() {
+        // Compare compute-module area only; DMA and interconnect are fixed
+        // infrastructure shared by every variant.
+        use crate::ir::ModuleKind;
+        let compute = |r: &SynthesisResult| {
+            r.modules
+                .iter()
+                .filter(|m| !matches!(m.kind, ModuleKind::Dma | ModuleKind::Interconnect))
+                .map(|m| m.resources.alms)
+                .sum::<f64>()
+        };
+        let small = Variant::U16Unopt.synthesize();
+        let big = Variant::U256Unopt.synthesize();
+        assert!(compute(&small) < compute(&big) / 3.0, "{} vs {}", compute(&small), compute(&big));
+    }
+}

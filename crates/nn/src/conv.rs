@@ -1,0 +1,309 @@
+//! Convolution reference operators: float and integer-exact quantized.
+
+use zskip_quant::{Requantizer, Sm8};
+use zskip_tensor::{Shape, Tensor};
+
+/// Float convolution weights for one layer, `[out_c][in_c][k][k]` row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvWeights {
+    /// Output channels.
+    pub out_c: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Kernel edge length.
+    pub k: usize,
+    /// Weight values, `out_c * in_c * k * k` entries.
+    pub w: Vec<f32>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+}
+
+impl ConvWeights {
+    /// All-zero weights of the given geometry.
+    pub fn zeros(out_c: usize, in_c: usize, k: usize) -> Self {
+        ConvWeights { out_c, in_c, k, w: vec![0.0; out_c * in_c * k * k], bias: vec![0.0; out_c] }
+    }
+
+    /// Weight at `[o][i][ky][kx]`.
+    #[inline]
+    pub fn at(&self, o: usize, i: usize, ky: usize, kx: usize) -> f32 {
+        self.w[((o * self.in_c + i) * self.k + ky) * self.k + kx]
+    }
+
+    /// Mutable weight at `[o][i][ky][kx]`.
+    #[inline]
+    pub fn at_mut(&mut self, o: usize, i: usize, ky: usize, kx: usize) -> &mut f32 {
+        &mut self.w[((o * self.in_c + i) * self.k + ky) * self.k + kx]
+    }
+
+    /// The `k*k` filter slice for `(o, i)`.
+    pub fn filter(&self, o: usize, i: usize) -> &[f32] {
+        let kk = self.k * self.k;
+        let base = (o * self.in_c + i) * kk;
+        &self.w[base..base + kk]
+    }
+}
+
+/// Quantized (sign+magnitude) convolution weights plus the integer epilogue
+/// parameters; the exact operands the accelerator consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantConvWeights {
+    /// Output channels.
+    pub out_c: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Kernel edge length.
+    pub k: usize,
+    /// Quantized weights, `[o][i][ky][kx]` row-major.
+    pub w: Vec<Sm8>,
+    /// Bias in accumulator domain (already scaled by `1/(s_in * s_w)`).
+    pub bias_acc: Vec<i64>,
+    /// The multiply-shift requantizer for the output write-back.
+    pub requant: Requantizer,
+    /// Whether ReLU is fused before requantization.
+    pub relu: bool,
+}
+
+impl QuantConvWeights {
+    /// Weight at `[o][i][ky][kx]`.
+    #[inline]
+    pub fn at(&self, o: usize, i: usize, ky: usize, kx: usize) -> Sm8 {
+        self.w[((o * self.in_c + i) * self.k + ky) * self.k + kx]
+    }
+
+    /// Non-zero weight count of filter `(o, i)`.
+    pub fn filter_nnz(&self, o: usize, i: usize) -> usize {
+        let kk = self.k * self.k;
+        let base = (o * self.in_c + i) * kk;
+        self.w[base..base + kk].iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Total non-zero weights of output filter `o` across all input
+    /// channels (the quantity filter grouping balances).
+    pub fn output_filter_nnz(&self, o: usize) -> usize {
+        (0..self.in_c).map(|i| self.filter_nnz(o, i)).sum()
+    }
+
+    /// Overall weight density in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.w.is_empty() {
+            return 0.0;
+        }
+        self.w.iter().filter(|v| !v.is_zero()).count() as f64 / self.w.len() as f64
+    }
+}
+
+/// Float reference convolution (stride/pad general), with optional ReLU.
+pub fn conv2d_f32(input: &Tensor<f32>, weights: &ConvWeights, stride: usize, pad: usize, relu: bool) -> Tensor<f32> {
+    let s = input.shape();
+    assert_eq!(s.c, weights.in_c, "input channels mismatch");
+    let out_h = (s.h + 2 * pad - weights.k) / stride + 1;
+    let out_w = (s.w + 2 * pad - weights.k) / stride + 1;
+    let mut out = Tensor::zeros(weights.out_c, out_h, out_w);
+    for o in 0..weights.out_c {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut acc = weights.bias[o];
+                for i in 0..s.c {
+                    for ky in 0..weights.k {
+                        for kx in 0..weights.k {
+                            let iy = (y * stride + ky) as isize - pad as isize;
+                            let ix = (x * stride + kx) as isize - pad as isize;
+                            acc += weights.at(o, i, ky, kx) * input.get_or(i, iy, ix, 0.0);
+                        }
+                    }
+                }
+                out[(o, y, x)] = if relu { acc.max(0.0) } else { acc };
+            }
+        }
+    }
+    out
+}
+
+/// Integer-exact quantized convolution: accumulates `i64`, applies the fused
+/// ReLU + multiply-shift epilogue. This is the **golden model** — the
+/// simulated accelerator must reproduce its output bit-for-bit.
+pub fn conv2d_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usize, pad: usize) -> Tensor<Sm8> {
+    let s = input.shape();
+    assert_eq!(s.c, weights.in_c, "input channels mismatch");
+    let out_h = (s.h + 2 * pad - weights.k) / stride + 1;
+    let out_w = (s.w + 2 * pad - weights.k) / stride + 1;
+    let mut out = Tensor::zeros(weights.out_c, out_h, out_w);
+    for o in 0..weights.out_c {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut acc: i64 = weights.bias_acc[o];
+                for i in 0..s.c {
+                    for ky in 0..weights.k {
+                        for kx in 0..weights.k {
+                            let w = weights.at(o, i, ky, kx);
+                            if w.is_zero() {
+                                continue; // zero-skipping changes nothing numerically
+                            }
+                            let iy = (y * stride + ky) as isize - pad as isize;
+                            let ix = (x * stride + kx) as isize - pad as isize;
+                            let v = input.get_or(i, iy, ix, Sm8::ZERO);
+                            acc += w.mul_exact(v) as i64;
+                        }
+                    }
+                }
+                out[(o, y, x)] = if weights.relu {
+                    weights.requant.apply_relu(acc)
+                } else {
+                    weights.requant.apply(acc)
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Output shape of [`conv2d_quant`] / [`conv2d_f32`] for an input shape.
+pub fn conv_output_shape(input: Shape, weights_out_c: usize, k: usize, stride: usize, pad: usize) -> Shape {
+    Shape::new(weights_out_c, (input.h + 2 * pad - k) / stride + 1, (input.w + 2 * pad - k) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zskip_quant::QuantParams;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel of weight 1.0: output equals input.
+        let mut w = ConvWeights::zeros(1, 1, 1);
+        w.w[0] = 1.0;
+        let input = Tensor::from_fn(1, 3, 3, |_, y, x| (y * 3 + x) as f32);
+        let out = conv2d_f32(&input, &w, 1, 0, false);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut w = ConvWeights::zeros(1, 1, 1);
+        w.w[0] = -1.0;
+        let input = Tensor::from_fn(1, 2, 2, |_, y, x| (y + x) as f32);
+        let out = conv2d_f32(&input, &w, 1, 0, true);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn padding_sees_zeros() {
+        // 3x3 all-ones kernel over a 1x1 input with pad 1: every output
+        // position sums the single input value once.
+        let mut w = ConvWeights::zeros(1, 1, 3);
+        w.w.iter_mut().for_each(|v| *v = 1.0);
+        let mut input = Tensor::zeros(1, 1, 1);
+        input[(0, 0, 0)] = 5.0;
+        let out = conv2d_f32(&input, &w, 1, 1, false);
+        assert_eq!(out.shape(), Shape::new(1, 1, 1));
+        assert_eq!(out[(0, 0, 0)], 5.0);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let mut w = ConvWeights::zeros(1, 1, 1);
+        w.w[0] = 1.0;
+        let input = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let out = conv2d_f32(&input, &w, 2, 0, false);
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        assert_eq!(out[(0, 0, 0)], 0.0);
+        assert_eq!(out[(0, 1, 1)], 10.0);
+    }
+
+    #[test]
+    fn bias_is_added_once() {
+        let mut w = ConvWeights::zeros(2, 1, 1);
+        w.bias = vec![1.5, -2.0];
+        let input = Tensor::zeros(1, 2, 2);
+        let out = conv2d_f32(&input, &w, 1, 0, false);
+        assert_eq!(out[(0, 0, 0)], 1.5);
+        assert_eq!(out[(1, 1, 1)], -2.0);
+    }
+
+    #[test]
+    fn quant_conv_tracks_float_conv() {
+        // Quantize a small random-ish layer and check the quantized output
+        // dequantizes close to the float output.
+        let in_c = 3;
+        let out_c = 4;
+        let mut w = ConvWeights::zeros(out_c, in_c, 3);
+        for (i, v) in w.w.iter_mut().enumerate() {
+            *v = ((i as f32 * 0.37).sin()) * 0.2;
+        }
+        let input = Tensor::from_fn(in_c, 6, 6, |c, y, x| ((c + y * 6 + x) as f32 * 0.71).cos());
+
+        let float_out = conv2d_f32(&input, &w, 1, 1, true);
+
+        let in_q = QuantParams::from_max_abs(input.as_slice());
+        let w_q = QuantParams::from_max_abs(&w.w);
+        let out_q = QuantParams::from_max_abs(float_out.as_slice());
+        let qw = QuantConvWeights {
+            out_c,
+            in_c,
+            k: 3,
+            w: w.w.iter().map(|&v| w_q.quantize(v)).collect(),
+            bias_acc: w.bias.iter().map(|&b| (b / (in_q.scale * w_q.scale)) as i64).collect(),
+            requant: Requantizer::from_ratio((in_q.scale * w_q.scale / out_q.scale) as f64),
+            relu: true,
+        };
+        let input_q = input.map(|v| in_q.quantize(v));
+        let quant_out = conv2d_quant(&input_q, &qw, 1, 1);
+
+        for (f, q) in float_out.as_slice().iter().zip(quant_out.as_slice()) {
+            let deq = out_q.dequantize(*q);
+            assert!((f - deq).abs() < out_q.scale * 4.0, "float {f} vs dequant {deq}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_contribute_nothing() {
+        // A half-zero weight tensor must give identical results whether
+        // zeros are skipped (conv2d_quant skips) or multiplied.
+        let qw = QuantConvWeights {
+            out_c: 1,
+            in_c: 1,
+            k: 3,
+            w: (0..9)
+                .map(|i| if i % 2 == 0 { Sm8::from_i32_saturating(i as i32 - 4) } else { Sm8::ZERO })
+                .collect(),
+            bias_acc: vec![3],
+            requant: Requantizer::IDENTITY,
+            relu: false,
+        };
+        let input = Tensor::from_fn(1, 5, 5, |_, y, x| Sm8::from_i32_saturating((y * 5 + x) as i32 - 12));
+        let out = conv2d_quant(&input, &qw, 1, 1);
+        // Manual check at center position (2,2).
+        let mut acc = 3i64;
+        for ky in 0..3usize {
+            for kx in 0..3usize {
+                let wv = (ky * 3 + kx) as i32 - 4;
+                if (ky * 3 + kx) % 2 == 0 {
+                    let iy = 2 + ky - 1;
+                    let ix = 2 + kx - 1;
+                    acc += (wv * ((iy * 5 + ix) as i32 - 12)) as i64;
+                }
+            }
+        }
+        assert_eq!(out[(0, 2, 2)].to_i32() as i64, acc.clamp(-127, 127));
+    }
+
+    #[test]
+    fn filter_nnz_counts() {
+        let qw = QuantConvWeights {
+            out_c: 2,
+            in_c: 1,
+            k: 3,
+            w: (0..18)
+                .map(|i| if i < 9 { Sm8::from_i32_saturating(1) } else { Sm8::ZERO })
+                .collect(),
+            bias_acc: vec![0, 0],
+            requant: Requantizer::IDENTITY,
+            relu: false,
+        };
+        assert_eq!(qw.filter_nnz(0, 0), 9);
+        assert_eq!(qw.filter_nnz(1, 0), 0);
+        assert_eq!(qw.output_filter_nnz(0), 9);
+        assert_eq!(qw.density(), 0.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fidelity evaluation: the reproducible substitute for the paper's
+//! ImageNet accuracy comparison.
+//!
+//! The paper reports the pruned reduced-precision VGG-16 "within 2% of the
+//! original unpruned floating point" on ImageNet validation. ImageNet and
+//! the trained model are unavailable here, so we report the analogous,
+//! reproducible quantities: top-1 **agreement** between the float model and
+//! its quantized/pruned derivative on synthetic inputs, and logit SQNR.
+
+use crate::fc::argmax;
+use crate::model::{Network, QuantizedNetwork};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use zskip_quant::quantize::sqnr_db;
+use zskip_tensor::{Shape, Tensor};
+
+/// Generates `n` seeded synthetic input images of the given shape with
+/// values in `[-1, 1]` (mean-subtracted-image stand-ins).
+pub fn synthetic_inputs(seed: u64, n: usize, shape: Shape) -> Vec<Tensor<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tensor::from_fn(shape.c, shape.h, shape.w, |_, _, _| rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+/// Result of a float-vs-quantized fidelity comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// Fraction of inputs whose top-1 class matches the float model.
+    pub top1_agreement: f64,
+    /// Mean logit signal-to-quantization-noise ratio in dB.
+    pub mean_logit_sqnr_db: f64,
+    /// Number of inputs evaluated.
+    pub inputs: usize,
+}
+
+impl std::fmt::Display for FidelityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "top-1 agreement {:.1}% over {} inputs, mean logit SQNR {:.1} dB",
+            self.top1_agreement * 100.0,
+            self.inputs,
+            self.mean_logit_sqnr_db
+        )
+    }
+}
+
+/// Compares a float network against a quantized network on the given
+/// inputs.
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn compare(float_net: &Network, quant_net: &QuantizedNetwork, inputs: &[Tensor<f32>]) -> FidelityReport {
+    assert!(!inputs.is_empty(), "fidelity comparison needs at least one input");
+    // The quantized path carries logits through a trailing softmax (it is
+    // monotone); apply softmax to the dequantized logits so both sides are
+    // compared in the same domain.
+    let ends_in_softmax = matches!(float_net.spec.layers.last(), Some(crate::layer::LayerSpec::Softmax));
+    let mut agree = 0usize;
+    let mut sqnr_sum = 0f64;
+    for input in inputs {
+        let f = float_net.forward_f32(input);
+        let mut q = quant_net.forward_dequant(input);
+        if ends_in_softmax {
+            q = crate::fc::softmax(&q);
+        }
+        if argmax(&f) == argmax(&q) {
+            agree += 1;
+        }
+        let n = f.len().min(q.len());
+        sqnr_sum += sqnr_db(&f[..n], &q[..n]).min(96.0);
+    }
+    FidelityReport {
+        top1_agreement: agree as f64 / inputs.len() as f64,
+        mean_logit_sqnr_db: sqnr_sum / inputs.len() as f64,
+        inputs: inputs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{conv3x3, maxpool2x2, LayerSpec, NetworkSpec};
+    use crate::model::SyntheticModelConfig;
+    use zskip_quant::DensityProfile;
+
+    fn spec() -> NetworkSpec {
+        NetworkSpec {
+            name: "t".into(),
+            input: Shape::new(3, 8, 8),
+            layers: vec![
+                conv3x3("c1", 3, 8),
+                maxpool2x2("p1"),
+                LayerSpec::Fc { name: "fc".into(), in_features: 8 * 4 * 4, out_features: 5, relu: false },
+            ],
+        }
+    }
+
+    #[test]
+    fn synthetic_inputs_are_seeded_and_bounded() {
+        let a = synthetic_inputs(1, 3, Shape::new(2, 4, 4));
+        let b = synthetic_inputs(1, 3, Shape::new(2, 4, 4));
+        let c = synthetic_inputs(2, 3, Shape::new(2, 4, 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for t in &a {
+            assert!(t.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn quantized_model_agrees_with_itself_via_float() {
+        let net = Network::synthetic(spec(), &SyntheticModelConfig::default());
+        let calib = synthetic_inputs(9, 4, Shape::new(3, 8, 8));
+        let qnet = net.quantize(&calib);
+        let inputs = synthetic_inputs(10, 12, Shape::new(3, 8, 8));
+        let report = compare(&net, &qnet, &inputs);
+        assert!(report.top1_agreement >= 0.75, "{report}");
+        assert!(report.mean_logit_sqnr_db > 10.0, "{report}");
+    }
+
+    #[test]
+    fn pruned_model_agreement_degrades_gracefully() {
+        let dense = Network::synthetic(spec(), &SyntheticModelConfig::default());
+        let pruned = Network::synthetic(
+            spec(),
+            &SyntheticModelConfig { density: DensityProfile::uniform(1, 0.4), ..Default::default() },
+        );
+        let calib = synthetic_inputs(9, 4, Shape::new(3, 8, 8));
+        let q_dense = dense.quantize(&calib);
+        let q_pruned = pruned.quantize(&calib);
+        let inputs = synthetic_inputs(11, 8, Shape::new(3, 8, 8));
+        let dense_rep = compare(&dense, &q_dense, &inputs);
+        let pruned_rep = compare(&pruned, &q_pruned, &inputs);
+        // Each model agrees with its own quantization well.
+        assert!(dense_rep.top1_agreement >= 0.5);
+        assert!(pruned_rep.top1_agreement >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn compare_rejects_empty() {
+        let net = Network::synthetic(spec(), &SyntheticModelConfig::default());
+        let qnet = net.quantize(&[]);
+        let _ = compare(&net, &qnet, &[]);
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let r = FidelityReport { top1_agreement: 0.985, mean_logit_sqnr_db: 33.2, inputs: 200 };
+        let s = r.to_string();
+        assert!(s.contains("98.5%"));
+        assert!(s.contains("200"));
+        assert!(s.contains("33.2"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Fully connected layers and softmax.
+//!
+//! In the paper's system, FC layers run as software on the embedded ARM
+//! processor ("We do not focus on fully connected layers, since it is
+//! essentially matrix multiplication"); here they run as host-side Rust,
+//! with both a float and an integer-exact quantized path so the end-to-end
+//! quantized pipeline stays self-consistent.
+
+use zskip_quant::{Requantizer, Sm8};
+
+/// Float fully connected weights: `w[out][in]` row-major plus bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcWeights {
+    /// Output features.
+    pub out_features: usize,
+    /// Input features.
+    pub in_features: usize,
+    /// Weights, `out_features * in_features` entries.
+    pub w: Vec<f32>,
+    /// Per-output bias.
+    pub bias: Vec<f32>,
+}
+
+impl FcWeights {
+    /// All-zero weights of the given geometry.
+    pub fn zeros(out_features: usize, in_features: usize) -> Self {
+        FcWeights { out_features, in_features, w: vec![0.0; out_features * in_features], bias: vec![0.0; out_features] }
+    }
+}
+
+/// Quantized fully connected weights (host-side integer path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantFcWeights {
+    /// Output features.
+    pub out_features: usize,
+    /// Input features.
+    pub in_features: usize,
+    /// Quantized weights.
+    pub w: Vec<Sm8>,
+    /// Bias in accumulator domain.
+    pub bias_acc: Vec<i64>,
+    /// Output requantizer.
+    pub requant: Requantizer,
+    /// Whether ReLU is fused.
+    pub relu: bool,
+}
+
+/// Float FC forward: `out = W x + b`, optional ReLU.
+pub fn fc_f32(input: &[f32], weights: &FcWeights, relu: bool) -> Vec<f32> {
+    assert_eq!(input.len(), weights.in_features, "fc input length mismatch");
+    (0..weights.out_features)
+        .map(|o| {
+            let row = &weights.w[o * weights.in_features..(o + 1) * weights.in_features];
+            let acc = weights.bias[o] + row.iter().zip(input).map(|(w, x)| w * x).sum::<f32>();
+            if relu {
+                acc.max(0.0)
+            } else {
+                acc
+            }
+        })
+        .collect()
+}
+
+/// Integer-exact quantized FC forward.
+pub fn fc_quant(input: &[Sm8], weights: &QuantFcWeights) -> Vec<Sm8> {
+    assert_eq!(input.len(), weights.in_features, "fc input length mismatch");
+    (0..weights.out_features)
+        .map(|o| {
+            let row = &weights.w[o * weights.in_features..(o + 1) * weights.in_features];
+            let acc: i64 = weights.bias_acc[o]
+                + row.iter().zip(input).map(|(w, x)| w.mul_exact(*x) as i64).sum::<i64>();
+            if weights.relu {
+                weights.requant.apply_relu(acc)
+            } else {
+                weights.requant.apply(acc)
+            }
+        })
+        .collect()
+}
+
+/// Numerically-stable softmax.
+pub fn softmax(input: &[f32]) -> Vec<f32> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let max = input.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = input.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Index of the largest element (top-1 class). Ties break to the lower
+/// index. Returns `None` for empty input.
+pub fn argmax<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate().skip(1) {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_computes_matvec_plus_bias() {
+        let mut w = FcWeights::zeros(2, 3);
+        w.w = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        w.bias = vec![0.5, -0.5];
+        let out = fc_f32(&[1.0, 1.0, 1.0], &w, false);
+        assert_eq!(out, vec![6.5, -0.5]);
+        let out_relu = fc_f32(&[1.0, 1.0, 1.0], &w, true);
+        assert_eq!(out_relu, vec![6.5, 0.0]);
+    }
+
+    #[test]
+    fn quant_fc_is_integer_exact() {
+        let qw = QuantFcWeights {
+            out_features: 2,
+            in_features: 2,
+            w: [3, -2, 1, 4].iter().map(|&v| Sm8::from_i32_saturating(v)).collect(),
+            bias_acc: vec![10, -10],
+            requant: Requantizer::IDENTITY,
+            relu: false,
+        };
+        let input: Vec<Sm8> = [5, 7].iter().map(|&v| Sm8::from_i32_saturating(v)).collect();
+        let out = fc_quant(&input, &qw);
+        assert_eq!(out[0].to_i32(), 10 + 3 * 5 - 2 * 7);
+        assert_eq!(out[1].to_i32(), -10 + 5 + 28);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1001.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_is_empty() {
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax::<f32>(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        // Ties break low.
+        assert_eq!(argmax(&[5, 5, 1]), Some(0));
+    }
+}

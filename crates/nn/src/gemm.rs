@@ -1,0 +1,186 @@
+//! An independent convolution implementation: im2col + GEMM.
+//!
+//! The accelerator's golden model is the direct convolution in
+//! [`crate::conv`]. To guard the guard, this module computes the same
+//! layers by the classic lowering — unroll input patches into a matrix
+//! (im2col) and multiply by the filter matrix — sharing *no* loop
+//! structure with the direct path. Property tests pin the two
+//! implementations together, so an indexing bug in either is caught by
+//! the other.
+
+use crate::conv::{ConvWeights, QuantConvWeights};
+use zskip_quant::Sm8;
+use zskip_tensor::{Shape, Tensor};
+
+/// Lowers input patches to a `(in_c * k * k) x (out_h * out_w)` matrix in
+/// row-major order (one column per output position).
+pub fn im2col_f32(input: &Tensor<f32>, k: usize, stride: usize, pad: usize) -> (Vec<f32>, Shape) {
+    let s = input.shape();
+    let out_h = (s.h + 2 * pad - k) / stride + 1;
+    let out_w = (s.w + 2 * pad - k) / stride + 1;
+    let rows = s.c * k * k;
+    let cols = out_h * out_w;
+    let mut m = vec![0f32; rows * cols];
+    for c in 0..s.c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        m[row * cols + oy * out_w + ox] = input.get_or(c, iy, ix, 0.0);
+                    }
+                }
+            }
+        }
+    }
+    (m, Shape::new(rows, out_h, out_w))
+}
+
+/// Float convolution via im2col + GEMM (`out = W x patches + bias`).
+pub fn conv2d_gemm_f32(
+    input: &Tensor<f32>,
+    weights: &ConvWeights,
+    stride: usize,
+    pad: usize,
+    relu: bool,
+) -> Tensor<f32> {
+    let (m, mshape) = im2col_f32(input, weights.k, stride, pad);
+    let cols = mshape.h * mshape.w;
+    let rows = mshape.c;
+    let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
+    for o in 0..weights.out_c {
+        let wrow = &weights.w[o * rows..(o + 1) * rows];
+        for j in 0..cols {
+            let mut acc = weights.bias[o];
+            for (r, &wv) in wrow.iter().enumerate() {
+                acc += wv * m[r * cols + j];
+            }
+            out.as_mut_slice()[o * cols + j] = if relu { acc.max(0.0) } else { acc };
+        }
+    }
+    out
+}
+
+/// Integer-exact quantized convolution via im2col + GEMM; must agree
+/// bit-for-bit with [`crate::conv::conv2d_quant`].
+pub fn conv2d_gemm_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usize, pad: usize) -> Tensor<Sm8> {
+    let s = input.shape();
+    let k = weights.k;
+    let out_h = (s.h + 2 * pad - k) / stride + 1;
+    let out_w = (s.w + 2 * pad - k) / stride + 1;
+    let rows = s.c * k * k;
+    let cols = out_h * out_w;
+    // Integer im2col.
+    let mut m = vec![Sm8::ZERO; rows * cols];
+    for c in 0..s.c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        m[row * cols + oy * out_w + ox] = input.get_or(c, iy, ix, Sm8::ZERO);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Tensor::zeros(weights.out_c, out_h, out_w);
+    for o in 0..weights.out_c {
+        let wrow = &weights.w[o * rows..(o + 1) * rows];
+        for j in 0..cols {
+            let mut acc: i64 = weights.bias_acc[o];
+            for (r, &wv) in wrow.iter().enumerate() {
+                acc += wv.mul_exact(m[r * cols + j]) as i64;
+            }
+            out.as_mut_slice()[o * cols + j] =
+                if weights.relu { weights.requant.apply_relu(acc) } else { weights.requant.apply(acc) };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{conv2d_f32, conv2d_quant};
+    use proptest::prelude::*;
+    use zskip_quant::Requantizer;
+
+    fn float_weights(out_c: usize, in_c: usize, k: usize, seed: u64) -> ConvWeights {
+        let mut w = ConvWeights::zeros(out_c, in_c, k);
+        for (i, v) in w.w.iter_mut().enumerate() {
+            *v = (((i as u64).wrapping_mul(seed | 1) >> 7) % 200) as f32 / 100.0 - 1.0;
+        }
+        for (i, b) in w.bias.iter_mut().enumerate() {
+            *b = i as f32 * 0.1 - 0.2;
+        }
+        w
+    }
+
+    #[test]
+    fn gemm_matches_direct_float() {
+        let w = float_weights(4, 3, 3, 17);
+        let input = Tensor::from_fn(3, 7, 9, |c, y, x| ((c * 63 + y * 9 + x) as f32 * 0.11).sin());
+        for (stride, pad, relu) in [(1, 1, true), (1, 0, false), (2, 1, false)] {
+            let a = conv2d_f32(&input, &w, stride, pad, relu);
+            let b = conv2d_gemm_f32(&input, &w, stride, pad, relu);
+            assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y} (stride {stride} pad {pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_shape_and_patch_content() {
+        let input = Tensor::from_fn(2, 4, 4, |c, y, x| (c * 16 + y * 4 + x) as f32);
+        let (m, shape) = im2col_f32(&input, 3, 1, 1);
+        assert_eq!(shape, Shape::new(2 * 9, 4, 4));
+        let cols = 16;
+        // Center kernel tap of channel 0 at output (1,1) is input (1,1).
+        let row = 4; // (c=0, ky=1, kx=1)
+        assert_eq!(m[row * cols + 5], input[(0, 1, 1)]);
+        // Top-left tap at output (0,0) is padding.
+        assert_eq!(m[0], 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn quant_gemm_is_bit_exact_vs_direct(
+            out_c in 1usize..5,
+            in_c in 1usize..4,
+            h in 3usize..9,
+            w in 3usize..9,
+            k in 1usize..4,
+            pad in 0usize..2,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+            let qw = QuantConvWeights {
+                out_c,
+                in_c,
+                k,
+                w: (0..out_c * in_c * k * k)
+                    .map(|i| {
+                        let v = ((i as u64).wrapping_mul(seed.wrapping_mul(2654435761) | 1) >> 9) % 255;
+                        Sm8::from_i32_saturating(v as i32 - 127)
+                    })
+                    .collect(),
+                bias_acc: (0..out_c as i64).map(|o| o * 7 - 11).collect(),
+                requant: Requantizer::from_ratio(1.0 / 16.0),
+                relu: seed % 2 == 0,
+            };
+            let input = Tensor::from_fn(in_c, h, w, |c, y, x| {
+                Sm8::from_i32_saturating((((c * 131 + y * 17 + x * 3) as u64 ^ seed) % 255) as i32 - 127)
+            });
+            let direct = conv2d_quant(&input, &qw, 1, pad);
+            let gemm = conv2d_gemm_quant(&input, &qw, 1, pad);
+            prop_assert_eq!(direct, gemm);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Layer specifications and shape inference.
+
+use std::fmt;
+use zskip_tensor::{shape::conv_out_dim, Shape};
+
+/// Specification of one network layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerSpec {
+    /// 2-D convolution with square kernels, optional fused ReLU.
+    Conv {
+        /// Layer name, e.g. `"conv1_1"`.
+        name: String,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels (number of filters).
+        out_c: usize,
+        /// Kernel edge length (3 for all of VGG-16).
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding on each spatial side.
+        pad: usize,
+        /// Whether ReLU is fused at the output.
+        relu: bool,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Layer name, e.g. `"pool1"`.
+        name: String,
+        /// Pooling window edge length.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Fully connected layer, optional fused ReLU. Executed on the host
+    /// processor in the paper's system ("We do not focus on fully connected
+    /// layers").
+    Fc {
+        /// Layer name, e.g. `"fc6"`.
+        name: String,
+        /// Input features (flattened).
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Whether ReLU is fused at the output.
+        relu: bool,
+    },
+    /// Softmax over the flattened activations.
+    Softmax,
+}
+
+impl LayerSpec {
+    /// The layer's name (`"softmax"` for the softmax layer).
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv { name, .. } | LayerSpec::MaxPool { name, .. } | LayerSpec::Fc { name, .. } => name,
+            LayerSpec::Softmax => "softmax",
+        }
+    }
+
+    /// Output shape given an input shape.
+    ///
+    /// # Errors
+    /// Returns [`ShapeError`] when the input shape is incompatible
+    /// (channel mismatch, window larger than input, etc.).
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, ShapeError> {
+        match self {
+            LayerSpec::Conv { name, in_c, out_c, k, stride, pad, .. } => {
+                if input.c != *in_c {
+                    return Err(ShapeError::new(name, format!("expected {in_c} input channels, got {}", input.c)));
+                }
+                let h = conv_out_dim(input.h, *k, *stride, *pad)
+                    .ok_or_else(|| ShapeError::new(name, format!("kernel {k} does not fit height {}", input.h)))?;
+                let w = conv_out_dim(input.w, *k, *stride, *pad)
+                    .ok_or_else(|| ShapeError::new(name, format!("kernel {k} does not fit width {}", input.w)))?;
+                Ok(Shape::new(*out_c, h, w))
+            }
+            LayerSpec::MaxPool { name, k, stride } => {
+                let h = conv_out_dim(input.h, *k, *stride, 0)
+                    .ok_or_else(|| ShapeError::new(name, format!("window {k} does not fit height {}", input.h)))?;
+                let w = conv_out_dim(input.w, *k, *stride, 0)
+                    .ok_or_else(|| ShapeError::new(name, format!("window {k} does not fit width {}", input.w)))?;
+                Ok(Shape::new(input.c, h, w))
+            }
+            LayerSpec::Fc { name, in_features, out_features, .. } => {
+                if input.len() != *in_features {
+                    return Err(ShapeError::new(
+                        name,
+                        format!("expected {in_features} input features, got {}", input.len()),
+                    ));
+                }
+                Ok(Shape::new(*out_features, 1, 1))
+            }
+            LayerSpec::Softmax => Ok(Shape::new(input.len(), 1, 1)),
+        }
+    }
+
+    /// Multiply-accumulate operations this layer performs for an input
+    /// shape. Pool/softmax layers report zero (the paper counts conv and FC
+    /// work; GOPS figures count `2 x MACs` as operations).
+    pub fn macs(&self, input: Shape) -> u64 {
+        match self {
+            LayerSpec::Conv { k, .. } => {
+                let out = self.output_shape(input).expect("shape checked by caller");
+                (out.len() as u64) * (input.c as u64) * (*k as u64) * (*k as u64)
+            }
+            LayerSpec::Fc { in_features, out_features, .. } => (*in_features as u64) * (*out_features as u64),
+            LayerSpec::MaxPool { .. } | LayerSpec::Softmax => 0,
+        }
+    }
+
+    /// Whether this layer runs on the accelerator (conv/pool; padding is
+    /// folded into conv here) rather than the host processor.
+    pub fn on_accelerator(&self) -> bool {
+        matches!(self, LayerSpec::Conv { .. } | LayerSpec::MaxPool { .. })
+    }
+}
+
+/// An ordered list of layers with a fixed input shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Network name, e.g. `"vgg16"`.
+    pub name: String,
+    /// Shape of the network input.
+    pub input: Shape,
+    /// The layers, in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Validates the layer chain and returns every intermediate shape
+    /// (`shapes[0]` is the input, `shapes[i+1]` the output of layer `i`).
+    ///
+    /// # Errors
+    /// Returns the first [`ShapeError`] encountered.
+    pub fn shapes(&self) -> Result<Vec<Shape>, ShapeError> {
+        let mut shapes = vec![self.input];
+        for layer in &self.layers {
+            let next = layer.output_shape(*shapes.last().expect("non-empty"))?;
+            shapes.push(next);
+        }
+        Ok(shapes)
+    }
+
+    /// Total MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        let shapes = self.shapes().expect("network must be shape-valid");
+        self.layers.iter().zip(&shapes).map(|(l, &s)| l.macs(s)).sum()
+    }
+
+    /// The convolution layers with their input shapes, in order.
+    pub fn conv_layers(&self) -> Vec<(usize, &LayerSpec, Shape)> {
+        let shapes = self.shapes().expect("network must be shape-valid");
+        self.layers
+            .iter()
+            .enumerate()
+            .zip(&shapes)
+            .filter(|((_, l), _)| matches!(l, LayerSpec::Conv { .. }))
+            .map(|((i, l), &s)| (i, l, s))
+            .collect()
+    }
+}
+
+/// Error: a layer cannot accept its input shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Layer that rejected the shape.
+    pub layer: String,
+    /// Description of the mismatch.
+    pub reason: String,
+}
+
+impl ShapeError {
+    fn new(layer: &str, reason: String) -> Self {
+        ShapeError { layer: layer.to_string(), reason }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layer {}: {}", self.layer, self.reason)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Builds a conv layer spec with VGG-style 3x3/stride-1/pad-1 geometry.
+pub fn conv3x3(name: &str, in_c: usize, out_c: usize) -> LayerSpec {
+    LayerSpec::Conv { name: name.to_string(), in_c, out_c, k: 3, stride: 1, pad: 1, relu: true }
+}
+
+/// Builds a 2x2/stride-2 max-pool layer spec.
+pub fn maxpool2x2(name: &str) -> LayerSpec {
+    LayerSpec::MaxPool { name: name.to_string(), k: 2, stride: 2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_inference() {
+        let l = conv3x3("c", 3, 64);
+        assert_eq!(l.output_shape(Shape::new(3, 224, 224)).unwrap(), Shape::new(64, 224, 224));
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let l = conv3x3("c", 3, 64);
+        let err = l.output_shape(Shape::new(4, 8, 8)).unwrap_err();
+        assert_eq!(err.layer, "c");
+        assert!(err.to_string().contains("channels"));
+    }
+
+    #[test]
+    fn pool_halves_dims() {
+        let l = maxpool2x2("p");
+        assert_eq!(l.output_shape(Shape::new(64, 224, 224)).unwrap(), Shape::new(64, 112, 112));
+    }
+
+    #[test]
+    fn fc_flattens() {
+        let l = LayerSpec::Fc { name: "fc".into(), in_features: 512 * 7 * 7, out_features: 4096, relu: true };
+        assert_eq!(l.output_shape(Shape::new(512, 7, 7)).unwrap(), Shape::new(4096, 1, 1));
+        assert!(l.output_shape(Shape::new(512, 7, 8)).is_err());
+    }
+
+    #[test]
+    fn macs_of_first_vgg_layer() {
+        let l = conv3x3("conv1_1", 3, 64);
+        // 64 * 224 * 224 * 3 * 9 MACs.
+        assert_eq!(l.macs(Shape::new(3, 224, 224)), 64 * 224 * 224 * 3 * 9);
+    }
+
+    #[test]
+    fn network_shapes_chain() {
+        let net = NetworkSpec {
+            name: "tiny".into(),
+            input: Shape::new(3, 8, 8),
+            layers: vec![
+                conv3x3("c1", 3, 8),
+                maxpool2x2("p1"),
+                LayerSpec::Fc { name: "fc".into(), in_features: 8 * 4 * 4, out_features: 10, relu: false },
+                LayerSpec::Softmax,
+            ],
+        };
+        let shapes = net.shapes().unwrap();
+        assert_eq!(shapes[1], Shape::new(8, 8, 8));
+        assert_eq!(shapes[2], Shape::new(8, 4, 4));
+        assert_eq!(shapes[3], Shape::new(10, 1, 1));
+        assert_eq!(shapes[4], Shape::new(10, 1, 1));
+        assert_eq!(net.conv_layers().len(), 1);
+        assert!(net.total_macs() > 0);
+    }
+
+    #[test]
+    fn on_accelerator_partitioning() {
+        assert!(conv3x3("c", 1, 1).on_accelerator());
+        assert!(maxpool2x2("p").on_accelerator());
+        assert!(!LayerSpec::Softmax.on_accelerator());
+        assert!(!LayerSpec::Fc { name: "f".into(), in_features: 1, out_features: 1, relu: false }.on_accelerator());
+    }
+}

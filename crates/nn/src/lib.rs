@@ -1,0 +1,29 @@
+//! Software reference CNN: float and integer-exact quantized inference.
+//!
+//! The paper's design methodology rests on the software implementation
+//! behaving exactly like the synthesized hardware ("The software behavior
+//! closely resembles the synthesized hardware, easing design and
+//! debugging"). This crate is that software side:
+//!
+//! * [`layer`] — layer specifications and shape inference,
+//! * [`conv`], [`pool`], [`fc`] — float reference operators *and*
+//!   integer-exact quantized operators (the golden model the simulated
+//!   accelerator must match bit-for-bit),
+//! * [`model`] — networks, synthetic seeded weight generation, pruning and
+//!   quantization pipelines (the stand-in for the paper's Caffe flow),
+//! * [`vgg16`] — the VGG-16 network used as the paper's test vehicle,
+//! * [`eval`] — fidelity metrics substituting for the data-gated ImageNet
+//!   accuracy comparison (top-1 agreement, SQNR).
+
+pub mod conv;
+pub mod eval;
+pub mod fc;
+pub mod gemm;
+pub mod layer;
+pub mod model;
+pub mod pool;
+pub mod vgg16;
+
+pub use layer::{LayerSpec, NetworkSpec};
+pub use model::{Network, QuantizedConvLayer, QuantizedNetwork, SyntheticModelConfig};
+pub use vgg16::{vgg16_spec, VGG16_CONV_NAMES};

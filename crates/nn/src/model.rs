@@ -1,0 +1,490 @@
+//! Networks with weights: synthetic generation, quantization, inference.
+//!
+//! This module is the Rust stand-in for the paper's Caffe flow (§IV-B/C):
+//! start from a trained float model, prune to a sparsity profile, reduce to
+//! 8-bit sign+magnitude by scaling, and hand the result to the accelerator
+//! driver. Trained VGG-16 weights and ImageNet are data-gated (see
+//! DESIGN.md), so float models are generated synthetically with seeded,
+//! realistically-scaled distributions — everything downstream (sparsity
+//! structure, zero-skipping, cycle counts, bit-exactness) is faithful.
+
+use crate::conv::{conv2d_f32, conv2d_quant, ConvWeights, QuantConvWeights};
+use crate::fc::{fc_f32, fc_quant, softmax, FcWeights, QuantFcWeights};
+use crate::layer::{LayerSpec, NetworkSpec};
+use crate::pool::{maxpool_f32, maxpool_quant};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use zskip_quant::{prune_to_density, DensityProfile, QuantParams, Requantizer, Sm8};
+use zskip_tensor::Tensor;
+
+/// A float network: a spec plus per-layer weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// The layer graph.
+    pub spec: NetworkSpec,
+    /// Weights for each conv layer, in layer order.
+    pub conv_weights: Vec<ConvWeights>,
+    /// Weights for each FC layer, in layer order.
+    pub fc_weights: Vec<FcWeights>,
+}
+
+/// Configuration for synthetic model generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticModelConfig {
+    /// RNG seed; identical seeds generate identical models.
+    pub seed: u64,
+    /// Per-conv-layer density profile applied by magnitude pruning.
+    pub density: DensityProfile,
+}
+
+impl Default for SyntheticModelConfig {
+    fn default() -> Self {
+        SyntheticModelConfig { seed: 0x5eed, density: DensityProfile::dense(0) }
+    }
+}
+
+impl Network {
+    /// Generates a synthetic float model for a network spec: He-scaled
+    /// Gaussian weights (`std = sqrt(2 / fan_in)`), small biases, then
+    /// magnitude pruning per the density profile.
+    pub fn synthetic(spec: NetworkSpec, config: &SyntheticModelConfig) -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut conv_weights = Vec::new();
+        let mut fc_weights = Vec::new();
+        let mut conv_idx = 0;
+        for layer in &spec.layers {
+            match layer {
+                LayerSpec::Conv { in_c, out_c, k, .. } => {
+                    let fan_in = in_c * k * k;
+                    let std = (2.0 / fan_in as f32).sqrt();
+                    let mut w = ConvWeights::zeros(*out_c, *in_c, *k);
+                    for v in w.w.iter_mut() {
+                        *v = gaussian(&mut rng) * std;
+                    }
+                    for b in w.bias.iter_mut() {
+                        *b = gaussian(&mut rng) * 0.01;
+                    }
+                    prune_to_density(&mut w.w, config.density.density(conv_idx));
+                    conv_idx += 1;
+                    conv_weights.push(w);
+                }
+                LayerSpec::Fc { in_features, out_features, .. } => {
+                    let std = (2.0 / *in_features as f32).sqrt();
+                    let mut w = FcWeights::zeros(*out_features, *in_features);
+                    for v in w.w.iter_mut() {
+                        *v = gaussian(&mut rng) * std;
+                    }
+                    for b in w.bias.iter_mut() {
+                        *b = gaussian(&mut rng) * 0.01;
+                    }
+                    fc_weights.push(w);
+                }
+                LayerSpec::MaxPool { .. } | LayerSpec::Softmax => {}
+            }
+        }
+        Network { spec, conv_weights, fc_weights }
+    }
+
+    /// Float forward pass, invoking `visit(layer_index, activation)` after
+    /// every layer (index 0 receives the input). Returns the final
+    /// activation flattened.
+    pub fn forward_f32_with(
+        &self,
+        input: &Tensor<f32>,
+        mut visit: impl FnMut(usize, &Tensor<f32>),
+    ) -> Vec<f32> {
+        visit(0, input);
+        let mut act = input.clone();
+        let mut conv_i = 0;
+        let mut fc_i = 0;
+        for (li, layer) in self.spec.layers.iter().enumerate() {
+            act = match layer {
+                LayerSpec::Conv { stride, pad, relu, .. } => {
+                    let out = conv2d_f32(&act, &self.conv_weights[conv_i], *stride, *pad, *relu);
+                    conv_i += 1;
+                    out
+                }
+                LayerSpec::MaxPool { k, stride, .. } => maxpool_f32(&act, *k, *stride),
+                LayerSpec::Fc { relu, .. } => {
+                    let out = fc_f32(act.as_slice(), &self.fc_weights[fc_i], *relu);
+                    fc_i += 1;
+                    Tensor::from_vec(out.len(), 1, 1, out)
+                }
+                LayerSpec::Softmax => {
+                    let out = softmax(act.as_slice());
+                    Tensor::from_vec(out.len(), 1, 1, out)
+                }
+            };
+            visit(li + 1, &act);
+        }
+        act.into_vec()
+    }
+
+    /// Float forward pass.
+    pub fn forward_f32(&self, input: &Tensor<f32>) -> Vec<f32> {
+        self.forward_f32_with(input, |_, _| {})
+    }
+
+    /// Quantizes this network to 8-bit sign+magnitude using the given
+    /// calibration inputs to set activation scales (max-abs calibration).
+    /// With no calibration inputs, all activation scales default to 1.0.
+    pub fn quantize(&self, calibration: &[Tensor<f32>]) -> QuantizedNetwork {
+        let boundaries = self.spec.layers.len() + 1;
+        let mut max_abs = vec![0f32; boundaries];
+        for input in calibration {
+            self.forward_f32_with(input, |i, act| {
+                let m = act.as_slice().iter().fold(0f32, |m, &v| m.max(v.abs()));
+                max_abs[i] = max_abs[i].max(m);
+            });
+        }
+        let scales: Vec<f32> =
+            max_abs.iter().map(|&m| if m > 0.0 { m / 127.0 } else { 1.0 }).collect();
+
+        let mut conv = Vec::new();
+        let mut fc = Vec::new();
+        let mut conv_i = 0;
+        let mut fc_i = 0;
+        for (li, layer) in self.spec.layers.iter().enumerate() {
+            let s_in = scales[li];
+            let s_out = scales[li + 1];
+            match layer {
+                LayerSpec::Conv { relu, .. } => {
+                    let w = &self.conv_weights[conv_i];
+                    let wq = QuantParams::from_max_abs(&w.w);
+                    conv.push(QuantizedConvLayer {
+                        layer_index: li,
+                        weights: QuantConvWeights {
+                            out_c: w.out_c,
+                            in_c: w.in_c,
+                            k: w.k,
+                            w: w.w.iter().map(|&v| wq.quantize(v)).collect(),
+                            bias_acc: w
+                                .bias
+                                .iter()
+                                .map(|&b| (b / (s_in * wq.scale)).round() as i64)
+                                .collect(),
+                            requant: Requantizer::from_ratio((s_in * wq.scale / s_out) as f64),
+                            relu: *relu,
+                        },
+                        in_scale: s_in,
+                        w_scale: wq.scale,
+                        out_scale: s_out,
+                    });
+                    conv_i += 1;
+                }
+                LayerSpec::Fc { relu, .. } => {
+                    let w = &self.fc_weights[fc_i];
+                    let wq = QuantParams::from_max_abs(&w.w);
+                    fc.push(QuantFcWeights {
+                        out_features: w.out_features,
+                        in_features: w.in_features,
+                        w: w.w.iter().map(|&v| wq.quantize(v)).collect(),
+                        bias_acc: w
+                            .bias
+                            .iter()
+                            .map(|&b| (b / (s_in * wq.scale)).round() as i64)
+                            .collect(),
+                        requant: Requantizer::from_ratio((s_in * wq.scale / s_out) as f64),
+                        relu: *relu,
+                    });
+                    fc_i += 1;
+                }
+                LayerSpec::MaxPool { .. } | LayerSpec::Softmax => {}
+            }
+        }
+        QuantizedNetwork {
+            spec: self.spec.clone(),
+            input_params: QuantParams { scale: scales[0] },
+            activation_scales: scales,
+            conv,
+            fc,
+        }
+    }
+}
+
+impl Network {
+    /// Quantizes this network with **ternary** conv weights (the paper's
+    /// future-work network style): each conv layer's weights become
+    /// `{-1, 0, +1}` with a per-layer scale, inducing 30-60% sparsity that
+    /// the zero-skipping hardware exploits directly. FC layers stay 8-bit.
+    pub fn quantize_ternary(&self, calibration: &[Tensor<f32>]) -> QuantizedNetwork {
+        use zskip_quant::TernaryParams;
+        // Start from the 8-bit quantization for activation scales and FC.
+        let mut q = self.quantize(calibration);
+        let mut conv_i = 0;
+        for (li, layer) in self.spec.layers.iter().enumerate() {
+            if let LayerSpec::Conv { relu, .. } = layer {
+                let w = &self.conv_weights[conv_i];
+                let s_in = q.activation_scales[li];
+                let s_out = q.activation_scales[li + 1];
+                let t = TernaryParams::from_weights(&w.w);
+                let ql = &mut q.conv[conv_i];
+                ql.weights.w = t.quantize_all(&w.w);
+                ql.weights.bias_acc =
+                    w.bias.iter().map(|&b| (b / (s_in * t.scale)).round() as i64).collect();
+                ql.weights.requant = t.requantizer(s_in, s_out);
+                ql.weights.relu = *relu;
+                ql.w_scale = t.scale;
+                conv_i += 1;
+            }
+        }
+        q
+    }
+}
+
+/// One quantized conv layer with its scale bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedConvLayer {
+    /// Index of this layer in the network spec.
+    pub layer_index: usize,
+    /// The integer operands (what the accelerator consumes).
+    pub weights: QuantConvWeights,
+    /// Input activation scale.
+    pub in_scale: f32,
+    /// Weight scale.
+    pub w_scale: f32,
+    /// Output activation scale.
+    pub out_scale: f32,
+}
+
+/// A fully quantized network: the artifact handed to the accelerator driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedNetwork {
+    /// The layer graph (shared with the float model).
+    pub spec: NetworkSpec,
+    /// Quantizer for network inputs.
+    pub input_params: QuantParams,
+    /// Activation scale at every layer boundary (len = layers + 1).
+    pub activation_scales: Vec<f32>,
+    /// Quantized conv layers, in order.
+    pub conv: Vec<QuantizedConvLayer>,
+    /// Quantized FC layers, in order.
+    pub fc: Vec<QuantFcWeights>,
+}
+
+impl QuantizedNetwork {
+    /// Integer-exact forward pass (the software golden model). Returns the
+    /// final quantized activations.
+    pub fn forward_quant(&self, input: &Tensor<f32>) -> Vec<Sm8> {
+        let mut act: Tensor<Sm8> = input.map(|v| self.input_params.quantize(v));
+        let mut conv_i = 0;
+        let mut fc_i = 0;
+        let mut flat: Option<Vec<Sm8>> = None;
+        for layer in &self.spec.layers {
+            match layer {
+                LayerSpec::Conv { stride, pad, .. } => {
+                    act = conv2d_quant(&act, &self.conv[conv_i].weights, *stride, *pad);
+                    conv_i += 1;
+                }
+                LayerSpec::MaxPool { k, stride, .. } => {
+                    act = maxpool_quant(&act, *k, *stride);
+                }
+                LayerSpec::Fc { .. } => {
+                    let input_flat: Vec<Sm8> = flat.take().unwrap_or_else(|| act.as_slice().to_vec());
+                    flat = Some(fc_quant(&input_flat, &self.fc[fc_i]));
+                    fc_i += 1;
+                }
+                LayerSpec::Softmax => {
+                    // Softmax is monotone; the quantized path carries logits
+                    // through (classification by argmax is unchanged).
+                }
+            }
+        }
+        flat.unwrap_or_else(|| act.as_slice().to_vec())
+    }
+
+    /// Forward pass returning dequantized (approximate float) logits.
+    pub fn forward_dequant(&self, input: &Tensor<f32>) -> Vec<f32> {
+        let out = self.forward_quant(input);
+        // The last non-softmax boundary scale applies to the logits.
+        let scale = self
+            .spec
+            .layers
+            .iter()
+            .rposition(|l| !matches!(l, LayerSpec::Softmax))
+            .map(|i| self.activation_scales[i + 1])
+            .unwrap_or(1.0);
+        out.iter().map(|&q| q.to_i32() as f32 * scale).collect()
+    }
+
+    /// Per-conv-layer weight density, in layer order.
+    pub fn conv_densities(&self) -> Vec<f64> {
+        self.conv.iter().map(|c| c.weights.density()).collect()
+    }
+}
+
+/// Standard Gaussian via Box-Muller (keeps dependencies minimal and seeds
+/// reproducible across `rand` versions).
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        let u2: f32 = rng.gen::<f32>();
+        if u1 > f32::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{conv3x3, maxpool2x2};
+    use zskip_quant::sparsity;
+    use zskip_tensor::Shape;
+
+    fn tiny_spec() -> NetworkSpec {
+        NetworkSpec {
+            name: "tiny".into(),
+            input: Shape::new(3, 8, 8),
+            layers: vec![
+                conv3x3("c1", 3, 8),
+                maxpool2x2("p1"),
+                conv3x3("c2", 8, 16),
+                maxpool2x2("p2"),
+                LayerSpec::Fc { name: "fc".into(), in_features: 16 * 2 * 2, out_features: 10, relu: false },
+                LayerSpec::Softmax,
+            ],
+        }
+    }
+
+    fn tiny_input(seed: u64) -> Tensor<f32> {
+        Tensor::from_fn(3, 8, 8, |c, y, x| {
+            (((c * 64 + y * 8 + x) as f32 + seed as f32) * 0.618).sin()
+        })
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let cfg = SyntheticModelConfig { seed: 7, density: DensityProfile::dense(2) };
+        let a = Network::synthetic(tiny_spec(), &cfg);
+        let b = Network::synthetic(tiny_spec(), &cfg);
+        assert_eq!(a, b);
+        let c = Network::synthetic(tiny_spec(), &SyntheticModelConfig { seed: 8, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_respects_density_profile() {
+        let cfg = SyntheticModelConfig { seed: 1, density: DensityProfile::uniform(2, 0.25) };
+        let net = Network::synthetic(tiny_spec(), &cfg);
+        for w in &net.conv_weights {
+            let s = sparsity(&w.w);
+            assert!((s - 0.75).abs() < 0.02, "sparsity {s}");
+        }
+    }
+
+    #[test]
+    fn forward_produces_distribution_after_softmax() {
+        let net = Network::synthetic(tiny_spec(), &SyntheticModelConfig::default());
+        let out = net.forward_f32(&tiny_input(0));
+        assert_eq!(out.len(), 10);
+        assert!((out.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(out.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn quantized_forward_agrees_with_float_argmax() {
+        let net = Network::synthetic(tiny_spec(), &SyntheticModelConfig::default());
+        let calib: Vec<Tensor<f32>> = (0..4).map(tiny_input).collect();
+        let qnet = net.quantize(&calib);
+        let mut agree = 0;
+        let n = 8;
+        for i in 0..n {
+            let input = tiny_input(100 + i);
+            let f = net.forward_f32(&input);
+            let q = qnet.forward_dequant(&input);
+            assert_eq!(q.len(), 10);
+            if crate::fc::argmax(&f) == crate::fc::argmax(&q) {
+                agree += 1;
+            }
+        }
+        // 8-bit quantization should agree on most random inputs.
+        assert!(agree >= n * 3 / 4, "agreement {agree}/{n}");
+    }
+
+    #[test]
+    fn quantized_network_preserves_density() {
+        let cfg = SyntheticModelConfig { seed: 3, density: DensityProfile::uniform(2, 0.3) };
+        let net = Network::synthetic(tiny_spec(), &cfg);
+        let qnet = net.quantize(&[tiny_input(0)]);
+        for d in qnet.conv_densities() {
+            // Quantization can only add zeros (small weights round to 0).
+            assert!(d <= 0.32, "density {d}");
+        }
+    }
+
+    #[test]
+    fn visit_sees_every_boundary() {
+        let net = Network::synthetic(tiny_spec(), &SyntheticModelConfig::default());
+        let mut seen = Vec::new();
+        net.forward_f32_with(&tiny_input(0), |i, act| seen.push((i, act.shape())));
+        assert_eq!(seen.len(), 7);
+        assert_eq!(seen[0].1, Shape::new(3, 8, 8));
+        assert_eq!(seen[6].1, Shape::new(10, 1, 1));
+    }
+}
+
+#[cfg(test)]
+mod ternary_tests {
+    use super::*;
+    use crate::layer::{conv3x3, maxpool2x2, NetworkSpec};
+    use zskip_tensor::Shape;
+
+    fn spec() -> NetworkSpec {
+        NetworkSpec {
+            name: "t".into(),
+            input: Shape::new(3, 8, 8),
+            layers: vec![
+                conv3x3("c1", 3, 8),
+                maxpool2x2("p1"),
+                LayerSpec::Fc { name: "fc".into(), in_features: 8 * 4 * 4, out_features: 4, relu: false },
+            ],
+        }
+    }
+
+    fn input(seed: u64) -> Tensor<f32> {
+        Tensor::from_fn(3, 8, 8, |c, y, x| (((c * 64 + y * 8 + x) as f32 + seed as f32) * 0.37).sin())
+    }
+
+    #[test]
+    fn ternary_weights_are_three_valued_and_sparse() {
+        let net = Network::synthetic(spec(), &SyntheticModelConfig::default());
+        let q = net.quantize_ternary(&[input(0)]);
+        for layer in &q.conv {
+            for w in &layer.weights.w {
+                assert!(w.to_i32().abs() <= 1);
+            }
+            let d = layer.weights.density();
+            assert!((0.2..0.85).contains(&d), "density {d}");
+        }
+    }
+
+    #[test]
+    fn ternary_network_still_classifies_like_float() {
+        let net = Network::synthetic(spec(), &SyntheticModelConfig::default());
+        let calib: Vec<Tensor<f32>> = (0..3).map(input).collect();
+        let q = net.quantize_ternary(&calib);
+        // Ternary is lossier than 8-bit; demand majority agreement only.
+        let mut agree = 0;
+        let n = 10;
+        for i in 0..n {
+            let x = input(50 + i);
+            let f = net.forward_f32(&x);
+            let t = q.forward_dequant(&x);
+            if crate::fc::argmax(&f) == crate::fc::argmax(&t) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 2 >= n, "agreement {agree}/{n}");
+    }
+
+    #[test]
+    fn ternary_is_sparser_than_eight_bit() {
+        let net = Network::synthetic(spec(), &SyntheticModelConfig::default());
+        let q8 = net.quantize(&[input(0)]);
+        let qt = net.quantize_ternary(&[input(0)]);
+        for (a, b) in q8.conv.iter().zip(&qt.conv) {
+            assert!(b.weights.density() < a.weights.density());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Max-pooling reference operators (float and quantized).
+
+use zskip_quant::Sm8;
+use zskip_tensor::Tensor;
+
+/// Float max pooling with window `k` and the given stride.
+///
+/// # Panics
+/// Panics if the window does not fit the input at least once.
+pub fn maxpool_f32(input: &Tensor<f32>, k: usize, stride: usize) -> Tensor<f32> {
+    let s = input.shape();
+    assert!(s.h >= k && s.w >= k, "pool window {k} larger than input {s}");
+    let out_h = (s.h - k) / stride + 1;
+    let out_w = (s.w - k) / stride + 1;
+    Tensor::from_fn(s.c, out_h, out_w, |c, y, x| {
+        let mut m = f32::NEG_INFINITY;
+        for dy in 0..k {
+            for dx in 0..k {
+                m = m.max(input[(c, y * stride + dy, x * stride + dx)]);
+            }
+        }
+        m
+    })
+}
+
+/// Quantized max pooling: the maximum under the sign+magnitude value order.
+/// Bit-exact counterpart of the accelerator's MAX units (paper Fig. 5).
+pub fn maxpool_quant(input: &Tensor<Sm8>, k: usize, stride: usize) -> Tensor<Sm8> {
+    let s = input.shape();
+    assert!(s.h >= k && s.w >= k, "pool window {k} larger than input {s}");
+    let out_h = (s.h - k) / stride + 1;
+    let out_w = (s.w - k) / stride + 1;
+    Tensor::from_fn(s.c, out_h, out_w, |c, y, x| {
+        let mut m = Sm8::MIN;
+        for dy in 0..k {
+            for dx in 0..k {
+                m = m.max(input[(c, y * stride + dy, x * stride + dx)]);
+            }
+        }
+        m
+    })
+}
+
+/// ReLU over a float tensor (used standalone when not fused into conv).
+pub fn relu_f32(input: &Tensor<f32>) -> Tensor<f32> {
+    input.map(|v| v.max(0.0))
+}
+
+/// ReLU over a quantized tensor.
+pub fn relu_quant(input: &Tensor<Sm8>) -> Tensor<Sm8> {
+    input.map(|v| if v.to_i32() < 0 { Sm8::ZERO } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use zskip_tensor::Shape;
+
+    #[test]
+    fn pool_2x2_stride_2_takes_window_max() {
+        let input = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let out = maxpool_f32(&input, 2, 2);
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        assert_eq!(out[(0, 0, 0)], 5.0);
+        assert_eq!(out[(0, 0, 1)], 7.0);
+        assert_eq!(out[(0, 1, 0)], 13.0);
+        assert_eq!(out[(0, 1, 1)], 15.0);
+    }
+
+    #[test]
+    fn pool_3x3_stride_1_overlapping() {
+        let input = Tensor::from_fn(1, 4, 4, |_, y, x| ((y * 4 + x) as f32 * 0.5) - 3.0);
+        let out = maxpool_f32(&input, 3, 1);
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        assert_eq!(out[(0, 0, 0)], input[(0, 2, 2)]);
+    }
+
+    #[test]
+    fn quant_pool_handles_negatives() {
+        let input = Tensor::from_fn(1, 2, 2, |_, y, x| Sm8::from_i32_saturating(-((y * 2 + x) as i32) - 1));
+        let out = maxpool_quant(&input, 2, 2);
+        assert_eq!(out[(0, 0, 0)].to_i32(), -1);
+    }
+
+    #[test]
+    fn relu_variants_agree() {
+        let f = Tensor::from_fn(1, 2, 2, |_, y, x| (y as f32 - x as f32) * 2.0 - 1.0);
+        let q = f.map(|v| Sm8::from_i32_saturating(v as i32));
+        let rf = relu_f32(&f);
+        let rq = relu_quant(&q);
+        for (a, b) in rf.as_slice().iter().zip(rq.as_slice()) {
+            assert_eq!(*a >= 0.0, true);
+            assert!(b.to_i32() >= 0);
+            assert_eq!(b.to_i32(), (*a as i32).max(0));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quant_pool_matches_float_pool_on_quantized_grid(
+            vals in proptest::collection::vec(-127i32..=127, 36),
+            k in 1usize..=3,
+            stride in 1usize..=2,
+        ) {
+            let fq = Tensor::from_vec(1, 6, 6, vals.iter().map(|&v| v as f32).collect());
+            let q = Tensor::from_vec(1, 6, 6, vals.iter().map(|&v| Sm8::from_i32_saturating(v)).collect());
+            let pf = maxpool_f32(&fq, k, stride);
+            let pq = maxpool_quant(&q, k, stride);
+            for (a, b) in pf.as_slice().iter().zip(pq.as_slice()) {
+                prop_assert_eq!(*a as i32, b.to_i32());
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The VGG-16 network (Simonyan & Zisserman 2014), the paper's test vehicle.
+
+use crate::layer::{conv3x3, maxpool2x2, LayerSpec, NetworkSpec};
+use zskip_tensor::Shape;
+
+/// Names of the 13 convolutional layers, in order.
+pub const VGG16_CONV_NAMES: [&str; 13] = [
+    "conv1_1", "conv1_2", "conv2_1", "conv2_2", "conv3_1", "conv3_2", "conv3_3", "conv4_1",
+    "conv4_2", "conv4_3", "conv5_1", "conv5_2", "conv5_3",
+];
+
+/// Builds the VGG-16 specification: 13 conv layers (all 3x3 stride 1 pad 1,
+/// ReLU) interspersed with five 2x2/stride-2 max-pools, then three FC
+/// layers and softmax. Input is a 224x224 RGB image.
+pub fn vgg16_spec() -> NetworkSpec {
+    NetworkSpec {
+        name: "vgg16".into(),
+        input: Shape::new(3, 224, 224),
+        layers: vec![
+            conv3x3("conv1_1", 3, 64),
+            conv3x3("conv1_2", 64, 64),
+            maxpool2x2("pool1"),
+            conv3x3("conv2_1", 64, 128),
+            conv3x3("conv2_2", 128, 128),
+            maxpool2x2("pool2"),
+            conv3x3("conv3_1", 128, 256),
+            conv3x3("conv3_2", 256, 256),
+            conv3x3("conv3_3", 256, 256),
+            maxpool2x2("pool3"),
+            conv3x3("conv4_1", 256, 512),
+            conv3x3("conv4_2", 512, 512),
+            conv3x3("conv4_3", 512, 512),
+            maxpool2x2("pool4"),
+            conv3x3("conv5_1", 512, 512),
+            conv3x3("conv5_2", 512, 512),
+            conv3x3("conv5_3", 512, 512),
+            maxpool2x2("pool5"),
+            LayerSpec::Fc { name: "fc6".into(), in_features: 512 * 7 * 7, out_features: 4096, relu: true },
+            LayerSpec::Fc { name: "fc7".into(), in_features: 4096, out_features: 4096, relu: true },
+            LayerSpec::Fc { name: "fc8".into(), in_features: 4096, out_features: 1000, relu: false },
+            LayerSpec::Softmax,
+        ],
+    }
+}
+
+/// A spatially scaled-down VGG-16 with the same channel progression and
+/// layer structure but an `input_hw x input_hw` input. Used by tests and
+/// examples that need VGG's *structure* without the full 15.3 GMAC cost.
+/// `input_hw` must be a multiple of 32 (five 2x2 pools).
+///
+/// # Panics
+/// Panics if `input_hw` is not a positive multiple of 32.
+pub fn vgg16_scaled_spec(input_hw: usize) -> NetworkSpec {
+    assert!(input_hw > 0 && input_hw % 32 == 0, "input_hw must be a positive multiple of 32");
+    let mut spec = vgg16_spec();
+    spec.name = format!("vgg16-{input_hw}");
+    spec.input = Shape::new(3, input_hw, input_hw);
+    let final_hw = input_hw / 32;
+    for layer in spec.layers.iter_mut() {
+        if let LayerSpec::Fc { name, in_features, .. } = layer {
+            if name == "fc6" {
+                *in_features = 512 * final_hw * final_hw;
+            }
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_shape_chain_is_valid() {
+        let spec = vgg16_spec();
+        let shapes = spec.shapes().expect("vgg16 must be shape-valid");
+        assert_eq!(shapes[0], Shape::new(3, 224, 224));
+        // After pool5: 512 x 7 x 7.
+        assert_eq!(shapes[18], Shape::new(512, 7, 7));
+        // Final output: 1000 classes.
+        assert_eq!(*shapes.last().unwrap(), Shape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn vgg16_mac_counts_match_literature() {
+        let spec = vgg16_spec();
+        let shapes = spec.shapes().unwrap();
+        let conv_macs: u64 = spec
+            .layers
+            .iter()
+            .zip(&shapes)
+            .filter(|(l, _)| matches!(l, LayerSpec::Conv { .. }))
+            .map(|(l, &s)| l.macs(s))
+            .sum();
+        // The well-known VGG-16 convolution workload: ~15.35 GMACs.
+        assert_eq!(conv_macs, 15_346_630_656);
+        // FC layers add ~0.12 GMACs.
+        assert_eq!(spec.total_macs(), 15_346_630_656 + 123_633_664);
+    }
+
+    #[test]
+    fn thirteen_conv_layers_with_expected_names() {
+        let spec = vgg16_spec();
+        let convs = spec.conv_layers();
+        assert_eq!(convs.len(), 13);
+        for ((_, l, _), expect) in convs.iter().zip(VGG16_CONV_NAMES) {
+            assert_eq!(l.name(), expect);
+        }
+    }
+
+    #[test]
+    fn scaled_spec_shrinks_spatially_only() {
+        let spec = vgg16_scaled_spec(32);
+        let shapes = spec.shapes().expect("scaled vgg16 must be shape-valid");
+        assert_eq!(shapes[0], Shape::new(3, 32, 32));
+        assert_eq!(shapes[18], Shape::new(512, 1, 1));
+        assert_eq!(*shapes.last().unwrap(), Shape::new(1000, 1, 1));
+        assert_eq!(spec.conv_layers().len(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn scaled_spec_rejects_bad_size() {
+        let _ = vgg16_scaled_spec(30);
+    }
+
+    #[test]
+    fn deepest_layers_have_highest_weight_to_activation_ratio() {
+        // The paper attributes worst-case efficiency to deep layers where
+        // weight data dominates FM data; confirm the geometry implies it.
+        let spec = vgg16_spec();
+        let shapes = spec.shapes().unwrap();
+        let ratio = |i: usize| -> f64 {
+            if let LayerSpec::Conv { in_c, out_c, k, .. } = &spec.layers[i] {
+                let weights = (in_c * out_c * k * k) as f64;
+                let fm = shapes[i].len() as f64;
+                weights / fm
+            } else {
+                panic!("not conv")
+            }
+        };
+        let first = ratio(0);
+        let last = ratio(16);
+        assert!(last > first * 100.0, "first {first} last {last}");
+    }
+}

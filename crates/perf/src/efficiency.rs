@@ -1,0 +1,63 @@
+//! The paper's efficiency metric (Fig. 7).
+//!
+//! "We consider the efficiency of the HLS-generated hardware by comparing
+//! the experimentally observed throughput (ops/elapsed time) with the
+//! theoretically minimum ideal throughput numbers. Ideal throughput is
+//! defined as peak throughput * total number of computations. We add an
+//! overhead (~15% but varies by layer) for the increased number of MAC
+//! operation due to limited on-FPGA SRAM bank size — 'striping'." (§V)
+//!
+//! With zero-skipping and a pruned model, observed throughput can exceed
+//! the ideal (efficiency > 100%) because skipped multiply-accumulates are
+//! still counted as work performed.
+
+/// Ideal cycle count for a layer: dense MACs, inflated by the per-layer
+/// striping factor, at peak MACs/cycle.
+pub fn ideal_cycles(dense_macs: u64, striping_factor: f64, macs_per_cycle: u64) -> f64 {
+    assert!(macs_per_cycle > 0, "peak MACs/cycle must be positive");
+    dense_macs as f64 * striping_factor.max(1.0) / macs_per_cycle as f64
+}
+
+/// Observed/ideal efficiency (1.0 = ideal; > 1.0 possible when
+/// zero-skipping removes counted work).
+pub fn efficiency(dense_macs: u64, striping_factor: f64, macs_per_cycle: u64, observed_cycles: u64) -> f64 {
+    if observed_cycles == 0 {
+        return 0.0;
+    }
+    ideal_cycles(dense_macs, striping_factor, macs_per_cycle) / observed_cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_counts_dense_work_with_striping() {
+        // 256 MACs over a 256-wide datapath: one cycle; +15% striping.
+        assert!((ideal_cycles(256, 1.15, 256) - 1.15).abs() < 1e-12);
+        // Striping factor below 1 is clamped.
+        assert_eq!(ideal_cycles(256, 0.5, 256), 1.0);
+    }
+
+    #[test]
+    fn efficiency_one_at_ideal() {
+        assert!((efficiency(2560, 1.0, 256, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_skipping_exceeds_one() {
+        // Half the work skipped: 5 cycles for 10 ideal.
+        assert!(efficiency(2560, 1.0, 256, 5) > 1.9);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_efficiency() {
+        assert_eq!(efficiency(100, 1.0, 256, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_peak_rejected() {
+        let _ = ideal_cycles(100, 1.0, 0);
+    }
+}

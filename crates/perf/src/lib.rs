@@ -1,0 +1,21 @@
+//! Area, power and efficiency models (paper §V: Fig. 6, Fig. 7's ideal
+//! line, Table I).
+//!
+//! * [`area`] — formats the per-module ALM breakdown (Fig. 6) and the
+//!   device-utilization summary from `zskip-hls` synthesis results;
+//! * [`power`] — the analytic power model behind Table I: static power
+//!   scaling with occupied logic, dynamic power scaling with switched
+//!   MACs x frequency, and board-level overhead (regulators, DDR4, HPS);
+//! * [`efficiency`](mod@efficiency) — the paper's ideal-throughput definition (dense
+//!   computations inflated by the striping overhead at peak MACs/cycle)
+//!   and the observed/ideal ratio plotted in Fig. 7.
+
+pub mod area;
+pub mod efficiency;
+pub mod power;
+pub mod roofline;
+
+pub use area::AreaBreakdown;
+pub use efficiency::{efficiency, ideal_cycles};
+pub use power::{PowerEstimate, PowerModel};
+pub use roofline::{Bound, RooflineMachine, RooflinePoint};

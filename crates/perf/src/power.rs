@@ -1,0 +1,136 @@
+//! The analytic power model behind paper Table I.
+//!
+//! Table I reports, for the two optimized variants, peak power while
+//! running the worst-case VGG-16 layer — FPGA-only and board-level, with
+//! dynamic power parenthesized. The model:
+//!
+//! * **static** power grows affinely with occupied ALMs (leakage scales
+//!   with active logic area and its thermal consequences);
+//! * **dynamic** power is `c_mac x switched MACs/cycle x f_MHz` — a single
+//!   switched-capacitance coefficient calibrated on the paper's two
+//!   design points fits both within 1%;
+//! * **board** overhead (regulator losses, DDR4, HPS) is a constant plus a
+//!   regulator-efficiency term proportional to dynamic power.
+//!
+//! Coefficient calibration (documented in DESIGN.md): 256-opt = 2300 mW
+//! (500 dynamic) at 150 MHz / 110 kALM, 512-opt = 3300 mW (800 dynamic)
+//! at ~120 MHz / 209 kALM, boards 9500 / 10800 mW.
+
+use serde::Serialize;
+
+/// Calibrated power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Static baseline in mW.
+    pub static_base_mw: f64,
+    /// Static mW per occupied ALM.
+    pub static_per_alm_mw: f64,
+    /// Dynamic mW per (MAC/cycle x MHz).
+    pub dynamic_per_mac_mhz_mw: f64,
+    /// Constant board overhead in mW (HPS, DDR4, fans).
+    pub board_base_mw: f64,
+    /// Board regulator loss per mW of FPGA dynamic power.
+    pub board_per_dynamic: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            static_base_mw: 1013.0,
+            static_per_alm_mw: 0.00713,
+            dynamic_per_mac_mhz_mw: 0.01302,
+            board_base_mw: 6900.0,
+            board_per_dynamic: 0.6,
+        }
+    }
+}
+
+/// A power estimate for one operating point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PowerEstimate {
+    /// FPGA static power (mW).
+    pub static_mw: f64,
+    /// FPGA dynamic power (mW).
+    pub dynamic_mw: f64,
+    /// FPGA total (mW).
+    pub fpga_mw: f64,
+    /// Board-level total (mW).
+    pub board_mw: f64,
+}
+
+impl PowerModel {
+    /// Estimates power at an operating point.
+    ///
+    /// * `alms` — occupied ALMs (from synthesis);
+    /// * `macs_per_cycle` — peak datapath MACs/cycle;
+    /// * `clock_mhz` — operating clock;
+    /// * `activity` — fraction of MAC slots switching (1.0 for the paper's
+    ///   peak-power measurement on the worst-case layer; a run's mean
+    ///   activity comes from the simulator's `macs` counter over
+    ///   `cycles x peak`).
+    pub fn estimate(&self, alms: f64, macs_per_cycle: u64, clock_mhz: f64, activity: f64) -> PowerEstimate {
+        let activity = activity.clamp(0.0, 1.0);
+        let static_mw = self.static_base_mw + self.static_per_alm_mw * alms;
+        let dynamic_mw = self.dynamic_per_mac_mhz_mw * macs_per_cycle as f64 * clock_mhz * activity;
+        let fpga_mw = static_mw + dynamic_mw;
+        let board_mw = fpga_mw + self.board_base_mw + self.board_per_dynamic * dynamic_mw;
+        PowerEstimate { static_mw, dynamic_mw, fpga_mw, board_mw }
+    }
+}
+
+/// GOPS per watt.
+pub fn gops_per_watt(gops: f64, milliwatts: f64) -> f64 {
+    if milliwatts <= 0.0 {
+        0.0
+    } else {
+        gops / (milliwatts / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_table1_256_opt() {
+        let m = PowerModel::default();
+        let p = m.estimate(110_411.0, 256, 150.0, 1.0);
+        assert!((p.fpga_mw - 2300.0).abs() < 100.0, "fpga {:.0}", p.fpga_mw);
+        assert!((p.dynamic_mw - 500.0).abs() < 30.0, "dyn {:.0}", p.dynamic_mw);
+        assert!((p.board_mw - 9500.0).abs() < 300.0, "board {:.0}", p.board_mw);
+    }
+
+    #[test]
+    fn calibration_reproduces_table1_512_opt() {
+        let m = PowerModel::default();
+        let p = m.estimate(208_621.0, 512, 117.6, 1.0);
+        assert!((p.fpga_mw - 3300.0).abs() < 150.0, "fpga {:.0}", p.fpga_mw);
+        assert!((p.dynamic_mw - 800.0).abs() < 40.0, "dyn {:.0}", p.dynamic_mw);
+        assert!((p.board_mw - 10800.0).abs() < 400.0, "board {:.0}", p.board_mw);
+    }
+
+    #[test]
+    fn idle_design_draws_static_only() {
+        let m = PowerModel::default();
+        let p = m.estimate(100_000.0, 256, 150.0, 0.0);
+        assert_eq!(p.dynamic_mw, 0.0);
+        assert!(p.fpga_mw > 1000.0);
+    }
+
+    #[test]
+    fn activity_scales_dynamic_linearly() {
+        let m = PowerModel::default();
+        let half = m.estimate(100_000.0, 256, 150.0, 0.5);
+        let full = m.estimate(100_000.0, 256, 150.0, 1.0);
+        assert!((half.dynamic_mw * 2.0 - full.dynamic_mw).abs() < 1e-9);
+        // Out-of-range activity clamps.
+        let over = m.estimate(100_000.0, 256, 150.0, 3.0);
+        assert_eq!(over.dynamic_mw, full.dynamic_mw);
+    }
+
+    #[test]
+    fn gops_per_watt_math() {
+        assert!((gops_per_watt(61.0, 2300.0) - 26.5).abs() < 0.1);
+        assert_eq!(gops_per_watt(10.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Roofline analysis: is a layer compute-bound or DDR-bandwidth-bound?
+//!
+//! The paper's System I moves 32 bytes per fabric cycle between DDR4 and
+//! the banks; the datapath retires `2 x MACs/cycle` operations. A layer's
+//! **arithmetic intensity** (ops per DDR byte) decides which of the two
+//! ceilings binds:
+//!
+//! ```text
+//! attainable = min(peak_compute, intensity x memory_bandwidth)
+//! ```
+//!
+//! VGG-16's conv layers are strongly compute-bound on this machine (the
+//! driver's double-buffering keeps the DMA off the critical path), which
+//! is why the paper's evaluation centers on cycle efficiency rather than
+//! bandwidth — the roofline makes that quantitative.
+
+use serde::Serialize;
+
+/// Which ceiling binds a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Bound {
+    /// The MAC array is the limit.
+    Compute,
+    /// DDR bandwidth is the limit.
+    Memory,
+}
+
+/// Roofline data for one layer.
+#[derive(Debug, Clone, Serialize)]
+pub struct RooflinePoint {
+    /// Layer name.
+    pub name: String,
+    /// Operations (2 x dense MACs).
+    pub ops: u64,
+    /// DDR bytes moved for the layer (activations in/out + weights).
+    pub ddr_bytes: u64,
+    /// Arithmetic intensity in ops/byte.
+    pub intensity: f64,
+    /// Roofline ceiling at this intensity, in GOPS.
+    pub attainable_gops: f64,
+    /// Measured effective GOPS.
+    pub achieved_gops: f64,
+    /// Binding ceiling.
+    pub bound: Bound,
+}
+
+/// The machine's two ceilings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineMachine {
+    /// Peak arithmetic throughput in GOPS.
+    pub peak_gops: f64,
+    /// Sustained DDR bandwidth in GB/s.
+    pub memory_gbps: f64,
+}
+
+impl RooflineMachine {
+    /// Builds the machine model from datapath width, clock, and the
+    /// System I bus width in bytes/cycle.
+    pub fn new(macs_per_cycle: u64, clock_mhz: f64, bus_bytes_per_cycle: u64) -> RooflineMachine {
+        RooflineMachine {
+            peak_gops: 2.0 * macs_per_cycle as f64 * clock_mhz * 1e6 / 1e9,
+            memory_gbps: bus_bytes_per_cycle as f64 * clock_mhz * 1e6 / 1e9,
+        }
+    }
+
+    /// The intensity at which the two ceilings meet (the roofline knee).
+    pub fn knee_intensity(&self) -> f64 {
+        self.peak_gops / self.memory_gbps
+    }
+
+    /// Analyzes one layer.
+    pub fn analyze(&self, name: &str, ops: u64, ddr_bytes: u64, achieved_gops: f64) -> RooflinePoint {
+        let intensity = if ddr_bytes == 0 { f64::INFINITY } else { ops as f64 / ddr_bytes as f64 };
+        let memory_ceiling = intensity * self.memory_gbps;
+        let attainable = self.peak_gops.min(memory_ceiling);
+        RooflinePoint {
+            name: name.to_string(),
+            ops,
+            ddr_bytes,
+            intensity,
+            attainable_gops: attainable,
+            achieved_gops,
+            bound: if memory_ceiling < self.peak_gops { Bound::Memory } else { Bound::Compute },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> RooflineMachine {
+        // 256 MACs @ 150 MHz, 32 B/cycle: 76.8 GOPS peak, 4.8 GB/s.
+        RooflineMachine::new(256, 150.0, 32)
+    }
+
+    #[test]
+    fn ceilings_and_knee() {
+        let m = machine();
+        assert!((m.peak_gops - 76.8).abs() < 1e-9);
+        assert!((m.memory_gbps - 4.8).abs() < 1e-9);
+        assert!((m.knee_intensity() - 16.0).abs() < 1e-9, "knee at 16 ops/byte");
+    }
+
+    #[test]
+    fn high_intensity_layer_is_compute_bound() {
+        let m = machine();
+        // 1 Gop over 10 MB: 100 ops/byte, far right of the knee.
+        let p = m.analyze("conv", 1_000_000_000, 10_000_000, 70.0);
+        assert_eq!(p.bound, Bound::Compute);
+        assert!((p.attainable_gops - m.peak_gops).abs() < 1e-9);
+        assert!(p.achieved_gops <= p.attainable_gops);
+    }
+
+    #[test]
+    fn low_intensity_layer_is_memory_bound() {
+        let m = machine();
+        // 1 op/byte: ceiling is the 4.8 GB/s line.
+        let p = m.analyze("fc-ish", 10_000_000, 10_000_000, 3.0);
+        assert_eq!(p.bound, Bound::Memory);
+        assert!((p.attainable_gops - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bytes_is_infinitely_intense() {
+        let m = machine();
+        let p = m.analyze("resident", 1_000, 0, 1.0);
+        assert_eq!(p.bound, Bound::Compute);
+        assert!(p.intensity.is_infinite());
+    }
+
+    #[test]
+    fn vgg_conv_layers_sit_right_of_the_knee() {
+        // conv3_2: 1.85 GMACs = 3.7 Gops; roughly 3 MB activations + 0.6 MB
+        // packed weights per stripe pass -> ~1000 ops/byte >> 16.
+        let m = machine();
+        let p = m.analyze("conv3_2", 3_699_376_128, 3_600_000, 70.0);
+        assert_eq!(p.bound, Bound::Compute);
+        assert!(p.intensity > m.knee_intensity() * 10.0);
+    }
+}

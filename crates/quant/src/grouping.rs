@@ -1,0 +1,160 @@
+//! Filter grouping by non-zero count — the paper's future work, implemented.
+//!
+//! "Future work could include grouping filters in advance according to
+//! similarity in non-zero-entry counts to maximize available zero skipping
+//! and balance the work." (paper §V)
+//!
+//! Because the accelerator computes four OFMs concurrently in lockstep, a
+//! group's cycle cost is set by its *densest* filter; pairing dense filters
+//! with sparse ones wastes the sparse lanes' skipped cycles. Sorting filters
+//! by non-zero count and grouping neighbours minimizes the per-group
+//! maximum-minus-mean imbalance.
+
+/// A reordering of output feature maps into lockstep groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterGrouping {
+    /// `order[i]` is the original filter index placed at position `i`.
+    /// Consecutive chunks of `group_size` form the lockstep groups.
+    pub order: Vec<usize>,
+    /// Number of filters per lockstep group (4 in the paper).
+    pub group_size: usize,
+}
+
+impl FilterGrouping {
+    /// The identity grouping (paper's baseline behaviour: filters processed
+    /// in model order).
+    pub fn identity(filters: usize, group_size: usize) -> FilterGrouping {
+        FilterGrouping { order: (0..filters).collect(), group_size }
+    }
+
+    /// Groups filters by sorting on their non-zero weight counts so each
+    /// lockstep group contains filters of similar density.
+    ///
+    /// `nnz_per_filter[i]` is the total non-zero weight count of filter `i`
+    /// (summed over all its weight tiles).
+    pub fn by_nnz(nnz_per_filter: &[usize], group_size: usize) -> FilterGrouping {
+        let mut order: Vec<usize> = (0..nnz_per_filter.len()).collect();
+        // Descending order is provably optimal for sum-of-group-maxima: the
+        // i-th group's maximum in *any* partition is at least the
+        // (i * group_size)-th largest count, which is exactly what
+        // descending consecutive chunking achieves. (Ascending chunking can
+        // lose when a ragged final group isolates a dense filter.) The sort
+        // is stable so equal-density filters keep model order.
+        order.sort_by_key(|&i| std::cmp::Reverse(nnz_per_filter[i]));
+        FilterGrouping { order, group_size }
+    }
+
+    /// The lockstep groups, each a slice of original filter indices. The
+    /// final group may be shorter when the filter count is not a multiple of
+    /// the group size (the hardware pads it with idle lanes).
+    pub fn groups(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        self.order.chunks(self.group_size)
+    }
+
+    /// Total lockstep cost in weight-application steps: for each group the
+    /// cost is its maximum member's non-zero count (lanes run in lockstep).
+    pub fn lockstep_cost(&self, nnz_per_filter: &[usize]) -> usize {
+        self.groups()
+            .map(|g| g.iter().map(|&i| nnz_per_filter[i]).max().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total bubbles (idle lane-steps) under this grouping.
+    pub fn bubbles(&self, nnz_per_filter: &[usize]) -> usize {
+        self.groups()
+            .map(|g| {
+                let max = g.iter().map(|&i| nnz_per_filter[i]).max().unwrap_or(0);
+                g.iter().map(|&i| max - nnz_per_filter[i]).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The inverse permutation: `inverse()[orig] = position`.
+    pub fn inverse(&self) -> Vec<usize> {
+        let mut inv = vec![0; self.order.len()];
+        for (pos, &orig) in self.order.iter().enumerate() {
+            inv[orig] = pos;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_preserves_order() {
+        let g = FilterGrouping::identity(8, 4);
+        assert_eq!(g.order, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(g.groups().count(), 2);
+    }
+
+    #[test]
+    fn by_nnz_sorts_descending() {
+        let nnz = vec![9, 1, 5, 3];
+        let g = FilterGrouping::by_nnz(&nnz, 2);
+        assert_eq!(g.order, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn ragged_tail_gets_sparsest_filters() {
+        // Regression for the case proptest found: a ragged final group must
+        // not isolate a dense filter.
+        let nnz = vec![51, 0, 0, 0, 0, 0, 102, 102, 0];
+        let id = FilterGrouping::identity(nnz.len(), 4);
+        let by = FilterGrouping::by_nnz(&nnz, 4);
+        assert!(by.lockstep_cost(&nnz) <= id.lockstep_cost(&nnz));
+        assert_eq!(by.lockstep_cost(&nnz), 102);
+    }
+
+    #[test]
+    fn grouping_reduces_cost_on_skewed_profile() {
+        // Two dense filters split across identity groups; grouping pairs them.
+        let nnz = vec![16, 1, 1, 1, 16, 1, 1, 1];
+        let id = FilterGrouping::identity(8, 4);
+        let grouped = FilterGrouping::by_nnz(&nnz, 4);
+        assert!(grouped.lockstep_cost(&nnz) < id.lockstep_cost(&nnz));
+        assert!(grouped.bubbles(&nnz) < id.bubbles(&nnz));
+        // Sorted grouping: sparse group costs 1, dense group costs 16.
+        assert_eq!(grouped.lockstep_cost(&nnz), 1 + 16);
+    }
+
+    #[test]
+    fn ragged_final_group_is_allowed() {
+        let nnz = vec![4, 2, 7];
+        let g = FilterGrouping::by_nnz(&nnz, 2);
+        let groups: Vec<Vec<usize>> = g.groups().map(|s| s.to_vec()).collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1].len(), 1);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let g = FilterGrouping::by_nnz(&[5, 2, 9, 1], 2);
+        let inv = g.inverse();
+        for (pos, &orig) in g.order.iter().enumerate() {
+            assert_eq!(inv[orig], pos);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sorted_grouping_never_worse_than_identity(
+            nnz in proptest::collection::vec(0usize..=144, 1..64),
+        ) {
+            let id = FilterGrouping::identity(nnz.len(), 4);
+            let by = FilterGrouping::by_nnz(&nnz, 4);
+            prop_assert!(by.lockstep_cost(&nnz) <= id.lockstep_cost(&nnz));
+        }
+
+        #[test]
+        fn order_is_a_permutation(nnz in proptest::collection::vec(0usize..=100, 0..50)) {
+            let g = FilterGrouping::by_nnz(&nnz, 4);
+            let mut sorted = g.order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..nnz.len()).collect::<Vec<_>>());
+        }
+    }
+}

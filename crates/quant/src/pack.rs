@@ -1,0 +1,292 @@
+//! The packed non-zero weight format behind zero-weight skipping
+//! (paper §III-B).
+//!
+//! For a given CNN model "the non-zero weights and their intra-tile offsets
+//! are packed offline in advance in software. ... During inference, the
+//! accelerator receives the weight values and their intra-tile offsets in a
+//! packed format that is read directly into scratchpad memory. One non-zero
+//! weight is applied per clock cycle; no cycles are spent on weights having
+//! a value of 0."
+//!
+//! [`PackedTile`] is the offline-packed form of one 4x4 weight tile.
+//! [`LockstepGroup`] iterates four filters' packed tiles in lockstep — the
+//! hardware applies one weight from each of four filters per cycle, so a
+//! filter with fewer non-zeros idles (a pipeline bubble) until the slowest
+//! lane finishes, exactly the imbalance the paper reports and its
+//! future-work filter grouping (see [`crate::grouping`]) mitigates.
+
+use crate::Sm8;
+use zskip_tensor::{Tile, TILE_ELEMS};
+
+/// One packed weight: a non-zero value plus its intra-tile offset (0..16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedEntry {
+    /// Intra-tile offset, row-major (0..16). Decoded by the convolution
+    /// unit's steering muxes into an (dy, dx) window select.
+    pub offset: u8,
+    /// The weight value (non-zero by construction).
+    pub value: Sm8,
+}
+
+/// A weight tile packed to its non-zero entries, in ascending offset order.
+///
+/// # Example
+/// ```
+/// use zskip_quant::{PackedTile, Sm8};
+/// use zskip_tensor::Tile;
+/// let mut tile = Tile::<Sm8>::zero();
+/// tile[(1, 1)] = Sm8::from_i32_saturating(5);
+/// tile[(2, 3)] = Sm8::from_i32_saturating(-3);
+/// let packed = PackedTile::pack(&tile);
+/// assert_eq!(packed.nnz(), 2);
+/// assert_eq!(packed.unpack(), tile);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PackedTile {
+    entries: Vec<PackedEntry>,
+}
+
+impl PackedTile {
+    /// Packs a weight tile, skipping zeros (either sign encoding).
+    pub fn pack(tile: &Tile<Sm8>) -> PackedTile {
+        let entries = tile
+            .iter_offsets()
+            .filter(|(_, v)| !v.is_zero())
+            .map(|(offset, value)| PackedEntry { offset, value })
+            .collect();
+        PackedTile { entries }
+    }
+
+    /// Packs a weight tile *without* zero-skipping: all 16 slots become
+    /// entries, zeros included. This is the ablation baseline — the
+    /// architecture with the paper's novel packing disabled, spending a
+    /// cycle on every weight slot.
+    pub fn pack_dense(tile: &Tile<Sm8>) -> PackedTile {
+        let entries = tile.iter_offsets().map(|(offset, value)| PackedEntry { offset, value }).collect();
+        PackedTile { entries }
+    }
+
+    /// Reconstructs the dense 4x4 tile.
+    pub fn unpack(&self) -> Tile<Sm8> {
+        let mut tile = Tile::zero();
+        for e in &self.entries {
+            tile.as_mut_array()[e.offset as usize] = e.value;
+        }
+        tile
+    }
+
+    /// Number of non-zero weights (cycles the convolution unit spends on
+    /// this tile, before the 4-cycle IFM-load floor).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tile is entirely zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The packed entries in ascending offset order.
+    pub fn entries(&self) -> &[PackedEntry] {
+        &self.entries
+    }
+
+    /// Serializes to the scratchpad byte format: a count byte followed by
+    /// `[offset, value-bits]` pairs. This is the stream the DMA writes and
+    /// the data-staging unit unpacks at some entries/cycle bandwidth.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 2 * self.entries.len());
+        out.push(self.entries.len() as u8);
+        for e in &self.entries {
+            out.push(e.offset);
+            out.push(e.value.to_bits());
+        }
+        out
+    }
+
+    /// Deserializes from the scratchpad byte format, returning the tile and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    /// Returns [`PackDecodeError`] on truncated input or invalid offsets.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(PackedTile, usize), PackDecodeError> {
+        let &count = bytes.first().ok_or(PackDecodeError::Truncated)?;
+        let count = count as usize;
+        if count > TILE_ELEMS {
+            return Err(PackDecodeError::BadCount(count));
+        }
+        let need = 1 + 2 * count;
+        if bytes.len() < need {
+            return Err(PackDecodeError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let offset = bytes[1 + 2 * i];
+            if offset as usize >= TILE_ELEMS {
+                return Err(PackDecodeError::BadOffset(offset));
+            }
+            entries.push(PackedEntry { offset, value: Sm8::from_bits(bytes[2 + 2 * i]) });
+        }
+        Ok((PackedTile { entries }, need))
+    }
+
+    /// Size in bytes of the serialized form.
+    pub fn byte_len(&self) -> usize {
+        1 + 2 * self.entries.len()
+    }
+}
+
+/// Error decoding a packed weight stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackDecodeError {
+    /// The byte stream ended mid-tile.
+    Truncated,
+    /// The count byte exceeds 16.
+    BadCount(usize),
+    /// An offset byte exceeds 15.
+    BadOffset(u8),
+}
+
+impl std::fmt::Display for PackDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackDecodeError::Truncated => write!(f, "packed weight stream truncated"),
+            PackDecodeError::BadCount(c) => write!(f, "packed tile count {c} exceeds 16"),
+            PackDecodeError::BadOffset(o) => write!(f, "packed weight offset {o} exceeds 15"),
+        }
+    }
+}
+
+impl std::error::Error for PackDecodeError {}
+
+/// Four filters' packed tiles iterated in lockstep, one weight per filter
+/// per cycle. Lanes whose filter has fewer non-zeros yield `None` (pipeline
+/// bubbles).
+#[derive(Debug, Clone)]
+pub struct LockstepGroup<'a> {
+    lanes: [&'a PackedTile; 4],
+}
+
+impl<'a> LockstepGroup<'a> {
+    /// Creates a lockstep group over four filters' packed tiles.
+    pub fn new(lanes: [&'a PackedTile; 4]) -> Self {
+        LockstepGroup { lanes }
+    }
+
+    /// Number of weight-application steps: the slowest lane's non-zero
+    /// count. (The data-staging unit additionally enforces the 4-cycle
+    /// IFM-tile-load floor; see `zskip-core`.)
+    pub fn steps(&self) -> usize {
+        self.lanes.iter().map(|t| t.nnz()).max().unwrap_or(0)
+    }
+
+    /// Number of bubble slots: idle lane-cycles caused by imbalance.
+    pub fn bubbles(&self) -> usize {
+        let steps = self.steps();
+        self.lanes.iter().map(|t| steps - t.nnz()).sum()
+    }
+
+    /// Iterates lockstep steps; each yields one optional entry per lane.
+    pub fn iter(&self) -> impl Iterator<Item = [Option<PackedEntry>; 4]> + '_ {
+        let steps = self.steps();
+        (0..steps).map(move |i| {
+            let mut row = [None; 4];
+            for (lane, tile) in self.lanes.iter().enumerate() {
+                row[lane] = tile.entries().get(i).copied();
+            }
+            row
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tile_from_i32(vals: [i32; 16]) -> Tile<Sm8> {
+        let mut t = Tile::zero();
+        for (i, v) in vals.iter().enumerate() {
+            t.as_mut_array()[i] = Sm8::from_i32_saturating(*v);
+        }
+        t
+    }
+
+    #[test]
+    fn packs_only_nonzeros_in_offset_order() {
+        let t = tile_from_i32([0, 5, 0, 0, -3, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 1]);
+        let p = PackedTile::pack(&t);
+        assert_eq!(p.nnz(), 4);
+        let offsets: Vec<u8> = p.entries().iter().map(|e| e.offset).collect();
+        assert_eq!(offsets, vec![1, 4, 10, 15]);
+        assert_eq!(p.unpack(), t);
+    }
+
+    #[test]
+    fn negative_zero_is_skipped() {
+        let mut t = Tile::<Sm8>::zero();
+        t.as_mut_array()[3] = Sm8::NEG_ZERO;
+        let p = PackedTile::pack(&t);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let t = tile_from_i32([1, 0, -2, 0, 3, 0, -4, 0, 5, 0, -6, 0, 7, 0, -8, 0]);
+        let p = PackedTile::pack(&t);
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), p.byte_len());
+        let (q, used) = PackedTile::from_bytes(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(PackedTile::from_bytes(&[]).unwrap_err(), PackDecodeError::Truncated);
+        assert_eq!(PackedTile::from_bytes(&[17]).unwrap_err(), PackDecodeError::BadCount(17));
+        assert_eq!(PackedTile::from_bytes(&[1, 16, 0]).unwrap_err(), PackDecodeError::BadOffset(16));
+        assert_eq!(PackedTile::from_bytes(&[2, 0, 1]).unwrap_err(), PackDecodeError::Truncated);
+    }
+
+    #[test]
+    fn lockstep_steps_is_max_lane() {
+        let a = PackedTile::pack(&tile_from_i32([1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]));
+        let b = PackedTile::pack(&tile_from_i32([1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]));
+        let c = PackedTile::pack(&Tile::zero());
+        let d = PackedTile::pack(&tile_from_i32([1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]));
+        let g = LockstepGroup::new([&a, &b, &c, &d]);
+        assert_eq!(g.steps(), 6);
+        assert_eq!(g.bubbles(), (6 - 3) + (6 - 1) + 6 + 0);
+        let rows: Vec<_> = g.iter().collect();
+        assert_eq!(rows.len(), 6);
+        assert!(rows[0][0].is_some() && rows[0][2].is_none());
+        assert!(rows[5][3].is_some() && rows[5][0].is_none());
+    }
+
+    #[test]
+    fn lockstep_all_empty_has_zero_steps() {
+        let z = PackedTile::default();
+        let g = LockstepGroup::new([&z, &z, &z, &z]);
+        assert_eq!(g.steps(), 0);
+        assert_eq!(g.iter().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_round_trip(vals in proptest::array::uniform16(-127i32..=127)) {
+            let t = tile_from_i32(vals);
+            let p = PackedTile::pack(&t);
+            prop_assert_eq!(p.unpack(), t);
+            prop_assert_eq!(p.nnz(), vals.iter().filter(|&&v| v != 0).count());
+        }
+
+        #[test]
+        fn bytes_round_trip_any_tile(vals in proptest::array::uniform16(-127i32..=127)) {
+            let p = PackedTile::pack(&tile_from_i32(vals));
+            let (q, used) = PackedTile::from_bytes(&p.to_bytes()).unwrap();
+            prop_assert_eq!(used, p.byte_len());
+            prop_assert_eq!(q, p);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Polling barrier: the hardware analogue of the Pthreads barrier that
+//! synchronizes the four accumulator units at each OFM tile position
+//! ("The completion of all four OFM tiles at a given x/y tile position is
+//! synchronized using a Pthreads barrier", paper §III-B1).
+
+/// A generation-counting barrier polled once per cycle by each party.
+///
+/// Each party calls [`Barrier::arrive_and_poll`] every cycle once it
+/// reaches the synchronization point; the call returns `true` exactly once
+/// per generation, when all parties have arrived.
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    phase: Vec<Phase>,
+    arrivals: usize,
+    generations: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Waiting,
+    Released,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Barrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier { phase: vec![Phase::Idle; parties], arrivals: 0, generations: 0 }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// Completed generations (number of times all parties synchronized).
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+
+    /// Party `p` arrives (idempotent while waiting) and polls for release.
+    /// Returns `true` when the barrier opens for this party.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn arrive_and_poll(&mut self, p: usize) -> bool {
+        match self.phase[p] {
+            Phase::Released => {
+                self.phase[p] = Phase::Idle;
+                true
+            }
+            Phase::Waiting => false,
+            Phase::Idle => {
+                self.phase[p] = Phase::Waiting;
+                self.arrivals += 1;
+                if self.arrivals == self.phase.len() {
+                    // Last arriver releases everyone and passes immediately.
+                    for q in self.phase.iter_mut() {
+                        *q = Phase::Released;
+                    }
+                    self.phase[p] = Phase::Idle;
+                    self.arrivals = 0;
+                    self.generations += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether party `p` is currently waiting at the barrier.
+    pub fn is_waiting(&self, p: usize) -> bool {
+        self.phase[p] == Phase::Waiting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_party_passes_immediately() {
+        let mut b = Barrier::new(1);
+        assert!(b.arrive_and_poll(0));
+        assert!(b.arrive_and_poll(0));
+        assert_eq!(b.generations(), 2);
+    }
+
+    #[test]
+    fn all_parties_pass_exactly_once_per_generation() {
+        let mut b = Barrier::new(4);
+        // Parties 0..3 arrive over several cycles.
+        assert!(!b.arrive_and_poll(0));
+        assert!(!b.arrive_and_poll(1));
+        assert!(!b.arrive_and_poll(0), "re-poll while waiting stays blocked");
+        assert!(!b.arrive_and_poll(2));
+        assert!(b.arrive_and_poll(3), "last arriver passes immediately");
+        // Remaining parties pass on their next poll.
+        assert!(b.arrive_and_poll(0));
+        assert!(b.arrive_and_poll(1));
+        assert!(b.arrive_and_poll(2));
+        assert_eq!(b.generations(), 1);
+    }
+
+    #[test]
+    fn generations_chain_correctly() {
+        let mut b = Barrier::new(2);
+        for generation in 1..=10 {
+            assert!(!b.arrive_and_poll(0));
+            assert!(b.arrive_and_poll(1));
+            assert!(b.arrive_and_poll(0));
+            assert_eq!(b.generations(), generation);
+        }
+    }
+
+    #[test]
+    fn fast_party_cannot_lap_slow_party() {
+        let mut b = Barrier::new(2);
+        assert!(!b.arrive_and_poll(0));
+        // Party 0 polls many times; generation cannot complete without 1.
+        for _ in 0..100 {
+            assert!(!b.arrive_and_poll(0));
+        }
+        assert!(b.arrive_and_poll(1));
+        assert!(b.arrive_and_poll(0));
+        // Party 0 immediately re-arrives into the next generation.
+        assert!(!b.arrive_and_poll(0));
+        assert!(b.is_waiting(0));
+        assert!(!b.is_waiting(1));
+        assert_eq!(b.generations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Hardware FIFO queues with registered-output, single-port semantics.
+
+use crate::stats::FifoStats;
+use std::collections::VecDeque;
+
+/// Handle to a FIFO registered with an [`crate::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FifoId(pub(crate) usize);
+
+impl FifoId {
+    /// The raw index (useful for table-driven kernel wiring).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Why a push was refused this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The FIFO is at capacity (counting this cycle's staged push).
+    Full,
+    /// The single write port was already used this cycle.
+    PortBusy,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "fifo full"),
+            PushError::PortBusy => write!(f, "fifo write port already used this cycle"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// A bounded hardware FIFO.
+///
+/// Port semantics per cycle (matching a registered FPGA FIFO):
+/// * at most one push — a second push the same cycle gets
+///   [`PushError::PortBusy`];
+/// * at most one pop — a second pop the same cycle returns `None`;
+/// * a pushed value becomes poppable the *next* cycle (one cycle of
+///   latency through the output register);
+/// * capacity counts stored plus staged elements.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    name: String,
+    capacity: usize,
+    queue: VecDeque<T>,
+    staged: Option<T>,
+    pushed_this_cycle: bool,
+    popped_this_cycle: bool,
+    stats: FifoStats,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given display name and capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-depth FIFO can never transfer
+    /// data under registered-output semantics.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be at least 1");
+        Fifo {
+            name: name.into(),
+            capacity,
+            queue: VecDeque::new(),
+            staged: None,
+            pushed_this_cycle: false,
+            popped_this_cycle: false,
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// The FIFO's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Elements currently visible to pops (excludes the staged element).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no elements are poppable this cycle.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total occupancy including the staged element.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len() + usize::from(self.staged.is_some())
+    }
+
+    /// Attempts to push a value this cycle.
+    ///
+    /// # Errors
+    /// [`PushError::PortBusy`] if already pushed this cycle,
+    /// [`PushError::Full`] if at capacity.
+    pub fn try_push(&mut self, value: T) -> Result<(), PushError> {
+        if self.pushed_this_cycle {
+            self.stats.push_port_conflicts += 1;
+            return Err(PushError::PortBusy);
+        }
+        if self.occupancy() >= self.capacity {
+            self.stats.push_stalls += 1;
+            return Err(PushError::Full);
+        }
+        debug_assert!(self.staged.is_none());
+        self.staged = Some(value);
+        self.pushed_this_cycle = true;
+        self.stats.pushes += 1;
+        Ok(())
+    }
+
+    /// Attempts to pop a value this cycle. Returns `None` when empty or the
+    /// read port was already used.
+    pub fn try_pop(&mut self) -> Option<T> {
+        if self.popped_this_cycle {
+            self.stats.pop_port_conflicts += 1;
+            return None;
+        }
+        match self.queue.pop_front() {
+            Some(v) => {
+                self.popped_this_cycle = true;
+                self.stats.pops += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.pop_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at the head without consuming it (combinational read of the
+    /// output register).
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Commits the cycle: staged pushes become visible, ports free up,
+    /// occupancy statistics update. Called by the engine once per cycle.
+    pub fn end_cycle(&mut self) {
+        if let Some(v) = self.staged.take() {
+            self.queue.push_back(v);
+        }
+        self.pushed_this_cycle = false;
+        self.popped_this_cycle = false;
+        self.stats.high_water = self.stats.high_water.max(self.queue.len());
+        self.stats.occupancy_sum += self.queue.len() as u64;
+        self.stats.cycles += 1;
+    }
+
+    /// Activity/stall statistics.
+    pub fn stats(&self) -> &FifoStats {
+        &self.stats
+    }
+
+    /// Whether any transfer happened this cycle (used for deadlock
+    /// detection).
+    pub(crate) fn active_this_cycle(&self) -> bool {
+        self.pushed_this_cycle || self.popped_this_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_is_visible_next_cycle_only() {
+        let mut f = Fifo::new("q", 4);
+        f.try_push(1).unwrap();
+        assert_eq!(f.try_pop(), None, "same-cycle pop must miss");
+        f.end_cycle();
+        assert_eq!(f.try_pop(), Some(1));
+    }
+
+    #[test]
+    fn one_push_per_cycle() {
+        let mut f = Fifo::new("q", 4);
+        f.try_push(1).unwrap();
+        assert_eq!(f.try_push(2).unwrap_err(), PushError::PortBusy);
+        f.end_cycle();
+        f.try_push(2).unwrap();
+    }
+
+    #[test]
+    fn one_pop_per_cycle() {
+        let mut f = Fifo::new("q", 4);
+        f.try_push(1).unwrap();
+        f.end_cycle();
+        f.try_push(2).unwrap();
+        f.end_cycle();
+        assert_eq!(f.try_pop(), Some(1));
+        assert_eq!(f.try_pop(), None, "read port busy");
+        f.end_cycle();
+        assert_eq!(f.try_pop(), Some(2));
+    }
+
+    #[test]
+    fn capacity_counts_staged_element() {
+        let mut f = Fifo::new("q", 1);
+        f.try_push(1).unwrap();
+        f.end_cycle();
+        assert_eq!(f.try_push(2).unwrap_err(), PushError::Full);
+        assert_eq!(f.occupancy(), 1);
+        // Draining frees space, but only within the same cycle's pop.
+        assert_eq!(f.try_pop(), Some(1));
+        f.try_push(2).unwrap();
+        f.end_cycle();
+        assert_eq!(f.try_pop(), Some(2));
+    }
+
+    #[test]
+    fn depth_one_fifo_sustains_alternating_transfers() {
+        // A depth-1 registered FIFO transfers at best every cycle when
+        // producer and consumer alternate push/pop within each cycle.
+        let mut f = Fifo::new("q", 1);
+        let mut received = Vec::new();
+        let mut next = 0;
+        for _ in 0..10 {
+            if let Some(v) = f.try_pop() {
+                received.push(v);
+            }
+            if f.try_push(next).is_ok() {
+                next += 1;
+            }
+            f.end_cycle();
+        }
+        assert_eq!(received, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn stats_track_stalls_and_high_water() {
+        let mut f = Fifo::new("q", 2);
+        assert!(f.try_pop().is_none()); // pop stall
+        f.try_push(1).unwrap();
+        f.end_cycle();
+        f.try_push(2).unwrap();
+        f.end_cycle();
+        assert_eq!(f.try_push(3).unwrap_err(), PushError::Full); // push stall
+        f.end_cycle();
+        let s = f.stats();
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.pop_stalls, 1);
+        assert_eq!(s.push_stalls, 1);
+        assert_eq!(s.high_water, 2);
+        assert!(s.mean_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = Fifo::new("q", 2);
+        f.try_push(7).unwrap();
+        f.end_cycle();
+        assert_eq!(f.peek(), Some(&7));
+        assert_eq!(f.try_pop(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new("q", 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    /// Random push/pop schedules against a reference queue: the FIFO is a
+    /// VecDeque with port limits and one cycle of push latency.
+    #[derive(Debug, Clone)]
+    enum Action {
+        Push(u16),
+        Pop,
+        EndCycle,
+    }
+
+    fn action_strategy() -> impl Strategy<Value = Action> {
+        prop_oneof![
+            (0u16..1000).prop_map(Action::Push),
+            Just(Action::Pop),
+            Just(Action::EndCycle),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn fifo_matches_reference_model(
+            capacity in 1usize..8,
+            actions in proptest::collection::vec(action_strategy(), 1..200),
+        ) {
+            let mut fifo = Fifo::new("f", capacity);
+            let mut reference: VecDeque<u16> = VecDeque::new();
+            let mut staged: Option<u16> = None;
+            let mut pushed = false;
+            let mut popped = false;
+            for a in actions {
+                match a {
+                    Action::Push(v) => {
+                        let expect_ok = !pushed && reference.len() + usize::from(staged.is_some()) < capacity;
+                        let got = fifo.try_push(v);
+                        prop_assert_eq!(got.is_ok(), expect_ok, "push state");
+                        if expect_ok {
+                            staged = Some(v);
+                            pushed = true;
+                        }
+                    }
+                    Action::Pop => {
+                        let expect = if popped { None } else { reference.front().copied() };
+                        let got = fifo.try_pop();
+                        prop_assert_eq!(got, expect, "pop value");
+                        if expect.is_some() {
+                            reference.pop_front();
+                            popped = true;
+                        }
+                    }
+                    Action::EndCycle => {
+                        fifo.end_cycle();
+                        if let Some(v) = staged.take() {
+                            reference.push_back(v);
+                        }
+                        pushed = false;
+                        popped = false;
+                    }
+                }
+                prop_assert_eq!(fifo.len(), reference.len(), "visible length");
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulation statistics: kernel activity, FIFO occupancy, user counters.
+
+use std::collections::BTreeMap;
+
+/// Per-kernel cycle accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Cycles in which the kernel performed work.
+    pub busy: u64,
+    /// Cycles in which the kernel wanted to work but a FIFO blocked it.
+    pub blocked: u64,
+    /// Cycles with nothing to do.
+    pub idle: u64,
+    /// Cycles after the kernel reported done.
+    pub done: u64,
+}
+
+impl KernelStats {
+    /// Total observed cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.blocked + self.idle + self.done
+    }
+
+    /// Busy fraction of pre-completion cycles (0.0 when never active).
+    pub fn utilization(&self) -> f64 {
+        let alive = self.busy + self.blocked + self.idle;
+        if alive == 0 {
+            0.0
+        } else {
+            self.busy as f64 / alive as f64
+        }
+    }
+}
+
+/// Per-FIFO transfer and stall statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Successful pushes.
+    pub pushes: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Pushes refused because the FIFO was full.
+    pub push_stalls: u64,
+    /// Pops that found the FIFO empty.
+    pub pop_stalls: u64,
+    /// Pushes refused because the write port was already used this cycle.
+    pub push_port_conflicts: u64,
+    /// Pops refused because the read port was already used this cycle.
+    pub pop_port_conflicts: u64,
+    /// Maximum occupancy ever observed at a cycle boundary.
+    pub high_water: usize,
+    /// Sum of per-cycle occupancies (for the mean).
+    pub occupancy_sum: u64,
+    /// Cycles observed.
+    pub cycles: u64,
+}
+
+impl FifoStats {
+    /// Mean occupancy over the run.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Named activity counters recorded by kernels (e.g. `"macs"`,
+/// `"bank_reads"`). The power model converts these into toggle activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.values.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads counter `name` (0 when never recorded).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_stats_utilization() {
+        let s = KernelStats { busy: 75, blocked: 20, idle: 5, done: 100 };
+        assert_eq!(s.total(), 200);
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(KernelStats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn fifo_stats_mean_occupancy() {
+        let s = FifoStats { occupancy_sum: 30, cycles: 10, ..Default::default() };
+        assert_eq!(s.mean_occupancy(), 3.0);
+        assert_eq!(FifoStats::default().mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Counters::new();
+        a.add("macs", 10);
+        a.add("macs", 5);
+        a.add("bank_reads", 2);
+        assert_eq!(a.get("macs"), 15);
+        assert_eq!(a.get("missing"), 0);
+
+        let mut b = Counters::new();
+        b.add("macs", 1);
+        b.merge(&a);
+        assert_eq!(b.get("macs"), 16);
+        assert_eq!(b.get("bank_reads"), 2);
+        assert_eq!(b.iter().count(), 2);
+    }
+}

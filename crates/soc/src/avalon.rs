@@ -1,0 +1,217 @@
+//! Avalon memory-mapped bus model (System II in the paper).
+
+use std::fmt;
+
+/// A memory-mapped slave: decodes word-aligned offsets within its range.
+pub trait MmSlave {
+    /// Reads the 32-bit register at byte offset `offset`.
+    fn mm_read(&mut self, offset: u32) -> u32;
+
+    /// Writes the 32-bit register at byte offset `offset`.
+    fn mm_write(&mut self, offset: u32, value: u32);
+
+    /// Wait states per access (bus cycles beyond the base transaction).
+    fn wait_states(&self) -> u32 {
+        1
+    }
+}
+
+/// Handle to a slave registered on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlaveHandle(usize);
+
+/// Bus access error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusError {
+    /// No slave decodes the address.
+    Unmapped(u32),
+    /// Address is not 4-byte aligned.
+    Misaligned(u32),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::Unmapped(a) => write!(f, "no slave mapped at {a:#010x}"),
+            BusError::Misaligned(a) => write!(f, "misaligned bus access at {a:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+struct Mapping {
+    base: u32,
+    len: u32,
+    slave: Box<dyn MmSlave>,
+    name: String,
+}
+
+/// The Avalon-MM interconnect: routes master accesses to address-ranged
+/// slaves and accounts bus cycles.
+#[derive(Default)]
+pub struct AvalonBus {
+    mappings: Vec<Mapping>,
+    reads: u64,
+    writes: u64,
+    cycles: u64,
+}
+
+impl AvalonBus {
+    /// Creates an empty bus.
+    pub fn new() -> AvalonBus {
+        AvalonBus::default()
+    }
+
+    /// Maps a slave at `[base, base + len)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty, unaligned, or overlaps an existing
+    /// mapping (Qsys rejects overlapping address maps at generation time).
+    pub fn map(&mut self, name: impl Into<String>, base: u32, len: u32, slave: Box<dyn MmSlave>) -> SlaveHandle {
+        assert!(len > 0 && base % 4 == 0 && len % 4 == 0, "mapping must be word-aligned and non-empty");
+        for m in &self.mappings {
+            let overlap = base < m.base + m.len && m.base < base + len;
+            assert!(!overlap, "mapping overlaps existing slave {}", m.name);
+        }
+        self.mappings.push(Mapping { base, len, slave, name: name.into() });
+        SlaveHandle(self.mappings.len() - 1)
+    }
+
+    fn decode(&mut self, addr: u32) -> Result<(usize, u32), BusError> {
+        if addr % 4 != 0 {
+            return Err(BusError::Misaligned(addr));
+        }
+        for (i, m) in self.mappings.iter().enumerate() {
+            if addr >= m.base && addr < m.base + m.len {
+                return Ok((i, addr - m.base));
+            }
+        }
+        Err(BusError::Unmapped(addr))
+    }
+
+    /// Master read.
+    ///
+    /// # Errors
+    /// [`BusError`] on unmapped or misaligned addresses.
+    pub fn read(&mut self, addr: u32) -> Result<u32, BusError> {
+        let (i, off) = self.decode(addr)?;
+        self.reads += 1;
+        self.cycles += 1 + self.mappings[i].slave.wait_states() as u64;
+        Ok(self.mappings[i].slave.mm_read(off))
+    }
+
+    /// Master write.
+    ///
+    /// # Errors
+    /// [`BusError`] on unmapped or misaligned addresses.
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), BusError> {
+        let (i, off) = self.decode(addr)?;
+        self.writes += 1;
+        self.cycles += 1 + self.mappings[i].slave.wait_states() as u64;
+        self.mappings[i].slave.mm_write(off, value);
+        Ok(())
+    }
+
+    /// Direct access to a mapped slave (for the test bench and driver).
+    pub fn slave_mut(&mut self, handle: SlaveHandle) -> &mut dyn MmSlave {
+        &mut *self.mappings[handle.0].slave
+    }
+
+    /// Total successful reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total successful writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Bus cycles consumed (transactions plus wait states).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl fmt::Debug for AvalonBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AvalonBus({} slaves, {} reads, {} writes, {} cycles)",
+            self.mappings.len(),
+            self.reads,
+            self.writes,
+            self.cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch register file slave.
+    struct Scratch {
+        regs: Vec<u32>,
+    }
+
+    impl MmSlave for Scratch {
+        fn mm_read(&mut self, offset: u32) -> u32 {
+            self.regs[(offset / 4) as usize]
+        }
+        fn mm_write(&mut self, offset: u32, value: u32) {
+            self.regs[(offset / 4) as usize] = value;
+        }
+    }
+
+    fn bus_with_scratch() -> AvalonBus {
+        let mut bus = AvalonBus::new();
+        bus.map("scratch", 0x1000, 0x40, Box::new(Scratch { regs: vec![0; 16] }));
+        bus
+    }
+
+    #[test]
+    fn routes_to_mapped_slave() {
+        let mut bus = bus_with_scratch();
+        bus.write(0x1008, 0xdead_beef).unwrap();
+        assert_eq!(bus.read(0x1008).unwrap(), 0xdead_beef);
+        assert_eq!(bus.read(0x100c).unwrap(), 0);
+        assert_eq!(bus.reads(), 2);
+        assert_eq!(bus.writes(), 1);
+        assert!(bus.cycles() >= 3);
+    }
+
+    #[test]
+    fn unmapped_and_misaligned_fail() {
+        let mut bus = bus_with_scratch();
+        assert_eq!(bus.read(0x2000).unwrap_err(), BusError::Unmapped(0x2000));
+        assert_eq!(bus.write(0x1002, 1).unwrap_err(), BusError::Misaligned(0x1002));
+        assert!(bus.read(0x2000).unwrap_err().to_string().contains("no slave"));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_mappings_rejected() {
+        let mut bus = bus_with_scratch();
+        bus.map("other", 0x1020, 0x40, Box::new(Scratch { regs: vec![0; 16] }));
+    }
+
+    #[test]
+    fn adjacent_mappings_allowed() {
+        let mut bus = bus_with_scratch();
+        bus.map("next", 0x1040, 0x40, Box::new(Scratch { regs: vec![0; 16] }));
+        bus.write(0x1040, 7).unwrap();
+        assert_eq!(bus.read(0x1040).unwrap(), 7);
+        // Distinct register files.
+        assert_eq!(bus.read(0x1000).unwrap(), 0);
+    }
+
+    #[test]
+    fn offsets_are_slave_relative() {
+        let mut bus = AvalonBus::new();
+        bus.map("hi", 0xff00_0000, 0x10, Box::new(Scratch { regs: vec![0; 4] }));
+        bus.write(0xff00_000c, 42).unwrap();
+        assert_eq!(bus.read(0xff00_000c).unwrap(), 42);
+    }
+}

@@ -1,0 +1,160 @@
+//! Control/status register maps for the accelerator and DMA unit
+//! (System II endpoints).
+
+use crate::avalon::MmSlave;
+
+/// Base address of the accelerator CSR block on the HPS-to-FPGA bridge.
+pub const ACCEL_CSR_BASE: u32 = 0xc000_0000;
+/// Base address of the DMA CSR block.
+pub const DMA_CSR_BASE: u32 = 0xc001_0000;
+/// Size of each CSR block in bytes.
+pub const CSR_BLOCK_LEN: u32 = 0x100;
+
+/// Accelerator CSR offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum AccelCsr {
+    /// Write 1 to bit 0 to start executing the queued instruction stream.
+    Ctrl = 0x00,
+    /// Bit 0 busy, bit 1 done, bit 2 illegal-instruction error.
+    Status = 0x04,
+    /// Bank-memory word address of the instruction stream.
+    InstrAddr = 0x08,
+    /// Number of instructions to execute.
+    InstrCount = 0x0c,
+    /// Cycle counter, low word (snapshot at completion).
+    CyclesLo = 0x10,
+    /// Cycle counter, high word.
+    CyclesHi = 0x14,
+}
+
+/// Status register bits.
+pub mod status {
+    /// Accelerator is executing.
+    pub const BUSY: u32 = 1 << 0;
+    /// Last run completed.
+    pub const DONE: u32 = 1 << 1;
+    /// An instruction failed to decode.
+    pub const ERROR: u32 = 1 << 2;
+}
+
+/// A CSR register file with doorbell semantics: the host writes `Ctrl`,
+/// the device-side logic consumes the start pulse via
+/// [`CsrFile::take_start`].
+#[derive(Debug, Clone)]
+pub struct CsrFile {
+    regs: [u32; (CSR_BLOCK_LEN / 4) as usize],
+    start_pending: bool,
+}
+
+impl Default for CsrFile {
+    fn default() -> Self {
+        CsrFile { regs: [0; (CSR_BLOCK_LEN / 4) as usize], start_pending: false }
+    }
+}
+
+impl CsrFile {
+    /// Creates a cleared register file.
+    pub fn new() -> CsrFile {
+        CsrFile::default()
+    }
+
+    /// Reads a register by typed offset.
+    pub fn get(&self, reg: AccelCsr) -> u32 {
+        self.regs[(reg as u32 / 4) as usize]
+    }
+
+    /// Writes a register by typed offset (device-side, no doorbell).
+    pub fn set(&mut self, reg: AccelCsr, value: u32) {
+        self.regs[(reg as u32 / 4) as usize] = value;
+    }
+
+    /// Consumes a pending start doorbell, if any.
+    pub fn take_start(&mut self) -> bool {
+        std::mem::take(&mut self.start_pending)
+    }
+
+    /// Device-side helper: marks the accelerator busy.
+    pub fn set_busy(&mut self) {
+        self.set(AccelCsr::Status, status::BUSY);
+    }
+
+    /// Device-side helper: marks completion and stores the cycle count.
+    pub fn set_done(&mut self, cycles: u64) {
+        self.set(AccelCsr::Status, status::DONE);
+        self.set(AccelCsr::CyclesLo, cycles as u32);
+        self.set(AccelCsr::CyclesHi, (cycles >> 32) as u32);
+    }
+
+    /// Device-side helper: flags an illegal instruction.
+    pub fn set_error(&mut self) {
+        self.set(AccelCsr::Status, status::ERROR);
+    }
+
+    /// The cycle counter as a 64-bit value.
+    pub fn cycles(&self) -> u64 {
+        (self.get(AccelCsr::CyclesHi) as u64) << 32 | self.get(AccelCsr::CyclesLo) as u64
+    }
+}
+
+impl MmSlave for CsrFile {
+    fn mm_read(&mut self, offset: u32) -> u32 {
+        self.regs.get((offset / 4) as usize).copied().unwrap_or(0)
+    }
+
+    fn mm_write(&mut self, offset: u32, value: u32) {
+        let idx = (offset / 4) as usize;
+        if idx < self.regs.len() {
+            self.regs[idx] = value;
+            if offset == AccelCsr::Ctrl as u32 && value & 1 != 0 {
+                self.start_pending = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doorbell_pulses_once() {
+        let mut csr = CsrFile::new();
+        csr.mm_write(AccelCsr::Ctrl as u32, 1);
+        assert!(csr.take_start());
+        assert!(!csr.take_start(), "doorbell must self-clear");
+    }
+
+    #[test]
+    fn non_doorbell_writes_do_not_start() {
+        let mut csr = CsrFile::new();
+        csr.mm_write(AccelCsr::InstrAddr as u32, 0x40);
+        csr.mm_write(AccelCsr::Ctrl as u32, 0); // bit 0 clear
+        assert!(!csr.take_start());
+        assert_eq!(csr.get(AccelCsr::InstrAddr), 0x40);
+    }
+
+    #[test]
+    fn status_lifecycle() {
+        let mut csr = CsrFile::new();
+        csr.set_busy();
+        assert_eq!(csr.mm_read(AccelCsr::Status as u32), status::BUSY);
+        csr.set_done(0x1_2345_6789);
+        assert_eq!(csr.get(AccelCsr::Status), status::DONE);
+        assert_eq!(csr.cycles(), 0x1_2345_6789);
+    }
+
+    #[test]
+    fn error_flag() {
+        let mut csr = CsrFile::new();
+        csr.set_error();
+        assert_eq!(csr.get(AccelCsr::Status) & status::ERROR, status::ERROR);
+    }
+
+    #[test]
+    fn out_of_range_access_is_benign() {
+        let mut csr = CsrFile::new();
+        csr.mm_write(0x1000, 7);
+        assert_eq!(csr.mm_read(0x1000), 0);
+    }
+}

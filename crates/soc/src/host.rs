@@ -1,0 +1,201 @@
+//! The embedded ARM host: CSR programming, polling, and time accounting.
+//!
+//! "Software executing on the on-chip ARM processor handles the loading
+//! and pre-processing of network weights, biases and test images ... The
+//! framework sends the instruction and calls the hardware driver for
+//! inference." (paper §IV-C)
+
+use crate::avalon::{AvalonBus, BusError};
+use crate::csr::{status, AccelCsr, ACCEL_CSR_BASE};
+
+/// The host CPU model: a Cortex-A9 issuing Avalon transactions.
+///
+/// Time accounting is in fabric-clock cycles: each bus access costs the
+/// bus's wait states plus a bridge-crossing constant; software overhead
+/// between accesses is charged per operation.
+#[derive(Debug)]
+pub struct HostCpu {
+    /// Fabric cycles per HPS-to-FPGA bridge crossing.
+    pub bridge_cycles: u64,
+    /// Fabric cycles of software overhead per driver call.
+    pub sw_overhead_cycles: u64,
+    cycles: u64,
+    polls: u64,
+}
+
+impl Default for HostCpu {
+    fn default() -> Self {
+        HostCpu { bridge_cycles: 10, sw_overhead_cycles: 50, cycles: 0, polls: 0 }
+    }
+}
+
+impl HostCpu {
+    /// Creates a host with default timing.
+    pub fn new() -> HostCpu {
+        HostCpu::default()
+    }
+
+    /// Total fabric cycles the host has spent in the driver.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of status polls issued.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Writes an accelerator CSR.
+    ///
+    /// # Errors
+    /// Propagates bus decode errors.
+    pub fn write_csr(&mut self, bus: &mut AvalonBus, reg: AccelCsr, value: u32) -> Result<(), BusError> {
+        self.cycles += self.bridge_cycles;
+        bus.write(ACCEL_CSR_BASE + reg as u32, value)
+    }
+
+    /// Reads an accelerator CSR.
+    ///
+    /// # Errors
+    /// Propagates bus decode errors.
+    pub fn read_csr(&mut self, bus: &mut AvalonBus, reg: AccelCsr) -> Result<u32, BusError> {
+        self.cycles += self.bridge_cycles;
+        bus.read(ACCEL_CSR_BASE + reg as u32)
+    }
+
+    /// Programs an instruction stream and rings the doorbell.
+    ///
+    /// # Errors
+    /// Propagates bus decode errors.
+    pub fn launch(&mut self, bus: &mut AvalonBus, instr_addr: u32, instr_count: u32) -> Result<(), BusError> {
+        self.cycles += self.sw_overhead_cycles;
+        self.write_csr(bus, AccelCsr::InstrAddr, instr_addr)?;
+        self.write_csr(bus, AccelCsr::InstrCount, instr_count)?;
+        self.write_csr(bus, AccelCsr::Ctrl, 1)
+    }
+
+    /// Polls status until DONE or ERROR, with a poll budget.
+    ///
+    /// Returns the final status word. Each poll charges a bridge crossing.
+    ///
+    /// # Errors
+    /// Propagates bus errors; returns `Ok` with the last status if the
+    /// budget is exhausted (caller distinguishes via the status bits).
+    pub fn wait_done(&mut self, bus: &mut AvalonBus, max_polls: u64) -> Result<u32, BusError> {
+        let mut last = 0;
+        for _ in 0..max_polls {
+            self.polls += 1;
+            last = self.read_csr(bus, AccelCsr::Status)?;
+            if last & (status::DONE | status::ERROR) != 0 {
+                break;
+            }
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{CsrFile, CSR_BLOCK_LEN};
+
+    fn system() -> AvalonBus {
+        let mut bus = AvalonBus::new();
+        bus.map("accel-csr", ACCEL_CSR_BASE, CSR_BLOCK_LEN, Box::new(CsrFile::new()));
+        bus
+    }
+
+    #[test]
+    fn launch_programs_registers_and_doorbell() {
+        let mut bus = system();
+        let mut host = HostCpu::new();
+        host.launch(&mut bus, 0x40, 7).unwrap();
+        assert_eq!(bus.read(ACCEL_CSR_BASE + AccelCsr::InstrAddr as u32).unwrap(), 0x40);
+        assert_eq!(bus.read(ACCEL_CSR_BASE + AccelCsr::InstrCount as u32).unwrap(), 7);
+        assert!(host.cycles() >= host.sw_overhead_cycles + 3 * host.bridge_cycles);
+    }
+
+    #[test]
+    fn wait_done_returns_on_done_bit() {
+        let mut bus = system();
+        let mut host = HostCpu::new();
+        // Device side sets DONE directly.
+        bus.write(ACCEL_CSR_BASE + AccelCsr::Status as u32, status::DONE).unwrap();
+        let st = host.wait_done(&mut bus, 100).unwrap();
+        assert_eq!(st, status::DONE);
+        assert_eq!(host.polls(), 1);
+    }
+
+    #[test]
+    fn wait_done_exhausts_budget_when_never_done() {
+        let mut bus = system();
+        let mut host = HostCpu::new();
+        let st = host.wait_done(&mut bus, 5).unwrap();
+        assert_eq!(st, 0);
+        assert_eq!(host.polls(), 5);
+    }
+}
+
+impl HostCpu {
+    /// Interrupt-driven completion wait: charges one interrupt delivery
+    /// plus the acknowledging CSR read, instead of a poll loop. Returns
+    /// the status word read after the interrupt, or `None` if the line
+    /// was not asserted (spurious wakeup).
+    ///
+    /// # Errors
+    /// Propagates bus decode errors.
+    pub fn wait_irq(
+        &mut self,
+        bus: &mut crate::avalon::AvalonBus,
+        irq: &mut crate::irq::InterruptController,
+        line: u8,
+    ) -> Result<Option<u32>, crate::avalon::BusError> {
+        if !irq.is_asserted(line) {
+            return Ok(None);
+        }
+        self.cycles += irq.delivery_cycles();
+        irq.ack(line);
+        let status = self.read_csr(bus, AccelCsr::Status)?;
+        Ok(Some(status))
+    }
+}
+
+#[cfg(test)]
+mod irq_tests {
+    use super::*;
+    use crate::csr::{CsrFile, CSR_BLOCK_LEN};
+    use crate::irq::InterruptController;
+
+    #[test]
+    fn irq_wait_is_cheaper_than_polling() {
+        let mut bus = AvalonBus::new();
+        bus.map("accel-csr", ACCEL_CSR_BASE, CSR_BLOCK_LEN, Box::new(CsrFile::new()));
+        bus.write(ACCEL_CSR_BASE + AccelCsr::Status as u32, status::DONE).unwrap();
+
+        // Polling host: 50 polls before done would cost 50 bridge trips.
+        let mut poller = HostCpu::new();
+        for _ in 0..50 {
+            let _ = poller.read_csr(&mut bus, AccelCsr::Status).unwrap();
+        }
+        let poll_cost = poller.cycles();
+
+        // IRQ host: one delivery + one ack read.
+        let mut irq = InterruptController::new();
+        irq.raise(0);
+        let mut sleeper = HostCpu::new();
+        let st = sleeper.wait_irq(&mut bus, &mut irq, 0).unwrap();
+        assert_eq!(st, Some(status::DONE));
+        assert!(sleeper.cycles() < poll_cost / 10, "{} vs {}", sleeper.cycles(), poll_cost);
+        assert!(!irq.is_asserted(0), "acknowledged");
+    }
+
+    #[test]
+    fn irq_wait_without_assertion_is_spurious() {
+        let mut bus = AvalonBus::new();
+        bus.map("accel-csr", ACCEL_CSR_BASE, CSR_BLOCK_LEN, Box::new(CsrFile::new()));
+        let mut irq = InterruptController::new();
+        let mut host = HostCpu::new();
+        assert_eq!(host.wait_irq(&mut bus, &mut irq, 0).unwrap(), None);
+        assert_eq!(host.cycles(), 0, "no charge without an interrupt");
+    }
+}

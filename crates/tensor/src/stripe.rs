@@ -1,0 +1,207 @@
+//! Stripe geometry: subdividing large layers to fit on-chip SRAM.
+//!
+//! A **stripe** is a region of tile rows spanning the entire width of a
+//! feature map (paper Fig. 2). Large convolutional layers are subdivided
+//! into stripes small enough for the on-FPGA SRAM banks; computing an output
+//! stripe of a 3x3 convolution additionally requires one halo tile row of
+//! input above and below, which is re-fetched and re-processed — the source
+//! of the paper's "~15% but varies by layer" striping overhead.
+
+use crate::TILE_DIM;
+
+/// Geometry of one stripe of a feature map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeGeometry {
+    /// First output tile row covered by this stripe.
+    pub tile_row_start: usize,
+    /// Number of output tile rows in this stripe.
+    pub tile_rows: usize,
+    /// Halo tile rows of *input* required above the stripe.
+    pub halo_above: usize,
+    /// Halo tile rows of *input* required below the stripe.
+    pub halo_below: usize,
+}
+
+impl StripeGeometry {
+    /// Total input tile rows that must be resident to compute this stripe.
+    pub fn input_tile_rows(&self) -> usize {
+        self.tile_rows + self.halo_above + self.halo_below
+    }
+}
+
+/// A plan dividing a layer's tile rows into stripes under a capacity bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripePlan {
+    stripes: Vec<StripeGeometry>,
+    total_tile_rows: usize,
+}
+
+impl StripePlan {
+    /// Plans stripes for a feature map of `total_tile_rows` tile rows where
+    /// at most `max_resident_tile_rows` input tile rows fit on chip, and the
+    /// operation needs `halo` extra tile rows on each interior boundary
+    /// (1 for a 3x3 convolution over 4x4 tiles, 0 for pooling/padding).
+    ///
+    /// # Errors
+    /// Returns `Err` if the capacity cannot hold even a single-tile-row
+    /// stripe plus its halos.
+    pub fn plan(
+        total_tile_rows: usize,
+        max_resident_tile_rows: usize,
+        halo: usize,
+    ) -> Result<StripePlan, StripePlanError> {
+        if total_tile_rows == 0 {
+            return Ok(StripePlan { stripes: Vec::new(), total_tile_rows });
+        }
+        if max_resident_tile_rows < 1 + 2 * halo {
+            return Err(StripePlanError {
+                needed: 1 + 2 * halo,
+                available: max_resident_tile_rows,
+            });
+        }
+        let body = max_resident_tile_rows - 2 * halo;
+        let mut stripes = Vec::new();
+        let mut row = 0;
+        while row < total_tile_rows {
+            let rows = body.min(total_tile_rows - row);
+            let halo_above = if row > 0 { halo } else { 0 };
+            let halo_below = if row + rows < total_tile_rows { halo } else { 0 };
+            stripes.push(StripeGeometry { tile_row_start: row, tile_rows: rows, halo_above, halo_below });
+            row += rows;
+        }
+        Ok(StripePlan { stripes, total_tile_rows })
+    }
+
+    /// The stripes, in top-to-bottom order.
+    pub fn stripes(&self) -> &[StripeGeometry] {
+        &self.stripes
+    }
+
+    /// Number of stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Whether the plan is empty (zero-height feature map).
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// Total input tile rows fetched across all stripes, including re-fetched
+    /// halo rows.
+    pub fn fetched_tile_rows(&self) -> usize {
+        self.stripes.iter().map(StripeGeometry::input_tile_rows).sum()
+    }
+
+    /// The striping overhead factor: fetched rows / ideal rows (>= 1.0).
+    ///
+    /// This is the per-layer multiplier the paper folds into its *ideal*
+    /// throughput ("We add an overhead (~15% but varies by layer) for the
+    /// increased number of MAC operations ... due to striping").
+    pub fn overhead_factor(&self) -> f64 {
+        if self.total_tile_rows == 0 {
+            return 1.0;
+        }
+        self.fetched_tile_rows() as f64 / self.total_tile_rows as f64
+    }
+}
+
+/// Error: the SRAM capacity cannot hold a minimal stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripePlanError {
+    /// Tile rows needed for the minimal stripe.
+    pub needed: usize,
+    /// Tile rows available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for StripePlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stripe capacity too small: need {} resident tile rows, have {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for StripePlanError {}
+
+/// Convenience: tile rows for a feature map of `h` element rows.
+pub fn tile_rows_for_height(h: usize) -> usize {
+    h.div_ceil(TILE_DIM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stripe_when_it_fits() {
+        let p = StripePlan::plan(10, 32, 1).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.overhead_factor(), 1.0);
+        let s = p.stripes()[0];
+        assert_eq!(s.tile_rows, 10);
+        assert_eq!(s.halo_above + s.halo_below, 0);
+    }
+
+    #[test]
+    fn stripes_cover_all_rows_exactly_once() {
+        let p = StripePlan::plan(56, 10, 1).unwrap();
+        let mut covered = 0;
+        for s in p.stripes() {
+            assert_eq!(s.tile_row_start, covered);
+            covered += s.tile_rows;
+        }
+        assert_eq!(covered, 56);
+    }
+
+    #[test]
+    fn interior_stripes_have_both_halos() {
+        let p = StripePlan::plan(24, 10, 1).unwrap();
+        assert_eq!(p.len(), 3);
+        let s = p.stripes();
+        assert_eq!((s[0].halo_above, s[0].halo_below), (0, 1));
+        assert_eq!((s[1].halo_above, s[1].halo_below), (1, 1));
+        assert_eq!((s[2].halo_above, s[2].halo_below), (1, 0));
+    }
+
+    #[test]
+    fn overhead_grows_as_capacity_shrinks() {
+        let loose = StripePlan::plan(56, 30, 1).unwrap().overhead_factor();
+        let tight = StripePlan::plan(56, 6, 1).unwrap().overhead_factor();
+        assert!(tight > loose);
+        assert!(loose >= 1.0);
+        // A 4-row body with 2 halo rows per interior stripe: overhead ~50%.
+        assert!(tight > 1.3, "tight overhead {tight}");
+    }
+
+    #[test]
+    fn zero_halo_has_no_overhead() {
+        let p = StripePlan::plan(56, 8, 0).unwrap();
+        assert_eq!(p.overhead_factor(), 1.0);
+    }
+
+    #[test]
+    fn rejects_impossible_capacity() {
+        let err = StripePlan::plan(10, 2, 1).unwrap_err();
+        assert_eq!(err.needed, 3);
+        assert_eq!(err.available, 2);
+        assert!(err.to_string().contains("stripe capacity"));
+    }
+
+    #[test]
+    fn empty_map_plans_empty() {
+        let p = StripePlan::plan(0, 8, 1).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.overhead_factor(), 1.0);
+    }
+
+    #[test]
+    fn tile_rows_for_height_rounds_up() {
+        assert_eq!(tile_rows_for_height(224), 56);
+        assert_eq!(tile_rows_for_height(7), 2);
+        assert_eq!(tile_rows_for_height(1), 1);
+    }
+}

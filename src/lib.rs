@@ -1,0 +1,25 @@
+//! Facade crate for the zskip workspace: a simulated FPGA CNN inference
+//! accelerator with zero-weight skipping, reproducing Kim et al.,
+//! "FPGA-Based CNN Inference Accelerator Synthesized from Multi-Threaded C
+//! Software" (SOCC 2017).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests have a single dependency:
+//!
+//! * [`tensor`] — tiles, stripes, CHW tensors (paper Fig. 2)
+//! * [`quant`] — 8-bit sign+magnitude, pruning, packed zero-skip weights
+//! * [`nn`] — software reference CNN and the VGG-16 network
+//! * [`sim`] — cycle-level streaming-kernel simulation framework
+//! * [`hls`] — LegUp-style HLS model (scheduling, fmax, resources)
+//! * [`soc`] — Avalon bus, DMA, DDR4 and host models (paper Fig. 1)
+//! * [`accel`] — the accelerator itself (paper Figs. 3-5)
+//! * [`perf`] — area/power/efficiency models (Fig. 6, Table I)
+
+pub use zskip_core as accel;
+pub use zskip_hls as hls;
+pub use zskip_nn as nn;
+pub use zskip_perf as perf;
+pub use zskip_quant as quant;
+pub use zskip_sim as sim;
+pub use zskip_soc as soc;
+pub use zskip_tensor as tensor;

@@ -1,0 +1,210 @@
+//! `zskip` — command-line front end to the simulated accelerator.
+//!
+//! ```text
+//! zskip synth [variant|all]       HLS synthesis summary and area breakdown
+//! zskip sweep                     full VGG-16 variant/model sweep (Figs. 7-8 data)
+//! zskip infer [--hw N] [--density D|dc] [--variant V] [--ternary]
+//!                                 run inference end to end, verify vs golden model
+//! zskip trace                     cycle-exact waveform of a small convolution
+//! ```
+
+use zskip::accel::{AccelConfig, BackendKind, Driver};
+use zskip::hls::Variant;
+use zskip::nn::eval::synthetic_inputs;
+use zskip::nn::model::{Network, SyntheticModelConfig};
+use zskip::perf::AreaBreakdown;
+use zskip::quant::DensityProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "synth" => synth(args.get(1).map(String::as_str).unwrap_or("all")),
+        "sweep" => sweep(),
+        "infer" => infer(&args[1..]),
+        "analyze" => analyze(&args[1..]),
+        "trace" => trace(),
+        _ => {
+            eprintln!(
+                "usage: zskip <synth [variant|all] | sweep | infer [--hw N] [--density D|dc] [--variant V] [--ternary] | analyze [--density D|dc] | trace>"
+            );
+            std::process::exit(if cmd == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+fn parse_variant(s: &str) -> Variant {
+    match s {
+        "16-unopt" => Variant::U16Unopt,
+        "256-unopt" => Variant::U256Unopt,
+        "256-opt" => Variant::U256Opt,
+        "512-opt" => Variant::U512Opt,
+        other => {
+            eprintln!("unknown variant {other} (use 16-unopt | 256-unopt | 256-opt | 512-opt)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn synth(which: &str) {
+    let variants: Vec<Variant> =
+        if which == "all" { Variant::all().to_vec() } else { vec![parse_variant(which)] };
+    for v in variants {
+        let r = v.synthesize();
+        println!("== {v} ==");
+        println!(
+            "  {} MACs/cycle, achieved {:.1} MHz, operating {:.1} MHz, peak {:.1} GOPS",
+            v.macs_per_cycle(),
+            r.achieved_fmax_mhz,
+            r.operating_mhz,
+            r.peak_gops()
+        );
+        println!("  {}", r.utilization);
+        if which != "all" {
+            print!("{}", AreaBreakdown::from_synthesis(v.label(), &r).render());
+        }
+    }
+}
+
+fn sweep() {
+    for p in zskip_bench::full_sweep() {
+        println!(
+            "{:<13} avg {:>6.1} GOPS  peak {:>6.1} GOPS  eff mean {:>4.2} best {:>4.2} worst {:>4.2}",
+            format!("{}{}", p.variant, p.model),
+            p.mean_gops(),
+            p.peak_gops(),
+            p.mean_efficiency(),
+            p.best_efficiency(),
+            p.worst_efficiency()
+        );
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn infer(args: &[String]) {
+    let hw: usize = flag_value(args, "--hw").map(|v| v.parse().expect("--hw takes a number")).unwrap_or(64);
+    let variant = parse_variant(flag_value(args, "--variant").unwrap_or("256-opt"));
+    let ternary = args.iter().any(|a| a == "--ternary");
+    let density = match flag_value(args, "--density").unwrap_or("dc") {
+        "dc" => DensityProfile::deep_compression_vgg16(),
+        d => DensityProfile::uniform(13, d.parse().expect("--density takes dc or a fraction")),
+    };
+
+    let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
+    println!("running {} on {} ({} GMACs)...", spec.name, variant, spec.total_macs() / 1_000_000_000);
+    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
+    let calib = synthetic_inputs(2, 1, spec.input);
+    let qnet = if ternary { net.quantize_ternary(&calib) } else { net.quantize(&calib) };
+    let input = synthetic_inputs(3, 1, spec.input).pop().expect("one");
+
+    let config = AccelConfig::for_variant(variant);
+    let report = Driver::new(config, BackendKind::Model).run_network(&qnet, &input).expect("fits");
+    assert_eq!(report.output, qnet.forward_quant(&input), "bit-exact vs golden model");
+    println!("bit-exact vs the software golden model");
+    println!(
+        "{} cycles = {:.2} ms at {:.0} MHz; mean {:.1} / peak {:.1} effective GOPS; DDR {} MiB",
+        report.total_cycles,
+        report.total_cycles as f64 * config.cycle_seconds() * 1e3,
+        config.clock_mhz,
+        report.mean_gops(&config),
+        report.peak_gops(&config),
+        report.ddr_bytes >> 20
+    );
+    let top = zskip::nn::fc::argmax(&report.output).expect("non-empty");
+    println!("predicted class: {top}");
+}
+
+fn analyze(args: &[String]) {
+    use zskip::accel::LayerPackingStats;
+    let density = match flag_value(args, "--density").unwrap_or("dc") {
+        "dc" => DensityProfile::deep_compression_vgg16(),
+        d => DensityProfile::uniform(13, d.parse().expect("--density takes dc or a fraction")),
+    };
+    let config = AccelConfig::for_variant(Variant::U256Opt);
+    let qnet = zskip_bench::build_vgg16_with_density(density);
+    println!(
+        "VGG-16 packing analysis ({} lanes, zero-skip floor 4 cycles/weight-tile)\n",
+        config.lanes
+    );
+    println!(
+        "{:<9} {:>8} {:>10} {:>11} {:>9} {:>9} {:>8} {:>9}",
+        "layer", "density", "scratch KB", "steps", "bubbles%", "skipped", "speedup", "vs ideal"
+    );
+    for (i, layer) in qnet.conv.iter().enumerate() {
+        let name = zskip::nn::VGG16_CONV_NAMES.get(i).copied().unwrap_or("conv?");
+        let s = LayerPackingStats::analyze(name, &layer.weights, &config);
+        println!(
+            "{:<9} {:>8.3} {:>10} {:>11} {:>8.1}% {:>9} {:>7.2}x {:>8.2}x",
+            s.name,
+            s.density,
+            s.scratchpad_bytes / 1024,
+            s.lockstep_steps,
+            s.bubble_fraction() * 100.0,
+            s.skipped_channels,
+            s.predicted_skip_speedup(),
+            s.lockstep_steps.max(1) as f64 / s.ideal_steps.max(1) as f64,
+        );
+    }
+    println!("\n'vs ideal' is lockstep steps over per-lane-independent steps: the bubble");
+    println!("cost the paper's future-work filter grouping recovers.");
+}
+
+fn trace() {
+    use zskip::accel::cycle::run_instructions_traced;
+    use zskip::accel::{BankSet, ConvInstr, FmLayout, GroupWeights, Instruction};
+    use zskip::hls::AccelArch;
+    use zskip::nn::conv::QuantConvWeights;
+    use zskip::quant::{Requantizer, Sm8};
+    use zskip::tensor::{Shape, Tensor, TiledFeatureMap};
+
+    let cfg = AccelConfig::from_arch(&AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 1024 }, 100.0);
+    // A tiny conv with uneven per-filter sparsity so the waveform shows
+    // lockstep bubbles and the barrier convoy.
+    let qw = QuantConvWeights {
+        out_c: 4,
+        in_c: 4,
+        k: 3,
+        w: (0..144)
+            .map(|i| {
+                let filter = i / 36;
+                if i % (filter + 2) == 0 { Sm8::ZERO } else { Sm8::from_i32_saturating((i % 9) as i32 - 4) }
+            })
+            .collect(),
+        bias_acc: vec![0; 4],
+        requant: Requantizer::from_ratio(1.0 / 16.0),
+        relu: true,
+    };
+    let input = Tensor::from_fn(4, 8, 8, |c, y, x| Sm8::from_i32_saturating(((c + y + x) % 9) as i32 - 4)).padded(1);
+    let tiled = TiledFeatureMap::from_tensor(&input);
+    let in_layout = FmLayout::full(0, input.shape());
+    let out_layout = FmLayout::full(in_layout.end(), Shape::new(4, 8, 8));
+    let mut banks = BankSet::new(&cfg);
+    in_layout.store(&mut banks, &tiled, 0..tiled.tiles_y());
+    let gw = GroupWeights::from_filters(&qw, 0, 4);
+    let instr = Instruction::Conv(ConvInstr {
+        ofm_first: 0,
+        ifm_count: 4,
+        ifm_base: 0,
+        ifm_tiles_x: in_layout.tiles_x as u16,
+        ifm_tile_rows: in_layout.tile_rows as u16,
+        ifm_row_offset: 0,
+        ofm_base: out_layout.base as u32,
+        ofm_tiles_x: out_layout.tiles_x as u16,
+        ofm_tile_rows: out_layout.tile_rows as u16,
+        wgt_base: 0,
+        bias: [0; 4],
+        requant_mult: qw.requant.mult as u16,
+        requant_shift: qw.requant.shift as u8,
+        relu: true,
+        active_lanes: 4,
+    });
+    let (outcome, trace) =
+        run_instructions_traced(&cfg, banks, gw.to_bytes(), &[instr], 1_000_000, 160).expect("runs");
+    println!("cycle-exact waveform of one conv instruction ({} cycles total)", outcome.cycles);
+    println!("legend: '#' busy, 'x' blocked on FIFO, '.' idle, ' ' done\n");
+    print!("{}", trace.render(80));
+    println!("{}", outcome.report.render_utilization());
+}

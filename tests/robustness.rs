@@ -1,0 +1,213 @@
+//! Robustness and failure injection: striping under extreme bank
+//! pressure, minimal FIFO depths, capacity errors, degenerate networks.
+
+use zskip::accel::{AccelConfig, BackendKind, Driver};
+use zskip::hls::AccelArch;
+use zskip::nn::eval::synthetic_inputs;
+use zskip::nn::layer::{conv3x3, maxpool2x2, LayerSpec, NetworkSpec};
+use zskip::nn::model::{Network, QuantizedNetwork, SyntheticModelConfig};
+use zskip::quant::DensityProfile;
+use zskip::tensor::{Shape, Tensor};
+
+fn net(input_hw: usize, seed: u64) -> (QuantizedNetwork, Tensor<f32>) {
+    let spec = NetworkSpec {
+        name: "robust".into(),
+        input: Shape::new(3, input_hw, input_hw),
+        layers: vec![conv3x3("c1", 3, 8), maxpool2x2("p1"), conv3x3("c2", 8, 8)],
+    };
+    let net = Network::synthetic(
+        spec.clone(),
+        &SyntheticModelConfig { seed, density: DensityProfile::uniform(2, 0.5) },
+    );
+    let qnet = net.quantize(&synthetic_inputs(seed, 2, spec.input));
+    let input = synthetic_inputs(seed ^ 3, 1, spec.input).pop().expect("one");
+    (qnet, input)
+}
+
+fn config_with(bank_tiles: usize, fifo_depth: usize) -> AccelConfig {
+    let base = AccelConfig::from_arch(
+        &AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles },
+        100.0,
+    );
+    AccelConfig { fifo_depth, ..base }
+}
+
+/// Sweeping bank capacity down to the minimum keeps results bit-exact —
+/// the striping planner and the halo bookkeeping never corrupt data.
+#[test]
+fn extreme_striping_pressure_is_bit_exact() {
+    let (qnet, input) = net(16, 1);
+    let golden = qnet.forward_quant(&input);
+    for bank_tiles in [4096, 256, 64, 40, 24] {
+        let driver = Driver::new(config_with(bank_tiles, 4), BackendKind::Model);
+        match driver.run_network(&qnet, &input) {
+            Ok(report) => assert_eq!(report.output, golden, "bank_tiles={bank_tiles}"),
+            Err(e) => panic!("bank_tiles={bank_tiles} should stripe, got {e}"),
+        }
+    }
+}
+
+/// Depth-1 FIFOs throttle throughput but must not deadlock or corrupt —
+/// the classic streaming-hardware failure mode.
+#[test]
+fn depth_one_fifos_complete_without_deadlock() {
+    let (qnet, input) = net(8, 2);
+    let golden = qnet.forward_quant(&input);
+    let fast = Driver::new(config_with(2048, 4), BackendKind::Cycle).run_network(&qnet, &input).expect("runs");
+    let slow = Driver::new(config_with(2048, 1), BackendKind::Cycle).run_network(&qnet, &input).expect("runs");
+    assert_eq!(fast.output, golden);
+    assert_eq!(slow.output, golden);
+    // Registered FIFOs sustain one transfer per cycle even at depth 1 when
+    // the consumer keeps pace, so depth can only ever add cycles.
+    assert!(
+        slow.total_cycles >= fast.total_cycles,
+        "depth-1 FIFOs may not be faster: {} vs {}",
+        slow.total_cycles,
+        fast.total_cycles
+    );
+}
+
+/// Capacity exhaustion surfaces as a structured error naming the layer.
+#[test]
+fn impossible_capacity_is_a_clean_error() {
+    let (qnet, input) = net(16, 3);
+    let err = Driver::new(config_with(4, 4), BackendKind::Model).run_network(&qnet, &input).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("stripe") && msg.contains("capacity"), "unhelpful error: {msg}");
+}
+
+/// A conv-only network (no pool, no FC) and a pool-only network both run.
+#[test]
+fn degenerate_layer_mixes_run() {
+    let conv_only = NetworkSpec {
+        name: "conv-only".into(),
+        input: Shape::new(4, 8, 8),
+        layers: vec![conv3x3("c", 4, 4)],
+    };
+    let pool_only = NetworkSpec {
+        name: "pool-only".into(),
+        input: Shape::new(4, 8, 8),
+        layers: vec![maxpool2x2("p")],
+    };
+    for spec in [conv_only, pool_only] {
+        let net = Network::synthetic(spec.clone(), &SyntheticModelConfig::default());
+        let qnet = net.quantize(&synthetic_inputs(1, 1, spec.input));
+        let input = synthetic_inputs(2, 1, spec.input).pop().expect("one");
+        let report = Driver::new(config_with(2048, 4), BackendKind::Model)
+            .run_network(&qnet, &input)
+            .expect("degenerate net runs");
+        assert_eq!(report.output, qnet.forward_quant(&input), "{}", spec.name);
+    }
+}
+
+/// Single-channel input exercises the staging-unit imbalance path
+/// (three of four units idle).
+#[test]
+fn single_input_channel_is_correct_despite_imbalance() {
+    let spec = NetworkSpec {
+        name: "mono".into(),
+        input: Shape::new(1, 12, 12),
+        layers: vec![conv3x3("c", 1, 8)],
+    };
+    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig::default());
+    let qnet = net.quantize(&synthetic_inputs(4, 1, spec.input));
+    let input = synthetic_inputs(5, 1, spec.input).pop().expect("one");
+    for backend in [BackendKind::Model, BackendKind::Cycle] {
+        let report = Driver::new(config_with(2048, 4), backend).run_network(&qnet, &input).expect("runs");
+        assert_eq!(report.output, qnet.forward_quant(&input));
+    }
+}
+
+/// 1x1 kernels (a degenerate weight tile with one occupied slot) work.
+#[test]
+fn one_by_one_kernels_work() {
+    let spec = NetworkSpec {
+        name: "1x1".into(),
+        input: Shape::new(4, 8, 8),
+        layers: vec![LayerSpec::Conv { name: "pw".into(), in_c: 4, out_c: 6, k: 1, stride: 1, pad: 0, relu: true }],
+    };
+    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig::default());
+    let qnet = net.quantize(&synthetic_inputs(6, 1, spec.input));
+    let input = synthetic_inputs(7, 1, spec.input).pop().expect("one");
+    for backend in [BackendKind::Model, BackendKind::Cycle] {
+        let report = Driver::new(config_with(2048, 4), backend).run_network(&qnet, &input).expect("runs");
+        assert_eq!(report.output, qnet.forward_quant(&input));
+    }
+}
+
+/// Odd, non-multiple-of-4 spatial dims through conv + overlapping pool —
+/// regression for the round-up-region contamination bug.
+#[test]
+fn odd_dims_with_overlapping_pool_are_bit_exact() {
+    let spec = NetworkSpec {
+        name: "odd".into(),
+        input: Shape::new(3, 19, 23),
+        layers: vec![
+            conv3x3("c1", 3, 8),
+            LayerSpec::MaxPool { name: "p1".into(), k: 3, stride: 2 },
+            conv3x3("c2", 8, 8),
+        ],
+    };
+    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig::default());
+    let qnet = net.quantize(&synthetic_inputs(8, 2, spec.input));
+    let input = synthetic_inputs(9, 1, spec.input).pop().expect("one");
+    for backend in [BackendKind::Model, BackendKind::Cycle] {
+        let report = Driver::new(config_with(2048, 4), backend).run_network(&qnet, &input).expect("runs");
+        assert_eq!(report.output, qnet.forward_quant(&input));
+    }
+}
+
+/// Kernel sizes 2 and 4 (the full range a 4x4 weight tile admits) run
+/// bit-exactly on both backends.
+#[test]
+fn kernel_sizes_two_and_four_are_bit_exact() {
+    for (k, pad) in [(2usize, 1usize), (4, 2)] {
+        let spec = NetworkSpec {
+            name: format!("k{k}"),
+            input: Shape::new(3, 12, 12),
+            layers: vec![LayerSpec::Conv {
+                name: format!("c{k}"),
+                in_c: 3,
+                out_c: 6,
+                k,
+                stride: 1,
+                pad,
+                relu: true,
+            }],
+        };
+        let net = Network::synthetic(spec.clone(), &SyntheticModelConfig::default());
+        let qnet = net.quantize(&synthetic_inputs(k as u64, 1, spec.input));
+        let input = synthetic_inputs(k as u64 + 9, 1, spec.input).pop().expect("one");
+        for backend in [BackendKind::Model, BackendKind::Cycle] {
+            let report = Driver::new(config_with(4096, 4), backend).run_network(&qnet, &input).expect("runs");
+            assert_eq!(report.output, qnet.forward_quant(&input), "k={k} {backend:?}");
+        }
+    }
+}
+
+/// Unsupported geometries are typed errors, not panics.
+#[test]
+fn unsupported_geometry_is_a_typed_error() {
+    for (k, stride, needle) in [(5usize, 1usize, "weight tile"), (3, 2, "stride")] {
+        let spec = NetworkSpec {
+            name: "bad".into(),
+            input: Shape::new(3, 16, 16),
+            layers: vec![LayerSpec::Conv {
+                name: "c".into(),
+                in_c: 3,
+                out_c: 4,
+                k,
+                stride,
+                pad: 0,
+                relu: false,
+            }],
+        };
+        let net = Network::synthetic(spec.clone(), &SyntheticModelConfig::default());
+        let qnet = net.quantize(&synthetic_inputs(1, 1, spec.input));
+        let input = synthetic_inputs(2, 1, spec.input).pop().expect("one");
+        let err = Driver::new(config_with(4096, 4), BackendKind::Model)
+            .run_network(&qnet, &input)
+            .unwrap_err();
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+}
