@@ -12,17 +12,17 @@ use zskip_tensor::{Shape, Tensor, TiledFeatureMap};
 fn setup() -> (AccelConfig, BankSet, Vec<u8>, Vec<Instruction>) {
     let cfg = AccelConfig::from_arch(&AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 8192 }, 100.0);
     let (out_c, in_c, hw) = (8, 8, 16);
-    let qw = QuantConvWeights {
+    let qw = QuantConvWeights::new(
         out_c,
         in_c,
-        k: 3,
-        w: (0..out_c * in_c * 9)
+        3,
+        (0..out_c * in_c * 9)
             .map(|i| if i % 3 == 0 { Sm8::ZERO } else { Sm8::from_i32_saturating((i % 13) as i32 - 6) })
             .collect(),
-        bias_acc: vec![0; out_c],
-        requant: Requantizer::from_ratio(1.0 / 64.0),
-        relu: true,
-    };
+        vec![0; out_c],
+        Requantizer::from_ratio(1.0 / 64.0),
+        true,
+    );
     let input =
         Tensor::from_fn(in_c, hw, hw, |c, y, x| Sm8::from_i32_saturating(((c * 7 + y * 3 + x) % 200) as i32 - 100))
             .padded(1);

@@ -9,12 +9,12 @@
 //!    inflation);
 //! 4. packed-weight fetch bandwidth (the deep-layer unpack overhead).
 
-use serde::Serialize;
 use zskip_bench::{make_conv_layer, write_artifacts};
 use zskip_core::{AccelConfig, Driver, SocHandle};
 use zskip_hls::AccelArch;
+use zskip_json::{Json, ToJson};
 
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Ablations {
     zero_skip: Vec<(f64, u64, u64, f64)>,     // density, skip, no-skip, speedup
     grouping: Vec<(String, u64)>,             // label, cycles
@@ -22,6 +22,19 @@ struct Ablations {
     weight_bandwidth: Vec<(usize, u64)>,      // bytes/cycle, cycles
     bitwidth: Vec<(String, f64)>,             // label, total ALMs
     fifo_depth: Vec<(usize, u64)>,            // depth, cycle-exact cycles
+}
+
+impl ToJson for Ablations {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("zero_skip", self.zero_skip.to_json()),
+            ("grouping", self.grouping.to_json()),
+            ("striping", self.striping.to_json()),
+            ("weight_bandwidth", self.weight_bandwidth.to_json()),
+            ("bitwidth", self.bitwidth.to_json()),
+            ("fifo_depth", self.fifo_depth.to_json()),
+        ])
+    }
 }
 
 fn driver(bank_tiles: usize, weight_bw: usize) -> Driver {
@@ -70,6 +83,7 @@ fn main() {
                 }
             }
         }
+        qw.invalidate_nnz_cache();
         for (label, grouping) in [("lockstep (paper baseline)", false), ("grouped by nnz (future work)", true)] {
             let mut d = driver(32768, 16);
             d.filter_grouping = grouping;

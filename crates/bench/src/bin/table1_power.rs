@@ -1,12 +1,11 @@
 //! Regenerates paper Table I: power consumption — peak power (FPGA and
 //! board, dynamic parenthesized) and GOPS/W for the optimized variants.
 
-use serde::Serialize;
 use zskip_bench::{build_vgg16, write_artifacts, ModelKind};
 use zskip_hls::Variant;
+use zskip_json::{Json, ToJson};
 use zskip_perf::power::{gops_per_watt, PowerModel};
 
-#[derive(Serialize)]
 struct Row {
     variant: String,
     level: String,
@@ -15,6 +14,20 @@ struct Row {
     avg_power_mw: f64,
     gops_per_w_avg: f64,
     gops_per_w_peak: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("variant", self.variant.to_json()),
+            ("level", self.level.to_json()),
+            ("peak_power_mw", self.peak_power_mw.to_json()),
+            ("dynamic_mw", self.dynamic_mw.to_json()),
+            ("avg_power_mw", self.avg_power_mw.to_json()),
+            ("gops_per_w_avg", self.gops_per_w_avg.to_json()),
+            ("gops_per_w_peak", self.gops_per_w_peak.to_json()),
+        ])
+    }
 }
 
 fn main() {

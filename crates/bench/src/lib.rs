@@ -10,7 +10,7 @@
 //! * `all_experiments` — everything above plus the in-text numbers,
 //!   written to `experiments/` as text and JSON.
 
-use serde::Serialize;
+use zskip_json::{Json, ToJson};
 use zskip_core::{AccelConfig, Driver, InferenceReport};
 use zskip_hls::Variant;
 use zskip_nn::model::{Network, QuantizedNetwork, SyntheticModelConfig};
@@ -82,15 +82,15 @@ pub fn requantize_with_scales(net: &Network, scales: &[f32]) -> QuantizedNetwork
                 let wq = QuantParams::from_max_abs(&w.w);
                 conv.push(QuantizedConvLayer {
                     layer_index: li,
-                    weights: QuantConvWeights {
-                        out_c: w.out_c,
-                        in_c: w.in_c,
-                        k: w.k,
-                        w: w.w.iter().map(|&v| wq.quantize(v)).collect(),
-                        bias_acc: w.bias.iter().map(|&b| (b / (s_in * wq.scale)).round() as i64).collect(),
-                        requant: Requantizer::from_ratio((s_in * wq.scale / s_out) as f64),
-                        relu: *relu,
-                    },
+                    weights: QuantConvWeights::new(
+                        w.out_c,
+                        w.in_c,
+                        w.k,
+                        w.w.iter().map(|&v| wq.quantize(v)).collect(),
+                        w.bias.iter().map(|&b| (b / (s_in * wq.scale)).round() as i64).collect(),
+                        Requantizer::from_ratio((s_in * wq.scale / s_out) as f64),
+                        *relu,
+                    ),
                     in_scale: s_in,
                     w_scale: wq.scale,
                     out_scale: s_out,
@@ -123,7 +123,7 @@ pub fn requantize_with_scales(net: &Network, scales: &[f32]) -> QuantizedNetwork
 }
 
 /// One (variant, model) sweep point of the paper's evaluation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Variant label (`"256-opt"` etc.).
     pub variant: String,
@@ -138,7 +138,7 @@ pub struct SweepPoint {
 }
 
 /// Per-layer sweep data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LayerPoint {
     /// Layer name.
     pub name: String,
@@ -152,6 +152,31 @@ pub struct LayerPoint {
     pub efficiency: f64,
     /// Striping factor folded into the ideal (paper's "~15%").
     pub striping_factor: f64,
+}
+
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("variant", self.variant.to_json()),
+            ("model", self.model.to_json()),
+            ("clock_mhz", self.clock_mhz.to_json()),
+            ("macs_per_cycle", self.macs_per_cycle.to_json()),
+            ("layers", self.layers.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LayerPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("dense_macs", self.dense_macs.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("effective_gops", self.effective_gops.to_json()),
+            ("efficiency", self.efficiency.to_json()),
+            ("striping_factor", self.striping_factor.to_json()),
+        ])
+    }
 }
 
 impl SweepPoint {
@@ -251,10 +276,10 @@ pub fn experiments_dir() -> std::path::PathBuf {
 }
 
 /// Writes both a text and a JSON artifact for an experiment.
-pub fn write_artifacts<T: Serialize>(name: &str, text: &str, data: &T) {
+pub fn write_artifacts<T: ToJson>(name: &str, text: &str, data: &T) {
     let dir = experiments_dir();
     std::fs::write(dir.join(format!("{name}.txt")), text).expect("write text artifact");
-    let json = serde_json::to_string_pretty(data).expect("serialize");
+    let json = zskip_json::to_string_pretty(data);
     std::fs::write(dir.join(format!("{name}.json")), json).expect("write json artifact");
 }
 
@@ -279,15 +304,15 @@ pub fn make_conv_layer(
             }
         })
         .collect();
-    let qw = zskip_nn::conv::QuantConvWeights {
+    let qw = zskip_nn::conv::QuantConvWeights::new(
         out_c,
         in_c,
-        k: 3,
+        3,
         w,
-        bias_acc: vec![0; out_c],
-        requant: Requantizer::from_ratio(1.0 / 64.0),
-        relu: true,
-    };
+        vec![0; out_c],
+        Requantizer::from_ratio(1.0 / 64.0),
+        true,
+    );
     let input = zskip_tensor::Tensor::from_fn(in_c, hw, hw, |c, y, x| {
         Sm8::from_i32_saturating((((c * 31 + y * 7 + x) ^ seed as usize) % 200) as i32 - 100)
     })

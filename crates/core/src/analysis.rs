@@ -114,26 +114,25 @@ mod tests {
     }
 
     fn layer(out_c: usize, in_c: usize, keep_mod: usize) -> QuantConvWeights {
-        QuantConvWeights {
+        QuantConvWeights::new(
             out_c,
             in_c,
-            k: 3,
-            w: (0..out_c * in_c * 9)
+            3,
+            (0..out_c * in_c * 9)
                 .map(|i| if i % keep_mod == 0 { Sm8::from_i32_saturating((i % 13) as i32 - 6) } else { Sm8::ZERO })
                 .collect(),
-            bias_acc: vec![0; out_c],
-            requant: Requantizer::IDENTITY,
-            relu: true,
-        }
+            vec![0; out_c],
+            Requantizer::IDENTITY,
+            true,
+        )
     }
 
     #[test]
     fn dense_layer_has_no_bubbles_and_nine_steps() {
         // keep_mod 1: every weight non-zero except values that hash to 0.
-        let qw = QuantConvWeights {
-            w: (0..8 * 4 * 9).map(|_| Sm8::from_i32_saturating(3)).collect(),
-            ..layer(8, 4, 1)
-        };
+        let mut qw = layer(8, 4, 1);
+        qw.w = (0..8 * 4 * 9).map(|_| Sm8::from_i32_saturating(3)).collect();
+        qw.invalidate_nnz_cache();
         let s = LayerPackingStats::analyze("dense", &qw, &config());
         assert_eq!(s.density, 1.0);
         assert_eq!(s.bubble_slots, 0);
@@ -158,6 +157,7 @@ mod tests {
     fn fully_zero_layer_skips_all_channels() {
         let mut qw = layer(4, 4, 1);
         qw.w.iter_mut().for_each(|w| *w = Sm8::ZERO);
+        qw.invalidate_nnz_cache();
         let s = LayerPackingStats::analyze("zero", &qw, &config());
         assert_eq!(s.skipped_channels, 4);
         assert_eq!(s.lockstep_steps, 0);

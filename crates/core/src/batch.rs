@@ -1,0 +1,227 @@
+//! Parallel batch execution engine.
+//!
+//! Runs many independent inference requests across a pool of worker
+//! threads, mirroring the structure of the simulated accelerator itself:
+//! each worker owns a private work deque (like a kernel's private input
+//! FIFO), idle workers steal from the *back* of a victim's deque (oldest
+//! work first, so the owner's cache-warm front is undisturbed), and
+//! finished jobs drain through a single completion channel the way the
+//! write-to-memory kernels funnel results onto the shared System I bus.
+//!
+//! Determinism: every job is tagged with its input index and results are
+//! reassembled in submission order, so the batch output is bit-identical
+//! to running [`Driver::run_network`] sequentially over the same inputs —
+//! regardless of worker count or steal interleaving. A property test in
+//! this module pins that equivalence.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use crate::driver::{Driver, DriverError, InferenceReport};
+use zskip_nn::model::QuantizedNetwork;
+use zskip_tensor::Tensor;
+
+/// How one batch run went: the per-input reports (in submission order)
+/// plus pool telemetry.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One [`InferenceReport`] per input, in submission order.
+    pub reports: Vec<InferenceReport>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs completed by each worker (sums to the input count).
+    pub per_worker_jobs: Vec<usize>,
+    /// Jobs obtained by stealing from another worker's deque.
+    pub steals: u64,
+}
+
+impl BatchReport {
+    /// Total simulated accelerator cycles across all inputs.
+    pub fn total_cycles(&self) -> u64 {
+        self.reports.iter().map(|r| r.total_cycles).sum()
+    }
+}
+
+/// Picks a worker count: `requested` if non-zero, else the machine's
+/// available parallelism (at least 1), capped by the job count.
+pub fn effective_workers(requested: usize, jobs: usize) -> usize {
+    let n = if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+    n.clamp(1, jobs.max(1))
+}
+
+/// The per-worker work-stealing deque set. Jobs are input indices,
+/// dealt round-robin so every worker starts with a fair share.
+struct StealQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+}
+
+impl StealQueues {
+    fn new(jobs: usize, workers: usize) -> StealQueues {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for j in 0..jobs {
+            deques[j % workers].push_back(j);
+        }
+        StealQueues { deques: deques.into_iter().map(Mutex::new).collect(), steals: AtomicU64::new(0) }
+    }
+
+    /// Next job for worker `w`: own deque front, else steal a victim's
+    /// back. `None` means every deque is empty — since all jobs are
+    /// enqueued before the pool starts, that is global completion.
+    fn next(&self, w: usize) -> Option<usize> {
+        if let Some(j) = self.deques[w].lock().expect("deque poisoned").pop_front() {
+            return Some(j);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(j) = self.deques[victim].lock().expect("deque poisoned").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+/// Runs `inputs` through `qnet` on `workers` threads (0 = auto) and
+/// returns per-input reports in submission order.
+///
+/// # Errors
+/// Propagates the first failing input's [`DriverError`] (first by input
+/// index, so the error is deterministic too).
+pub fn run_batch(
+    driver: &Driver,
+    qnet: &QuantizedNetwork,
+    inputs: &[Tensor<f32>],
+    workers: usize,
+) -> Result<BatchReport, DriverError> {
+    let workers = effective_workers(workers, inputs.len());
+    if inputs.is_empty() {
+        return Ok(BatchReport { reports: Vec::new(), workers, per_worker_jobs: vec![0; workers], steals: 0 });
+    }
+
+    let queues = StealQueues::new(inputs.len(), workers);
+    let (tx, rx) = mpsc::channel::<(usize, usize, Result<InferenceReport, DriverError>)>();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            scope.spawn(move || {
+                while let Some(job) = queues.next(w) {
+                    let result = driver.run_network(qnet, &inputs[job]);
+                    if tx.send((job, w, result)).is_err() {
+                        break; // collector gone: nothing left to report to
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<InferenceReport>> = (0..inputs.len()).map(|_| None).collect();
+    let mut per_worker_jobs = vec![0usize; workers];
+    let mut first_err: Option<(usize, DriverError)> = None;
+    for (job, w, result) in rx {
+        per_worker_jobs[w] += 1;
+        match result {
+            Ok(report) => slots[job] = Some(report),
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|(j, _)| job < *j) {
+                    first_err = Some((job, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+
+    let reports = slots.into_iter().map(|s| s.expect("every job reported")).collect();
+    Ok(BatchReport { reports, workers, per_worker_jobs, steals: queues.steals.load(Ordering::Relaxed) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccelConfig;
+    use crate::driver::BackendKind;
+    use proptest::prelude::*;
+    use zskip_hls::Variant;
+    use zskip_nn::eval::synthetic_inputs;
+    use zskip_nn::model::{Network, SyntheticModelConfig};
+    use zskip_quant::DensityProfile;
+
+    fn small_qnet(hw: usize) -> QuantizedNetwork {
+        use zskip_nn::layer::{LayerSpec, NetworkSpec};
+        use zskip_tensor::Shape;
+        let layers = vec![
+            LayerSpec::Conv { name: "c0".into(), in_c: 2, out_c: 6, k: 3, stride: 1, pad: 1, relu: true },
+            LayerSpec::MaxPool { name: "p".into(), k: 2, stride: 2 },
+            LayerSpec::Conv { name: "c1".into(), in_c: 6, out_c: 4, k: 3, stride: 1, pad: 1, relu: false },
+        ];
+        let spec = NetworkSpec { name: "batch-test".into(), input: Shape::new(2, hw, hw), layers };
+        let net = Network::synthetic(
+            spec.clone(),
+            &SyntheticModelConfig { seed: 5, density: DensityProfile::uniform(2, 0.5) },
+        );
+        let calib = synthetic_inputs(2, 1, spec.input);
+        net.quantize(&calib)
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let qnet = small_qnet(8);
+        let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+        let r = run_batch(&driver, &qnet, &[], 4).expect("empty batch");
+        assert!(r.reports.is_empty());
+        assert_eq!(r.steals, 0);
+    }
+
+    #[test]
+    fn worker_autodetect_caps_at_job_count() {
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(0, 0), 1);
+    }
+
+    #[test]
+    fn all_jobs_are_accounted_for() {
+        let qnet = small_qnet(8);
+        let spec_input = qnet.spec.input;
+        let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+        let inputs = synthetic_inputs(11, 7, spec_input);
+        let r = run_batch(&driver, &qnet, &inputs, 3).expect("runs");
+        assert_eq!(r.reports.len(), 7);
+        assert_eq!(r.per_worker_jobs.iter().sum::<usize>(), 7);
+        assert_eq!(r.workers, 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn batch_matches_sequential_bit_exact(
+            batch in 1usize..7,
+            workers in 1usize..5,
+            seed in 0u64..1000,
+        ) {
+            let qnet = small_qnet(8);
+            let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+            let inputs = synthetic_inputs(seed, batch, qnet.spec.input);
+            let parallel = run_batch(&driver, &qnet, &inputs, workers).expect("batch runs");
+            for (input, got) in inputs.iter().zip(&parallel.reports) {
+                let want = driver.run_network(&qnet, input).expect("sequential runs");
+                prop_assert_eq!(&got.output, &want.output);
+                prop_assert_eq!(got.total_cycles, want.total_cycles);
+                prop_assert_eq!(got.ddr_bytes, want.ddr_bytes);
+            }
+        }
+    }
+}

@@ -54,7 +54,29 @@ pub fn run_instructions(
     instructions: &[Instruction],
     max_cycles: u64,
 ) -> Result<CycleOutcome, SimError> {
-    let (outcome, _) = run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None)?;
+    let (outcome, _) = run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, false)?;
+    Ok(outcome)
+}
+
+/// Like [`run_instructions`], with the engine's idle-cycle fast-forward
+/// enabled. The accelerator's kernels keep the default
+/// [`zskip_sim::Horizon::Opaque`] horizon (the datapath pipelines work
+/// every cycle of a pass, so there are no predictable quiescent
+/// stretches), which makes this bit-identical to [`run_instructions`] by
+/// construction — a property test pins that. Designs embedding the
+/// accelerator alongside sleepy host-side kernels get the skipping for
+/// free.
+///
+/// # Errors
+/// See [`run_instructions`].
+pub fn run_instructions_fast(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    instructions: &[Instruction],
+    max_cycles: u64,
+) -> Result<CycleOutcome, SimError> {
+    let (outcome, _) = run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, true)?;
     Ok(outcome)
 }
 
@@ -72,7 +94,7 @@ pub fn run_instructions_traced(
     trace_cycles: usize,
 ) -> Result<(CycleOutcome, zskip_sim::Trace), SimError> {
     let (outcome, trace) =
-        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, Some(trace_cycles))?;
+        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, Some(trace_cycles), false)?;
     Ok((outcome, trace.expect("tracing was enabled")))
 }
 
@@ -83,6 +105,7 @@ fn run_instructions_inner(
     instructions: &[Instruction],
     max_cycles: u64,
     trace_cycles: Option<usize>,
+    fast_forward: bool,
 ) -> Result<(CycleOutcome, Option<zskip_sim::Trace>), SimError> {
     assert_eq!(config.units, config.lanes, "accumulator lanes map 1:1 onto write units");
     let units = config.units;
@@ -92,6 +115,9 @@ fn run_instructions_inner(
     let mut engine: Engine<Msg> = Engine::new();
     if let Some(capacity) = trace_cycles {
         engine.enable_trace(capacity);
+    }
+    if fast_forward {
+        engine.enable_fast_forward();
     }
 
     // FIFOs. Command/config queues are depth-2 (dispatch is one message

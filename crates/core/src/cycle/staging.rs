@@ -43,8 +43,10 @@ struct Phase {
 enum State {
     /// Waiting for a command.
     Idle,
-    /// Executing a convolution instruction.
-    Conv(ConvState),
+    /// Executing a convolution instruction. Boxed: the per-lane entry
+    /// queues make this variant an order of magnitude larger than the
+    /// rest, and `tick_conv` moves the state out and back every cycle.
+    Conv(Box<ConvState>),
     /// Executing a pool/pad instruction.
     Pool(PoolState),
     /// Forwarding shutdown to the conv and pool/pad units downstream.
@@ -119,7 +121,7 @@ impl StagingKernel {
         conv_out: FifoId,
         pool_out: FifoId,
     ) -> StagingKernel {
-        assert!(AccelConfig::BANKS % config.units == 0, "units must divide the bank count");
+        assert!(AccelConfig::BANKS.is_multiple_of(config.units), "units must divide the bank count");
         StagingKernel {
             name: format!("staging{index}"),
             index,
@@ -443,7 +445,7 @@ impl Kernel<Msg> for StagingKernel {
             State::Finished => Progress::Done,
             State::Idle => match ctx.fifos.try_pop(self.cmd) {
                 Some(Msg::Cmd(Instruction::Conv(i))) => {
-                    self.state = State::Conv(self.build_conv(i));
+                    self.state = State::Conv(Box::new(self.build_conv(i)));
                     Progress::Busy
                 }
                 Some(Msg::Cmd(Instruction::PoolPad(i))) => {

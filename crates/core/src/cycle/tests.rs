@@ -28,21 +28,37 @@ fn weights(out_c: usize, in_c: usize, zero_every: usize) -> QuantConvWeights {
             }
         })
         .collect();
-    QuantConvWeights {
+    QuantConvWeights::new(
         out_c,
         in_c,
-        k: 3,
+        3,
         w,
-        bias_acc: (0..out_c as i64).map(|o| o * 3 - 2).collect(),
-        requant: Requantizer::from_ratio(1.0 / 64.0),
-        relu: true,
-    }
+        (0..out_c as i64).map(|o| o * 3 - 2).collect(),
+        Requantizer::from_ratio(1.0 / 64.0),
+        true,
+    )
 }
 
 /// Builds the bank image, scratchpad and instruction stream for a conv
 /// layer (pre-padded input resident, single stripe), runs the cycle
 /// backend and returns (output tensor, cycles).
 pub(super) fn run_conv(cfg: &AccelConfig, qw: &QuantConvWeights, input: &Tensor<Sm8>) -> (Tensor<Sm8>, u64) {
+    let (outcome, out_layout) = run_conv_outcome(cfg, qw, input, run_instructions);
+    let (h, w) = (input.shape().h, input.shape().w);
+    let out_shape = Shape::new(qw.out_c, h, w);
+    let mut got = TiledFeatureMap::zeros(out_shape);
+    out_layout.load(&outcome.banks, &mut got, 0..out_layout.tile_rows);
+    (got.to_tensor().cropped(h, w), outcome.cycles)
+}
+
+/// Like [`run_conv`] but parameterized over the backend entry point and
+/// returning the full [`CycleOutcome`] for report comparisons.
+pub(super) fn run_conv_outcome(
+    cfg: &AccelConfig,
+    qw: &QuantConvWeights,
+    input: &Tensor<Sm8>,
+    run: impl Fn(&AccelConfig, BankSet, Vec<u8>, &[Instruction], u64) -> Result<super::CycleOutcome, zskip_sim::SimError>,
+) -> (super::CycleOutcome, FmLayout) {
     let (h, w) = (input.shape().h, input.shape().w);
     let padded = input.padded(1);
     let tiled_in = TiledFeatureMap::from_tensor(&padded);
@@ -84,10 +100,34 @@ pub(super) fn run_conv(cfg: &AccelConfig, qw: &QuantConvWeights, input: &Tensor<
         }));
     }
 
-    let outcome = run_instructions(cfg, banks, scratchpad, &instrs, 10_000_000).expect("run completes");
-    let mut got = TiledFeatureMap::zeros(out_shape);
-    out_layout.load(&outcome.banks, &mut got, 0..out_layout.tile_rows);
-    (got.to_tensor().cropped(h, w), outcome.cycles)
+    let outcome = run(cfg, banks, scratchpad, &instrs, 10_000_000).expect("run completes");
+    (outcome, out_layout)
+}
+
+#[test]
+fn fast_forward_matches_cycle_by_cycle_on_vgg16_layer() {
+    // conv1_1 of the scaled VGG-16 (3 -> 64 channels, 3x3, mixed
+    // sparsity): the fast-forward entry point must produce the identical
+    // output, cycle count, per-kernel stats and counters. The
+    // accelerator's kernels are Opaque, so no skip may fire — this pins
+    // that enabling the feature cannot perturb the simulation.
+    let cfg = config();
+    let qw = weights(64, 3, 4);
+    let input = input_tensor(3, 8, 8);
+    let (plain, layout) = run_conv_outcome(&cfg, &qw, &input, run_instructions);
+    let (fast, _) = run_conv_outcome(&cfg, &qw, &input, run_instructions_fast);
+
+    assert_eq!(plain.cycles, fast.cycles, "cycle counts must match");
+    assert_eq!(plain.report, fast.report, "kernel stats and counters must match");
+    assert_eq!(plain.counters, fast.counters);
+    let extract = |outcome: &super::CycleOutcome| {
+        let mut got = TiledFeatureMap::zeros(Shape::new(qw.out_c, 8, 8));
+        layout.load(&outcome.banks, &mut got, 0..layout.tile_rows);
+        got.to_tensor().cropped(8, 8)
+    };
+    let out = extract(&plain);
+    assert_eq!(out, extract(&fast), "outputs must be bit-identical");
+    assert_eq!(out, conv2d_quant(&input, &qw, 1, 1), "and match the golden model");
 }
 
 #[test]
@@ -169,6 +209,7 @@ fn four_cycle_floor_limits_sparse_speedup() {
             }
         }
     }
+    nearly_empty.invalidate_nnz_cache();
     let (out1, one_cycles) = run_conv(&cfg, &nearly_empty, &input);
     assert_eq!(out1, conv2d_quant(&input, &nearly_empty, 1, 1));
 
@@ -185,6 +226,7 @@ fn fully_pruned_group_writes_bias_only_tiles() {
     let cfg = config();
     let mut qw = weights(4, 4, 5);
     qw.w.iter_mut().for_each(|w| *w = Sm8::ZERO);
+    qw.invalidate_nnz_cache();
     qw.relu = false;
     qw.requant = Requantizer::IDENTITY;
     qw.bias_acc = vec![7, -3, 0, 120];

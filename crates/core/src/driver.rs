@@ -766,7 +766,7 @@ fn permute_filters(qw: &QuantConvWeights, order: &[usize]) -> QuantConvWeights {
         w.extend_from_slice(&qw.w[o * per_filter..(o + 1) * per_filter]);
         bias.push(qw.bias_acc[o]);
     }
-    QuantConvWeights { w, bias_acc: bias, ..qw.clone() }
+    QuantConvWeights::new(qw.out_c, qw.in_c, qw.k, w, bias, qw.requant, qw.relu)
 }
 
 /// Un-permutes channels of an FM produced under a filter grouping.

@@ -313,7 +313,7 @@ impl Instruction {
     /// # Errors
     /// Returns the first [`DecodeError`] encountered.
     pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
-        if bytes.len() % INSTR_BYTES != 0 {
+        if !bytes.len().is_multiple_of(INSTR_BYTES) {
             return Err(DecodeError::Truncated);
         }
         bytes.chunks(INSTR_BYTES).map(Instruction::decode).collect()

@@ -30,6 +30,7 @@
 
 pub mod analysis;
 pub mod bank;
+pub mod batch;
 pub mod config;
 pub mod cycle;
 pub mod driver;
@@ -41,6 +42,7 @@ pub mod weights;
 
 pub use analysis::LayerPackingStats;
 pub use bank::BankSet;
+pub use batch::{run_batch, BatchReport};
 pub use config::AccelConfig;
 pub use driver::{BackendKind, Driver, InferenceReport, LayerReport, PassStats, SocHandle};
 pub use isa::{ConvInstr, Instruction, PoolPadInstr, PoolPadOp};

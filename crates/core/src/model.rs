@@ -271,9 +271,9 @@ fn run_poolpad(
     let mut unit_work = vec![0u64; config.units];
     for c in 0..i.channels as usize {
         let bank = FmLayout::bank_of(c);
-        for pos in 0..positions {
-            unit_work[c % config.units] += prog_len[pos];
-            counters.add("pool_microops", prog_len[pos]);
+        for (pos, &plen) in prog_len.iter().enumerate() {
+            unit_work[c % config.units] += plen;
+            counters.add("pool_microops", plen);
             counters.add("ofm_tiles_written", 1);
             if !functional {
                 continue;
@@ -367,15 +367,15 @@ mod tests {
                 }
             })
             .collect();
-        QuantConvWeights {
+        QuantConvWeights::new(
             out_c,
             in_c,
-            k: 3,
+            3,
             w,
-            bias_acc: (0..out_c as i64).map(|o| (o * 17) % 50 - 25).collect(),
-            requant: Requantizer::from_ratio(1.0 / 32.0),
-            relu: true,
-        }
+            (0..out_c as i64).map(|o| (o * 17) % 50 - 25).collect(),
+            Requantizer::from_ratio(1.0 / 32.0),
+            true,
+        )
     }
 
     fn random_input(c: usize, h: usize, w: usize, seed: u64) -> Tensor<Sm8> {

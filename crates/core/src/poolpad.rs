@@ -83,7 +83,7 @@ pub fn compile_tile_program(op: PoolPadOp, oty: usize, otx: usize) -> Vec<MicroO
     // contributions.
     let mut contributions: Vec<Vec<((isize, isize), u16)>> = vec![Vec::new(); TILE_ELEMS];
 
-    for j in 0..TILE_ELEMS {
+    for (j, contribution) in contributions.iter_mut().enumerate() {
         let jy = j / TILE_DIM;
         let jx = j % TILE_DIM;
         let oy = (oty * TILE_DIM + jy) as isize;
@@ -114,9 +114,9 @@ pub fn compile_tile_program(op: PoolPadOp, oty: usize, otx: usize) -> Vec<MicroO
             }
             let t = (iy / TILE_DIM as isize, ix / TILE_DIM as isize);
             let cell = (iy % TILE_DIM as isize) * TILE_DIM as isize + ix % TILE_DIM as isize;
-            match contributions[j].iter_mut().find(|(tile, _)| *tile == t) {
+            match contribution.iter_mut().find(|(tile, _)| *tile == t) {
                 Some((_, mask)) => *mask |= 1 << cell,
-                None => contributions[j].push((t, 1u16 << cell)),
+                None => contribution.push((t, 1u16 << cell)),
             }
         }
     }

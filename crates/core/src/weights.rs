@@ -159,7 +159,7 @@ mod tests {
                 }
             })
             .collect();
-        QuantConvWeights { out_c, in_c, k, w, bias_acc: vec![0; out_c], requant: Requantizer::IDENTITY, relu: false }
+        QuantConvWeights::new(out_c, in_c, k, w, vec![0; out_c], Requantizer::IDENTITY, false)
     }
 
     #[test]
@@ -227,15 +227,7 @@ mod tests {
 
     #[test]
     fn all_zero_ifm_reports_zero_steps() {
-        let qw = QuantConvWeights {
-            out_c: 4,
-            in_c: 1,
-            k: 3,
-            w: vec![Sm8::ZERO; 36],
-            bias_acc: vec![0; 4],
-            requant: Requantizer::IDENTITY,
-            relu: false,
-        };
+        let qw = QuantConvWeights::new(4, 1, 3, vec![Sm8::ZERO; 36], vec![0; 4], Requantizer::IDENTITY, false);
         let g = GroupWeights::from_filters(&qw, 0, 4);
         assert_eq!(g.steps(0), 0);
         assert_eq!(g.total_nnz(), 0);

@@ -33,31 +33,12 @@ impl ValueRange {
     /// The symmetric range of an 8-bit sign+magnitude value.
     pub const SM8: ValueRange = ValueRange { min: -127, max: 127 };
 
-    /// Range of the sum of two values.
-    pub fn add(self, rhs: ValueRange) -> ValueRange {
-        ValueRange { min: self.min + rhs.min, max: self.max + rhs.max }
-    }
-
-    /// Range of the product of two values.
-    pub fn mul(self, rhs: ValueRange) -> ValueRange {
-        let candidates = [
-            self.min * rhs.min,
-            self.min * rhs.max,
-            self.max * rhs.min,
-            self.max * rhs.max,
-        ];
-        ValueRange {
-            min: *candidates.iter().min().expect("non-empty"),
-            max: *candidates.iter().max().expect("non-empty"),
-        }
-    }
-
     /// Range of a sum of `n` values drawn from this range (an
     /// accumulation), optionally plus a bias from `bias`.
     pub fn accumulate(self, n: u64, bias: Option<ValueRange>) -> ValueRange {
         let mut r = ValueRange { min: self.min * n as i64, max: self.max * n as i64 };
         if let Some(b) = bias {
-            r = r.add(b);
+            r = r + b;
         }
         r
     }
@@ -76,6 +57,33 @@ impl ValueRange {
             bits += 1;
         }
         64
+    }
+}
+
+/// Range of the sum of two values: interval addition.
+impl std::ops::Add for ValueRange {
+    type Output = ValueRange;
+
+    fn add(self, rhs: ValueRange) -> ValueRange {
+        ValueRange { min: self.min + rhs.min, max: self.max + rhs.max }
+    }
+}
+
+/// Range of the product of two values: interval multiplication.
+impl std::ops::Mul for ValueRange {
+    type Output = ValueRange;
+
+    fn mul(self, rhs: ValueRange) -> ValueRange {
+        let candidates = [
+            self.min * rhs.min,
+            self.min * rhs.max,
+            self.max * rhs.min,
+            self.max * rhs.max,
+        ];
+        ValueRange {
+            min: *candidates.iter().min().expect("non-empty"),
+            max: *candidates.iter().max().expect("non-empty"),
+        }
     }
 }
 
@@ -102,7 +110,7 @@ pub const MAX_BIAS_MAGNITUDE: i64 = BIAS_PRODUCT_EQUIVALENTS as i64 * 127 * 127;
 /// accumulated terms any OFM value sees (`in_c x k^2` of the deepest
 /// layer), with an 8-bit sign+magnitude datapath.
 pub fn minimize_widths(max_accum_terms: u64) -> DatapathWidths {
-    let product = ValueRange::SM8.mul(ValueRange::SM8);
+    let product = ValueRange::SM8 * ValueRange::SM8;
     let bias = ValueRange::new(-MAX_BIAS_MAGNITUDE, MAX_BIAS_MAGNITUDE);
     let accum = product.accumulate(max_accum_terms.max(1), Some(bias));
     // Tree stage: one conv unit contributes up to 4 lanes' products per
@@ -131,7 +139,7 @@ mod tests {
 
     #[test]
     fn sm8_product_fits_15_bits() {
-        let p = ValueRange::SM8.mul(ValueRange::SM8);
+        let p = ValueRange::SM8 * ValueRange::SM8;
         assert_eq!(p.max, 16129);
         assert_eq!(p.min, -16129);
         assert_eq!(p.required_bits(), 15);
@@ -178,9 +186,9 @@ mod tests {
         ) {
             let r1 = ValueRange::new(a.min(b), a.max(b));
             let r2 = ValueRange::new(c.min(d), c.max(d));
-            let sum = r1.add(r2);
+            let sum = r1 + r2;
             prop_assert!(sum.min <= a.min(b) + c.min(d) && a.max(b) + c.max(d) <= sum.max);
-            let prod = r1.mul(r2);
+            let prod = r1 * r2;
             for x in [r1.min, r1.max] {
                 for y in [r2.min, r2.max] {
                     prop_assert!(prod.min <= x * y && x * y <= prod.max);

@@ -1,7 +1,8 @@
 //! Convolution reference operators: float and integer-exact quantized.
 
-use zskip_quant::{Requantizer, Sm8};
-use zskip_tensor::{Shape, Tensor};
+use std::sync::OnceLock;
+use zskip_quant::{PackedTile, Requantizer, Sm8};
+use zskip_tensor::{Shape, Tensor, Tile, TILE_DIM};
 
 /// Float convolution weights for one layer, `[out_c][in_c][k][k]` row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,7 +47,12 @@ impl ConvWeights {
 
 /// Quantized (sign+magnitude) convolution weights plus the integer epilogue
 /// parameters; the exact operands the accelerator consumes.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Construct via [`QuantConvWeights::new`], which also sizes the internal
+/// per-filter nonzero cache. The data fields stay public for read access;
+/// code that mutates `w` in place after construction must call
+/// [`QuantConvWeights::invalidate_nnz_cache`] so nnz queries stay truthful.
+#[derive(Debug, Clone)]
 pub struct QuantConvWeights {
     /// Output channels.
     pub out_c: usize,
@@ -62,26 +68,81 @@ pub struct QuantConvWeights {
     pub requant: Requantizer,
     /// Whether ReLU is fused before requantization.
     pub relu: bool,
+    /// Lazily computed per-`(o, i)` nonzero counts, `out_c * in_c` entries.
+    /// Not part of the logical value: ignored by `PartialEq`.
+    nnz: OnceLock<Vec<u32>>,
+}
+
+impl PartialEq for QuantConvWeights {
+    fn eq(&self, other: &Self) -> bool {
+        self.out_c == other.out_c
+            && self.in_c == other.in_c
+            && self.k == other.k
+            && self.w == other.w
+            && self.bias_acc == other.bias_acc
+            && self.requant == other.requant
+            && self.relu == other.relu
+    }
 }
 
 impl QuantConvWeights {
+    /// Builds a quantized layer, validating geometry.
+    pub fn new(
+        out_c: usize,
+        in_c: usize,
+        k: usize,
+        w: Vec<Sm8>,
+        bias_acc: Vec<i64>,
+        requant: Requantizer,
+        relu: bool,
+    ) -> Self {
+        assert_eq!(w.len(), out_c * in_c * k * k, "weight count mismatch");
+        assert_eq!(bias_acc.len(), out_c, "bias count mismatch");
+        QuantConvWeights { out_c, in_c, k, w, bias_acc, requant, relu, nnz: OnceLock::new() }
+    }
+
     /// Weight at `[o][i][ky][kx]`.
     #[inline]
     pub fn at(&self, o: usize, i: usize, ky: usize, kx: usize) -> Sm8 {
         self.w[((o * self.in_c + i) * self.k + ky) * self.k + kx]
     }
 
-    /// Non-zero weight count of filter `(o, i)`.
-    pub fn filter_nnz(&self, o: usize, i: usize) -> usize {
+    /// The `k*k` filter slice for `(o, i)`.
+    pub fn filter(&self, o: usize, i: usize) -> &[Sm8] {
         let kk = self.k * self.k;
         let base = (o * self.in_c + i) * kk;
-        self.w[base..base + kk].iter().filter(|v| !v.is_zero()).count()
+        &self.w[base..base + kk]
+    }
+
+    /// The per-`(o, i)` nonzero table, computed once on first use.
+    fn nnz_table(&self) -> &[u32] {
+        self.nnz.get_or_init(|| {
+            let kk = self.k * self.k;
+            self.w
+                .chunks(kk.max(1))
+                .map(|f| f.iter().filter(|v| !v.is_zero()).count() as u32)
+                .collect()
+        })
+    }
+
+    /// Drops the cached nonzero counts. Must be called after mutating `w`
+    /// through the public field (e.g. re-sparsifying a layer in place);
+    /// the cache is rebuilt lazily on the next nnz query.
+    pub fn invalidate_nnz_cache(&mut self) {
+        self.nnz = OnceLock::new();
+    }
+
+    /// Non-zero weight count of filter `(o, i)` (cached; the driver asks
+    /// for this per filter per pass when balancing lockstep lanes).
+    pub fn filter_nnz(&self, o: usize, i: usize) -> usize {
+        self.nnz_table()[o * self.in_c + i] as usize
     }
 
     /// Total non-zero weights of output filter `o` across all input
     /// channels (the quantity filter grouping balances).
     pub fn output_filter_nnz(&self, o: usize) -> usize {
-        (0..self.in_c).map(|i| self.filter_nnz(o, i)).sum()
+        let t = self.nnz_table();
+        t[o * self.in_c..(o + 1) * self.in_c].iter().map(|&n| n as u64).sum::<u64>() as usize
     }
 
     /// Overall weight density in `[0, 1]`.
@@ -89,7 +150,47 @@ impl QuantConvWeights {
         if self.w.is_empty() {
             return 0.0;
         }
-        self.w.iter().filter(|v| !v.is_zero()).count() as f64 / self.w.len() as f64
+        let nonzero: u64 = self.nnz_table().iter().map(|&n| n as u64).sum();
+        nonzero as f64 / self.w.len() as f64
+    }
+
+    /// Packs every `(o, i)` filter to its nonzero taps `(dy, dx, value)` in
+    /// row-major tap order — the same offline packing the hardware's
+    /// scratchpad stream uses (paper §III-B). Kernels up to `4x4` reuse the
+    /// [`PackedTile`] tile encoding; larger kernels fall back to a scan.
+    /// `dy`/`dx` already fold in `-pad`, so consumers add them to the
+    /// stride-scaled output position directly.
+    pub fn packed_taps(&self, pad: usize) -> Vec<Vec<(isize, isize, Sm8)>> {
+        let k = self.k;
+        (0..self.out_c * self.in_c)
+            .map(|f| {
+                let (o, i) = (f / self.in_c, f % self.in_c);
+                let filter = self.filter(o, i);
+                let mut taps = Vec::with_capacity(self.filter_nnz(o, i));
+                if k <= TILE_DIM {
+                    // Filter fits one hardware tile: go through the packed
+                    // form so the golden model exercises the same offsets.
+                    let mut tile = Tile::<Sm8>::zero();
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            tile[(ky, kx)] = filter[ky * k + kx];
+                        }
+                    }
+                    for e in PackedTile::pack(&tile).entries() {
+                        let (ky, kx) = (e.offset as usize / TILE_DIM, e.offset as usize % TILE_DIM);
+                        taps.push((ky as isize - pad as isize, kx as isize - pad as isize, e.value));
+                    }
+                } else {
+                    for (idx, &v) in filter.iter().enumerate() {
+                        if !v.is_zero() {
+                            let (ky, kx) = (idx / k, idx % k);
+                            taps.push((ky as isize - pad as isize, kx as isize - pad as isize, v));
+                        }
+                    }
+                }
+                taps
+            })
+            .collect()
     }
 }
 
@@ -123,7 +224,83 @@ pub fn conv2d_f32(input: &Tensor<f32>, weights: &ConvWeights, stride: usize, pad
 /// Integer-exact quantized convolution: accumulates `i64`, applies the fused
 /// ReLU + multiply-shift epilogue. This is the **golden model** — the
 /// simulated accelerator must reproduce its output bit-for-bit.
+///
+/// Internally it runs on per-filter packed nonzero taps (the same
+/// zero-weight skipping the hardware does, via [`QuantConvWeights::packed_taps`]);
+/// `i64` accumulation makes the sum order-independent, so the result is
+/// bit-identical to the dense scan [`conv2d_quant_dense`] — property tests
+/// pin the two together.
 pub fn conv2d_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usize, pad: usize) -> Tensor<Sm8> {
+    let s = input.shape();
+    assert_eq!(s.c, weights.in_c, "input channels mismatch");
+    let out_h = (s.h + 2 * pad - weights.k) / stride + 1;
+    let out_w = (s.w + 2 * pad - weights.k) / stride + 1;
+    let taps = weights.packed_taps(pad);
+    let in_data = input.as_slice();
+    let mut out = Tensor::zeros(weights.out_c, out_h, out_w);
+    let out_slice = out.as_mut_slice();
+    // One i64 accumulator plane per output channel, visited tap-by-tap:
+    // each nonzero tap contributes a shifted copy of an input row to a
+    // contiguous span of accumulators (the span where the tap lands
+    // in-bounds; out-of-bounds taps read the zero padding and contribute
+    // nothing). Integer accumulation is order-independent, so this is
+    // bit-identical to the per-pixel scan.
+    let mut acc = vec![0i64; out_h * out_w];
+    for o in 0..weights.out_c {
+        acc.fill(weights.bias_acc[o]);
+        for (i, filter_taps) in taps[o * weights.in_c..(o + 1) * weights.in_c].iter().enumerate() {
+            let ibase = i * s.h * s.w;
+            for &(dy, dx, w) in filter_taps {
+                let wv = w.to_i32() as i64;
+                for y in 0..out_h {
+                    let iy = (y * stride) as isize + dy;
+                    if iy < 0 || iy >= s.h as isize {
+                        continue;
+                    }
+                    // Output columns whose tap sample 0 <= x*stride + dx < s.w.
+                    let x0 = if dx >= 0 { 0 } else { (dx.unsigned_abs()).div_ceil(stride) };
+                    let max_ix = s.w as isize - 1 - dx;
+                    if max_ix < 0 || x0 >= out_w {
+                        continue;
+                    }
+                    let x1 = (max_ix as usize / stride).min(out_w - 1);
+                    if x0 > x1 {
+                        continue;
+                    }
+                    let irow = ibase + iy as usize * s.w;
+                    let acc_run = &mut acc[y * out_w + x0..=y * out_w + x1];
+                    if stride == 1 {
+                        let istart = (irow + x0).wrapping_add_signed(dx);
+                        let in_run = &in_data[istart..istart + (x1 - x0 + 1)];
+                        for (a, &v) in acc_run.iter_mut().zip(in_run) {
+                            *a += wv * v.to_i32() as i64;
+                        }
+                    } else {
+                        for (j, a) in acc_run.iter_mut().enumerate() {
+                            let ix = ((x0 + j) * stride).wrapping_add_signed(dx);
+                            *a += wv * in_data[irow + ix].to_i32() as i64;
+                        }
+                    }
+                }
+            }
+        }
+        let plane = &mut out_slice[o * out_h * out_w..(o + 1) * out_h * out_w];
+        for (dst, &a) in plane.iter_mut().zip(&acc) {
+            *dst = if weights.relu { weights.requant.apply_relu(a) } else { weights.requant.apply(a) };
+        }
+    }
+    out
+}
+
+/// The dense reference scan: visits every weight, skipping zeros one by
+/// one. Kept as the baseline the packed fast path is property-tested
+/// against (and as the "no offline packing" ablation reference).
+pub fn conv2d_quant_dense(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+) -> Tensor<Sm8> {
     let s = input.shape();
     assert_eq!(s.c, weights.in_c, "input channels mismatch");
     let out_h = (s.h + 2 * pad - weights.k) / stride + 1;
@@ -166,6 +343,7 @@ pub fn conv_output_shape(input: Shape, weights_out_c: usize, k: usize, stride: u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use zskip_quant::QuantParams;
 
     #[test]
@@ -238,15 +416,15 @@ mod tests {
         let in_q = QuantParams::from_max_abs(input.as_slice());
         let w_q = QuantParams::from_max_abs(&w.w);
         let out_q = QuantParams::from_max_abs(float_out.as_slice());
-        let qw = QuantConvWeights {
+        let qw = QuantConvWeights::new(
             out_c,
             in_c,
-            k: 3,
-            w: w.w.iter().map(|&v| w_q.quantize(v)).collect(),
-            bias_acc: w.bias.iter().map(|&b| (b / (in_q.scale * w_q.scale)) as i64).collect(),
-            requant: Requantizer::from_ratio((in_q.scale * w_q.scale / out_q.scale) as f64),
-            relu: true,
-        };
+            3,
+            w.w.iter().map(|&v| w_q.quantize(v)).collect(),
+            w.bias.iter().map(|&b| (b / (in_q.scale * w_q.scale)) as i64).collect(),
+            Requantizer::from_ratio((in_q.scale * w_q.scale / out_q.scale) as f64),
+            true,
+        );
         let input_q = input.map(|v| in_q.quantize(v));
         let quant_out = conv2d_quant(&input_q, &qw, 1, 1);
 
@@ -260,17 +438,17 @@ mod tests {
     fn zero_weights_contribute_nothing() {
         // A half-zero weight tensor must give identical results whether
         // zeros are skipped (conv2d_quant skips) or multiplied.
-        let qw = QuantConvWeights {
-            out_c: 1,
-            in_c: 1,
-            k: 3,
-            w: (0..9)
+        let qw = QuantConvWeights::new(
+            1,
+            1,
+            3,
+            (0..9)
                 .map(|i| if i % 2 == 0 { Sm8::from_i32_saturating(i as i32 - 4) } else { Sm8::ZERO })
                 .collect(),
-            bias_acc: vec![3],
-            requant: Requantizer::IDENTITY,
-            relu: false,
-        };
+            vec![3],
+            Requantizer::IDENTITY,
+            false,
+        );
         let input = Tensor::from_fn(1, 5, 5, |_, y, x| Sm8::from_i32_saturating((y * 5 + x) as i32 - 12));
         let out = conv2d_quant(&input, &qw, 1, 1);
         // Manual check at center position (2,2).
@@ -290,20 +468,103 @@ mod tests {
 
     #[test]
     fn filter_nnz_counts() {
-        let qw = QuantConvWeights {
-            out_c: 2,
-            in_c: 1,
-            k: 3,
-            w: (0..18)
+        let qw = QuantConvWeights::new(
+            2,
+            1,
+            3,
+            (0..18)
                 .map(|i| if i < 9 { Sm8::from_i32_saturating(1) } else { Sm8::ZERO })
                 .collect(),
-            bias_acc: vec![0, 0],
-            requant: Requantizer::IDENTITY,
-            relu: false,
-        };
+            vec![0, 0],
+            Requantizer::IDENTITY,
+            false,
+        );
         assert_eq!(qw.filter_nnz(0, 0), 9);
         assert_eq!(qw.filter_nnz(1, 0), 0);
         assert_eq!(qw.output_filter_nnz(0), 9);
         assert_eq!(qw.density(), 0.5);
+    }
+
+    #[test]
+    fn nnz_cache_survives_clone_and_invalidation() {
+        let mut qw = QuantConvWeights::new(
+            1,
+            2,
+            3,
+            (0..18).map(|i| Sm8::from_i32_saturating((i % 3) as i32)).collect(),
+            vec![0],
+            Requantizer::IDENTITY,
+            false,
+        );
+        assert_eq!(qw.filter_nnz(0, 0), 6);
+        assert_eq!(qw.clone().filter_nnz(0, 1), 6);
+        // In-place mutation through the public field requires invalidation.
+        qw.w.iter_mut().for_each(|w| *w = Sm8::ZERO);
+        qw.invalidate_nnz_cache();
+        assert_eq!(qw.output_filter_nnz(0), 0);
+        assert_eq!(qw.density(), 0.0);
+    }
+
+    fn synthetic_qw(out_c: usize, in_c: usize, k: usize, seed: u64, relu: bool) -> QuantConvWeights {
+        QuantConvWeights::new(
+            out_c,
+            in_c,
+            k,
+            (0..out_c * in_c * k * k)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 3);
+                    if h % 3 == 0 {
+                        Sm8::ZERO
+                    } else {
+                        Sm8::from_i32_saturating(((h >> 8) % 255) as i32 - 127)
+                    }
+                })
+                .collect(),
+            (0..out_c as i64).map(|o| o * 13 - 5).collect(),
+            Requantizer::from_ratio(1.0 / 8.0),
+            relu,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn packed_conv_is_bit_exact_vs_dense(
+            out_c in 1usize..5,
+            in_c in 1usize..4,
+            hw in 3usize..9,
+            k in 1usize..6, // covers the PackedTile path (k<=4) and the fallback (k=5)
+            pad in 0usize..2,
+            stride in 1usize..3,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(hw + 2 * pad >= k);
+            let qw = synthetic_qw(out_c, in_c, k, seed, seed % 2 == 0);
+            let input = Tensor::from_fn(in_c, hw, hw, |c, y, x| {
+                Sm8::from_i32_saturating((((c * 131 + y * 17 + x * 3) as u64 ^ seed) % 255) as i32 - 127)
+            });
+            let dense = conv2d_quant_dense(&input, &qw, stride, pad);
+            let packed = conv2d_quant(&input, &qw, stride, pad);
+            prop_assert_eq!(dense, packed);
+        }
+
+        #[test]
+        fn nnz_cache_matches_rescan(
+            out_c in 1usize..6,
+            in_c in 1usize..5,
+            k in 1usize..5,
+            seed in 0u64..500,
+        ) {
+            let qw = synthetic_qw(out_c, in_c, k, seed, false);
+            for o in 0..out_c {
+                let mut total = 0;
+                for i in 0..in_c {
+                    let scan = qw.filter(o, i).iter().filter(|v| !v.is_zero()).count();
+                    prop_assert_eq!(qw.filter_nnz(o, i), scan);
+                    total += scan;
+                }
+                prop_assert_eq!(qw.output_filter_nnz(o), total);
+            }
+        }
     }
 }

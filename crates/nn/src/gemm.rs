@@ -7,29 +7,49 @@
 //! structure with the direct path. Property tests pin the two
 //! implementations together, so an indexing bug in either is caught by
 //! the other.
+//!
+//! The GEMMs are register-tiled and cache-blocked: a `4x4` micro-kernel
+//! holds sixteen accumulators in registers and streams the im2col matrix
+//! through fixed-size array windows (eliding per-element bounds checks).
+//! Bit-exactness with the naive triple loop is preserved by construction —
+//! every output element owns a single accumulator that walks the reduction
+//! dimension in ascending order, so the float rounding sequence is
+//! identical; the `_naive` variants stay as property-test baselines.
 
 use crate::conv::{ConvWeights, QuantConvWeights};
 use zskip_quant::Sm8;
 use zskip_tensor::{Shape, Tensor};
 
-/// Lowers input patches to a `(in_c * k * k) x (out_h * out_w)` matrix in
-/// row-major order (one column per output position).
-pub fn im2col_f32(input: &Tensor<f32>, k: usize, stride: usize, pad: usize) -> (Vec<f32>, Shape) {
+/// Micro-kernel tile: MR output channels x NR output positions.
+const MR: usize = 4;
+const NR: usize = 4;
+
+/// Lowers input patches to a `(c * k * k) x (out_h * out_w)` matrix in
+/// row-major order (one column per output position). Generic over the
+/// element type — the float and quantized paths share this single routine.
+pub fn im2col<T: Copy + Default>(
+    input: &Tensor<T>,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    zero: T,
+) -> (Vec<T>, Shape) {
     let s = input.shape();
     let out_h = (s.h + 2 * pad - k) / stride + 1;
     let out_w = (s.w + 2 * pad - k) / stride + 1;
     let rows = s.c * k * k;
     let cols = out_h * out_w;
-    let mut m = vec![0f32; rows * cols];
+    let mut m = vec![zero; rows * cols];
     for c in 0..s.c {
         for ky in 0..k {
             for kx in 0..k {
                 let row = (c * k + ky) * k + kx;
+                let dst = &mut m[row * cols..(row + 1) * cols];
                 for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
                     for ox in 0..out_w {
-                        let iy = (oy * stride + ky) as isize - pad as isize;
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        m[row * cols + oy * out_w + ox] = input.get_or(c, iy, ix, 0.0);
+                        dst[oy * out_w + ox] = input.get_or(c, iy, ix, zero);
                     }
                 }
             }
@@ -38,7 +58,12 @@ pub fn im2col_f32(input: &Tensor<f32>, k: usize, stride: usize, pad: usize) -> (
     (m, Shape::new(rows, out_h, out_w))
 }
 
-/// Float convolution via im2col + GEMM (`out = W x patches + bias`).
+/// Float im2col (kept for API compatibility; forwards to [`im2col`]).
+pub fn im2col_f32(input: &Tensor<f32>, k: usize, stride: usize, pad: usize) -> (Vec<f32>, Shape) {
+    im2col(input, k, stride, pad, 0.0)
+}
+
+/// Float convolution via im2col + blocked GEMM (`out = W x patches + bias`).
 pub fn conv2d_gemm_f32(
     input: &Tensor<f32>,
     weights: &ConvWeights,
@@ -46,7 +71,91 @@ pub fn conv2d_gemm_f32(
     pad: usize,
     relu: bool,
 ) -> Tensor<f32> {
-    let (m, mshape) = im2col_f32(input, weights.k, stride, pad);
+    let (m, mshape) = im2col(input, weights.k, stride, pad, 0.0);
+    let cols = mshape.h * mshape.w;
+    let rows = mshape.c;
+    let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
+    let out_slice = out.as_mut_slice();
+    let w = &weights.w[..];
+
+    let mut ob = 0;
+    while ob < weights.out_c {
+        if weights.out_c - ob >= MR {
+            // Four filter rows, resolved to slices once per block.
+            let w0 = &w[ob * rows..(ob + 1) * rows];
+            let w1 = &w[(ob + 1) * rows..(ob + 2) * rows];
+            let w2 = &w[(ob + 2) * rows..(ob + 3) * rows];
+            let w3 = &w[(ob + 3) * rows..(ob + 4) * rows];
+            let bias = [
+                weights.bias[ob],
+                weights.bias[ob + 1],
+                weights.bias[ob + 2],
+                weights.bias[ob + 3],
+            ];
+            let mut jb = 0;
+            while jb + NR <= cols {
+                // 4x4 register tile; each accumulator walks r in order, so
+                // the rounding sequence matches the naive loop exactly.
+                let mut acc = [[0f32; NR]; MR];
+                for (mi, a) in acc.iter_mut().enumerate() {
+                    *a = [bias[mi]; NR];
+                }
+                for r in 0..rows {
+                    let mbase = r * cols + jb;
+                    let mr: [f32; NR] = m[mbase..mbase + NR].try_into().expect("NR window");
+                    let wv = [w0[r], w1[r], w2[r], w3[r]];
+                    for (acc_row, &wvm) in acc.iter_mut().zip(&wv) {
+                        for (a, &mv) in acc_row.iter_mut().zip(&mr) {
+                            *a += wvm * mv;
+                        }
+                    }
+                }
+                for (mi, acc_row) in acc.iter().enumerate() {
+                    let obase = (ob + mi) * cols + jb;
+                    for (ni, &v) in acc_row.iter().enumerate() {
+                        out_slice[obase + ni] = if relu { v.max(0.0) } else { v };
+                    }
+                }
+                jb += NR;
+            }
+            // Column remainder: scalar, same reduction order.
+            for o in ob..ob + MR {
+                let wrow = &w[o * rows..(o + 1) * rows];
+                for j in jb..cols {
+                    let mut acc = weights.bias[o];
+                    for (r, &wv) in wrow.iter().enumerate() {
+                        acc += wv * m[r * cols + j];
+                    }
+                    out_slice[o * cols + j] = if relu { acc.max(0.0) } else { acc };
+                }
+            }
+            ob += MR;
+        } else {
+            // Output-channel remainder: scalar rows.
+            let wrow = &w[ob * rows..(ob + 1) * rows];
+            for j in 0..cols {
+                let mut acc = weights.bias[ob];
+                for (r, &wv) in wrow.iter().enumerate() {
+                    acc += wv * m[r * cols + j];
+                }
+                out_slice[ob * cols + j] = if relu { acc.max(0.0) } else { acc };
+            }
+            ob += 1;
+        }
+    }
+    out
+}
+
+/// The original naive triple loop, kept as the property-test baseline for
+/// the blocked kernel.
+pub fn conv2d_gemm_f32_naive(
+    input: &Tensor<f32>,
+    weights: &ConvWeights,
+    stride: usize,
+    pad: usize,
+    relu: bool,
+) -> Tensor<f32> {
+    let (m, mshape) = im2col(input, weights.k, stride, pad, 0.0);
     let cols = mshape.h * mshape.w;
     let rows = mshape.c;
     let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
@@ -63,32 +172,97 @@ pub fn conv2d_gemm_f32(
     out
 }
 
-/// Integer-exact quantized convolution via im2col + GEMM; must agree
-/// bit-for-bit with [`crate::conv::conv2d_quant`].
+/// Integer-exact quantized convolution via im2col + blocked GEMM; must
+/// agree bit-for-bit with [`crate::conv::conv2d_quant`].
 pub fn conv2d_gemm_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usize, pad: usize) -> Tensor<Sm8> {
-    let s = input.shape();
-    let k = weights.k;
-    let out_h = (s.h + 2 * pad - k) / stride + 1;
-    let out_w = (s.w + 2 * pad - k) / stride + 1;
-    let rows = s.c * k * k;
-    let cols = out_h * out_w;
-    // Integer im2col.
-    let mut m = vec![Sm8::ZERO; rows * cols];
-    for c in 0..s.c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                for oy in 0..out_h {
-                    for ox in 0..out_w {
-                        let iy = (oy * stride + ky) as isize - pad as isize;
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        m[row * cols + oy * out_w + ox] = input.get_or(c, iy, ix, Sm8::ZERO);
+    let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
+    let cols = mshape.h * mshape.w;
+    let rows = mshape.c;
+    let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
+    let out_slice = out.as_mut_slice();
+    let w = &weights.w[..];
+    let epilogue = |acc: i64| {
+        if weights.relu {
+            weights.requant.apply_relu(acc)
+        } else {
+            weights.requant.apply(acc)
+        }
+    };
+
+    let mut ob = 0;
+    while ob < weights.out_c {
+        if weights.out_c - ob >= MR {
+            let w0 = &w[ob * rows..(ob + 1) * rows];
+            let w1 = &w[(ob + 1) * rows..(ob + 2) * rows];
+            let w2 = &w[(ob + 2) * rows..(ob + 3) * rows];
+            let w3 = &w[(ob + 3) * rows..(ob + 4) * rows];
+            let bias = [
+                weights.bias_acc[ob],
+                weights.bias_acc[ob + 1],
+                weights.bias_acc[ob + 2],
+                weights.bias_acc[ob + 3],
+            ];
+            let mut jb = 0;
+            while jb + NR <= cols {
+                let mut acc = [[0i64; NR]; MR];
+                for (mi, a) in acc.iter_mut().enumerate() {
+                    *a = [bias[mi]; NR];
+                }
+                for r in 0..rows {
+                    let mbase = r * cols + jb;
+                    let mr: [Sm8; NR] = m[mbase..mbase + NR].try_into().expect("NR window");
+                    let wv = [w0[r], w1[r], w2[r], w3[r]];
+                    for (acc_row, &wvm) in acc.iter_mut().zip(&wv) {
+                        for (a, &mv) in acc_row.iter_mut().zip(&mr) {
+                            *a += wvm.mul_exact(mv) as i64;
+                        }
                     }
                 }
+                for (mi, acc_row) in acc.iter().enumerate() {
+                    let obase = (ob + mi) * cols + jb;
+                    for (ni, &v) in acc_row.iter().enumerate() {
+                        out_slice[obase + ni] = epilogue(v);
+                    }
+                }
+                jb += NR;
             }
+            for o in ob..ob + MR {
+                let wrow = &w[o * rows..(o + 1) * rows];
+                for j in jb..cols {
+                    let mut acc: i64 = weights.bias_acc[o];
+                    for (r, &wv) in wrow.iter().enumerate() {
+                        acc += wv.mul_exact(m[r * cols + j]) as i64;
+                    }
+                    out_slice[o * cols + j] = epilogue(acc);
+                }
+            }
+            ob += MR;
+        } else {
+            let wrow = &w[ob * rows..(ob + 1) * rows];
+            for j in 0..cols {
+                let mut acc: i64 = weights.bias_acc[ob];
+                for (r, &wv) in wrow.iter().enumerate() {
+                    acc += wv.mul_exact(m[r * cols + j]) as i64;
+                }
+                out_slice[ob * cols + j] = epilogue(acc);
+            }
+            ob += 1;
         }
     }
-    let mut out = Tensor::zeros(weights.out_c, out_h, out_w);
+    out
+}
+
+/// The original naive quantized GEMM, kept as the property-test baseline.
+pub fn conv2d_gemm_quant_naive(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+) -> Tensor<Sm8> {
+    let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
+    let cols = mshape.h * mshape.w;
+    let rows = mshape.c;
+    let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
     for o in 0..weights.out_c {
         let wrow = &weights.w[o * rows..(o + 1) * rows];
         for j in 0..cols {
@@ -121,6 +295,23 @@ mod tests {
         w
     }
 
+    fn quant_weights(out_c: usize, in_c: usize, k: usize, seed: u64) -> QuantConvWeights {
+        QuantConvWeights::new(
+            out_c,
+            in_c,
+            k,
+            (0..out_c * in_c * k * k)
+                .map(|i| {
+                    let v = ((i as u64).wrapping_mul(seed.wrapping_mul(2654435761) | 1) >> 9) % 255;
+                    Sm8::from_i32_saturating(v as i32 - 127)
+                })
+                .collect(),
+            (0..out_c as i64).map(|o| o * 7 - 11).collect(),
+            Requantizer::from_ratio(1.0 / 16.0),
+            seed % 2 == 0,
+        )
+    }
+
     #[test]
     fn gemm_matches_direct_float() {
         let w = float_weights(4, 3, 3, 17);
@@ -148,6 +339,15 @@ mod tests {
         assert_eq!(m[0], 0.0);
     }
 
+    #[test]
+    fn generic_im2col_matches_float_path() {
+        let input = Tensor::from_fn(2, 5, 6, |c, y, x| (c * 30 + y * 6 + x) as f32 * 0.5 - 7.0);
+        let (a, ashape) = im2col_f32(&input, 3, 2, 1);
+        let (b, bshape) = im2col(&input, 3, 2, 1, 0.0f32);
+        assert_eq!(ashape, bshape);
+        assert_eq!(a, b);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
         #[test]
@@ -161,26 +361,62 @@ mod tests {
             seed in 0u64..500,
         ) {
             prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
-            let qw = QuantConvWeights {
-                out_c,
-                in_c,
-                k,
-                w: (0..out_c * in_c * k * k)
-                    .map(|i| {
-                        let v = ((i as u64).wrapping_mul(seed.wrapping_mul(2654435761) | 1) >> 9) % 255;
-                        Sm8::from_i32_saturating(v as i32 - 127)
-                    })
-                    .collect(),
-                bias_acc: (0..out_c as i64).map(|o| o * 7 - 11).collect(),
-                requant: Requantizer::from_ratio(1.0 / 16.0),
-                relu: seed % 2 == 0,
-            };
+            let qw = quant_weights(out_c, in_c, k, seed);
             let input = Tensor::from_fn(in_c, h, w, |c, y, x| {
                 Sm8::from_i32_saturating((((c * 131 + y * 17 + x * 3) as u64 ^ seed) % 255) as i32 - 127)
             });
             let direct = conv2d_quant(&input, &qw, 1, pad);
             let gemm = conv2d_gemm_quant(&input, &qw, 1, pad);
             prop_assert_eq!(direct, gemm);
+        }
+
+        // Blocked vs. naive, FLOAT: exact f32 equality. The blocked kernel
+        // must preserve the naive accumulation order per output element.
+        #[test]
+        fn blocked_f32_gemm_is_bit_exact_vs_naive(
+            out_c in 1usize..10, // crosses the MR=4 boundary and remainders
+            in_c in 1usize..4,
+            h in 3usize..10,
+            w in 3usize..10,
+            k in 1usize..4,
+            pad in 0usize..2,
+            stride in 1usize..3,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+            let cw = float_weights(out_c, in_c, k, seed | 1);
+            let input = Tensor::from_fn(in_c, h, w, |c, y, x| {
+                (((c * 67 + y * 13 + x * 5) as u64 ^ seed) % 199) as f32 * 0.013 - 1.2
+            });
+            let relu = seed % 2 == 0;
+            let naive = conv2d_gemm_f32_naive(&input, &cw, stride, pad, relu);
+            let blocked = conv2d_gemm_f32(&input, &cw, stride, pad, relu);
+            prop_assert_eq!(naive.shape(), blocked.shape());
+            // Bit-exact: compare raw bits, not approximate equality.
+            for (a, b) in naive.as_slice().iter().zip(blocked.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Blocked vs. naive, QUANT: i64 accumulation is order-exact.
+        #[test]
+        fn blocked_quant_gemm_is_bit_exact_vs_naive(
+            out_c in 1usize..10,
+            in_c in 1usize..4,
+            hw in 3usize..10,
+            k in 1usize..4,
+            pad in 0usize..2,
+            stride in 1usize..3,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(hw + 2 * pad >= k);
+            let qw = quant_weights(out_c, in_c, k, seed);
+            let input = Tensor::from_fn(in_c, hw, hw, |c, y, x| {
+                Sm8::from_i32_saturating((((c * 37 + y * 11 + x * 7) as u64 ^ seed) % 255) as i32 - 127)
+            });
+            let naive = conv2d_gemm_quant_naive(&input, &qw, stride, pad);
+            let blocked = conv2d_gemm_quant(&input, &qw, stride, pad);
+            prop_assert_eq!(naive, blocked);
         }
     }
 }

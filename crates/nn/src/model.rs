@@ -153,19 +153,18 @@ impl Network {
                     let wq = QuantParams::from_max_abs(&w.w);
                     conv.push(QuantizedConvLayer {
                         layer_index: li,
-                        weights: QuantConvWeights {
-                            out_c: w.out_c,
-                            in_c: w.in_c,
-                            k: w.k,
-                            w: w.w.iter().map(|&v| wq.quantize(v)).collect(),
-                            bias_acc: w
-                                .bias
+                        weights: QuantConvWeights::new(
+                            w.out_c,
+                            w.in_c,
+                            w.k,
+                            w.w.iter().map(|&v| wq.quantize(v)).collect(),
+                            w.bias
                                 .iter()
                                 .map(|&b| (b / (s_in * wq.scale)).round() as i64)
                                 .collect(),
-                            requant: Requantizer::from_ratio((s_in * wq.scale / s_out) as f64),
-                            relu: *relu,
-                        },
+                            Requantizer::from_ratio((s_in * wq.scale / s_out) as f64),
+                            *relu,
+                        ),
                         in_scale: s_in,
                         w_scale: wq.scale,
                         out_scale: s_out,
@@ -224,6 +223,7 @@ impl Network {
                     w.bias.iter().map(|&b| (b / (s_in * t.scale)).round() as i64).collect();
                 ql.weights.requant = t.requantizer(s_in, s_out);
                 ql.weights.relu = *relu;
+                ql.weights.invalidate_nnz_cache();
                 ql.w_scale = t.scale;
                 conv_i += 1;
             }

@@ -51,7 +51,7 @@ pub fn vgg16_spec() -> NetworkSpec {
 /// # Panics
 /// Panics if `input_hw` is not a positive multiple of 32.
 pub fn vgg16_scaled_spec(input_hw: usize) -> NetworkSpec {
-    assert!(input_hw > 0 && input_hw % 32 == 0, "input_hw must be a positive multiple of 32");
+    assert!(input_hw > 0 && input_hw.is_multiple_of(32), "input_hw must be a positive multiple of 32");
     let mut spec = vgg16_spec();
     spec.name = format!("vgg16-{input_hw}");
     spec.input = Shape::new(3, input_hw, input_hw);

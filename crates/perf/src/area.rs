@@ -1,10 +1,10 @@
 //! Per-module area breakdown (paper Fig. 6) and utilization summary.
 
-use serde::Serialize;
 use zskip_hls::{ModuleKind, SynthesisResult};
+use zskip_json::{Json, ToJson};
 
 /// One row of the Fig. 6 breakdown.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AreaRow {
     /// Module label (paper Fig. 6 naming).
     pub module: String,
@@ -18,8 +18,20 @@ pub struct AreaRow {
     pub alm_share: f64,
 }
 
+impl ToJson for AreaRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("module", self.module.to_json()),
+            ("count", self.count.to_json()),
+            ("alms", self.alms.to_json()),
+            ("dsps", self.dsps.to_json()),
+            ("alm_share", self.alm_share.to_json()),
+        ])
+    }
+}
+
 /// The full Fig. 6 data set for one synthesized design.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AreaBreakdown {
     /// Variant label.
     pub variant: String,
@@ -34,6 +46,19 @@ pub struct AreaBreakdown {
     pub dsp_utilization: f64,
     /// M20K utilization fraction.
     pub m20k_utilization: f64,
+}
+
+impl ToJson for AreaBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("variant", self.variant.to_json()),
+            ("rows", self.rows.to_json()),
+            ("total_alms", self.total_alms.to_json()),
+            ("alm_utilization", self.alm_utilization.to_json()),
+            ("dsp_utilization", self.dsp_utilization.to_json()),
+            ("m20k_utilization", self.m20k_utilization.to_json()),
+        ])
+    }
 }
 
 impl AreaBreakdown {

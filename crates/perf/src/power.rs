@@ -16,7 +16,7 @@
 //! (500 dynamic) at 150 MHz / 110 kALM, 512-opt = 3300 mW (800 dynamic)
 //! at ~120 MHz / 209 kALM, boards 9500 / 10800 mW.
 
-use serde::Serialize;
+use zskip_json::{Json, ToJson};
 
 /// Calibrated power model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +46,7 @@ impl Default for PowerModel {
 }
 
 /// A power estimate for one operating point.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PowerEstimate {
     /// FPGA static power (mW).
     pub static_mw: f64,
@@ -56,6 +56,17 @@ pub struct PowerEstimate {
     pub fpga_mw: f64,
     /// Board-level total (mW).
     pub board_mw: f64,
+}
+
+impl ToJson for PowerEstimate {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("static_mw", self.static_mw.to_json()),
+            ("dynamic_mw", self.dynamic_mw.to_json()),
+            ("fpga_mw", self.fpga_mw.to_json()),
+            ("board_mw", self.board_mw.to_json()),
+        ])
+    }
 }
 
 impl PowerModel {

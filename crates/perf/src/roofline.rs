@@ -14,10 +14,10 @@
 //! is why the paper's evaluation centers on cycle efficiency rather than
 //! bandwidth — the roofline makes that quantitative.
 
-use serde::Serialize;
+use zskip_json::{Json, ToJson};
 
 /// Which ceiling binds a layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {
     /// The MAC array is the limit.
     Compute,
@@ -25,8 +25,21 @@ pub enum Bound {
     Memory,
 }
 
+impl ToJson for Bound {
+    fn to_json(&self) -> Json {
+        // Matches serde's unit-variant encoding: the variant name as a string.
+        Json::Str(
+            match self {
+                Bound::Compute => "Compute",
+                Bound::Memory => "Memory",
+            }
+            .to_string(),
+        )
+    }
+}
+
 /// Roofline data for one layer.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RooflinePoint {
     /// Layer name.
     pub name: String,
@@ -42,6 +55,20 @@ pub struct RooflinePoint {
     pub achieved_gops: f64,
     /// Binding ceiling.
     pub bound: Bound,
+}
+
+impl ToJson for RooflinePoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("ops", self.ops.to_json()),
+            ("ddr_bytes", self.ddr_bytes.to_json()),
+            ("intensity", self.intensity.to_json()),
+            ("attainable_gops", self.attainable_gops.to_json()),
+            ("achieved_gops", self.achieved_gops.to_json()),
+            ("bound", self.bound.to_json()),
+        ])
+    }
 }
 
 /// The machine's two ceilings.

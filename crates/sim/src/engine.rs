@@ -18,6 +18,28 @@ pub enum Progress {
     Done,
 }
 
+/// How far ahead a kernel's behavior is predictable while the design is
+/// quiescent (no kernel busy, no FIFO transfer). Drives idle-cycle
+/// fast-forwarding: when every unfinished kernel is non-[`Opaque`], the
+/// engine can jump the cycle counter over the stretch instead of ticking
+/// through it.
+///
+/// [`Opaque`]: Horizon::Opaque
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Horizon {
+    /// The engine cannot predict this kernel: tick it every cycle. The
+    /// default — always safe.
+    Opaque,
+    /// The kernel only reacts to FIFO state: while its FIFOs are
+    /// unchanged, its tick returns the same [`Progress`], mutates no
+    /// kernel state, touches no [`Ctx::counters`].
+    Reactive,
+    /// As [`Reactive`](Horizon::Reactive) until the given absolute cycle,
+    /// at which point the kernel may act on its own (e.g. a modeled
+    /// host-polling interval or DMA completion latency).
+    Sleep(u64),
+}
+
 /// A streaming hardware kernel (one synthesized Pthread).
 ///
 /// `M` is the message type carried by the design's FIFOs; a design defines
@@ -29,6 +51,18 @@ pub trait Kernel<M> {
 
     /// Advances the kernel by one clock cycle.
     fn tick(&mut self, ctx: &mut Ctx<'_, M>) -> Progress;
+
+    /// Declares how far the kernel is predictable during quiescence.
+    /// Defaults to [`Horizon::Opaque`] (never fast-forwarded).
+    fn horizon(&self) -> Horizon {
+        Horizon::Opaque
+    }
+
+    /// Notifies the kernel that the engine skipped `_skipped` quiescent
+    /// cycles without ticking it, so per-cycle side effects that are
+    /// invariant under quiescence (e.g. committing a shared resource's
+    /// port state) can be replayed in bulk. Default: nothing to replay.
+    fn fast_forward(&mut self, _skipped: u64) {}
 }
 
 /// Access to the design's FIFOs during a tick, with port-semantics
@@ -90,12 +124,16 @@ pub struct Engine<M> {
     cycle: u64,
     deadlock_window: u64,
     trace: Option<Trace>,
+    fast_forward: bool,
+    skipped: u64,
 }
 
 struct KernelSlot<M> {
     kernel: Box<dyn Kernel<M>>,
     stats: KernelStats,
     done: bool,
+    /// Progress of the most recent tick, replayed over skipped cycles.
+    last: Progress,
 }
 
 /// Outcome of a completed run.
@@ -186,7 +224,28 @@ impl<M> Engine<M> {
             cycle: 0,
             deadlock_window: 10_000,
             trace: None,
+            fast_forward: false,
+            skipped: 0,
         }
+    }
+
+    /// Enables idle-cycle fast-forwarding: when a cycle ends with no
+    /// kernel busy and no FIFO transfer, and every unfinished kernel
+    /// declares a non-[`Horizon::Opaque`] horizon, the engine jumps the
+    /// cycle counter to the next possible event (earliest
+    /// [`Horizon::Sleep`] wake-up, deadlock declaration, or cycle limit)
+    /// and replays the skipped cycles into [`KernelStats`], FIFO
+    /// occupancy statistics and the [`Trace`] — the resulting
+    /// [`RunReport`] is identical to ticking cycle by cycle. Per-FIFO
+    /// *port-poll* counts (push/pop stall attempts) are not accrued over
+    /// skipped cycles, since no tick executes to make the attempt.
+    pub fn enable_fast_forward(&mut self) {
+        self.fast_forward = true;
+    }
+
+    /// Cycles elided by fast-forwarding so far (0 unless enabled).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped
     }
 
     /// Enables waveform tracing with a window of `capacity` cycles.
@@ -223,7 +282,7 @@ impl<M> Engine<M> {
         if let Some(t) = &mut self.trace {
             t.add_kernel(kernel.name());
         }
-        self.kernels.push(KernelSlot { kernel, stats: KernelStats::default(), done: false });
+        self.kernels.push(KernelSlot { kernel, stats: KernelStats::default(), done: false, last: Progress::Idle });
     }
 
     /// Current cycle count.
@@ -260,16 +319,21 @@ impl<M> Engine<M> {
             self.end_cycle();
             if any_busy || fifo_activity {
                 last_activity = self.cycle;
-            } else if self.cycle - last_activity > self.deadlock_window {
-                return Err(SimError::Deadlock {
-                    cycle: self.cycle,
-                    blocked: self
-                        .kernels
-                        .iter()
-                        .filter(|k| !k.done)
-                        .map(|k| k.kernel.name().to_string())
-                        .collect(),
-                });
+            } else {
+                if self.fast_forward {
+                    self.try_skip(last_activity, max_cycles);
+                }
+                if self.cycle - last_activity > self.deadlock_window {
+                    return Err(SimError::Deadlock {
+                        cycle: self.cycle,
+                        blocked: self
+                            .kernels
+                            .iter()
+                            .filter(|k| !k.done)
+                            .map(|k| k.kernel.name().to_string())
+                            .collect(),
+                    });
+                }
             }
         }
         Ok(self.report())
@@ -291,6 +355,7 @@ impl<M> Engine<M> {
             if let Some(t) = &mut self.trace {
                 t.record(k, self.cycle, progress);
             }
+            slot.last = progress;
             match progress {
                 Progress::Busy => {
                     slot.stats.busy += 1;
@@ -305,6 +370,56 @@ impl<M> Engine<M> {
             }
         }
         any_busy
+    }
+
+    /// Attempts to jump over a quiescent stretch. Called after a cycle in
+    /// which nothing was busy and no FIFO moved data, so the cycle just
+    /// observed would repeat verbatim until the next event: the earliest
+    /// [`Horizon::Sleep`] wake-up, the deadlock declaration, or the cycle
+    /// limit. Replays the observed per-kernel [`Progress`] and FIFO
+    /// occupancies over the skipped span so the final report is identical
+    /// to ticking through it.
+    fn try_skip(&mut self, last_activity: u64, max_cycles: u64) {
+        let mut wake = u64::MAX;
+        for slot in &self.kernels {
+            if slot.done {
+                continue;
+            }
+            match slot.kernel.horizon() {
+                Horizon::Opaque => return,
+                Horizon::Reactive => {}
+                Horizon::Sleep(cycle) => wake = wake.min(cycle),
+            }
+        }
+        // The deadlock check fires at `last_activity + window + 1`; the
+        // limit check fires at `max_cycles`. Skip to whichever event is
+        // first, never backwards.
+        let deadlock_at = last_activity.saturating_add(self.deadlock_window).saturating_add(1);
+        let target = wake.min(deadlock_at).min(max_cycles).max(self.cycle);
+        let n = target - self.cycle;
+        if n == 0 {
+            return;
+        }
+        for (k, slot) in self.kernels.iter_mut().enumerate() {
+            let progress = if slot.done { Progress::Done } else { slot.last };
+            match progress {
+                Progress::Busy => unreachable!("skip only follows a cycle with no busy kernel"),
+                Progress::Blocked => slot.stats.blocked += n,
+                Progress::Idle => slot.stats.idle += n,
+                Progress::Done => slot.stats.done += n,
+            }
+            if let Some(t) = &mut self.trace {
+                t.record_span(k, self.cycle, n, progress);
+            }
+            if !slot.done {
+                slot.kernel.fast_forward(n);
+            }
+        }
+        for f in self.fifos.iter_mut() {
+            f.fast_forward(n);
+        }
+        self.cycle += n;
+        self.skipped += n;
     }
 
     /// Commits FIFO staging and advances the cycle counter.
@@ -521,6 +636,174 @@ mod tests {
             }
             other => panic!("expected cycle limit, got {other:?}"),
         }
+    }
+
+    /// Emits one value every `period` cycles (a modeled host-polling or
+    /// DMA-latency interval), declaring a [`Horizon::Sleep`] so the
+    /// engine can jump the gaps.
+    struct SlowSource {
+        out: FifoId,
+        period: u64,
+        next_emit: u64,
+        emitted: u32,
+        count: u32,
+    }
+
+    impl Kernel<u32> for SlowSource {
+        fn name(&self) -> &str {
+            "slow-source"
+        }
+        fn tick(&mut self, ctx: &mut Ctx<'_, u32>) -> Progress {
+            if self.emitted == self.count {
+                return Progress::Done;
+            }
+            if ctx.cycle < self.next_emit {
+                return Progress::Idle;
+            }
+            match ctx.fifos.try_push(self.out, self.emitted) {
+                Ok(()) => {
+                    self.emitted += 1;
+                    self.next_emit = ctx.cycle + self.period;
+                    ctx.counters.add("emitted", 1);
+                    Progress::Busy
+                }
+                Err(_) => Progress::Blocked,
+            }
+        }
+        fn horizon(&self) -> Horizon {
+            Horizon::Sleep(self.next_emit)
+        }
+    }
+
+    /// A sink that is a pure function of its input FIFO.
+    struct ReactiveSink {
+        inp: FifoId,
+        expect_next: u32,
+        count: u32,
+    }
+
+    impl Kernel<u32> for ReactiveSink {
+        fn name(&self) -> &str {
+            "reactive-sink"
+        }
+        fn tick(&mut self, ctx: &mut Ctx<'_, u32>) -> Progress {
+            if self.expect_next == self.count {
+                return Progress::Done;
+            }
+            match ctx.fifos.try_pop(self.inp) {
+                Some(v) => {
+                    assert_eq!(v, self.expect_next);
+                    self.expect_next += 1;
+                    Progress::Busy
+                }
+                None => Progress::Blocked,
+            }
+        }
+        fn horizon(&self) -> Horizon {
+            Horizon::Reactive
+        }
+    }
+
+    fn sparse_design(fast: bool) -> Engine<u32> {
+        let mut e = Engine::new();
+        if fast {
+            e.enable_fast_forward();
+        }
+        let q = e.add_fifo(Fifo::new("q", 2));
+        e.add_kernel(Box::new(SlowSource { out: q, period: 5_000, next_emit: 0, emitted: 0, count: 10 }));
+        e.add_kernel(Box::new(ReactiveSink { inp: q, expect_next: 0, count: 10 }));
+        e
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_stretches_with_identical_report() {
+        let mut slow = sparse_design(false);
+        let mut fast = sparse_design(true);
+        // Window must exceed the idle period or the slow run deadlocks.
+        slow.set_deadlock_window(10_000);
+        fast.set_deadlock_window(10_000);
+        let a = slow.run(1_000_000).expect("completes");
+        let b = fast.run(1_000_000).expect("completes");
+        assert_eq!(a, b, "fast-forwarded report must be identical");
+        assert!(a.cycles > 45_000, "ten 5000-cycle periods: {}", a.cycles);
+        assert_eq!(slow.skipped_cycles(), 0);
+        assert!(fast.skipped_cycles() > 40_000, "skipped {}", fast.skipped_cycles());
+    }
+
+    #[test]
+    fn fast_forward_trace_matches_cycle_by_cycle() {
+        let build = |fast: bool| {
+            let mut e: Engine<u32> = Engine::new();
+            e.enable_trace(64);
+            if fast {
+                e.enable_fast_forward();
+            }
+            let q = e.add_fifo(Fifo::new("q", 2));
+            e.add_kernel(Box::new(SlowSource { out: q, period: 13, next_emit: 0, emitted: 0, count: 4 }));
+            e.add_kernel(Box::new(ReactiveSink { inp: q, expect_next: 0, count: 4 }));
+            e.set_deadlock_window(100);
+            e.run(10_000).expect("completes");
+            e.trace().expect("tracing on").render(80)
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn fast_forward_preserves_deadlock_cycle() {
+        let run = |fast: bool| {
+            let mut e: Engine<u32> = Engine::new();
+            if fast {
+                e.enable_fast_forward();
+            }
+            let q = e.add_fifo(Fifo::new("q", 1));
+            e.add_kernel(Box::new(ReactiveSink { inp: q, expect_next: 0, count: 1 }));
+            e.set_deadlock_window(5_000);
+            e.run(1_000_000)
+        };
+        let (a, b) = (run(false), run(true));
+        assert!(matches!(a, Err(SimError::Deadlock { .. })));
+        assert_eq!(a, b, "deadlock must be declared at the same cycle");
+    }
+
+    #[test]
+    fn fast_forward_preserves_cycle_limit() {
+        let run = |fast: bool| {
+            let mut e: Engine<u32> = Engine::new();
+            if fast {
+                e.enable_fast_forward();
+            }
+            let q = e.add_fifo(Fifo::new("q", 2));
+            // Sleeps far past the limit: the limit must fire first.
+            e.add_kernel(Box::new(SlowSource { out: q, period: 900_000, next_emit: 0, emitted: 0, count: 5 }));
+            e.add_kernel(Box::new(ReactiveSink { inp: q, expect_next: 0, count: 5 }));
+            e.set_deadlock_window(2_000_000);
+            e.run(100_000)
+        };
+        let (a, b) = (run(false), run(true));
+        assert!(matches!(a, Err(SimError::CycleLimit { limit: 100_000, .. })));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn opaque_kernels_suppress_fast_forward() {
+        // Same sparse design, but the sink keeps the default Opaque
+        // horizon: the engine must tick every cycle.
+        struct OpaqueSink(ReactiveSink);
+        impl Kernel<u32> for OpaqueSink {
+            fn name(&self) -> &str {
+                "opaque-sink"
+            }
+            fn tick(&mut self, ctx: &mut Ctx<'_, u32>) -> Progress {
+                self.0.tick(ctx)
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        e.enable_fast_forward();
+        let q = e.add_fifo(Fifo::new("q", 2));
+        e.add_kernel(Box::new(SlowSource { out: q, period: 500, next_emit: 0, emitted: 0, count: 3 }));
+        e.add_kernel(Box::new(OpaqueSink(ReactiveSink { inp: q, expect_next: 0, count: 3 })));
+        e.run(100_000).expect("completes");
+        assert_eq!(e.skipped_cycles(), 0);
     }
 
     #[test]

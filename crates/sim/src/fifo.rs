@@ -158,6 +158,16 @@ impl<T> Fifo<T> {
         self.stats.cycles += 1;
     }
 
+    /// Replays `n` quiescent [`end_cycle`](Fifo::end_cycle)s in O(1):
+    /// no ports were used and nothing is staged, so only the occupancy
+    /// statistics advance. Called by the engine when fast-forwarding.
+    pub(crate) fn fast_forward(&mut self, n: u64) {
+        debug_assert!(self.staged.is_none() && !self.pushed_this_cycle && !self.popped_this_cycle);
+        self.stats.high_water = self.stats.high_water.max(self.queue.len());
+        self.stats.occupancy_sum += self.queue.len() as u64 * n;
+        self.stats.cycles += n;
+    }
+
     /// Activity/stall statistics.
     pub fn stats(&self) -> &FifoStats {
         &self.stats

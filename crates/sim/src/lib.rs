@@ -62,7 +62,7 @@ pub mod stats;
 pub mod trace;
 
 pub use barrier::Barrier;
-pub use engine::{Ctx, Engine, FifoSet, Kernel, Progress, RunReport, SimError};
+pub use engine::{Ctx, Engine, FifoSet, Horizon, Kernel, Progress, RunReport, SimError};
 pub use fifo::{Fifo, FifoId, PushError};
 pub use stats::{Counters, FifoStats, KernelStats};
 pub use trace::Trace;

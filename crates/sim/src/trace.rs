@@ -64,6 +64,29 @@ impl Trace {
         });
     }
 
+    /// Records kernel `k`'s progress for `n` consecutive cycles starting
+    /// at `cycle` — equivalent to `n` [`record`](Trace::record) calls,
+    /// but O(min(n, capacity)). Used by the engine when fast-forwarding
+    /// quiescent stretches.
+    pub fn record_span(&mut self, k: usize, cycle: u64, n: u64, progress: Progress) {
+        let row_len = self.rows[k].len();
+        if row_len == 0 && k == 0 {
+            self.start_cycle = cycle;
+        }
+        let room = self.capacity - row_len.min(self.capacity);
+        let take = usize::try_from(n).unwrap_or(usize::MAX).min(room);
+        let sym = match progress {
+            Progress::Busy => b'#',
+            Progress::Blocked => b'x',
+            Progress::Idle => b'.',
+            Progress::Done => b' ',
+        };
+        self.rows[k].extend(std::iter::repeat_n(sym, take));
+        if n > take as u64 {
+            self.truncated = true;
+        }
+    }
+
     /// Cycles recorded (bounded by capacity).
     pub fn len(&self) -> usize {
         self.rows.iter().map(Vec::len).max().unwrap_or(0)

@@ -69,7 +69,10 @@ impl AvalonBus {
     /// Panics if the range is empty, unaligned, or overlaps an existing
     /// mapping (Qsys rejects overlapping address maps at generation time).
     pub fn map(&mut self, name: impl Into<String>, base: u32, len: u32, slave: Box<dyn MmSlave>) -> SlaveHandle {
-        assert!(len > 0 && base % 4 == 0 && len % 4 == 0, "mapping must be word-aligned and non-empty");
+        assert!(
+            len > 0 && base.is_multiple_of(4) && len.is_multiple_of(4),
+            "mapping must be word-aligned and non-empty"
+        );
         for m in &self.mappings {
             let overlap = base < m.base + m.len && m.base < base + len;
             assert!(!overlap, "mapping overlaps existing slave {}", m.name);
@@ -79,7 +82,7 @@ impl AvalonBus {
     }
 
     fn decode(&mut self, addr: u32) -> Result<(usize, u32), BusError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(BusError::Misaligned(addr));
         }
         for (i, m) in self.mappings.iter().enumerate() {

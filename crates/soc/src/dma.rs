@@ -110,7 +110,7 @@ impl DmaController {
         ddr: &mut DdrModel,
         banks: &mut dyn TileStore,
     ) -> Result<u64, DmaError> {
-        if desc.ddr_addr % TILE_BYTES != 0 {
+        if !desc.ddr_addr.is_multiple_of(TILE_BYTES) {
             return Err(DmaError::Unaligned(desc.ddr_addr));
         }
         if desc.bank >= banks.banks() {

@@ -27,11 +27,11 @@ fn config() -> AccelConfig {
 /// Builds weights where filter `o` keeps a weight at kernel position `i`
 /// iff `keep(o, i)`.
 fn weights(keep: impl Fn(usize, usize) -> bool) -> QuantConvWeights {
-    QuantConvWeights {
-        out_c: 4,
-        in_c: 4,
-        k: 3,
-        w: (0..4 * 4 * 9)
+    QuantConvWeights::new(
+        4,
+        4,
+        3,
+        (0..4 * 4 * 9)
             .map(|idx| {
                 let o = idx / 36;
                 if keep(o, idx % 9) {
@@ -41,10 +41,10 @@ fn weights(keep: impl Fn(usize, usize) -> bool) -> QuantConvWeights {
                 }
             })
             .collect(),
-        bias_acc: vec![0; 4],
-        requant: Requantizer::from_ratio(1.0 / 16.0),
-        relu: true,
-    }
+        vec![0; 4],
+        Requantizer::from_ratio(1.0 / 16.0),
+        true,
+    )
 }
 
 fn show_conv(title: &str, qw: &QuantConvWeights) {

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Repo verification gate: release build, full test suite, lint-clean.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
+echo "verify: OK"

@@ -5,6 +5,8 @@
 //! zskip sweep                     full VGG-16 variant/model sweep (Figs. 7-8 data)
 //! zskip infer [--hw N] [--density D|dc] [--variant V] [--ternary]
 //!                                 run inference end to end, verify vs golden model
+//! zskip batch [--n N] [--workers W] [--hw N] [--density D|dc] [--variant V]
+//!                                 run a batch of inferences on a worker pool
 //! zskip trace                     cycle-exact waveform of a small convolution
 //! ```
 
@@ -22,11 +24,12 @@ fn main() {
         "synth" => synth(args.get(1).map(String::as_str).unwrap_or("all")),
         "sweep" => sweep(),
         "infer" => infer(&args[1..]),
+        "batch" => batch(&args[1..]),
         "analyze" => analyze(&args[1..]),
         "trace" => trace(),
         _ => {
             eprintln!(
-                "usage: zskip <synth [variant|all] | sweep | infer [--hw N] [--density D|dc] [--variant V] [--ternary] | analyze [--density D|dc] | trace>"
+                "usage: zskip <synth [variant|all] | sweep | infer [--hw N] [--density D|dc] [--variant V] [--ternary] | batch [--n N] [--workers W] [--hw N] [--density D|dc] [--variant V] | analyze [--density D|dc] | trace>"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -117,6 +120,44 @@ fn infer(args: &[String]) {
     println!("predicted class: {top}");
 }
 
+fn batch(args: &[String]) {
+    let hw: usize = flag_value(args, "--hw").map(|v| v.parse().expect("--hw takes a number")).unwrap_or(32);
+    let n: usize = flag_value(args, "--n").map(|v| v.parse().expect("--n takes a number")).unwrap_or(8);
+    let workers: usize =
+        flag_value(args, "--workers").map(|v| v.parse().expect("--workers takes a number")).unwrap_or(0);
+    let variant = parse_variant(flag_value(args, "--variant").unwrap_or("256-opt"));
+    let density = match flag_value(args, "--density").unwrap_or("dc") {
+        "dc" => DensityProfile::deep_compression_vgg16(),
+        d => DensityProfile::uniform(13, d.parse().expect("--density takes dc or a fraction")),
+    };
+
+    let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
+    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
+    let calib = synthetic_inputs(2, 1, spec.input);
+    let qnet = net.quantize(&calib);
+    let inputs = synthetic_inputs(3, n, spec.input);
+
+    let config = AccelConfig::for_variant(variant);
+    let driver = Driver::new(config, BackendKind::Model);
+    println!("running {} x {} on {}...", n, spec.name, variant);
+    let t0 = std::time::Instant::now();
+    let report = zskip::accel::run_batch(&driver, &qnet, &inputs, workers).expect("fits");
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "{} images in {:.2} s on {} workers ({:.2} images/s, {:.1} M simulated cycles/s, {} steals)",
+        n,
+        wall,
+        report.workers,
+        n as f64 / wall,
+        report.total_cycles() as f64 / wall / 1e6,
+        report.steals
+    );
+    for (i, r) in report.reports.iter().enumerate() {
+        let top = zskip::nn::fc::argmax(&r.output).expect("non-empty");
+        println!("  image {i}: {} cycles, predicted class {top}", r.total_cycles);
+    }
+}
+
 fn analyze(args: &[String]) {
     use zskip::accel::LayerPackingStats;
     let density = match flag_value(args, "--density").unwrap_or("dc") {
@@ -163,20 +204,20 @@ fn trace() {
     let cfg = AccelConfig::from_arch(&AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 1024 }, 100.0);
     // A tiny conv with uneven per-filter sparsity so the waveform shows
     // lockstep bubbles and the barrier convoy.
-    let qw = QuantConvWeights {
-        out_c: 4,
-        in_c: 4,
-        k: 3,
-        w: (0..144)
+    let qw = QuantConvWeights::new(
+        4,
+        4,
+        3,
+        (0..144)
             .map(|i| {
                 let filter = i / 36;
-                if i % (filter + 2) == 0 { Sm8::ZERO } else { Sm8::from_i32_saturating((i % 9) as i32 - 4) }
+                if i % (filter + 2) == 0 { Sm8::ZERO } else { Sm8::from_i32_saturating((i % 9) - 4) }
             })
             .collect(),
-        bias_acc: vec![0; 4],
-        requant: Requantizer::from_ratio(1.0 / 16.0),
-        relu: true,
-    };
+        vec![0; 4],
+        Requantizer::from_ratio(1.0 / 16.0),
+        true,
+    );
     let input = Tensor::from_fn(4, 8, 8, |c, y, x| Sm8::from_i32_saturating(((c + y + x) % 9) as i32 - 4)).padded(1);
     let tiled = TiledFeatureMap::from_tensor(&input);
     let in_layout = FmLayout::full(0, input.shape());

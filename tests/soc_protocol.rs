@@ -17,17 +17,17 @@ fn config() -> AccelConfig {
 }
 
 fn small_layer() -> (QuantConvWeights, Tensor<Sm8>) {
-    let qw = QuantConvWeights {
-        out_c: 4,
-        in_c: 4,
-        k: 3,
-        w: (0..144)
-            .map(|i| if i % 4 == 0 { Sm8::ZERO } else { Sm8::from_i32_saturating((i % 11) as i32 - 5) })
+    let qw = QuantConvWeights::new(
+        4,
+        4,
+        3,
+        (0..144)
+            .map(|i| if i % 4 == 0 { Sm8::ZERO } else { Sm8::from_i32_saturating((i % 11) - 5) })
             .collect(),
-        bias_acc: vec![1, -1, 2, -2],
-        requant: Requantizer::from_ratio(1.0 / 32.0),
-        relu: true,
-    };
+        vec![1, -1, 2, -2],
+        Requantizer::from_ratio(1.0 / 32.0),
+        true,
+    );
     let input = Tensor::from_fn(4, 8, 8, |c, y, x| Sm8::from_i32_saturating(((c * 13 + y * 5 + x) % 160) as i32 - 80));
     (qw, input)
 }

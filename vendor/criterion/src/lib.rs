@@ -1,0 +1,167 @@
+//! Minimal, dependency-free stand-in for the subset of `criterion` that the
+//! zskip bench harnesses use. The build environment has no network access to
+//! crates.io, so the workspace vendors this stub instead of the real crate.
+//!
+//! It measures wall-clock time with `std::time::Instant` and prints
+//! `name  time: <mean> per iter  [thrpt: ...]` lines. No statistical
+//! analysis, HTML reports, or CLI argument parsing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.into(), self.sample_size, None, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration pass: one iteration to size the real run.
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~50ms of total measurement, clamped to keep fast benches honest
+    // and slow benches bounded.
+    let target = Duration::from_millis(50);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let samples = sample_size.clamp(1, 20);
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        if per < best {
+            best = per;
+        }
+    }
+
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / best.as_secs_f64();
+            format!("  thrpt: {per_sec:.1} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / best.as_secs_f64();
+            format!("  thrpt: {:.1} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("  {id}  time: {best:?}/iter{thrpt}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(2);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..4u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+}

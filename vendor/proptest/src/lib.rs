@@ -1,0 +1,540 @@
+//! Minimal, dependency-free stand-in for the subset of the `proptest` crate
+//! that zskip's test suites use. The build environment has no network access
+//! to crates.io, so the workspace vendors this stub instead of the real crate.
+//!
+//! Supported surface:
+//! - `proptest! { #![proptest_config(...)] #[test] fn name(arg in strategy, ...) { .. } }`
+//! - `Strategy` for integer/float `Range`/`RangeInclusive`, `Just`, tuples
+//!   (arity 2-6), `prop_map`, `prop_filter`, `prop_oneof!`, `bool::ANY`,
+//!   `collection::vec` (exact or ranged length), `array::uniform4/uniform16`
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`
+//! - `ProptestConfig { cases, .. }` and `ProptestConfig::with_cases`
+//!
+//! Differences from upstream: no shrinking, no persisted regression files,
+//! deterministic per-test seeding (derived from the test function name), and
+//! rejected cases (filters/assumes) simply resample.
+
+pub mod test_runner {
+    /// Deterministic test RNG (SplitMix64). Seeded from the test name so each
+    /// test gets an independent but reproducible stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "TestRng::below(0)");
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Why a generated case did not count toward the case budget.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Reject(String),
+    }
+
+    /// Subset of upstream's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    /// Plain call helper so the `proptest!` expansion avoids an immediately
+    /// invoked closure (which clippy rejects under `-D warnings`).
+    pub fn run_case<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values. Unlike upstream there is no value
+    /// tree / shrinking: `sample` directly produces one value.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence: whence.into(), f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: std::rc::Rc::new(self) }
+        }
+    }
+
+    /// Object-safe strategy handle used by `prop_oneof!`.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn SampleObj<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: self.inner.clone() }
+        }
+    }
+
+    trait SampleObj {
+        type Value;
+        fn sample_obj(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> SampleObj for S {
+        type Value = S::Value;
+        fn sample_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample_obj(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive candidates: {}", self.whence);
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        choices: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { choices }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.choices.len() as u64) as usize;
+            self.choices[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for `vec`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct ArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    pub fn uniform4<S: Strategy>(element: S) -> ArrayStrategy<S, 4> {
+        ArrayStrategy { element }
+    }
+
+    pub fn uniform16<S: Strategy>(element: S) -> ArrayStrategy<S, 16> {
+        ArrayStrategy { element }
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+}
+
+/// `prop::...` alias namespace, as exposed by upstream's prelude.
+pub mod prop {
+    pub use crate::{array, bool, collection, strategy};
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    $crate::test_runner::run_case(|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    });
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many rejected cases ({})",
+                                stringify!($name),
+                                rejected
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { ::std::assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::std::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u16),
+        Pop,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(
+            a in 1usize..5,
+            b in -7i64..=7,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((-7..=7).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((1usize..=3, prop::bool::ANY), 1..=4),
+            arr in crate::array::uniform4(-5i32..=5),
+            op in prop_oneof![
+                (0u16..100).prop_map(Op::Push),
+                Just(Op::Pop),
+            ],
+            big in (2usize..10).prop_filter("even only", |n| n % 2 == 0),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+            for (n, _flag) in &v {
+                prop_assert!((1..=3).contains(n));
+            }
+            prop_assert!(arr.iter().all(|x| (-5..=5).contains(x)));
+            match op {
+                Op::Push(x) => prop_assert!(x < 100),
+                Op::Pop => {}
+            }
+            prop_assert_eq!(big % 2, 0);
+            prop_assert_ne!(big, 1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 3 == 0);
+            prop_assert_eq!(x % 3, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let sample_all = || {
+            let mut rng = crate::test_runner::TestRng::deterministic("det");
+            (0..16).map(|_| (0u64..1_000_000).sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample_all(), sample_all());
+    }
+}
