@@ -43,6 +43,80 @@ impl BatchReport {
     }
 }
 
+/// Retry policy for [`run_batch_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per input (minimum 1; 1 disables retries).
+    pub max_attempts: u32,
+    /// Simulated backoff charged before retry `k` (1-based):
+    /// `base_backoff_cycles << (k - 1)` accelerator cycles — exponential,
+    /// like a driver re-arming a wedged device with increasing patience.
+    pub base_backoff_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 3, base_backoff_cycles: 1024 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every error is final).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, base_backoff_cycles: 0 }
+    }
+}
+
+/// How one input of a resilient batch fared.
+#[derive(Debug)]
+pub struct BatchItemReport {
+    /// Submission index of the input.
+    pub index: usize,
+    /// Attempts spent (1 = first try succeeded or error was final).
+    pub attempts: u32,
+    /// Simulated backoff cycles charged across retries.
+    pub backoff_cycles: u64,
+    /// The final outcome: a report, or the last error after retries.
+    pub result: Result<InferenceReport, DriverError>,
+}
+
+/// Report of a [`run_batch_resilient`] run: per-item outcomes in
+/// submission order plus the same pool telemetry as [`BatchReport`].
+/// A failing input never aborts the batch — the other inputs complete.
+#[derive(Debug)]
+pub struct ResilientBatchReport {
+    /// One [`BatchItemReport`] per input, in submission order.
+    pub items: Vec<BatchItemReport>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs completed by each worker (sums to the input count).
+    pub per_worker_jobs: Vec<usize>,
+    /// Jobs obtained by stealing from another worker's deque.
+    pub steals: u64,
+}
+
+impl ResilientBatchReport {
+    /// Inputs that ultimately succeeded.
+    pub fn succeeded(&self) -> usize {
+        self.items.iter().filter(|i| i.result.is_ok()).count()
+    }
+
+    /// `(index, error)` of every input that failed after retries.
+    pub fn failures(&self) -> Vec<(usize, &DriverError)> {
+        self.items.iter().filter_map(|i| i.result.as_ref().err().map(|e| (i.index, e))).collect()
+    }
+
+    /// Retries spent across the batch (attempts beyond the first).
+    pub fn retries(&self) -> u64 {
+        self.items.iter().map(|i| (i.attempts - 1) as u64).sum()
+    }
+
+    /// Simulated backoff cycles charged across the batch.
+    pub fn backoff_cycles(&self) -> u64 {
+        self.items.iter().map(|i| i.backoff_cycles).sum()
+    }
+}
+
 /// Picks a worker count: `requested` if non-zero, else the machine's
 /// available parallelism (at least 1), capped by the job count.
 pub fn effective_workers(requested: usize, jobs: usize) -> usize {
@@ -147,6 +221,76 @@ pub fn run_batch(
     Ok(BatchReport { reports, workers, per_worker_jobs, steals: queues.steals.load(Ordering::Relaxed) })
 }
 
+/// Like [`run_batch`], but a failing input poisons only itself: every
+/// input gets up to [`RetryPolicy::max_attempts`] tries (transient errors
+/// only — see [`DriverError::is_transient`]) with exponential backoff,
+/// and the report carries a per-item `Result` instead of aborting on the
+/// first failure. Successful items are bit-identical to a sequential
+/// [`Driver::run_network`] run, regardless of worker count or failures
+/// elsewhere in the batch.
+pub fn run_batch_resilient(
+    driver: &Driver,
+    qnet: &QuantizedNetwork,
+    inputs: &[Tensor<f32>],
+    workers: usize,
+    policy: RetryPolicy,
+) -> ResilientBatchReport {
+    let workers = effective_workers(workers, inputs.len());
+    let max_attempts = policy.max_attempts.max(1);
+    if inputs.is_empty() {
+        return ResilientBatchReport {
+            items: Vec::new(),
+            workers,
+            per_worker_jobs: vec![0; workers],
+            steals: 0,
+        };
+    }
+
+    let queues = StealQueues::new(inputs.len(), workers);
+    let (tx, rx) = mpsc::channel::<(usize, BatchItemReport)>();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let queues = &queues;
+            scope.spawn(move || {
+                while let Some(job) = queues.next(w) {
+                    let mut attempts = 0u32;
+                    let mut backoff_cycles = 0u64;
+                    let result = loop {
+                        attempts += 1;
+                        match driver.run_network(qnet, &inputs[job]) {
+                            Ok(report) => break Ok(report),
+                            Err(e) => {
+                                if attempts >= max_attempts || !e.is_transient() {
+                                    break Err(e);
+                                }
+                                backoff_cycles = backoff_cycles
+                                    .saturating_add(policy.base_backoff_cycles << (attempts - 1));
+                            }
+                        }
+                    };
+                    let item = BatchItemReport { index: job, attempts, backoff_cycles, result };
+                    if tx.send((w, item)).is_err() {
+                        break; // collector gone: nothing left to report to
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<BatchItemReport>> = (0..inputs.len()).map(|_| None).collect();
+    let mut per_worker_jobs = vec![0usize; workers];
+    for (w, item) in rx {
+        per_worker_jobs[w] += 1;
+        let index = item.index;
+        slots[index] = Some(item);
+    }
+    let items = slots.into_iter().map(|s| s.expect("every job reported")).collect();
+    ResilientBatchReport { items, workers, per_worker_jobs, steals: queues.steals.load(Ordering::Relaxed) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +346,96 @@ mod tests {
         assert_eq!(r.reports.len(), 7);
         assert_eq!(r.per_worker_jobs.iter().sum::<usize>(), 7);
         assert_eq!(r.workers, 3);
+    }
+
+    #[test]
+    fn resilient_matches_plain_batch_when_fault_free() {
+        let qnet = small_qnet(8);
+        let spec_input = qnet.spec.input;
+        let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+        let inputs = synthetic_inputs(21, 5, spec_input);
+        let plain = run_batch(&driver, &qnet, &inputs, 2).expect("plain batch");
+        let resilient = run_batch_resilient(&driver, &qnet, &inputs, 2, RetryPolicy::default());
+        assert_eq!(resilient.succeeded(), 5);
+        assert_eq!(resilient.retries(), 0);
+        for (item, want) in resilient.items.iter().zip(&plain.reports) {
+            let got = item.result.as_ref().expect("fault-free item succeeds");
+            assert_eq!(got.output, want.output);
+            assert_eq!(item.attempts, 1);
+            assert_eq!(item.backoff_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn poisoned_item_retries_and_batch_stays_bit_exact() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let qnet = small_qnet(8);
+        let spec_input = qnet.spec.input;
+        let inputs = synthetic_inputs(31, 4, spec_input);
+        let cfg = AccelConfig::for_variant(Variant::U256Opt);
+
+        let clean = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 2)
+            .expect("fault-free reference");
+
+        // One single-shot DMA parity fault: exactly one item of the batch
+        // absorbs it (whichever reaches descriptor 3 first) and recovers
+        // on retry because the fault is consumed.
+        let plan = FaultPlan::new().inject("dma:xfer", 3, FaultKind::DmaCorrupt { xor: 0x40 }).shared();
+        let driver = Driver::builder(cfg).fault_plan(plan).build().expect("valid config");
+        let report = run_batch_resilient(&driver, &qnet, &inputs, 2, RetryPolicy::default());
+
+        assert_eq!(report.succeeded(), 4, "all items complete: {:?}", report.failures());
+        assert_eq!(report.retries(), 1, "exactly one item absorbed the fault");
+        assert!(report.backoff_cycles() > 0);
+        for (item, want) in report.items.iter().zip(&clean.reports) {
+            let got = item.result.as_ref().expect("item succeeds");
+            assert_eq!(got.output, want.output, "bit-identical to the fault-free run");
+        }
+    }
+
+    #[test]
+    fn poisoned_item_without_retries_fails_alone() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let qnet = small_qnet(8);
+        let spec_input = qnet.spec.input;
+        let inputs = synthetic_inputs(31, 4, spec_input);
+        let cfg = AccelConfig::for_variant(Variant::U256Opt);
+        let clean = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 2)
+            .expect("fault-free reference");
+
+        let plan = FaultPlan::new().inject("dma:xfer", 3, FaultKind::DmaTruncate { tiles: 0 }).shared();
+        let driver = Driver::builder(cfg).fault_plan(plan).build().expect("valid config");
+        let report = run_batch_resilient(&driver, &qnet, &inputs, 2, RetryPolicy::none());
+
+        assert_eq!(report.succeeded(), 3, "one poisoned item of 4");
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(matches!(failures[0].1, DriverError::Dma(_)), "structured error: {:?}", failures[0].1);
+        // The surviving N-1 items are bit-identical to the fault-free run.
+        for (item, want) in report.items.iter().zip(&clean.reports) {
+            if let Ok(got) = &item.result {
+                assert_eq!(got.output, want.output);
+            }
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_not_retried() {
+        use zskip_hls::AccelArch;
+        let qnet = small_qnet(64);
+        let inputs = synthetic_inputs(7, 2, qnet.spec.input);
+        // Banks far too small for the layer: deterministic LayerTooLarge.
+        let cfg = AccelConfig::from_arch(
+            &AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 4 },
+            100.0,
+        );
+        let driver = Driver::new(cfg, BackendKind::Model);
+        let report = run_batch_resilient(&driver, &qnet, &inputs, 2, RetryPolicy::default());
+        assert_eq!(report.succeeded(), 0);
+        for item in &report.items {
+            assert_eq!(item.attempts, 1, "no retry for a structural error");
+            assert!(matches!(item.result, Err(DriverError::LayerTooLarge { .. })));
+        }
     }
 
     proptest! {

@@ -22,6 +22,7 @@ use crate::isa::Instruction;
 use msg::Msg;
 use std::cell::RefCell;
 use std::rc::Rc;
+use zskip_fault::SharedFaultPlan;
 use zskip_sim::{Barrier, Counters, Engine, Fifo, RunReport, SimError};
 
 /// Result of running an instruction stream on the cycle-exact backend.
@@ -54,7 +55,30 @@ pub fn run_instructions(
     instructions: &[Instruction],
     max_cycles: u64,
 ) -> Result<CycleOutcome, SimError> {
-    let (outcome, _) = run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, false)?;
+    let (outcome, _) =
+        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, false, None)?;
+    Ok(outcome)
+}
+
+/// Like [`run_instructions`], with a [`zskip_fault::FaultPlan`] attached
+/// to the engine: `fifo:<name>:push` / `fifo:<name>:pop` injections stall
+/// the named FIFO port at their trigger cycle. All other behaviour is
+/// identical, and passing a plan with no `fifo:` injections is exactly
+/// [`run_instructions`].
+///
+/// # Errors
+/// See [`run_instructions`]; an injected permanent stall surfaces as
+/// [`SimError::Deadlock`] naming the wedged FIFO.
+pub fn run_instructions_with_faults(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    instructions: &[Instruction],
+    max_cycles: u64,
+    plan: SharedFaultPlan,
+) -> Result<CycleOutcome, SimError> {
+    let (outcome, _) =
+        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, false, Some(plan))?;
     Ok(outcome)
 }
 
@@ -76,7 +100,8 @@ pub fn run_instructions_fast(
     instructions: &[Instruction],
     max_cycles: u64,
 ) -> Result<CycleOutcome, SimError> {
-    let (outcome, _) = run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, true)?;
+    let (outcome, _) =
+        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, true, None)?;
     Ok(outcome)
 }
 
@@ -94,10 +119,11 @@ pub fn run_instructions_traced(
     trace_cycles: usize,
 ) -> Result<(CycleOutcome, zskip_sim::Trace), SimError> {
     let (outcome, trace) =
-        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, Some(trace_cycles), false)?;
+        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, Some(trace_cycles), false, None)?;
     Ok((outcome, trace.expect("tracing was enabled")))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_instructions_inner(
     config: &AccelConfig,
     banks: BankSet,
@@ -106,6 +132,7 @@ fn run_instructions_inner(
     max_cycles: u64,
     trace_cycles: Option<usize>,
     fast_forward: bool,
+    fault_plan: Option<SharedFaultPlan>,
 ) -> Result<(CycleOutcome, Option<zskip_sim::Trace>), SimError> {
     assert_eq!(config.units, config.lanes, "accumulator lanes map 1:1 onto write units");
     let units = config.units;
@@ -118,6 +145,9 @@ fn run_instructions_inner(
     }
     if fast_forward {
         engine.enable_fast_forward();
+    }
+    if let Some(plan) = fault_plan {
+        engine.set_fault_plan(plan);
     }
 
     // FIFOs. Command/config queues are depth-2 (dispatch is one message

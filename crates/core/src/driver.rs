@@ -37,11 +37,12 @@ use zskip_nn::conv::QuantConvWeights;
 use zskip_nn::fc::fc_quant;
 use zskip_nn::layer::LayerSpec;
 use zskip_nn::model::QuantizedNetwork;
+use zskip_fault::SharedFaultPlan;
 use zskip_quant::grouping::FilterGrouping;
 use zskip_quant::Sm8;
-use zskip_sim::Counters;
+use zskip_sim::{Counters, SimError};
 use zskip_soc::ddr::DdrModel;
-use zskip_soc::dma::TILE_BYTES;
+use zskip_soc::dma::{DmaError, TILE_BYTES};
 use zskip_tensor::{Shape, Tensor, TiledFeatureMap};
 
 /// Which execution backend computes each stripe.
@@ -70,6 +71,8 @@ pub struct Driver {
     /// When `false`, pack every weight slot (zeros included): the ablation
     /// baseline without the paper's zero-weight skipping.
     pub zero_skipping: bool,
+    /// Fault plan threaded into the SoC models and the cycle backend.
+    fault_plan: Option<SharedFaultPlan>,
 }
 
 /// Statistics of one accelerator pass (pad, conv, or pool).
@@ -203,8 +206,12 @@ pub enum DriverError {
         /// Bank capacity in words.
         capacity: usize,
     },
-    /// The cycle backend failed (deadlock/limit) — an RTL-level bug.
-    Sim(String),
+    /// The cycle backend failed (deadlock/limit) — an RTL-level bug or an
+    /// injected fault. Carries the structured [`SimError`], so a deadlock
+    /// still names the wedged FIFO (see [`SimError::wedged`]).
+    Sim(SimError),
+    /// A DMA descriptor failed (bad plan, truncation or parity fault).
+    Dma(DmaError),
     /// The layer uses geometry the accelerator does not implement.
     Unsupported {
         /// Layer name.
@@ -212,6 +219,10 @@ pub enum DriverError {
         /// What is unsupported.
         reason: String,
     },
+    /// The network spec is inconsistent (shape propagation failed).
+    InvalidNetwork(String),
+    /// The driver configuration is invalid (see [`DriverBuilder::build`]).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for DriverError {
@@ -221,14 +232,47 @@ impl std::fmt::Display for DriverError {
                 write!(f, "layer {layer}: minimal stripe needs {needed} words/bank, capacity {capacity}")
             }
             DriverError::Sim(e) => write!(f, "cycle backend failed: {e}"),
+            DriverError::Dma(e) => write!(f, "DMA transfer failed: {e}"),
             DriverError::Unsupported { layer, reason } => {
                 write!(f, "layer {layer}: unsupported geometry ({reason})")
             }
+            DriverError::InvalidNetwork(reason) => write!(f, "invalid network: {reason}"),
+            DriverError::InvalidConfig(reason) => write!(f, "invalid driver configuration: {reason}"),
         }
     }
 }
 
-impl std::error::Error for DriverError {}
+impl DriverError {
+    /// Whether a retry could plausibly succeed. Transfer and simulation
+    /// failures are transient (an injected one-shot fault, a wedged run);
+    /// structural errors — geometry, capacity, configuration — are
+    /// deterministic and retrying them only wastes work.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DriverError::Sim(_) | DriverError::Dma(_))
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Sim(e) => Some(e),
+            DriverError::Dma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for DriverError {
+    fn from(e: SimError) -> DriverError {
+        DriverError::Sim(e)
+    }
+}
+
+impl From<DmaError> for DriverError {
+    fn from(e: DmaError) -> DriverError {
+        DriverError::Dma(e)
+    }
+}
 
 /// Serializes a tiled FM into the DDR byte image (channel-major,
 /// row-major tiles, 16 bytes per tile).
@@ -313,9 +357,13 @@ struct Soc {
 }
 
 impl Soc {
-    fn new() -> Soc {
+    fn new(fault_plan: Option<SharedFaultPlan>) -> Soc {
         // 1 GiB DDR4 region, default System I timing.
-        Soc { ddr: DdrModel::new(1 << 30), dma: zskip_soc::dma::DmaController::new() }
+        let mut dma = zskip_soc::dma::DmaController::new();
+        if let Some(plan) = fault_plan {
+            dma.set_fault_plan(plan);
+        }
+        Soc { ddr: DdrModel::new(1 << 30), dma }
     }
 }
 
@@ -324,14 +372,136 @@ const DDR_FM_A: usize = 0;
 const DDR_FM_B: usize = 256 << 20;
 const DDR_WEIGHTS: usize = 512 << 20;
 
+/// Validating builder for [`Driver`]. This is the preferred construction
+/// path: it rejects degenerate configurations up front instead of letting
+/// them surface as panics deep in a pass.
+///
+/// ```
+/// # use zskip_core::{AccelConfig, BackendKind, Driver};
+/// # use zskip_hls::AccelArch;
+/// let config = AccelConfig::from_arch(
+///     &AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 4096 },
+///     100.0,
+/// );
+/// let driver = Driver::builder(config).backend(BackendKind::Model).build().unwrap();
+/// assert!(driver.functional);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriverBuilder {
+    config: AccelConfig,
+    backend: BackendKind,
+    filter_grouping: bool,
+    functional: bool,
+    zero_skipping: bool,
+    fault_plan: Option<SharedFaultPlan>,
+}
+
+impl DriverBuilder {
+    /// Starts a builder from a configuration, with the [`Driver::new`]
+    /// defaults (model backend, functional, zero-skipping on).
+    pub fn new(config: AccelConfig) -> DriverBuilder {
+        DriverBuilder {
+            config,
+            backend: BackendKind::Model,
+            filter_grouping: false,
+            functional: true,
+            zero_skipping: true,
+            fault_plan: None,
+        }
+    }
+
+    /// Selects the execution backend.
+    pub fn backend(mut self, backend: BackendKind) -> DriverBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Enables the future-work filter grouping.
+    pub fn filter_grouping(mut self, on: bool) -> DriverBuilder {
+        self.filter_grouping = on;
+        self
+    }
+
+    /// When `false`, skip functional arithmetic (stats-only sweeps).
+    pub fn functional(mut self, on: bool) -> DriverBuilder {
+        self.functional = on;
+        self
+    }
+
+    /// When `false`, pack every weight slot (the no-skipping ablation).
+    pub fn zero_skipping(mut self, on: bool) -> DriverBuilder {
+        self.zero_skipping = on;
+        self
+    }
+
+    /// Attaches a fault plan: the driver threads it into the DMA engine
+    /// and (on the cycle backend) the simulation engine, so `dma:*` and
+    /// `fifo:*` injections fire during [`Driver::run_network`].
+    pub fn fault_plan(mut self, plan: SharedFaultPlan) -> DriverBuilder {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Validates the configuration and builds the driver.
+    ///
+    /// # Errors
+    /// [`DriverError::InvalidConfig`] when a structural parameter is zero,
+    /// when `units != lanes` on the cycle backend (accumulator lanes map
+    /// 1:1 onto write units), or when stats-only mode is requested on the
+    /// cycle backend (its arithmetic cannot be turned off).
+    pub fn build(self) -> Result<Driver, DriverError> {
+        let c = &self.config;
+        for (name, v) in [
+            ("units", c.units),
+            ("lanes", c.lanes),
+            ("instances", c.instances),
+            ("bank_tiles", c.bank_tiles),
+            ("fifo_depth", c.fifo_depth),
+        ] {
+            if v == 0 {
+                return Err(DriverError::InvalidConfig(format!("{name} must be nonzero")));
+            }
+        }
+        if self.backend == BackendKind::Cycle && c.units != c.lanes {
+            return Err(DriverError::InvalidConfig(format!(
+                "cycle backend requires units == lanes (got {} units, {} lanes)",
+                c.units, c.lanes
+            )));
+        }
+        if self.backend == BackendKind::Cycle && !self.functional {
+            return Err(DriverError::InvalidConfig(
+                "stats-only mode requires the model backend".into(),
+            ));
+        }
+        Ok(Driver {
+            config: self.config,
+            backend: self.backend,
+            filter_grouping: self.filter_grouping,
+            functional: self.functional,
+            zero_skipping: self.zero_skipping,
+            fault_plan: self.fault_plan,
+        })
+    }
+}
+
 impl Driver {
-    /// Creates a driver.
+    /// Creates a driver. Thin shim kept for existing callers; prefer
+    /// [`Driver::builder`], which validates the configuration and can
+    /// attach a fault plan.
     pub fn new(config: AccelConfig, backend: BackendKind) -> Driver {
-        Driver { config, backend, filter_grouping: false, functional: true, zero_skipping: true }
+        Driver {
+            config,
+            backend,
+            filter_grouping: false,
+            functional: true,
+            zero_skipping: true,
+            fault_plan: None,
+        }
     }
 
     /// A driver that reports throughput only (no arithmetic): used for
-    /// full-network sweeps where outputs are not inspected.
+    /// full-network sweeps where outputs are not inspected. Thin shim;
+    /// prefer `Driver::builder(config).functional(false).build()`.
     pub fn stats_only(config: AccelConfig) -> Driver {
         Driver {
             config,
@@ -339,27 +509,41 @@ impl Driver {
             filter_grouping: false,
             functional: false,
             zero_skipping: true,
+            fault_plan: None,
         }
+    }
+
+    /// Starts a validating [`DriverBuilder`] for this configuration.
+    pub fn builder(config: AccelConfig) -> DriverBuilder {
+        DriverBuilder::new(config)
+    }
+
+    /// Attaches (or replaces) the fault plan after construction.
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.fault_plan = Some(plan);
     }
 
     /// Runs full network inference on the simulated SoC.
     ///
     /// # Errors
     /// [`DriverError::LayerTooLarge`] when a layer cannot be striped into
-    /// the banks; [`DriverError::Sim`] on cycle-backend failures.
+    /// the banks; [`DriverError::Sim`] on cycle-backend failures;
+    /// [`DriverError::Dma`] on DMA faults; [`DriverError::InvalidNetwork`]
+    /// when the spec's shapes do not propagate.
     pub fn run_network(
         &self,
         qnet: &QuantizedNetwork,
         input: &Tensor<f32>,
     ) -> Result<InferenceReport, DriverError> {
-        let mut soc = Soc::new();
+        let mut soc = Soc::new(self.fault_plan.clone());
         let mut act_q: Tensor<Sm8> = input.map(|v| qnet.input_params.quantize(v));
         let mut fm = TiledFeatureMap::from_tensor(&act_q);
         let mut layers = Vec::new();
         let mut conv_i = 0;
         let mut fc_i = 0;
         let mut flat: Option<Vec<Sm8>> = None;
-        let shapes = qnet.spec.shapes().expect("network validated at quantization time");
+        let shapes =
+            qnet.spec.shapes().map_err(|e| DriverError::InvalidNetwork(e.to_string()))?;
 
         for (li, layer) in qnet.spec.layers.iter().enumerate() {
             match layer {
@@ -551,7 +735,7 @@ impl Driver {
                     &in_layout,
                     &mut banks,
                     true,
-                );
+                )?;
 
                 // Per-group: weight preload + conv instruction.
                 let mut scratchpad = Vec::new();
@@ -607,7 +791,7 @@ impl Driver {
                     &out_layout,
                     &mut banks,
                     false,
-                );
+                )?;
             }
         }
 
@@ -668,8 +852,8 @@ impl Driver {
                 tiles_x: out_fm.tiles_x(),
                 tile_rows: stripe.out_b - stripe.out_a,
             };
-            stats.io_dma_cycles +=
-                self.dma_fm_stripe(soc, DDR_FM_A, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true);
+            stats.io_dma_cycles += self
+                .dma_fm_stripe(soc, DDR_FM_A, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true)?;
 
             let instr = Instruction::PoolPad(PoolPadInstr {
                 channels: channels as u16,
@@ -687,8 +871,8 @@ impl Driver {
             stats.per_instance_cycles[instance] += cycles;
             let mut banks = result_banks;
             out_layout.load(&banks, &mut out_fm, stripe.out_a..stripe.out_b);
-            stats.io_dma_cycles +=
-                self.dma_fm_stripe(soc, DDR_FM_B, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false);
+            stats.io_dma_cycles += self
+                .dma_fm_stripe(soc, DDR_FM_B, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false)?;
         }
         stats.finish();
         out_fm.zero_round_up_region();
@@ -716,8 +900,18 @@ impl Driver {
                 Ok((outcome.cycles, banks))
             }
             BackendKind::Cycle => {
-                let outcome = cycle::run_instructions(&self.config, banks, scratchpad, instrs, u64::MAX)
-                    .map_err(|e| DriverError::Sim(e.to_string()))?;
+                let outcome = match &self.fault_plan {
+                    Some(plan) => cycle::run_instructions_with_faults(
+                        &self.config,
+                        banks,
+                        scratchpad,
+                        instrs,
+                        u64::MAX,
+                        plan.clone(),
+                    ),
+                    None => cycle::run_instructions(&self.config, banks, scratchpad, instrs, u64::MAX),
+                }
+                .map_err(DriverError::Sim)?;
                 counters.merge(&outcome.counters);
                 Ok((outcome.cycles, outcome.banks))
             }
@@ -726,6 +920,10 @@ impl Driver {
 
     /// Moves one FM stripe between DDR and banks via the DMA engine,
     /// returning the cycle cost. `to_banks` selects the direction.
+    ///
+    /// # Errors
+    /// [`DriverError::Dma`]: with a well-planned stripe this only happens
+    /// under injected faults (truncation, parity).
     #[allow(clippy::too_many_arguments)]
     fn dma_fm_stripe(
         &self,
@@ -736,7 +934,7 @@ impl Driver {
         layout: &FmLayout,
         banks: &mut BankSet,
         to_banks: bool,
-    ) -> u64 {
+    ) -> Result<u64, DriverError> {
         use zskip_soc::dma::{DmaDescriptor, DmaDirection};
         let mut cycles = 0;
         let tiles_per_row = fm.tiles_x();
@@ -750,9 +948,9 @@ impl Driver {
                 bank_tile_index: layout.addr(c, 0, 0),
                 tiles: rows.len() * tiles_per_row,
             };
-            cycles += soc.dma.run(&desc, &mut soc.ddr, banks).expect("driver-planned DMA is in range");
+            cycles += soc.dma.run(&desc, &mut soc.ddr, banks).map_err(DriverError::Dma)?;
         }
-        cycles
+        Ok(cycles)
     }
 }
 
@@ -791,7 +989,12 @@ mod soc_public {
     impl SocHandle {
         /// Creates a fresh SoC context (1 GiB DDR, default timing).
         pub fn new() -> SocHandle {
-            SocHandle(super::Soc::new())
+            SocHandle(super::Soc::new(None))
+        }
+
+        /// A SoC context with a fault plan attached to its DMA engine.
+        pub fn with_faults(plan: zskip_fault::SharedFaultPlan) -> SocHandle {
+            SocHandle(super::Soc::new(Some(plan)))
         }
     }
 
@@ -972,6 +1175,50 @@ mod tests {
             }
             other => panic!("expected LayerTooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let err = Driver::builder(config(0, 1)).build().unwrap_err();
+        assert_eq!(err, DriverError::InvalidConfig("bank_tiles must be nonzero".into()));
+
+        let mut cfg = config(4096, 1);
+        cfg.lanes = 2; // units stays 4: illegal on the cycle backend.
+        let err = Driver::builder(cfg).backend(BackendKind::Cycle).build().unwrap_err();
+        assert!(matches!(err, DriverError::InvalidConfig(ref r) if r.contains("units == lanes")));
+        // The same geometry is fine on the model backend.
+        assert!(Driver::builder(cfg).build().is_ok());
+
+        let err =
+            Driver::builder(config(4096, 1)).backend(BackendKind::Cycle).functional(false).build().unwrap_err();
+        assert!(matches!(err, DriverError::InvalidConfig(ref r) if r.contains("stats-only")));
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructors() {
+        let built = Driver::builder(config(4096, 1)).backend(BackendKind::Cycle).build().unwrap();
+        let legacy = Driver::new(config(4096, 1), BackendKind::Cycle);
+        assert_eq!(built.backend, legacy.backend);
+        assert_eq!(built.functional, legacy.functional);
+        assert_eq!(built.zero_skipping, legacy.zero_skipping);
+
+        let stats = Driver::builder(config(4096, 1)).functional(false).build().unwrap();
+        assert_eq!(stats.functional, Driver::stats_only(config(4096, 1)).functional);
+    }
+
+    #[test]
+    fn injected_dma_truncation_surfaces_as_structured_error() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let (qnet, input) = quantized(0.6, 11);
+        let plan = FaultPlan::new().inject("dma:xfer", 2, FaultKind::DmaTruncate { tiles: 1 }).shared();
+        let driver =
+            Driver::builder(config(4096, 1)).fault_plan(plan.clone()).build().expect("valid config");
+        let err = driver.run_network(&qnet, &input).unwrap_err();
+        assert!(
+            matches!(err, DriverError::Dma(DmaError::Truncated { .. })),
+            "expected truncation, got {err:?}"
+        );
+        assert_eq!(plan.lock().unwrap().fired().len(), 1, "exactly one fault fired");
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub mod batch;
 pub mod config;
 pub mod cycle;
 pub mod driver;
+pub mod error;
+pub mod fault;
 pub mod isa;
 pub mod layout;
 pub mod model;
@@ -42,9 +44,16 @@ pub mod weights;
 
 pub use analysis::LayerPackingStats;
 pub use bank::BankSet;
-pub use batch::{run_batch, BatchReport};
+pub use batch::{
+    run_batch, run_batch_resilient, BatchItemReport, BatchReport, ResilientBatchReport, RetryPolicy,
+};
 pub use config::AccelConfig;
-pub use driver::{BackendKind, Driver, InferenceReport, LayerReport, PassStats, SocHandle};
+pub use driver::{
+    BackendKind, Driver, DriverBuilder, DriverError, InferenceReport, LayerReport, PassStats,
+    SocHandle,
+};
+pub use error::Error;
+pub use fault::{run_campaign, CampaignConfig, CampaignReport, TrialOutcome, TrialResult};
 pub use isa::{ConvInstr, Instruction, PoolPadInstr, PoolPadOp};
 pub use layout::FmLayout;
 pub use weights::GroupWeights;

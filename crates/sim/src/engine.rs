@@ -1,9 +1,10 @@
 //! The cycle-stepped simulation engine.
 
-use crate::fifo::{Fifo, FifoId, PushError};
+use crate::fifo::{Fifo, FifoId, PushError, StallPort};
 use crate::stats::{Counters, KernelStats};
 use crate::trace::Trace;
 use std::fmt;
+use zskip_fault::{FaultKind, SharedFaultPlan};
 
 /// What a kernel accomplished in one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,20 @@ pub struct Engine<M> {
     trace: Option<Trace>,
     fast_forward: bool,
     skipped: u64,
+    fault_plan: Option<SharedFaultPlan>,
+    /// `fifo:` injections resolved to indices at run start, pending
+    /// application at their trigger cycle.
+    armed: Vec<ArmedStall>,
+}
+
+/// A resolved `fifo:<name>:push|pop` injection awaiting its trigger cycle.
+#[derive(Clone)]
+struct ArmedStall {
+    site: String,
+    at: u64,
+    fifo: usize,
+    port: StallPort,
+    cycles: u64,
 }
 
 struct KernelSlot<M> {
@@ -173,6 +188,40 @@ impl RunReport {
     }
 }
 
+/// State of one FIFO at the moment a deadlock was declared, captured so
+/// the error can name *which* queue wedged the design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FifoSnapshot {
+    /// FIFO display name.
+    pub name: String,
+    /// Occupancy (stored + staged elements) at deadlock time.
+    pub occupancy: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Whether an injected fault stall was still pinning a port.
+    pub stalled: bool,
+    /// Whether a producer failed a push in the last executed cycle.
+    pub push_waiting: bool,
+    /// Whether a consumer failed a pop in the last executed cycle.
+    pub pop_waiting: bool,
+}
+
+impl fmt::Display for FifoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}/{} occupied", self.name, self.occupancy, self.capacity)?;
+        if self.stalled {
+            write!(f, ", fault-stalled")?;
+        }
+        if self.push_waiting {
+            write!(f, ", producer waiting")?;
+        }
+        if self.pop_waiting {
+            write!(f, ", consumer waiting")?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -183,6 +232,9 @@ pub enum SimError {
         cycle: u64,
         /// Names of kernels blocked on FIFOs.
         blocked: Vec<String>,
+        /// Per-FIFO occupancy snapshot at declaration time; see
+        /// [`SimError::wedged`] for the prime suspect.
+        fifos: Vec<FifoSnapshot>,
     },
     /// The cycle limit elapsed before all kernels finished.
     CycleLimit {
@@ -193,11 +245,35 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// For a deadlock, the FIFO most likely responsible for the wedge:
+    /// an injected stall with a waiting peer beats any other stalled FIFO,
+    /// then a full FIFO whose producer is waiting (back-pressure source),
+    /// then an empty FIFO whose consumer is waiting (starvation point),
+    /// then any FIFO with a waiting peer.
+    pub fn wedged(&self) -> Option<&FifoSnapshot> {
+        let SimError::Deadlock { fifos, .. } = self else {
+            return None;
+        };
+        fifos
+            .iter()
+            .find(|s| s.stalled && (s.push_waiting || s.pop_waiting))
+            .or_else(|| fifos.iter().find(|s| s.stalled))
+            .or_else(|| fifos.iter().find(|s| s.push_waiting && s.occupancy == s.capacity))
+            .or_else(|| fifos.iter().find(|s| s.pop_waiting && s.occupancy == 0))
+            .or_else(|| fifos.iter().find(|s| s.push_waiting || s.pop_waiting))
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle, blocked } => {
-                write!(f, "deadlock at cycle {cycle}; blocked kernels: {}", blocked.join(", "))
+            SimError::Deadlock { cycle, blocked, .. } => {
+                write!(f, "deadlock at cycle {cycle}; blocked kernels: {}", blocked.join(", "))?;
+                if let Some(w) = self.wedged() {
+                    write!(f, "; wedged fifo: {w}")?;
+                }
+                Ok(())
             }
             SimError::CycleLimit { limit, unfinished } => {
                 write!(f, "cycle limit {limit} reached; unfinished kernels: {}", unfinished.join(", "))
@@ -214,6 +290,96 @@ impl<M> Default for Engine<M> {
     }
 }
 
+/// Validated construction parameters for an [`Engine`]. Obtained via
+/// [`Engine::builder`]; [`build`](EngineBuilder::build) checks the
+/// configuration instead of panicking or silently clamping.
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    trace_capacity: Option<usize>,
+    fast_forward: bool,
+    deadlock_window: Option<u64>,
+    fault_plan: Option<SharedFaultPlan>,
+}
+
+/// Invalid engine configuration reported by [`EngineBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A trace window of zero cycles records nothing.
+    ZeroTraceCapacity,
+    /// A zero-cycle deadlock window would flag every idle cycle.
+    ZeroDeadlockWindow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTraceCapacity => write!(f, "trace capacity must be at least 1 cycle"),
+            ConfigError::ZeroDeadlockWindow => {
+                write!(f, "deadlock window must be at least 1 cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl EngineBuilder {
+    /// Starts from the defaults (`Engine::new()` semantics: no trace, no
+    /// fast-forward, 10 000-cycle deadlock window, no fault plan).
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Records a waveform trace with a window of `capacity` cycles.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables idle-cycle fast-forwarding (see
+    /// [`Engine::enable_fast_forward`] for the exact semantics).
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
+    }
+
+    /// Sets the deadlock-detection window in cycles.
+    pub fn deadlock_window(mut self, cycles: u64) -> Self {
+        self.deadlock_window = Some(cycles);
+        self
+    }
+
+    /// Attaches a fault plan; its `fifo:` injections are armed when
+    /// [`Engine::run`] starts.
+    pub fn fault_plan(mut self, plan: SharedFaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Validates the configuration and builds an empty engine.
+    ///
+    /// # Errors
+    /// [`ConfigError`] when the trace capacity or deadlock window is zero.
+    pub fn build<M>(self) -> Result<Engine<M>, ConfigError> {
+        if self.trace_capacity == Some(0) {
+            return Err(ConfigError::ZeroTraceCapacity);
+        }
+        if self.deadlock_window == Some(0) {
+            return Err(ConfigError::ZeroDeadlockWindow);
+        }
+        let mut engine = Engine::new();
+        if let Some(capacity) = self.trace_capacity {
+            engine.trace = Some(Trace::new(capacity));
+        }
+        engine.fast_forward = self.fast_forward;
+        if let Some(window) = self.deadlock_window {
+            engine.deadlock_window = window;
+        }
+        engine.fault_plan = self.fault_plan;
+        Ok(engine)
+    }
+}
+
 impl<M> Engine<M> {
     /// Creates an empty engine.
     pub fn new() -> Self {
@@ -226,7 +392,24 @@ impl<M> Engine<M> {
             trace: None,
             fast_forward: false,
             skipped: 0,
+            fault_plan: None,
+            armed: Vec::new(),
         }
+    }
+
+    /// Starts a validated builder — the preferred way to configure an
+    /// engine. The setter methods ([`enable_trace`](Engine::enable_trace),
+    /// [`enable_fast_forward`](Engine::enable_fast_forward),
+    /// [`set_deadlock_window`](Engine::set_deadlock_window)) remain as
+    /// compatibility shims.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Attaches a fault plan after construction (equivalent to
+    /// [`EngineBuilder::fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.fault_plan = Some(plan);
     }
 
     /// Enables idle-cycle fast-forwarding: when a cycle ends with no
@@ -251,6 +434,10 @@ impl<M> Engine<M> {
     /// Enables waveform tracing with a window of `capacity` cycles.
     /// Must be called before kernels are registered.
     ///
+    /// Deprecated in favor of [`Engine::builder`] +
+    /// [`EngineBuilder::trace`], which validates instead of panicking;
+    /// kept as a compatibility shim.
+    ///
     /// # Panics
     /// Panics if kernels are already registered.
     pub fn enable_trace(&mut self, capacity: usize) {
@@ -264,7 +451,10 @@ impl<M> Engine<M> {
     }
 
     /// Overrides the deadlock-detection window (cycles of global inactivity
-    /// before declaring deadlock). Default 10 000.
+    /// before declaring deadlock). Default 10 000. A zero window is
+    /// silently clamped to 1; prefer [`Engine::builder`] +
+    /// [`EngineBuilder::deadlock_window`], which rejects it instead.
+    /// Kept as a compatibility shim.
     pub fn set_deadlock_window(&mut self, cycles: u64) {
         self.deadlock_window = cycles.max(1);
     }
@@ -301,6 +491,7 @@ impl<M> Engine<M> {
     /// [`SimError::Deadlock`] when nothing moves for the deadlock window;
     /// [`SimError::CycleLimit`] when `max_cycles` elapses first.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
+        self.arm_fifo_faults();
         let mut last_activity = self.cycle;
         while self.kernels.iter().any(|k| !k.done) {
             if self.cycle >= max_cycles {
@@ -314,6 +505,7 @@ impl<M> Engine<M> {
                         .collect(),
                 });
             }
+            self.apply_armed_faults();
             let any_busy = self.step();
             let fifo_activity = self.fifos.iter().any(Fifo::active_this_cycle);
             self.end_cycle();
@@ -332,11 +524,79 @@ impl<M> Engine<M> {
                             .filter(|k| !k.done)
                             .map(|k| k.kernel.name().to_string())
                             .collect(),
+                        fifos: self.fifo_snapshots(),
                     });
                 }
             }
         }
         Ok(self.report())
+    }
+
+    /// Captures every FIFO's state for a deadlock report.
+    fn fifo_snapshots(&self) -> Vec<FifoSnapshot> {
+        self.fifos
+            .iter()
+            .map(|f| FifoSnapshot {
+                name: f.name().to_string(),
+                occupancy: f.occupancy(),
+                capacity: f.capacity(),
+                stalled: f.forced_stall_remaining() > 0,
+                push_waiting: f.last_push_stalled(),
+                pop_waiting: f.last_pop_stalled(),
+            })
+            .collect()
+    }
+
+    /// Pulls `fifo:<name>:push|pop` injections out of the fault plan and
+    /// resolves the names against the registered FIFOs. Injections naming
+    /// an unknown FIFO or carrying a non-stall kind are dropped (they show
+    /// up as never-fired in the plan's log, which is what a campaign
+    /// reports).
+    fn arm_fifo_faults(&mut self) {
+        let Some(plan) = &self.fault_plan else {
+            return;
+        };
+        let drained = plan.lock().unwrap_or_else(|e| e.into_inner()).drain_prefix("fifo:");
+        for inj in drained {
+            let rest = &inj.site["fifo:".len()..];
+            let (name, port) = match rest.rsplit_once(':') {
+                Some((n, "push")) => (n, StallPort::Push),
+                Some((n, "pop")) => (n, StallPort::Pop),
+                _ => continue,
+            };
+            let FaultKind::FifoStall { cycles } = inj.kind else {
+                continue;
+            };
+            if let Some(idx) = self.fifos.iter().position(|f| f.name() == name) {
+                self.armed.push(ArmedStall { site: inj.site.clone(), at: inj.at, fifo: idx, port, cycles });
+            }
+        }
+    }
+
+    /// Applies every armed stall whose trigger cycle has arrived, logging
+    /// it as fired in the shared plan.
+    fn apply_armed_faults(&mut self) {
+        if self.armed.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        let mut due = Vec::new();
+        self.armed.retain(|a| {
+            if a.at <= cycle {
+                due.push(a.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for a in due {
+            self.fifos[a.fifo].inject_stall(a.port, a.cycles);
+            if let Some(plan) = &self.fault_plan {
+                plan.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .log_fired(a.site, cycle, FaultKind::FifoStall { cycles: a.cycles });
+            }
+        }
     }
 
     /// Ticks every unfinished kernel once. Returns whether any was busy.
@@ -389,6 +649,19 @@ impl<M> Engine<M> {
                 Horizon::Opaque => return,
                 Horizon::Reactive => {}
                 Horizon::Sleep(cycle) => wake = wake.min(cycle),
+            }
+        }
+        // Pending fault injections and injected-stall expiries are wake
+        // events too: an armed stall must land on its exact trigger cycle,
+        // and a stalled port starts accepting transfers again the cycle
+        // its counter reaches zero.
+        for a in &self.armed {
+            wake = wake.min(a.at);
+        }
+        for f in &self.fifos {
+            let remaining = f.forced_stall_remaining();
+            if remaining > 0 && remaining != u64::MAX {
+                wake = wake.min(self.cycle.saturating_add(remaining));
             }
         }
         // The deadlock check fires at `last_activity + window + 1`; the
@@ -804,6 +1077,90 @@ mod tests {
         e.add_kernel(Box::new(OpaqueSink(ReactiveSink { inp: q, expect_next: 0, count: 3 })));
         e.run(100_000).expect("completes");
         assert_eq!(e.skipped_cycles(), 0);
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        let bad: Result<Engine<u32>, _> = Engine::<u32>::builder().trace(0).build();
+        assert_eq!(bad.err(), Some(ConfigError::ZeroTraceCapacity));
+        let bad: Result<Engine<u32>, _> = Engine::<u32>::builder().deadlock_window(0).build();
+        assert_eq!(bad.err(), Some(ConfigError::ZeroDeadlockWindow));
+        let ok: Result<Engine<u32>, _> =
+            Engine::<u32>::builder().trace(16).fast_forward(true).deadlock_window(500).build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn injected_transient_stall_delays_but_completes() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let baseline = {
+            let mut e = Engine::new();
+            let q = e.add_fifo(Fifo::new("q", 4));
+            e.add_kernel(Box::new(Source { out: q, next: 0, count: 100 }));
+            e.add_kernel(Box::new(Sink { inp: q, expect_next: 0, count: 100 }));
+            e.run(10_000).unwrap().cycles
+        };
+        let plan =
+            FaultPlan::new().inject("fifo:q:push", 10, FaultKind::FifoStall { cycles: 50 }).shared();
+        let mut e: Engine<u32> =
+            Engine::<u32>::builder().fault_plan(plan.clone()).build().unwrap();
+        let q = e.add_fifo(Fifo::new("q", 4));
+        e.add_kernel(Box::new(Source { out: q, next: 0, count: 100 }));
+        e.add_kernel(Box::new(Sink { inp: q, expect_next: 0, count: 100 }));
+        let r = e.run(10_000).expect("transient stall must not be fatal");
+        assert_eq!(r.counters.get("emitted"), 100, "all values still delivered");
+        assert!(r.cycles >= baseline + 45, "stall visible: {} vs {baseline}", r.cycles);
+        let p = plan.lock().unwrap();
+        assert_eq!(p.fired().len(), 1, "injection must be logged as fired");
+        assert_eq!(p.fired()[0].site, "fifo:q:push");
+    }
+
+    #[test]
+    fn permanent_stall_deadlocks_and_names_wedged_fifo() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new()
+            .inject("fifo:q:pop", 5, FaultKind::FifoStall { cycles: u64::MAX })
+            .shared();
+        let mut e: Engine<u32> = Engine::<u32>::builder()
+            .fault_plan(plan)
+            .deadlock_window(100)
+            .build()
+            .unwrap();
+        let q = e.add_fifo(Fifo::new("q", 4));
+        e.add_kernel(Box::new(Source { out: q, next: 0, count: 100 }));
+        e.add_kernel(Box::new(Sink { inp: q, expect_next: 0, count: 100 }));
+        let err = e.run(100_000).unwrap_err();
+        let wedged = err.wedged().expect("deadlock must name a fifo");
+        assert_eq!(wedged.name, "q");
+        assert!(wedged.stalled, "the injected stall is the suspect");
+        assert!(err.to_string().contains("wedged fifo: q"), "{err}");
+    }
+
+    #[test]
+    fn fast_forward_with_injected_stall_matches_cycle_by_cycle() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let run = |fast: bool| {
+            let plan = FaultPlan::new()
+                .inject("fifo:q:pop", 4_900, FaultKind::FifoStall { cycles: 300 })
+                .shared();
+            let mut e: Engine<u32> =
+                Engine::<u32>::builder().fast_forward(fast).fault_plan(plan).build().unwrap();
+            let q = e.add_fifo(Fifo::new("q", 2));
+            e.add_kernel(Box::new(SlowSource {
+                out: q,
+                period: 5_000,
+                next_emit: 0,
+                emitted: 0,
+                count: 4,
+            }));
+            e.add_kernel(Box::new(ReactiveSink { inp: q, expect_next: 0, count: 4 }));
+            (e.run(1_000_000).expect("completes"), e.skipped_cycles())
+        };
+        let (a, skipped_slow) = run(false);
+        let (b, skipped_fast) = run(true);
+        assert_eq!(a, b, "stall-aware fast-forward must be exact");
+        assert_eq!(skipped_slow, 0);
+        assert!(skipped_fast > 10_000, "skipped {skipped_fast}");
     }
 
     #[test]

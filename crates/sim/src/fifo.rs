@@ -52,6 +52,29 @@ pub struct Fifo<T> {
     pushed_this_cycle: bool,
     popped_this_cycle: bool,
     stats: FifoStats,
+    /// Injected-fault stall counters: while non-zero, the corresponding
+    /// port refuses transfers (modeling a wedged upstream/downstream
+    /// handshake). Decremented each cycle.
+    forced_push_stall: u64,
+    forced_pop_stall: u64,
+    /// Stall attempts observed this cycle, committed into the `last_*`
+    /// pair at [`end_cycle`](Fifo::end_cycle). The committed pair survives
+    /// fast-forwarding (skipped cycles repeat the last executed one
+    /// verbatim), so deadlock snapshots are identical with and without
+    /// skipping.
+    push_stalled_this_cycle: bool,
+    pop_stalled_this_cycle: bool,
+    last_push_stalled: bool,
+    last_pop_stalled: bool,
+}
+
+/// Which FIFO port an injected stall wedges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallPort {
+    /// The write port: pushes fail with [`PushError::Full`].
+    Push,
+    /// The read port: pops return `None`.
+    Pop,
 }
 
 impl<T> Fifo<T> {
@@ -70,6 +93,12 @@ impl<T> Fifo<T> {
             pushed_this_cycle: false,
             popped_this_cycle: false,
             stats: FifoStats::default(),
+            forced_push_stall: 0,
+            forced_pop_stall: 0,
+            push_stalled_this_cycle: false,
+            pop_stalled_this_cycle: false,
+            last_push_stalled: false,
+            last_pop_stalled: false,
         }
     }
 
@@ -108,8 +137,15 @@ impl<T> Fifo<T> {
             self.stats.push_port_conflicts += 1;
             return Err(PushError::PortBusy);
         }
+        if self.forced_push_stall > 0 {
+            // Injected fault: the port looks full to the producer.
+            self.stats.push_stalls += 1;
+            self.push_stalled_this_cycle = true;
+            return Err(PushError::Full);
+        }
         if self.occupancy() >= self.capacity {
             self.stats.push_stalls += 1;
+            self.push_stalled_this_cycle = true;
             return Err(PushError::Full);
         }
         debug_assert!(self.staged.is_none());
@@ -126,6 +162,12 @@ impl<T> Fifo<T> {
             self.stats.pop_port_conflicts += 1;
             return None;
         }
+        if self.forced_pop_stall > 0 {
+            // Injected fault: the port looks empty to the consumer.
+            self.stats.pop_stalls += 1;
+            self.pop_stalled_this_cycle = true;
+            return None;
+        }
         match self.queue.pop_front() {
             Some(v) => {
                 self.popped_this_cycle = true;
@@ -134,6 +176,7 @@ impl<T> Fifo<T> {
             }
             None => {
                 self.stats.pop_stalls += 1;
+                self.pop_stalled_this_cycle = true;
                 None
             }
         }
@@ -153,9 +196,44 @@ impl<T> Fifo<T> {
         }
         self.pushed_this_cycle = false;
         self.popped_this_cycle = false;
+        self.last_push_stalled = self.push_stalled_this_cycle;
+        self.last_pop_stalled = self.pop_stalled_this_cycle;
+        self.push_stalled_this_cycle = false;
+        self.pop_stalled_this_cycle = false;
+        self.forced_push_stall = self.forced_push_stall.saturating_sub(1);
+        self.forced_pop_stall = self.forced_pop_stall.saturating_sub(1);
         self.stats.high_water = self.stats.high_water.max(self.queue.len());
         self.stats.occupancy_sum += self.queue.len() as u64;
         self.stats.cycles += 1;
+    }
+
+    /// Injects a `cycles`-long stall on one port (fault injection):
+    /// `u64::MAX` wedges the port permanently. The stall begins with the
+    /// current cycle and decays in [`end_cycle`](Fifo::end_cycle).
+    pub fn inject_stall(&mut self, port: StallPort, cycles: u64) {
+        match port {
+            StallPort::Push => self.forced_push_stall = self.forced_push_stall.max(cycles),
+            StallPort::Pop => self.forced_pop_stall = self.forced_pop_stall.max(cycles),
+        }
+    }
+
+    /// Remaining injected-stall cycles across both ports (0 when healthy).
+    /// The engine treats stall expiry as a wake event for fast-forwarding.
+    pub fn forced_stall_remaining(&self) -> u64 {
+        self.forced_push_stall.max(self.forced_pop_stall)
+    }
+
+    /// Whether a producer failed to push during the most recently committed
+    /// cycle. Stable across fast-forwarding (skipped cycles replay the last
+    /// executed one), so deadlock snapshots agree with cycle-exact runs.
+    pub fn last_push_stalled(&self) -> bool {
+        self.last_push_stalled
+    }
+
+    /// Whether a consumer failed to pop during the most recently committed
+    /// cycle (see [`last_push_stalled`](Fifo::last_push_stalled)).
+    pub fn last_pop_stalled(&self) -> bool {
+        self.last_pop_stalled
     }
 
     /// Replays `n` quiescent [`end_cycle`](Fifo::end_cycle)s in O(1):
@@ -163,6 +241,8 @@ impl<T> Fifo<T> {
     /// statistics advance. Called by the engine when fast-forwarding.
     pub(crate) fn fast_forward(&mut self, n: u64) {
         debug_assert!(self.staged.is_none() && !self.pushed_this_cycle && !self.popped_this_cycle);
+        self.forced_push_stall = self.forced_push_stall.saturating_sub(n);
+        self.forced_pop_stall = self.forced_pop_stall.saturating_sub(n);
         self.stats.high_water = self.stats.high_water.max(self.queue.len());
         self.stats.occupancy_sum += self.queue.len() as u64 * n;
         self.stats.cycles += n;

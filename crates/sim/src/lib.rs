@@ -62,7 +62,10 @@ pub mod stats;
 pub mod trace;
 
 pub use barrier::Barrier;
-pub use engine::{Ctx, Engine, FifoSet, Horizon, Kernel, Progress, RunReport, SimError};
-pub use fifo::{Fifo, FifoId, PushError};
+pub use engine::{
+    ConfigError, Ctx, Engine, EngineBuilder, FifoSet, FifoSnapshot, Horizon, Kernel, Progress,
+    RunReport, SimError,
+};
+pub use fifo::{Fifo, FifoId, PushError, StallPort};
 pub use stats::{Counters, FifoStats, KernelStats};
 pub use trace::Trace;

@@ -1,6 +1,7 @@
 //! Avalon memory-mapped bus model (System II in the paper).
 
 use std::fmt;
+use zskip_fault::{FaultKind, SharedFaultPlan};
 
 /// A memory-mapped slave: decodes word-aligned offsets within its range.
 pub trait MmSlave {
@@ -27,6 +28,9 @@ pub enum BusError {
     Unmapped(u32),
     /// Address is not 4-byte aligned.
     Misaligned(u32),
+    /// The slave never responded within the bus timeout (injected fault
+    /// or a wedged endpoint).
+    Timeout(u32),
 }
 
 impl fmt::Display for BusError {
@@ -34,6 +38,7 @@ impl fmt::Display for BusError {
         match self {
             BusError::Unmapped(a) => write!(f, "no slave mapped at {a:#010x}"),
             BusError::Misaligned(a) => write!(f, "misaligned bus access at {a:#010x}"),
+            BusError::Timeout(a) => write!(f, "bus timeout at {a:#010x}"),
         }
     }
 }
@@ -55,12 +60,27 @@ pub struct AvalonBus {
     reads: u64,
     writes: u64,
     cycles: u64,
+    fault_plan: Option<SharedFaultPlan>,
 }
+
+/// Cycles the interconnect waits before declaring a response lost.
+pub const BUS_TIMEOUT_CYCLES: u64 = 64;
 
 impl AvalonBus {
     /// Creates an empty bus.
     pub fn new() -> AvalonBus {
         AvalonBus::default()
+    }
+
+    /// Attaches a fault plan: `avalon:read` / `avalon:write` injections
+    /// fire on the nth successful access of that direction.
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    fn fire(&mut self, site: &str, ordinal: u64) -> Option<FaultKind> {
+        let plan = self.fault_plan.as_ref()?;
+        plan.lock().unwrap_or_else(|e| e.into_inner()).fire(site, ordinal)
     }
 
     /// Maps a slave at `[base, base + len)`.
@@ -99,6 +119,10 @@ impl AvalonBus {
     /// [`BusError`] on unmapped or misaligned addresses.
     pub fn read(&mut self, addr: u32) -> Result<u32, BusError> {
         let (i, off) = self.decode(addr)?;
+        if self.fire("avalon:read", self.reads) == Some(FaultKind::BusTimeout) {
+            self.cycles += BUS_TIMEOUT_CYCLES;
+            return Err(BusError::Timeout(addr));
+        }
         self.reads += 1;
         self.cycles += 1 + self.mappings[i].slave.wait_states() as u64;
         Ok(self.mappings[i].slave.mm_read(off))
@@ -110,6 +134,10 @@ impl AvalonBus {
     /// [`BusError`] on unmapped or misaligned addresses.
     pub fn write(&mut self, addr: u32, value: u32) -> Result<(), BusError> {
         let (i, off) = self.decode(addr)?;
+        if self.fire("avalon:write", self.writes) == Some(FaultKind::BusTimeout) {
+            self.cycles += BUS_TIMEOUT_CYCLES;
+            return Err(BusError::Timeout(addr));
+        }
         self.writes += 1;
         self.cycles += 1 + self.mappings[i].slave.wait_states() as u64;
         self.mappings[i].slave.mm_write(off, value);
@@ -208,6 +236,35 @@ mod tests {
         assert_eq!(bus.read(0x1040).unwrap(), 7);
         // Distinct register files.
         assert_eq!(bus.read(0x1000).unwrap(), 0);
+    }
+
+    #[test]
+    fn injected_timeout_fails_one_access_then_recovers() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let mut bus = bus_with_scratch();
+        bus.set_fault_plan(
+            FaultPlan::new().inject("avalon:read", 1, FaultKind::BusTimeout).shared(),
+        );
+        bus.write(0x1008, 42).unwrap();
+        assert_eq!(bus.read(0x1008).unwrap(), 42, "read 0 is healthy");
+        let before = bus.cycles();
+        assert_eq!(bus.read(0x1008).unwrap_err(), BusError::Timeout(0x1008));
+        assert_eq!(bus.cycles() - before, BUS_TIMEOUT_CYCLES, "timeout is charged");
+        assert_eq!(bus.read(0x1008).unwrap(), 42, "one-shot: retry succeeds");
+        assert_eq!(bus.reads(), 2, "the timed-out access does not count as successful");
+    }
+
+    #[test]
+    fn injected_write_timeout_leaves_register_unchanged() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let mut bus = bus_with_scratch();
+        bus.set_fault_plan(
+            FaultPlan::new().inject("avalon:write", 0, FaultKind::BusTimeout).shared(),
+        );
+        assert_eq!(bus.write(0x1008, 7).unwrap_err(), BusError::Timeout(0x1008));
+        assert_eq!(bus.read(0x1008).unwrap(), 0, "dropped write must not land");
+        bus.write(0x1008, 7).unwrap();
+        assert_eq!(bus.read(0x1008).unwrap(), 7);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! (System II endpoints).
 
 use crate::avalon::MmSlave;
+use zskip_fault::{FaultKind, SharedFaultPlan};
 
 /// Base address of the accelerator CSR block on the HPS-to-FPGA bridge.
 pub const ACCEL_CSR_BASE: u32 = 0xc000_0000;
@@ -45,11 +46,18 @@ pub mod status {
 pub struct CsrFile {
     regs: [u32; (CSR_BLOCK_LEN / 4) as usize],
     start_pending: bool,
+    fault_plan: Option<SharedFaultPlan>,
+    status_reads: u64,
 }
 
 impl Default for CsrFile {
     fn default() -> Self {
-        CsrFile { regs: [0; (CSR_BLOCK_LEN / 4) as usize], start_pending: false }
+        CsrFile {
+            regs: [0; (CSR_BLOCK_LEN / 4) as usize],
+            start_pending: false,
+            fault_plan: None,
+            status_reads: 0,
+        }
     }
 }
 
@@ -57,6 +65,14 @@ impl CsrFile {
     /// Creates a cleared register file.
     pub fn new() -> CsrFile {
         CsrFile::default()
+    }
+
+    /// Attaches a fault plan: `csr:status` injections fire on the nth
+    /// memory-mapped read of the status register, flipping one response
+    /// bit (a single-event upset on the read path — the stored register
+    /// is unaffected).
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.fault_plan = Some(plan);
     }
 
     /// Reads a register by typed offset.
@@ -99,7 +115,18 @@ impl CsrFile {
 
 impl MmSlave for CsrFile {
     fn mm_read(&mut self, offset: u32) -> u32 {
-        self.regs.get((offset / 4) as usize).copied().unwrap_or(0)
+        let mut value = self.regs.get((offset / 4) as usize).copied().unwrap_or(0);
+        if offset == AccelCsr::Status as u32 {
+            let ordinal = self.status_reads;
+            self.status_reads += 1;
+            let fired = self.fault_plan.as_ref().and_then(|p| {
+                p.lock().unwrap_or_else(|e| e.into_inner()).fire("csr:status", ordinal)
+            });
+            if let Some(FaultKind::CsrBitFlip { bit }) = fired {
+                value ^= 1 << (bit % 32);
+            }
+        }
+        value
     }
 
     fn mm_write(&mut self, offset: u32, value: u32) {
@@ -149,6 +176,22 @@ mod tests {
         let mut csr = CsrFile::new();
         csr.set_error();
         assert_eq!(csr.get(AccelCsr::Status) & status::ERROR, status::ERROR);
+    }
+
+    #[test]
+    fn injected_bit_flip_perturbs_one_status_read() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let mut csr = CsrFile::new();
+        csr.set_fault_plan(
+            FaultPlan::new().inject("csr:status", 1, FaultKind::CsrBitFlip { bit: 1 }).shared(),
+        );
+        csr.set_busy();
+        assert_eq!(csr.mm_read(AccelCsr::Status as u32), status::BUSY, "read 0 healthy");
+        // Read 1: bit 1 (DONE) flips on — a spurious completion.
+        assert_eq!(csr.mm_read(AccelCsr::Status as u32), status::BUSY | status::DONE);
+        // The stored register is untouched; later reads are healthy.
+        assert_eq!(csr.mm_read(AccelCsr::Status as u32), status::BUSY);
+        assert_eq!(csr.get(AccelCsr::Status), status::BUSY);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! and whatever implements [`TileStore`] (the accelerator's banks).
 
 use crate::ddr::DdrModel;
+use zskip_fault::{FaultKind, SharedFaultPlan};
 
 /// Bytes per tile word (16 values x 8-bit).
 pub const TILE_BYTES: usize = 16;
@@ -69,6 +70,19 @@ pub enum DmaError {
         /// Bank capacity in tiles.
         capacity: usize,
     },
+    /// The transfer stopped early: the completion count disagrees with the
+    /// descriptor (surfaced by an injected fault or a misbehaving device).
+    Truncated {
+        /// Tile words actually moved.
+        moved: usize,
+        /// Tile words the descriptor requested.
+        expected: usize,
+    },
+    /// The bus parity check rejected a beat (data corruption in flight).
+    Parity {
+        /// Tile word whose parity failed.
+        tile: usize,
+    },
 }
 
 impl std::fmt::Display for DmaError {
@@ -78,6 +92,12 @@ impl std::fmt::Display for DmaError {
             DmaError::BadBank(b) => write!(f, "bank {b} out of range"),
             DmaError::BankOverflow { index, capacity } => {
                 write!(f, "tile index {index} exceeds bank capacity {capacity}")
+            }
+            DmaError::Truncated { moved, expected } => {
+                write!(f, "DMA transfer truncated: {moved} of {expected} tiles moved")
+            }
+            DmaError::Parity { tile } => {
+                write!(f, "bus parity error on tile {tile}")
             }
         }
     }
@@ -91,6 +111,7 @@ pub struct DmaController {
     descriptors_run: u64,
     tiles_moved: u64,
     cycles: u64,
+    fault_plan: Option<SharedFaultPlan>,
 }
 
 impl DmaController {
@@ -99,11 +120,21 @@ impl DmaController {
         DmaController::default()
     }
 
+    /// Attaches a fault plan: `dma:xfer` injections fire on the nth
+    /// descriptor executed (the plan's trigger ordinal counts
+    /// descriptors, including faulted ones).
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
     /// Executes one descriptor synchronously, returning its cycle cost.
     ///
     /// # Errors
     /// Returns [`DmaError`] for unaligned or out-of-range descriptors
-    /// before touching any data.
+    /// before touching any data; [`DmaError::Truncated`] or
+    /// [`DmaError::Parity`] when an injected transfer fault fires (the
+    /// partially moved or corrupted data has already landed, as it would
+    /// in hardware).
     pub fn run(
         &mut self,
         desc: &DmaDescriptor,
@@ -121,12 +152,24 @@ impl DmaController {
             return Err(DmaError::BankOverflow { index: end - 1, capacity: banks.bank_capacity() });
         }
 
-        let bytes = desc.tiles * TILE_BYTES;
+        let fault = self.fault_plan.as_ref().and_then(|p| {
+            p.lock().unwrap_or_else(|e| e.into_inner()).fire("dma:xfer", self.descriptors_run)
+        });
+        let (moved, corrupt_xor) = match fault {
+            Some(FaultKind::DmaTruncate { tiles }) => (tiles.min(desc.tiles), None),
+            Some(FaultKind::DmaCorrupt { xor }) => (desc.tiles, Some(xor)),
+            _ => (desc.tiles, None),
+        };
+
+        let bytes = moved * TILE_BYTES;
         let cycles = match desc.direction {
             DmaDirection::DdrToBank => {
                 let (block, cycles) = ddr.read_block(desc.ddr_addr, bytes);
-                let block = block.to_vec();
-                for t in 0..desc.tiles {
+                let mut block = block.to_vec();
+                if let (Some(xor), Some(first)) = (corrupt_xor, block.first_mut()) {
+                    *first ^= xor;
+                }
+                for t in 0..moved {
                     let mut word = [0u8; TILE_BYTES];
                     word.copy_from_slice(&block[t * TILE_BYTES..(t + 1) * TILE_BYTES]);
                     banks.write_tile_bytes(desc.bank, desc.bank_tile_index + t, &word);
@@ -135,15 +178,26 @@ impl DmaController {
             }
             DmaDirection::BankToDdr => {
                 let mut block = Vec::with_capacity(bytes);
-                for t in 0..desc.tiles {
+                for t in 0..moved {
                     block.extend_from_slice(&banks.read_tile_bytes(desc.bank, desc.bank_tile_index + t));
+                }
+                if let (Some(xor), Some(first)) = (corrupt_xor, block.first_mut()) {
+                    *first ^= xor;
                 }
                 ddr.write_block(desc.ddr_addr, &block)
             }
         };
         self.descriptors_run += 1;
-        self.tiles_moved += desc.tiles as u64;
+        self.tiles_moved += moved as u64;
         self.cycles += cycles;
+        if moved < desc.tiles {
+            return Err(DmaError::Truncated { moved, expected: desc.tiles });
+        }
+        if corrupt_xor.is_some() {
+            // The modeled System I bus carries per-beat parity; the
+            // flipped bit trips it on the first tile.
+            return Err(DmaError::Parity { tile: 0 });
+        }
         Ok(cycles)
     }
 
@@ -287,6 +341,61 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, DmaError::BankOverflow { index: 9, capacity: 8 });
         assert_eq!(dma.descriptors_run(), 0);
+    }
+
+    #[test]
+    fn injected_truncation_moves_partial_data_and_errors() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let mut ddr = DdrModel::new(4096);
+        let mut banks = TestBanks::new(1, 64);
+        let mut dma = DmaController::new();
+        let plan = FaultPlan::new()
+            .inject("dma:xfer", 1, FaultKind::DmaTruncate { tiles: 3 })
+            .shared();
+        dma.set_fault_plan(plan.clone());
+        let payload: Vec<u8> = (0..160).map(|i| i as u8).collect();
+        ddr.write_block(0, &payload);
+        let desc = DmaDescriptor {
+            direction: DmaDirection::DdrToBank,
+            ddr_addr: 0,
+            bank: 0,
+            bank_tile_index: 0,
+            tiles: 10,
+        };
+        // Descriptor 0 is healthy (trigger ordinal is 1).
+        dma.run(&desc, &mut ddr, &mut banks).unwrap();
+        let err = dma.run(&desc, &mut ddr, &mut banks).unwrap_err();
+        assert_eq!(err, DmaError::Truncated { moved: 3, expected: 10 });
+        // The three moved tiles landed; the device reports the shortfall.
+        assert_eq!(banks.read_tile_bytes(0, 2)[0], 32);
+        assert_eq!(dma.descriptors_run(), 2);
+        assert_eq!(plan.lock().unwrap().fired().len(), 1);
+        // One-shot: the next descriptor is healthy again.
+        dma.run(&desc, &mut ddr, &mut banks).unwrap();
+    }
+
+    #[test]
+    fn injected_corruption_trips_parity() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let mut ddr = DdrModel::new(4096);
+        let mut banks = TestBanks::new(1, 64);
+        let mut dma = DmaController::new();
+        dma.set_fault_plan(
+            FaultPlan::new().inject("dma:xfer", 0, FaultKind::DmaCorrupt { xor: 0x80 }).shared(),
+        );
+        ddr.write_block(0, &[0x01; 32]);
+        let desc = DmaDescriptor {
+            direction: DmaDirection::DdrToBank,
+            ddr_addr: 0,
+            bank: 0,
+            bank_tile_index: 0,
+            tiles: 2,
+        };
+        let err = dma.run(&desc, &mut ddr, &mut banks).unwrap_err();
+        assert_eq!(err, DmaError::Parity { tile: 0 });
+        // The corrupted byte landed before the parity check rejected it.
+        assert_eq!(banks.read_tile_bytes(0, 0)[0], 0x81);
+        assert_eq!(banks.read_tile_bytes(0, 1)[0], 0x01);
     }
 
     #[test]

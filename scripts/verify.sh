@@ -7,4 +7,9 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+
+# Fault-matrix campaign: every single injected fault must degrade
+# gracefully (no panic, no hang — hence the hard timeout). Small config
+# keeps this a few seconds even on one core.
+timeout 120 ./target/release/zskip faults --hw 8 --json > /dev/null
 echo "verify: OK"

@@ -14,8 +14,16 @@
 //! * [`soc`] — Avalon bus, DMA, DDR4 and host models (paper Fig. 1)
 //! * [`accel`] — the accelerator itself (paper Figs. 3-5)
 //! * [`perf`] — area/power/efficiency models (Fig. 6, Table I)
+//! * [`fault`] — deterministic fault injection for robustness testing
+//!
+//! [`Error`] is the workspace-wide unified error type: every fallible
+//! public API's error converts into it via `From`, and
+//! [`Error::code`](zskip_core::Error::code) gives a stable string for
+//! machine-readable reports (see `docs/ERRORS.md`).
 
 pub use zskip_core as accel;
+pub use zskip_core::Error;
+pub use zskip_fault as fault;
 pub use zskip_hls as hls;
 pub use zskip_nn as nn;
 pub use zskip_perf as perf;

@@ -3,37 +3,228 @@
 //! ```text
 //! zskip synth [variant|all]       HLS synthesis summary and area breakdown
 //! zskip sweep                     full VGG-16 variant/model sweep (Figs. 7-8 data)
-//! zskip infer [--hw N] [--density D|dc] [--variant V] [--ternary]
-//!                                 run inference end to end, verify vs golden model
-//! zskip batch [--n N] [--workers W] [--hw N] [--density D|dc] [--variant V]
-//!                                 run a batch of inferences on a worker pool
+//! zskip infer [flags]             run inference end to end, verify vs golden model
+//! zskip batch [flags]             run a batch of inferences on a worker pool
+//! zskip analyze [flags]           per-layer zero-skip packing analysis
+//! zskip faults [flags]            fault-injection survivability campaign
 //! zskip trace                     cycle-exact waveform of a small convolution
 //! ```
+//!
+//! Every flag-taking subcommand supports `--help`; flags are declared in
+//! one table per subcommand and parsed by a shared, panic-free parser.
 
-use zskip::accel::{AccelConfig, BackendKind, Driver};
+use zskip::accel::{AccelConfig, Driver};
 use zskip::hls::Variant;
 use zskip::nn::eval::synthetic_inputs;
 use zskip::nn::model::{Network, SyntheticModelConfig};
 use zskip::perf::AreaBreakdown;
 use zskip::quant::DensityProfile;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
-    match cmd {
-        "synth" => synth(args.get(1).map(String::as_str).unwrap_or("all")),
-        "sweep" => sweep(),
-        "infer" => infer(&args[1..]),
-        "batch" => batch(&args[1..]),
-        "analyze" => analyze(&args[1..]),
-        "trace" => trace(),
-        _ => {
-            eprintln!(
-                "usage: zskip <synth [variant|all] | sweep | infer [--hw N] [--density D|dc] [--variant V] [--ternary] | batch [--n N] [--workers W] [--hw N] [--density D|dc] [--variant V] | analyze [--density D|dc] | trace>"
-            );
-            std::process::exit(if cmd == "help" { 0 } else { 2 });
+/// One flag a subcommand accepts.
+struct Flag {
+    name: &'static str,
+    /// Metavariable for value-taking flags; `None` marks a boolean flag.
+    metavar: Option<&'static str>,
+    /// Default shown in `--help` (value-taking flags only).
+    default: Option<&'static str>,
+    help: &'static str,
+}
+
+impl Flag {
+    const fn val(
+        name: &'static str,
+        metavar: &'static str,
+        default: &'static str,
+        help: &'static str,
+    ) -> Flag {
+        Flag { name, metavar: Some(metavar), default: Some(default), help }
+    }
+
+    const fn boolean(name: &'static str, help: &'static str) -> Flag {
+        Flag { name, metavar: None, default: None, help }
+    }
+}
+
+/// One subcommand of the CLI. `run` receives the parsed flag values.
+struct Command {
+    name: &'static str,
+    usage_args: &'static str,
+    summary: &'static str,
+    flags: &'static [Flag],
+    run: fn(&Parsed),
+}
+
+const HW_HELP: &str = "input height/width of the synthetic network";
+const DENSITY_HELP: &str = "weight density: 'dc' (deep-compression VGG-16 profile) or a fraction";
+const VARIANT_HELP: &str = "accelerator variant: 16-unopt | 256-unopt | 256-opt | 512-opt";
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "synth",
+        usage_args: "[variant|all]",
+        summary: "HLS synthesis summary and area breakdown",
+        flags: &[],
+        run: |p| synth(p.positional.first().map(String::as_str).unwrap_or("all")),
+    },
+    Command {
+        name: "sweep",
+        usage_args: "",
+        summary: "full VGG-16 variant/model sweep (paper Figs. 7-8 data)",
+        flags: &[],
+        run: |_| sweep(),
+    },
+    Command {
+        name: "infer",
+        usage_args: "[flags]",
+        summary: "run inference end to end, verify vs the golden model",
+        flags: &[
+            Flag::val("--hw", "N", "64", HW_HELP),
+            Flag::val("--density", "D", "dc", DENSITY_HELP),
+            Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
+            Flag::boolean("--ternary", "quantize weights to ternary (-1/0/+1 magnitudes)"),
+        ],
+        run: infer,
+    },
+    Command {
+        name: "batch",
+        usage_args: "[flags]",
+        summary: "run a batch of inferences on a work-stealing worker pool",
+        flags: &[
+            Flag::val("--n", "N", "8", "number of images in the batch"),
+            Flag::val("--workers", "W", "0", "worker threads (0 = auto)"),
+            Flag::val("--hw", "N", "32", HW_HELP),
+            Flag::val("--density", "D", "dc", DENSITY_HELP),
+            Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
+        ],
+        run: batch,
+    },
+    Command {
+        name: "analyze",
+        usage_args: "[flags]",
+        summary: "per-layer zero-skip packing analysis",
+        flags: &[Flag::val("--density", "D", "dc", DENSITY_HELP)],
+        run: analyze,
+    },
+    Command {
+        name: "faults",
+        usage_args: "[flags]",
+        summary: "fault-injection survivability campaign (exit 1 unless all trials degrade gracefully)",
+        flags: &[
+            Flag::val("--hw", "N", "8", HW_HELP),
+            Flag::val("--seed", "S", "7", "seed for synthetic weights and inputs"),
+            Flag::boolean("--json", "emit the survivability report as JSON on stdout"),
+        ],
+        run: faults,
+    },
+    Command {
+        name: "trace",
+        usage_args: "",
+        summary: "cycle-exact waveform of a small convolution",
+        flags: &[],
+        run: |_| trace(),
+    },
+];
+
+/// Parsed arguments of one subcommand invocation.
+struct Parsed {
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+    positional: Vec<String>,
+}
+
+impl Parsed {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// Parses a numeric flag, exiting with a message (not a panic) on
+    /// malformed input.
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| fail(&format!("{name} takes a number, got '{v}'"))),
         }
     }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("zskip: {msg}");
+    std::process::exit(2);
+}
+
+fn print_usage() {
+    eprintln!("usage: zskip <command> [flags]  (zskip <command> --help for details)\n");
+    for c in COMMANDS {
+        eprintln!("  {:<10} {:<14} {}", c.name, c.usage_args, c.summary);
+    }
+}
+
+fn print_command_help(cmd: &Command) {
+    println!("usage: zskip {} {}", cmd.name, cmd.usage_args);
+    println!("{}", cmd.summary);
+    if !cmd.flags.is_empty() {
+        println!("\nflags:");
+        for f in cmd.flags {
+            let head = match f.metavar {
+                Some(m) => format!("{} <{}>", f.name, m),
+                None => f.name.to_string(),
+            };
+            let default = f.default.map(|d| format!(" [default: {d}]")).unwrap_or_default();
+            println!("  {head:<16} {}{default}", f.help);
+        }
+    }
+}
+
+/// The shared table-driven flag parser: validates every argument against
+/// the subcommand's flag table, handles `--help`, and never panics.
+fn parse_args(cmd: &Command, args: &[String]) -> Parsed {
+    let mut parsed = Parsed { values: Vec::new(), switches: Vec::new(), positional: Vec::new() };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--help" || a == "-h" {
+            print_command_help(cmd);
+            std::process::exit(0);
+        }
+        if let Some(flag) = cmd.flags.iter().find(|f| f.name == a) {
+            if flag.metavar.is_some() {
+                let Some(v) = args.get(i + 1) else {
+                    fail(&format!("{} requires a value (zskip {} --help)", flag.name, cmd.name));
+                };
+                parsed.values.push((flag.name, v.clone()));
+                i += 2;
+            } else {
+                parsed.switches.push(flag.name);
+                i += 1;
+            }
+        } else if a.starts_with('-') {
+            fail(&format!("unknown flag {a} for '{}' (zskip {} --help)", cmd.name, cmd.name));
+        } else {
+            parsed.positional.push(a.clone());
+            i += 1;
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd_name = args.first().map(String::as_str).unwrap_or("help");
+    if cmd_name == "help" || cmd_name == "--help" || cmd_name == "-h" {
+        print_usage();
+        std::process::exit(0);
+    }
+    let Some(cmd) = COMMANDS.iter().find(|c| c.name == cmd_name) else {
+        eprintln!("zskip: unknown command '{cmd_name}'\n");
+        print_usage();
+        std::process::exit(2);
+    };
+    let parsed = parse_args(cmd, &args[1..]);
+    (cmd.run)(&parsed);
 }
 
 fn parse_variant(s: &str) -> Variant {
@@ -42,10 +233,17 @@ fn parse_variant(s: &str) -> Variant {
         "256-unopt" => Variant::U256Unopt,
         "256-opt" => Variant::U256Opt,
         "512-opt" => Variant::U512Opt,
-        other => {
-            eprintln!("unknown variant {other} (use 16-unopt | 256-unopt | 256-opt | 512-opt)");
-            std::process::exit(2);
-        }
+        other => fail(&format!("unknown variant {other} (use 16-unopt | 256-unopt | 256-opt | 512-opt)")),
+    }
+}
+
+fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
+    match p.get("--density").unwrap_or("dc") {
+        "dc" => DensityProfile::deep_compression_vgg16(),
+        d => DensityProfile::uniform(
+            layers,
+            d.parse().unwrap_or_else(|_| fail(&format!("--density takes 'dc' or a fraction, got '{d}'"))),
+        ),
     }
 }
 
@@ -83,18 +281,11 @@ fn sweep() {
     }
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
-}
-
-fn infer(args: &[String]) {
-    let hw: usize = flag_value(args, "--hw").map(|v| v.parse().expect("--hw takes a number")).unwrap_or(64);
-    let variant = parse_variant(flag_value(args, "--variant").unwrap_or("256-opt"));
-    let ternary = args.iter().any(|a| a == "--ternary");
-    let density = match flag_value(args, "--density").unwrap_or("dc") {
-        "dc" => DensityProfile::deep_compression_vgg16(),
-        d => DensityProfile::uniform(13, d.parse().expect("--density takes dc or a fraction")),
-    };
+fn infer(p: &Parsed) {
+    let hw: usize = p.parse_num("--hw", 64);
+    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
+    let ternary = p.has("--ternary");
+    let density = parse_density(p, 13);
 
     let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
     println!("running {} on {} ({} GMACs)...", spec.name, variant, spec.total_macs() / 1_000_000_000);
@@ -104,7 +295,8 @@ fn infer(args: &[String]) {
     let input = synthetic_inputs(3, 1, spec.input).pop().expect("one");
 
     let config = AccelConfig::for_variant(variant);
-    let report = Driver::new(config, BackendKind::Model).run_network(&qnet, &input).expect("fits");
+    let driver = Driver::builder(config).build().unwrap_or_else(|e| fail(&e.to_string()));
+    let report = driver.run_network(&qnet, &input).unwrap_or_else(|e| fail(&e.to_string()));
     assert_eq!(report.output, qnet.forward_quant(&input), "bit-exact vs golden model");
     println!("bit-exact vs the software golden model");
     println!(
@@ -120,16 +312,12 @@ fn infer(args: &[String]) {
     println!("predicted class: {top}");
 }
 
-fn batch(args: &[String]) {
-    let hw: usize = flag_value(args, "--hw").map(|v| v.parse().expect("--hw takes a number")).unwrap_or(32);
-    let n: usize = flag_value(args, "--n").map(|v| v.parse().expect("--n takes a number")).unwrap_or(8);
-    let workers: usize =
-        flag_value(args, "--workers").map(|v| v.parse().expect("--workers takes a number")).unwrap_or(0);
-    let variant = parse_variant(flag_value(args, "--variant").unwrap_or("256-opt"));
-    let density = match flag_value(args, "--density").unwrap_or("dc") {
-        "dc" => DensityProfile::deep_compression_vgg16(),
-        d => DensityProfile::uniform(13, d.parse().expect("--density takes dc or a fraction")),
-    };
+fn batch(p: &Parsed) {
+    let hw: usize = p.parse_num("--hw", 32);
+    let n: usize = p.parse_num("--n", 8);
+    let workers: usize = p.parse_num("--workers", 0);
+    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
+    let density = parse_density(p, 13);
 
     let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
     let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
@@ -138,10 +326,11 @@ fn batch(args: &[String]) {
     let inputs = synthetic_inputs(3, n, spec.input);
 
     let config = AccelConfig::for_variant(variant);
-    let driver = Driver::new(config, BackendKind::Model);
+    let driver = Driver::builder(config).build().unwrap_or_else(|e| fail(&e.to_string()));
     println!("running {} x {} on {}...", n, spec.name, variant);
     let t0 = std::time::Instant::now();
-    let report = zskip::accel::run_batch(&driver, &qnet, &inputs, workers).expect("fits");
+    let report = zskip::accel::run_batch(&driver, &qnet, &inputs, workers)
+        .unwrap_or_else(|e| fail(&e.to_string()));
     let wall = t0.elapsed().as_secs_f64();
     println!(
         "{} images in {:.2} s on {} workers ({:.2} images/s, {:.1} M simulated cycles/s, {} steals)",
@@ -158,12 +347,9 @@ fn batch(args: &[String]) {
     }
 }
 
-fn analyze(args: &[String]) {
+fn analyze(p: &Parsed) {
     use zskip::accel::LayerPackingStats;
-    let density = match flag_value(args, "--density").unwrap_or("dc") {
-        "dc" => DensityProfile::deep_compression_vgg16(),
-        d => DensityProfile::uniform(13, d.parse().expect("--density takes dc or a fraction")),
-    };
+    let density = parse_density(p, 13);
     let config = AccelConfig::for_variant(Variant::U256Opt);
     let qnet = zskip_bench::build_vgg16_with_density(density);
     println!(
@@ -191,6 +377,30 @@ fn analyze(args: &[String]) {
     }
     println!("\n'vs ideal' is lockstep steps over per-lane-independent steps: the bubble");
     println!("cost the paper's future-work filter grouping recovers.");
+}
+
+fn faults(p: &Parsed) {
+    use zskip::accel::{run_campaign, CampaignConfig};
+    let cfg = CampaignConfig { hw: p.parse_num("--hw", 8), seed: p.parse_num("--seed", 7) };
+    let report = run_campaign(&cfg);
+    if p.has("--json") {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!("fault-injection campaign ({} trials)\n", report.trials.len());
+        println!("{:<20} {:<22} {:<17} detail", "site", "fault", "outcome");
+        for t in &report.trials {
+            println!("{:<20} {:<22} {:<17} {}", t.site, t.fault, t.outcome.label(), t.detail);
+        }
+        let (identical, recovered, errors, vulnerable) = report.tally();
+        println!(
+            "\n{} identical, {} recovered by retry, {} structured errors, {} vulnerable",
+            identical, recovered, errors, vulnerable
+        );
+        println!("verdict: {}", if report.survived() { "SURVIVED" } else { "VULNERABLE" });
+    }
+    if !report.survived() {
+        std::process::exit(1);
+    }
 }
 
 fn trace() {

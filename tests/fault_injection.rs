@@ -1,0 +1,145 @@
+//! Fault-injection robustness: any single injected fault must degrade
+//! gracefully — either the run completes bit-identical to the clean run,
+//! or it returns a structured error with a stable code. Never a panic,
+//! never a hang past the deadlock window.
+
+use proptest::prelude::*;
+use zskip::accel::{AccelConfig, BackendKind, Driver};
+use zskip::fault::{FaultKind, FaultPlan};
+use zskip::hls::AccelArch;
+use zskip::nn::eval::synthetic_inputs;
+use zskip::nn::layer::{conv3x3, maxpool2x2, NetworkSpec};
+use zskip::nn::model::{Network, QuantizedNetwork, SyntheticModelConfig};
+use zskip::quant::DensityProfile;
+use zskip::soc::csr::{AccelCsr, CsrFile, ACCEL_CSR_BASE, CSR_BLOCK_LEN};
+use zskip::soc::{AvalonBus, BusError, HostCpu};
+use zskip::tensor::{Shape, Tensor};
+
+fn small_net(hw: usize) -> (QuantizedNetwork, Tensor<f32>) {
+    let spec = NetworkSpec {
+        name: "fi".into(),
+        input: Shape::new(3, hw, hw),
+        layers: vec![conv3x3("c1", 3, 4), maxpool2x2("p1"), conv3x3("c2", 4, 4)],
+    };
+    let net = Network::synthetic(
+        spec.clone(),
+        &SyntheticModelConfig { seed: 11, density: DensityProfile::uniform(2, 0.5) },
+    );
+    let qnet = net.quantize(&synthetic_inputs(12, 2, spec.input));
+    let input = synthetic_inputs(13, 1, spec.input).pop().expect("one");
+    (qnet, input)
+}
+
+fn config() -> AccelConfig {
+    AccelConfig::from_arch(&AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 4096 }, 100.0)
+}
+
+/// The FIFOs that exist in the 4-unit design (`crates/core/src/cycle`).
+/// A stall injected on any of them, at any cycle, in either direction,
+/// must never escape the deadlock detector.
+const FIFO_NAMES: &[&str] = &[
+    "cmd0", "cmd3", "work1", "pwork2", "prod0_0", "prod3_3", "acfg0", "acfg2", "aout1", "aout3",
+    "pout0", "pout2", "wcmd1", "done",
+];
+
+proptest! {
+    // The cycle backend is slow; keep the case count modest — each case
+    // still covers a distinct (fifo, direction, cycle, duration) corner.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Property: one injected FIFO stall — any site, any trigger cycle,
+    /// finite or permanent — either leaves the output bit-identical or
+    /// surfaces as a structured error that converts into `zskip::Error`.
+    /// The test completing at all proves the deadlock window bounds every
+    /// permanent stall.
+    #[test]
+    fn single_fifo_stall_degrades_gracefully(
+        fifo_idx in 0usize..FIFO_NAMES.len(),
+        pop_side in prop::bool::ANY,
+        at in 0u64..20_000,
+        forever in prop::bool::ANY,
+        cycles in 1u64..2_000,
+    ) {
+        let (qnet, input) = small_net(8);
+        let golden = qnet.forward_quant(&input);
+        let site = format!(
+            "fifo:{}:{}",
+            FIFO_NAMES[fifo_idx],
+            if pop_side { "pop" } else { "push" }
+        );
+        let stall = FaultKind::FifoStall { cycles: if forever { u64::MAX } else { cycles } };
+        let plan = FaultPlan::new().inject(site.clone(), at, stall).shared();
+        let driver = Driver::builder(config())
+            .backend(BackendKind::Cycle)
+            .fault_plan(plan)
+            .build()
+            .expect("valid config");
+        match driver.run_network(&qnet, &input) {
+            Ok(report) => prop_assert_eq!(report.output, golden, "fault at {} corrupted output", site),
+            Err(e) => {
+                let code = zskip::Error::from(e).code();
+                prop_assert!(!code.is_empty(), "error without a stable code at {}", site);
+            }
+        }
+    }
+}
+
+/// A permanent stall on the load-bearing `done` queue deadlocks, and the
+/// error names that exact FIFO.
+#[test]
+fn deadlock_error_names_the_wedged_fifo() {
+    let (qnet, input) = small_net(8);
+    let plan = FaultPlan::new()
+        .inject("fifo:done:pop", 10, FaultKind::FifoStall { cycles: u64::MAX })
+        .shared();
+    let driver = Driver::builder(config())
+        .backend(BackendKind::Cycle)
+        .fault_plan(plan)
+        .build()
+        .expect("valid config");
+    let err = driver.run_network(&qnet, &input).expect_err("permanent stall deadlocks");
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock"), "not a deadlock: {msg}");
+    assert!(msg.contains("wedged fifo: done"), "wedged fifo not named: {msg}");
+    assert_eq!(zskip::Error::from(err).code(), "sim.deadlock");
+}
+
+/// DMA truncation surfaces as a typed `dma.truncated` error through the
+/// full driver stack, and a retry (the injection is one-shot) recovers
+/// bit-identically.
+#[test]
+fn dma_truncation_is_structured_and_retry_recovers() {
+    let (qnet, input) = small_net(8);
+    let golden = qnet.forward_quant(&input);
+    let plan = FaultPlan::new().inject("dma:xfer", 1, FaultKind::DmaTruncate { tiles: 0 }).shared();
+    let driver =
+        Driver::builder(config()).fault_plan(plan.clone()).build().expect("valid config");
+
+    let err = driver.run_network(&qnet, &input).expect_err("truncation is an error");
+    assert_eq!(zskip::Error::from(err.clone()).code(), "dma.truncated");
+    assert!(err.is_transient(), "DMA faults are retryable");
+    assert_eq!(plan.lock().expect("unpoisoned").fired().len(), 1);
+
+    let retry = driver.run_network(&qnet, &input).expect("one-shot fault is consumed");
+    assert_eq!(retry.output, golden);
+}
+
+/// An Avalon bus timeout is a typed `bus.timeout` error at the SoC layer,
+/// and the next access (counters only advance on success) goes through.
+#[test]
+fn avalon_timeout_is_structured_and_transient() {
+    let plan = FaultPlan::new().inject("avalon:write", 0, FaultKind::BusTimeout).shared();
+    let mut bus = AvalonBus::new();
+    bus.set_fault_plan(plan);
+    let mut csr = CsrFile::new();
+    csr.set_fault_plan(FaultPlan::new().shared());
+    bus.map("accel-csr", ACCEL_CSR_BASE, CSR_BLOCK_LEN, Box::new(csr));
+    let mut host = HostCpu::new();
+
+    let err = host.write_csr(&mut bus, AccelCsr::InstrAddr, 0x40).expect_err("times out");
+    assert!(matches!(err, BusError::Timeout(_)), "wrong error: {err}");
+    assert_eq!(zskip::Error::from(err).code(), "bus.timeout");
+
+    host.write_csr(&mut bus, AccelCsr::InstrAddr, 0x40).expect("retry succeeds");
+    assert_eq!(host.read_csr(&mut bus, AccelCsr::InstrAddr).expect("reads"), 0x40);
+}
