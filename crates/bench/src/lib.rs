@@ -321,6 +321,87 @@ pub fn make_conv_layer(
     (qw, tiled, zskip_tensor::Shape::new(out_c, hw, hw))
 }
 
+/// Builds the bank image, scratchpad and instruction stream for one conv
+/// layer followed by a 2x2 max-pool on the cycle-exact backend — a VGG-16
+/// conv/pool block at engine level, shared by the scheduler benchmark
+/// (`sim_bench`) and the `zskip analyze` scheduler section.
+pub fn build_engine_workload(
+    cfg: &AccelConfig,
+    qw: &zskip_nn::conv::QuantConvWeights,
+    input: &Tensor<zskip_quant::Sm8>,
+) -> (zskip_core::BankSet, Vec<u8>, Vec<zskip_core::Instruction>) {
+    use zskip_core::{BankSet, ConvInstr, FmLayout, GroupWeights, Instruction, PoolPadInstr, PoolPadOp};
+    use zskip_tensor::{Shape, TiledFeatureMap};
+
+    let (h, w) = (input.shape().h, input.shape().w);
+    let padded = input.padded(1);
+    let tiled_in = TiledFeatureMap::from_tensor(&padded);
+    let in_layout = FmLayout::full(0, padded.shape());
+    let out_shape = Shape::new(qw.out_c, h, w);
+    let out_layout = FmLayout::full(in_layout.end(), out_shape);
+
+    let mut banks = BankSet::new(cfg);
+    in_layout.store(&mut banks, &tiled_in, 0..tiled_in.tiles_y());
+
+    let mut scratchpad = Vec::new();
+    let mut instrs = Vec::new();
+    for g in 0..qw.out_c.div_ceil(cfg.lanes) {
+        let ofm_first = g * cfg.lanes;
+        let gw = GroupWeights::from_filters(qw, ofm_first, cfg.lanes);
+        let wgt_base = scratchpad.len() as u32;
+        scratchpad.extend_from_slice(&gw.to_bytes());
+        let active = cfg.lanes.min(qw.out_c - ofm_first);
+        let mut bias = [0i32; 4];
+        for (lane, b) in bias.iter_mut().enumerate().take(active) {
+            *b = qw.bias_acc[ofm_first + lane] as i32;
+        }
+        instrs.push(Instruction::Conv(ConvInstr {
+            ofm_first: ofm_first as u16,
+            ifm_count: qw.in_c as u16,
+            ifm_base: in_layout.base as u32,
+            ifm_tiles_x: in_layout.tiles_x as u16,
+            ifm_tile_rows: in_layout.tile_rows as u16,
+            ifm_row_offset: 0,
+            ofm_base: out_layout.base as u32,
+            ofm_tiles_x: out_layout.tiles_x as u16,
+            ofm_tile_rows: out_layout.tile_rows as u16,
+            wgt_base,
+            bias,
+            requant_mult: qw.requant.mult as u16,
+            requant_shift: qw.requant.shift as u8,
+            relu: qw.relu,
+            active_lanes: active as u8,
+        }));
+    }
+    // 2x2 max-pool of the conv output, VGG-style.
+    let pool_out = FmLayout::full(out_layout.end(), Shape::new(qw.out_c, h / 2, w / 2));
+    instrs.push(Instruction::PoolPad(PoolPadInstr {
+        op: PoolPadOp::MaxPool { k: 2, stride: 2 },
+        channels: qw.out_c as u16,
+        in_base: out_layout.base as u32,
+        in_tiles_x: out_layout.tiles_x as u16,
+        in_tile_rows: out_layout.tile_rows as u16,
+        in_row_start: 0,
+        out_base: pool_out.base as u32,
+        out_tiles_x: pool_out.tiles_x as u16,
+        out_tile_rows: pool_out.tile_rows as u16,
+        out_row_start: 0,
+    }));
+    (banks, scratchpad, instrs)
+}
+
+/// Builds a quantized full-size VGG-16 with an explicit density profile
+/// (the `zskip analyze` CLI entry point).
+pub fn build_vgg16_with_density(density: DensityProfile) -> QuantizedNetwork {
+    let spec = vgg16_spec();
+    let net = Network::synthetic(spec, &SyntheticModelConfig { seed: HARNESS_SEED, density: density.clone() });
+    let surrogate = zskip_nn::vgg16::vgg16_scaled_spec(32);
+    let snet = Network::synthetic(surrogate.clone(), &SyntheticModelConfig { seed: HARNESS_SEED, density });
+    let calib = zskip_nn::eval::synthetic_inputs(HARNESS_SEED ^ 7, 1, surrogate.input);
+    let qs = snet.quantize(&calib);
+    requantize_with_scales(&net, &qs.activation_scales)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,16 +464,4 @@ mod tests {
         let net = Network::synthetic(spec, &SyntheticModelConfig::default());
         let _ = requantize_with_scales(&net, &[1.0]);
     }
-}
-
-/// Builds a quantized full-size VGG-16 with an explicit density profile
-/// (the `zskip analyze` CLI entry point).
-pub fn build_vgg16_with_density(density: DensityProfile) -> QuantizedNetwork {
-    let spec = vgg16_spec();
-    let net = Network::synthetic(spec, &SyntheticModelConfig { seed: HARNESS_SEED, density: density.clone() });
-    let surrogate = zskip_nn::vgg16::vgg16_scaled_spec(32);
-    let snet = Network::synthetic(surrogate.clone(), &SyntheticModelConfig { seed: HARNESS_SEED, density });
-    let calib = zskip_nn::eval::synthetic_inputs(HARNESS_SEED ^ 7, 1, surrogate.input);
-    let qs = snet.quantize(&calib);
-    requantize_with_scales(&net, &qs.activation_scales)
 }

@@ -26,11 +26,17 @@ pub struct BankStats {
 }
 
 /// A set of SRAM banks storing tile words of [`Sm8`] values.
+///
+/// Port exclusivity is tracked by stamping each port with the cycle of its
+/// last grant instead of a flag cleared every cycle: a port is busy iff its
+/// stamp equals the current cycle. This removes the need for any per-cycle
+/// maintenance call, so an event-driven simulation can park every kernel
+/// touching the banks without someone having to tick just to reset ports.
 #[derive(Debug, Clone)]
 pub struct BankSet {
     banks: Vec<Vec<Tile<Sm8>>>,
-    read_used: Vec<bool>,
-    write_used: Vec<bool>,
+    read_stamp: Vec<u64>,
+    write_stamp: Vec<u64>,
     stats: Vec<BankStats>,
 }
 
@@ -44,8 +50,8 @@ impl BankSet {
     pub fn with_geometry(banks: usize, tiles_per_bank: usize) -> BankSet {
         BankSet {
             banks: vec![vec![Tile::zero(); tiles_per_bank]; banks],
-            read_used: vec![false; banks],
-            write_used: vec![false; banks],
+            read_stamp: vec![u64::MAX; banks],
+            write_stamp: vec![u64::MAX; banks],
             stats: vec![BankStats::default(); banks],
         }
     }
@@ -74,33 +80,29 @@ impl BankSet {
         self.banks[bank][addr] = tile;
     }
 
-    /// Port-A read: succeeds at most once per bank per cycle.
-    pub fn read_port_a(&mut self, bank: usize, addr: usize) -> Option<Tile<Sm8>> {
-        if self.read_used[bank] {
+    /// Port-A read at the given cycle: succeeds at most once per bank per
+    /// cycle.
+    pub fn read_port_a(&mut self, bank: usize, addr: usize, cycle: u64) -> Option<Tile<Sm8>> {
+        if self.read_stamp[bank] == cycle {
             self.stats[bank].read_conflicts += 1;
             return None;
         }
-        self.read_used[bank] = true;
+        self.read_stamp[bank] = cycle;
         self.stats[bank].reads += 1;
         Some(self.banks[bank][addr])
     }
 
-    /// Port-B write: succeeds at most once per bank per cycle.
-    pub fn write_port_b(&mut self, bank: usize, addr: usize, tile: Tile<Sm8>) -> bool {
-        if self.write_used[bank] {
+    /// Port-B write at the given cycle: succeeds at most once per bank per
+    /// cycle.
+    pub fn write_port_b(&mut self, bank: usize, addr: usize, tile: Tile<Sm8>, cycle: u64) -> bool {
+        if self.write_stamp[bank] == cycle {
             self.stats[bank].write_conflicts += 1;
             return false;
         }
-        self.write_used[bank] = true;
+        self.write_stamp[bank] = cycle;
         self.stats[bank].writes += 1;
         self.banks[bank][addr] = tile;
         true
-    }
-
-    /// Releases the per-cycle port reservations. Call once per cycle.
-    pub fn end_cycle(&mut self) {
-        self.read_used.iter_mut().for_each(|u| *u = false);
-        self.write_used.iter_mut().for_each(|u| *u = false);
     }
 
     /// Per-bank statistics.
@@ -167,12 +169,12 @@ mod tests {
         let mut b = BankSet::with_geometry(4, 8);
         b.poke(0, 0, tile_of(1));
         b.poke(0, 1, tile_of(2));
-        assert_eq!(b.read_port_a(0, 0), Some(tile_of(1)));
-        assert_eq!(b.read_port_a(0, 1), None, "port A busy");
+        assert_eq!(b.read_port_a(0, 0, 0), Some(tile_of(1)));
+        assert_eq!(b.read_port_a(0, 1, 0), None, "port A busy");
         // Other banks unaffected.
-        assert!(b.read_port_a(1, 0).is_some());
-        b.end_cycle();
-        assert_eq!(b.read_port_a(0, 1), Some(tile_of(2)));
+        assert!(b.read_port_a(1, 0, 0).is_some());
+        // Next cycle: port free again.
+        assert_eq!(b.read_port_a(0, 1, 1), Some(tile_of(2)));
         assert_eq!(b.stats()[0].read_conflicts, 1);
     }
 
@@ -181,10 +183,9 @@ mod tests {
         let mut b = BankSet::with_geometry(4, 8);
         b.poke(0, 0, tile_of(5));
         // Same cycle: read port A and write port B on the same bank.
-        assert!(b.read_port_a(0, 0).is_some());
-        assert!(b.write_port_b(0, 1, tile_of(9)));
-        assert!(!b.write_port_b(0, 2, tile_of(9)), "port B busy");
-        b.end_cycle();
+        assert!(b.read_port_a(0, 0, 0).is_some());
+        assert!(b.write_port_b(0, 1, tile_of(9), 0));
+        assert!(!b.write_port_b(0, 2, tile_of(9), 0), "port B busy");
         assert_eq!(b.peek(0, 1), tile_of(9));
         assert_eq!(b.stats()[0].write_conflicts, 1);
         assert_eq!(b.total_reads(), 1);

@@ -13,7 +13,7 @@ use super::msg::{AccumCfg, Msg};
 use std::cell::RefCell;
 use std::rc::Rc;
 use zskip_quant::{Requantizer, Sm8};
-use zskip_sim::{Barrier, Ctx, FifoId, Kernel, Progress};
+use zskip_sim::{Barrier, CounterId, Ctx, FifoId, Horizon, Kernel, Progress};
 use zskip_tensor::Tile;
 
 #[derive(Debug)]
@@ -44,6 +44,8 @@ pub struct AccumKernel {
     out: FifoId,
     barrier: Rc<RefCell<Barrier>>,
     state: State,
+    /// Interned `accum_adds` id — fires on every product pop.
+    adds_counter: Option<CounterId>,
 }
 
 impl AccumKernel {
@@ -55,7 +57,16 @@ impl AccumKernel {
         out: FifoId,
         barrier: Rc<RefCell<Barrier>>,
     ) -> AccumKernel {
-        AccumKernel { name: format!("accum{lane}"), lane, cfg_in, inputs, out, barrier, state: State::Idle }
+        AccumKernel {
+            name: format!("accum{lane}"),
+            lane,
+            cfg_in,
+            inputs,
+            out,
+            barrier,
+            state: State::Idle,
+            adds_counter: None,
+        }
     }
 
     fn finalize(run: &Run, lane: usize) -> Tile<Sm8> {
@@ -111,7 +122,9 @@ impl AccumKernel {
                     for (a, v) in run.acc.iter_mut().zip(p) {
                         *a += v as i64;
                     }
-                    ctx.counters.add("accum_adds", 16);
+                    let adds =
+                        *self.adds_counter.get_or_insert_with(|| ctx.counters.intern("accum_adds"));
+                    ctx.counters.add_id(adds, 16);
                     progress = Progress::Busy;
                 }
                 Some(Msg::AccumEnd) => {
@@ -143,6 +156,14 @@ impl AccumKernel {
 impl Kernel<Msg> for AccumKernel {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn horizon(&self) -> Horizon {
+        // Blocked FIFO paths are pure probes (a refused output push
+        // restores `pending` intact). The barrier-wait path touches no
+        // FIFOs at all, so its Blocked ticks carry an empty watch set and
+        // the scheduler keeps polling — exactly what a spin-wait needs.
+        Horizon::Reactive
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_, Msg>) -> Progress {

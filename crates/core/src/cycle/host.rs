@@ -1,0 +1,197 @@
+//! The embedded ARM host as an engine-level kernel.
+//!
+//! The paper's system view (§IV-C): "Software executing on the on-chip
+//! ARM processor handles the loading and pre-processing of network
+//! weights, biases and test images", then dispatches instructions over
+//! the Avalon bridge and polls the accelerator for completion. At the
+//! engine level that behaviour is a 22nd kernel: for each layer it
+//! *stages* (sleeps out the DMA + pre-processing latency), *dispatches*
+//! (streams the layer's instructions to the main controller through a
+//! FIFO), and *polls* for quiescence (drains per-instruction completions
+//! at a fixed poll interval, parked in between).
+//!
+//! The host is idle for long, exactly-known stretches, so it declares a
+//! [`Horizon::Sleep`] wake cycle and the event-driven scheduler jumps the
+//! gaps — the accelerator's kernels park on their empty command FIFOs at
+//! the same time, so whole staging stretches cost O(1). The dense stepper
+//! grinds through every cycle and remains the oracle: both produce
+//! bit-identical reports.
+
+use super::msg::Msg;
+use crate::isa::Instruction;
+use std::collections::VecDeque;
+use zskip_sim::{Ctx, FifoId, Horizon, Kernel, Progress};
+
+/// One layer's worth of host work: the staging latency the host pays
+/// before the layer's instructions can be dispatched, then the
+/// instructions themselves.
+#[derive(Debug, Clone)]
+pub struct HostLayer {
+    /// Fabric cycles of DMA + ARM-side pre-processing (tiling, padding,
+    /// quantization, weight packing) before dispatch.
+    pub staging_cycles: u64,
+    /// The layer's instruction stream.
+    pub instrs: Vec<Instruction>,
+}
+
+/// The host-side schedule for a hosted run: per-layer staging latencies
+/// and the quiescence poll interval.
+#[derive(Debug, Clone)]
+pub struct HostModel {
+    /// Fabric cycles between completion polls while the accelerator is
+    /// crunching a layer (one Avalon status read per poll).
+    pub poll_interval: u64,
+    /// The layers, dispatched in order.
+    pub layers: Vec<HostLayer>,
+}
+
+enum State {
+    /// Sleeping out the current layer's staging latency.
+    Staging {
+        layer: HostLayer,
+        /// Absolute wake cycle, fixed on the first staging tick.
+        until: Option<u64>,
+    },
+    /// Streaming the layer's instructions to the controller.
+    Dispatch {
+        queue: VecDeque<Instruction>,
+        outstanding: u32,
+    },
+    /// Polling for the layer's completions.
+    Await {
+        outstanding: u32,
+        next_poll: u64,
+    },
+    /// All layers done: deliver the shutdown token.
+    Shutdown,
+    Finished,
+}
+
+/// The host CPU kernel.
+pub struct HostKernel {
+    layers: VecDeque<HostLayer>,
+    instr_out: FifoId,
+    done_in: FifoId,
+    poll_interval: u64,
+    state: State,
+    horizon: Horizon,
+}
+
+impl HostKernel {
+    /// Creates the host with its layer schedule, instruction output FIFO
+    /// (to the main controller) and completion input FIFO (from it).
+    pub fn new(model: HostModel, instr_out: FifoId, done_in: FifoId) -> HostKernel {
+        let mut layers: VecDeque<_> = model.layers.into();
+        let state = match layers.pop_front() {
+            Some(layer) => State::Staging { layer, until: None },
+            None => State::Shutdown,
+        };
+        HostKernel {
+            layers,
+            instr_out,
+            done_in,
+            poll_interval: model.poll_interval.max(1),
+            state,
+            horizon: Horizon::Reactive,
+        }
+    }
+
+    /// Next state once a layer's completions have all drained.
+    fn advance_layer(&mut self) {
+        self.state = match self.layers.pop_front() {
+            Some(layer) => State::Staging { layer, until: None },
+            None => State::Shutdown,
+        };
+    }
+}
+
+impl Kernel<Msg> for HostKernel {
+    fn name(&self) -> &str {
+        "host-cpu"
+    }
+
+    fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_, Msg>) -> Progress {
+        match &mut self.state {
+            State::Finished => Progress::Done,
+            State::Staging { layer, until } => {
+                let wake = match *until {
+                    Some(w) => w,
+                    None => {
+                        let w = ctx.cycle + layer.staging_cycles;
+                        *until = Some(w);
+                        w
+                    }
+                };
+                if ctx.cycle < wake {
+                    self.horizon = Horizon::Sleep(wake);
+                    return Progress::Idle;
+                }
+                let queue: VecDeque<_> = std::mem::take(&mut layer.instrs).into();
+                let outstanding = queue.len() as u32;
+                self.state = State::Dispatch { queue, outstanding };
+                self.horizon = Horizon::Reactive;
+                Progress::Busy
+            }
+            State::Dispatch { queue, outstanding } => {
+                let Some(&instr) = queue.front() else {
+                    if *outstanding == 0 {
+                        // Degenerate empty layer: nothing to await.
+                        self.advance_layer();
+                    } else {
+                        // First quiescence poll one interval after dispatch.
+                        self.state = State::Await {
+                            outstanding: *outstanding,
+                            next_poll: ctx.cycle + self.poll_interval,
+                        };
+                    }
+                    return Progress::Busy;
+                };
+                match ctx.fifos.try_push(self.instr_out, Msg::Cmd(instr)) {
+                    Ok(()) => {
+                        queue.pop_front();
+                        Progress::Busy
+                    }
+                    Err(_) => Progress::Blocked,
+                }
+            }
+            State::Await { outstanding, next_poll } => {
+                if ctx.cycle < *next_poll {
+                    self.horizon = Horizon::Sleep(*next_poll);
+                    return Progress::Idle;
+                }
+                // One status read per cycle; a hit keeps draining, a miss
+                // schedules the next poll.
+                match ctx.fifos.try_pop(self.done_in) {
+                    Some(Msg::Done) => {
+                        *outstanding -= 1;
+                        self.horizon = Horizon::Reactive;
+                        if *outstanding == 0 {
+                            self.advance_layer();
+                        }
+                        Progress::Busy
+                    }
+                    Some(other) => panic!("host received unexpected message {other:?}"),
+                    None => {
+                        *next_poll = ctx.cycle + self.poll_interval;
+                        self.horizon = Horizon::Sleep(*next_poll);
+                        Progress::Idle
+                    }
+                }
+            }
+            State::Shutdown => {
+                self.horizon = Horizon::Reactive;
+                match ctx.fifos.try_push(self.instr_out, Msg::Shutdown) {
+                    Ok(()) => {
+                        self.state = State::Finished;
+                        Progress::Done
+                    }
+                    Err(_) => Progress::Blocked,
+                }
+            }
+        }
+    }
+}

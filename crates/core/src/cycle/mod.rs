@@ -11,10 +11,13 @@
 pub mod accum;
 pub mod conv;
 pub mod ctrl;
+pub mod host;
 pub mod msg;
 pub mod poolpad_unit;
 pub mod staging;
 pub mod write;
+
+pub use host::{HostLayer, HostModel};
 
 use crate::bank::BankSet;
 use crate::config::AccelConfig;
@@ -23,7 +26,7 @@ use msg::Msg;
 use std::cell::RefCell;
 use std::rc::Rc;
 use zskip_fault::SharedFaultPlan;
-use zskip_sim::{Barrier, Counters, Engine, Fifo, RunReport, SimError};
+use zskip_sim::{Barrier, Counters, Engine, Fifo, RunReport, SchedMode, SimError};
 
 /// Result of running an instruction stream on the cycle-exact backend.
 #[derive(Debug)]
@@ -45,6 +48,11 @@ pub struct CycleOutcome {
 /// `banks` must hold the resident IFM stripe in the layout the
 /// instructions reference; `scratchpad` holds the packed weight image.
 ///
+/// Uses the event-driven scheduler: kernels blocked on a FIFO park on its
+/// wait list instead of being re-polled every cycle. The result is
+/// bit-identical to the dense stepper ([`run_instructions_dense`] is the
+/// oracle; a property test pins the equivalence).
+///
 /// # Errors
 /// Propagates [`SimError`] (deadlock or cycle limit) — either indicates a
 /// malformed instruction stream or an RTL-level bug.
@@ -55,8 +63,44 @@ pub fn run_instructions(
     instructions: &[Instruction],
     max_cycles: u64,
 ) -> Result<CycleOutcome, SimError> {
-    let (outcome, _) =
-        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, false, None)?;
+    let (outcome, _) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Preloaded(instructions.to_vec()),
+        max_cycles,
+        None,
+        false,
+        None,
+        SchedMode::EventDriven,
+    )?;
+    Ok(outcome)
+}
+
+/// [`run_instructions`] on the dense stepper: every kernel ticks every
+/// cycle. Slower, but the semantics are defined by inspection — this is
+/// the oracle the event-driven scheduler is checked against.
+///
+/// # Errors
+/// See [`run_instructions`].
+pub fn run_instructions_dense(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    instructions: &[Instruction],
+    max_cycles: u64,
+) -> Result<CycleOutcome, SimError> {
+    let (outcome, _) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Preloaded(instructions.to_vec()),
+        max_cycles,
+        None,
+        false,
+        None,
+        SchedMode::Dense,
+    )?;
     Ok(outcome)
 }
 
@@ -77,19 +121,27 @@ pub fn run_instructions_with_faults(
     max_cycles: u64,
     plan: SharedFaultPlan,
 ) -> Result<CycleOutcome, SimError> {
-    let (outcome, _) =
-        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, false, Some(plan))?;
+    let (outcome, _) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Preloaded(instructions.to_vec()),
+        max_cycles,
+        None,
+        false,
+        Some(plan),
+        SchedMode::EventDriven,
+    )?;
     Ok(outcome)
 }
 
-/// Like [`run_instructions`], with the engine's idle-cycle fast-forward
-/// enabled. The accelerator's kernels keep the default
-/// [`zskip_sim::Horizon::Opaque`] horizon (the datapath pipelines work
-/// every cycle of a pass, so there are no predictable quiescent
-/// stretches), which makes this bit-identical to [`run_instructions`] by
-/// construction — a property test pins that. Designs embedding the
-/// accelerator alongside sleepy host-side kernels get the skipping for
-/// free.
+/// [`run_instructions_dense`] with the engine's idle-cycle fast-forward
+/// enabled. The accelerator's datapath pipelines work every cycle of a
+/// pass, so whole-design quiescent stretches are rare and this is
+/// bit-identical to the dense run by construction — a property test pins
+/// that. Designs embedding the accelerator alongside sleepy host-side
+/// kernels get the skipping for free. For the accelerator alone, the
+/// event-driven [`run_instructions`] is the faster path.
 ///
 /// # Errors
 /// See [`run_instructions`].
@@ -100,8 +152,17 @@ pub fn run_instructions_fast(
     instructions: &[Instruction],
     max_cycles: u64,
 ) -> Result<CycleOutcome, SimError> {
-    let (outcome, _) =
-        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, None, true, None)?;
+    let (outcome, _) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Preloaded(instructions.to_vec()),
+        max_cycles,
+        None,
+        true,
+        None,
+        SchedMode::Dense,
+    )?;
     Ok(outcome)
 }
 
@@ -118,9 +179,82 @@ pub fn run_instructions_traced(
     max_cycles: u64,
     trace_cycles: usize,
 ) -> Result<(CycleOutcome, zskip_sim::Trace), SimError> {
-    let (outcome, trace) =
-        run_instructions_inner(config, banks, scratchpad, instructions, max_cycles, Some(trace_cycles), false, None)?;
+    let (outcome, trace) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Preloaded(instructions.to_vec()),
+        max_cycles,
+        Some(trace_cycles),
+        false,
+        None,
+        SchedMode::EventDriven,
+    )?;
     Ok((outcome, trace.expect("tracing was enabled")))
+}
+
+/// Runs a hosted system design: the accelerator instance plus the
+/// [`host::HostKernel`] that stages, dispatches and polls each layer.
+/// Long host-side staging and polling gaps quiesce the whole design, so
+/// the event-driven scheduler jumps them — this is the workload class
+/// where it beats the dense stepper by the widest margin, and a property
+/// test pins the two bit-identical ([`run_hosted_dense`] is the oracle).
+///
+/// # Errors
+/// See [`run_instructions`].
+pub fn run_hosted(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    host: HostModel,
+    max_cycles: u64,
+) -> Result<CycleOutcome, SimError> {
+    let (outcome, _) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Hosted(host),
+        max_cycles,
+        None,
+        false,
+        None,
+        SchedMode::EventDriven,
+    )?;
+    Ok(outcome)
+}
+
+/// [`run_hosted`] on the dense stepper — the oracle for hosted designs.
+///
+/// # Errors
+/// See [`run_instructions`].
+pub fn run_hosted_dense(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    host: HostModel,
+    max_cycles: u64,
+) -> Result<CycleOutcome, SimError> {
+    let (outcome, _) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Hosted(host),
+        max_cycles,
+        None,
+        false,
+        None,
+        SchedMode::Dense,
+    )?;
+    Ok(outcome)
+}
+
+/// How the main controller receives its instruction stream.
+enum Feed {
+    /// The full stream is preloaded into the controller (accelerator-only
+    /// designs; the paper's measurement setup after staging).
+    Preloaded(Vec<Instruction>),
+    /// A host kernel stages and dispatches the stream layer by layer.
+    Hosted(HostModel),
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -128,11 +262,12 @@ fn run_instructions_inner(
     config: &AccelConfig,
     banks: BankSet,
     scratchpad: Vec<u8>,
-    instructions: &[Instruction],
+    feed: Feed,
     max_cycles: u64,
     trace_cycles: Option<usize>,
     fast_forward: bool,
     fault_plan: Option<SharedFaultPlan>,
+    sched: SchedMode,
 ) -> Result<(CycleOutcome, Option<zskip_sim::Trace>), SimError> {
     assert_eq!(config.units, config.lanes, "accumulator lanes map 1:1 onto write units");
     let units = config.units;
@@ -140,6 +275,7 @@ fn run_instructions_inner(
     let scratchpad = Rc::new(scratchpad);
     let barrier = Rc::new(RefCell::new(Barrier::new(config.lanes)));
     let mut engine: Engine<Msg> = Engine::new();
+    engine.set_scheduler(sched);
     if let Some(capacity) = trace_cycles {
         engine.enable_trace(capacity);
     }
@@ -204,16 +340,47 @@ fn run_instructions_inner(
             done,
         )));
     }
-    // Controller last: it commits bank port state each cycle.
-    engine.add_kernel(Box::new(ctrl::CtrlKernel::new(
-        *config,
-        Rc::clone(&banks),
-        instructions.to_vec(),
-        staging_cmds,
-        accum_cfgs,
-        write_cmds,
-        done,
-    )));
+    // Controller last among the accelerator's kernels, matching the
+    // paper's dispatch topology (it feeds every cmd FIFO, so its pushes
+    // land after all consumers ticked). In hosted mode the host CPU
+    // registers after it, outside the accelerator proper.
+    match feed {
+        Feed::Preloaded(instructions) => {
+            engine.add_kernel(Box::new(ctrl::CtrlKernel::new(
+                *config,
+                instructions,
+                staging_cmds,
+                accum_cfgs,
+                write_cmds,
+                done,
+            )));
+        }
+        Feed::Hosted(model) => {
+            let instr_q = engine.add_fifo(Fifo::new("hinstr", 2));
+            let done_cap = model.layers.iter().map(|l| l.instrs.len()).max().unwrap_or(1).max(2);
+            let host_done = engine.add_fifo(Fifo::new("hdone", done_cap));
+            engine.add_kernel(Box::new(ctrl::CtrlKernel::new_hosted(
+                *config,
+                instr_q,
+                host_done,
+                staging_cmds,
+                accum_cfgs,
+                write_cmds,
+                done,
+            )));
+            // The longest legal quiescent stretch is a staging sleep or a
+            // poll gap; give the deadlock detector room beyond both.
+            let longest_gap = model
+                .layers
+                .iter()
+                .map(|l| l.staging_cycles)
+                .max()
+                .unwrap_or(0)
+                .max(model.poll_interval);
+            engine.set_deadlock_window(longest_gap.saturating_add(10_000));
+            engine.add_kernel(Box::new(host::HostKernel::new(model, instr_q, host_done)));
+        }
+    }
 
     let report = engine.run(max_cycles)?;
     let trace = engine.trace().cloned();

@@ -10,7 +10,7 @@ use super::msg::Msg;
 use crate::poolpad::apply_micro_op;
 use crate::poolpad::MicroOp;
 use zskip_quant::Sm8;
-use zskip_sim::{Ctx, FifoId, Kernel, Progress};
+use zskip_sim::{CounterId, Ctx, FifoId, Horizon, Kernel, Progress};
 use zskip_tensor::Tile;
 
 /// The pool/pad unit.
@@ -20,18 +20,32 @@ pub struct PoolPadKernel {
     out: FifoId,
     reg: Tile<Sm8>,
     finished: bool,
+    /// Interned `max_ops` id — fires on every micro-op.
+    max_ops_counter: Option<CounterId>,
 }
 
 impl PoolPadKernel {
     /// Creates pool/pad unit `index`.
     pub fn new(index: usize, input: FifoId, out: FifoId) -> PoolPadKernel {
-        PoolPadKernel { name: format!("poolpad{index}"), input, out, reg: Tile::zero(), finished: false }
+        PoolPadKernel {
+            name: format!("poolpad{index}"),
+            input,
+            out,
+            reg: Tile::zero(),
+            finished: false,
+            max_ops_counter: None,
+        }
     }
 }
 
 impl Kernel<Msg> for PoolPadKernel {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn horizon(&self) -> Horizon {
+        // Blocked and idle ticks only probe FIFOs (room check + pop).
+        Horizon::Reactive
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_, Msg>) -> Progress {
@@ -47,7 +61,9 @@ impl Kernel<Msg> for PoolPadKernel {
             Some(Msg::PoolWork(work)) => {
                 let mop = MicroOp { in_ty: 0, in_tx: 0, sels: work.sels };
                 apply_micro_op(&mut self.reg, &work.input, &mop);
-                ctx.counters.add("max_ops", work.sels.iter().filter(|s| s.mask != 0).count() as u64);
+                let max_ops =
+                    *self.max_ops_counter.get_or_insert_with(|| ctx.counters.intern("max_ops"));
+                ctx.counters.add_id(max_ops, work.sels.iter().filter(|s| s.mask != 0).count() as u64);
                 if work.last {
                     let tile = std::mem::replace(&mut self.reg, Tile::zero());
                     ctx.fifos

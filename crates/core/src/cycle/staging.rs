@@ -21,7 +21,7 @@ use crate::weights::GroupWeights;
 use std::cell::RefCell;
 use std::rc::Rc;
 use zskip_quant::{PackedEntry, Sm8};
-use zskip_sim::{Ctx, FifoId, Kernel, Progress};
+use zskip_sim::{CounterId, Ctx, FifoId, Horizon, Kernel, Progress};
 use zskip_tensor::Tile;
 
 /// One (position, IFM) phase of a convolution instruction.
@@ -107,6 +107,10 @@ pub struct StagingKernel {
     conv_out: FifoId,
     pool_out: FifoId,
     state: State,
+    /// Interned (`weights_applied`, `macs`, `bubble_lanes`) ids — these
+    /// fire every streaming cycle, so the name lookup is paid once.
+    conv_counters: Option<(CounterId, CounterId, CounterId)>,
+    pool_counter: Option<CounterId>,
 }
 
 impl StagingKernel {
@@ -134,6 +138,8 @@ impl StagingKernel {
             conv_out,
             pool_out,
             state: State::Idle,
+            conv_counters: None,
+            pool_counter: None,
         }
     }
 
@@ -188,7 +194,7 @@ impl StagingKernel {
 
     /// Reads one tile of the quad of phase `p` through port A, charging
     /// the read; out-of-range tiles are zero without a bank access.
-    fn fetch_quad_tile(&self, instr: &ConvInstr, p: &Phase, quad_idx: u32) -> Tile<Sm8> {
+    fn fetch_quad_tile(&self, instr: &ConvInstr, p: &Phase, quad_idx: u32, cycle: u64) -> Tile<Sm8> {
         let (r, c) = ((quad_idx / 2) as usize, (quad_idx % 2) as usize);
         let positions_x = instr.ofm_tiles_x as usize;
         let (ty, tx) = ((p.pos as usize) / positions_x, (p.pos as usize) % positions_x);
@@ -207,7 +213,7 @@ impl StagingKernel {
         let addr = layout.addr(p.ifm as usize, row, col);
         self.banks
             .borrow_mut()
-            .read_port_a(bank, addr)
+            .read_port_a(bank, addr, cycle)
             .expect("staging unit owns port A of its bank(s)")
     }
 
@@ -260,7 +266,7 @@ impl StagingKernel {
         // Pipeline prologue: fill the first quad, 1 tile per cycle.
         if st.fill > 0 {
             let quad_idx = 4 - st.fill;
-            let tile = self.fetch_quad_tile(&st.instr, &st.phases[0], quad_idx);
+            let tile = self.fetch_quad_tile(&st.instr, &st.phases[0], quad_idx, ctx.cycle);
             Self::place_quad_tile(&mut st.region, quad_idx, &tile);
             st.fill -= 1;
             if st.fill == 0 {
@@ -295,15 +301,22 @@ impl StagingKernel {
                 return Progress::Blocked;
             }
             let active = lanes.iter().filter(|l| l.is_some()).count() as u64;
-            ctx.counters.add("weights_applied", active);
-            ctx.counters.add("macs", active * 16);
-            ctx.counters.add("bubble_lanes", self.lanes as u64 - active);
+            let (applied, macs, bubbles) = *self.conv_counters.get_or_insert_with(|| {
+                (
+                    ctx.counters.intern("weights_applied"),
+                    ctx.counters.intern("macs"),
+                    ctx.counters.intern("bubble_lanes"),
+                )
+            });
+            ctx.counters.add_id(applied, active);
+            ctx.counters.add_id(macs, active * 16);
+            ctx.counters.add_id(bubbles, self.lanes as u64 - active);
         }
 
         // Prefetch one tile of the next phase's quad during cycles 0..4.
         if st.t < 4 {
             if let Some(next) = st.phases.get(st.phase_idx + 1) {
-                let tile = self.fetch_quad_tile(&st.instr, next, st.t);
+                let tile = self.fetch_quad_tile(&st.instr, next, st.t, ctx.cycle);
                 Self::place_quad_tile(&mut st.next_region, st.t, &tile);
             }
         }
@@ -389,7 +402,7 @@ impl StagingKernel {
             let addr = layout.addr(c, local_ty as usize, mop.in_tx as usize);
             self.banks
                 .borrow_mut()
-                .read_port_a(FmLayout::bank_of(c), addr)
+                .read_port_a(FmLayout::bank_of(c), addr, ctx.cycle)
                 .expect("staging unit owns port A of its bank(s)")
         };
 
@@ -415,7 +428,8 @@ impl StagingKernel {
             // second read, matching a stalled pipeline holding its request).
             return Progress::Blocked;
         }
-        ctx.counters.add("pool_microops", 1);
+        let pool_ops = *self.pool_counter.get_or_insert_with(|| ctx.counters.intern("pool_microops"));
+        ctx.counters.add_id(pool_ops, 1);
 
         st.op_idx += 1;
         if st.op_idx == st.program.len() {
@@ -438,6 +452,17 @@ fn conv_finished(st: &ConvState) -> bool {
 impl Kernel<Msg> for StagingKernel {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn horizon(&self) -> Horizon {
+        // A blocked pool tick charges its bank read *before* the push
+        // attempt (the retry is a second read, like a stalled pipeline
+        // holding its request), so pool stalls must keep ticking. Every
+        // other blocked/idle path is a pure FIFO probe.
+        match self.state {
+            State::Pool(_) => Horizon::Opaque,
+            _ => Horizon::Reactive,
+        }
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_, Msg>) -> Progress {

@@ -109,12 +109,14 @@ fn fast_forward_matches_cycle_by_cycle_on_vgg16_layer() {
     // conv1_1 of the scaled VGG-16 (3 -> 64 channels, 3x3, mixed
     // sparsity): the fast-forward entry point must produce the identical
     // output, cycle count, per-kernel stats and counters. The
-    // accelerator's kernels are Opaque, so no skip may fire — this pins
-    // that enabling the feature cannot perturb the simulation.
+    // accelerator's kernels are Reactive (their blocked ticks are pure
+    // FIFO probes), so a whole-design quiescent cycle may legally be
+    // replayed — this pins that enabling the feature cannot perturb the
+    // simulation.
     let cfg = config();
     let qw = weights(64, 3, 4);
     let input = input_tensor(3, 8, 8);
-    let (plain, layout) = run_conv_outcome(&cfg, &qw, &input, run_instructions);
+    let (plain, layout) = run_conv_outcome(&cfg, &qw, &input, run_instructions_dense);
     let (fast, _) = run_conv_outcome(&cfg, &qw, &input, run_instructions_fast);
 
     assert_eq!(plain.cycles, fast.cycles, "cycle counts must match");
@@ -128,6 +130,120 @@ fn fast_forward_matches_cycle_by_cycle_on_vgg16_layer() {
     let out = extract(&plain);
     assert_eq!(out, extract(&fast), "outputs must be bit-identical");
     assert_eq!(out, conv2d_quant(&input, &qw, 1, 1), "and match the golden model");
+}
+
+#[test]
+fn event_scheduler_matches_dense_on_vgg16_layer() {
+    // The event-driven scheduler (the default behind `run_instructions`)
+    // must be indistinguishable from the dense oracle on the full
+    // accelerator: same output bits, same cycle count, same per-kernel
+    // stats and counters — with a meaningful number of parks actually
+    // exercised (the controller parks on `done`, write units on their
+    // tile inputs, staging on full work FIFOs).
+    let cfg = config();
+    let qw = weights(64, 3, 4);
+    let input = input_tensor(3, 8, 8);
+    let (dense, layout) = run_conv_outcome(&cfg, &qw, &input, run_instructions_dense);
+    let (event, _) = run_conv_outcome(&cfg, &qw, &input, run_instructions);
+
+    assert_eq!(dense.cycles, event.cycles, "cycle counts must match");
+    assert_eq!(dense.report, event.report, "kernel stats and counters must match");
+    assert_eq!(dense.counters, event.counters);
+    assert!(event.report.sched.parks > 0, "event run must actually park kernels");
+    assert_eq!(dense.report.sched.parks, 0, "dense run never parks");
+    let extract = |outcome: &super::CycleOutcome| {
+        let mut got = TiledFeatureMap::zeros(Shape::new(qw.out_c, 8, 8));
+        layout.load(&outcome.banks, &mut got, 0..layout.tile_rows);
+        got.to_tensor().cropped(8, 8)
+    };
+    let out = extract(&dense);
+    assert_eq!(out, extract(&event), "outputs must be bit-identical");
+    assert_eq!(out, conv2d_quant(&input, &qw, 1, 1), "and match the golden model");
+}
+
+/// Adapter so the hosted entry points fit [`run_conv_outcome`]'s
+/// signature: splits the instruction stream into layers with the given
+/// staging latencies and wraps it into a [`HostModel`].
+fn hosted(
+    staging: &'static [u64],
+    poll_interval: u64,
+    run: fn(&AccelConfig, BankSet, Vec<u8>, HostModel, u64) -> Result<CycleOutcome, zskip_sim::SimError>,
+) -> impl Fn(&AccelConfig, BankSet, Vec<u8>, &[Instruction], u64) -> Result<CycleOutcome, zskip_sim::SimError> {
+    move |cfg, banks, scratch, instrs, max| {
+        let per_layer = instrs.len().div_ceil(staging.len());
+        let layers = instrs
+            .chunks(per_layer.max(1))
+            .zip(staging)
+            .map(|(chunk, &staging_cycles)| HostLayer { staging_cycles, instrs: chunk.to_vec() })
+            .collect();
+        run(cfg, banks, scratch, HostModel { poll_interval, layers }, max)
+    }
+}
+
+#[test]
+fn hosted_event_matches_dense_and_jumps_staging() {
+    // The hosted system design (host kernel staging, dispatching and
+    // polling each layer, §IV-C) under the event scheduler must be
+    // bit-identical to the dense oracle while jumping the long staging
+    // and polling gaps. Staging latencies deliberately exceed the default
+    // 10k-cycle deadlock window — the hosted wiring widens the window to
+    // the longest gap, and both steppers must agree it's not a deadlock.
+    const STAGING: &[u64] = &[30_000, 15_000, 45_000];
+    let cfg = config();
+    let qw = weights(64, 3, 4);
+    let input = input_tensor(3, 8, 8);
+    let (dense, layout) = run_conv_outcome(&cfg, &qw, &input, hosted(STAGING, 200, run_hosted_dense));
+    let (event, _) = run_conv_outcome(&cfg, &qw, &input, hosted(STAGING, 200, run_hosted));
+
+    assert_eq!(dense.cycles, event.cycles, "cycle counts must match");
+    assert_eq!(dense.report, event.report, "kernel stats and counters must match");
+    assert_eq!(dense.counters, event.counters);
+    assert_eq!(dense.report.sched.parks, 0, "dense run never parks");
+    assert!(event.report.sched.parks > 0, "host and accelerator kernels must park");
+    let total_staging: u64 = STAGING.iter().sum();
+    assert!(
+        event.report.sched.idle_jumped > total_staging / 2,
+        "staging gaps must be jumped, not ground through: {:?}",
+        event.report.sched
+    );
+    assert_eq!(event.report.sched.executed_cycles + event.report.sched.idle_jumped, event.cycles);
+
+    let extract = |outcome: &super::CycleOutcome| {
+        let mut got = TiledFeatureMap::zeros(Shape::new(qw.out_c, 8, 8));
+        layout.load(&outcome.banks, &mut got, 0..layout.tile_rows);
+        got.to_tensor().cropped(8, 8)
+    };
+    let out = extract(&dense);
+    assert_eq!(out, extract(&event), "outputs must be bit-identical");
+    assert_eq!(out, conv2d_quant(&input, &qw, 1, 1), "and match the golden model");
+}
+
+#[test]
+fn hosted_run_pays_staging_over_preloaded() {
+    // Same instruction stream, hosted vs. preloaded: identical output
+    // banks, but the hosted run pays the staging latency and the
+    // poll-interval quantization on top of the compute cycles.
+    const STAGING: &[u64] = &[20_000, 20_000];
+    let cfg = config();
+    let qw = weights(16, 3, 4);
+    let input = input_tensor(3, 8, 8);
+    let (plain, layout) = run_conv_outcome(&cfg, &qw, &input, run_instructions);
+    let (hosted_out, _) = run_conv_outcome(&cfg, &qw, &input, hosted(STAGING, 500, run_hosted));
+
+    let extract = |outcome: &super::CycleOutcome| {
+        let mut got = TiledFeatureMap::zeros(Shape::new(qw.out_c, 8, 8));
+        layout.load(&outcome.banks, &mut got, 0..layout.tile_rows);
+        got.to_tensor().cropped(8, 8)
+    };
+    assert_eq!(extract(&plain), extract(&hosted_out), "hosted run computes the same result");
+    let total_staging: u64 = STAGING.iter().sum();
+    assert!(
+        hosted_out.cycles > plain.cycles + total_staging,
+        "hosted run must pay staging on top of compute: {} vs {} + {}",
+        hosted_out.cycles,
+        plain.cycles,
+        total_staging
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@ use super::msg::Msg;
 use crate::bank::BankSet;
 use std::cell::RefCell;
 use std::rc::Rc;
-use zskip_sim::{Ctx, FifoId, Kernel, Progress};
+use zskip_sim::{CounterId, Ctx, FifoId, Horizon, Kernel, Progress};
 
 /// The write-to-memory unit.
 pub struct WriteKernel {
@@ -22,6 +22,8 @@ pub struct WriteKernel {
     expected: Option<u32>,
     written: u32,
     finished: bool,
+    /// Interned `ofm_tiles_written` id — fires on every tile landed.
+    tiles_counter: Option<CounterId>,
 }
 
 impl WriteKernel {
@@ -42,6 +44,7 @@ impl WriteKernel {
             expected: None,
             written: 0,
             finished: false,
+            tiles_counter: None,
         }
     }
 }
@@ -49,6 +52,12 @@ impl WriteKernel {
 impl Kernel<Msg> for WriteKernel {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn horizon(&self) -> Horizon {
+        // Bank port B is only touched on the Busy path; blocked and idle
+        // ticks are pure FIFO probes.
+        Horizon::Reactive
     }
 
     fn tick(&mut self, ctx: &mut Ctx<'_, Msg>) -> Progress {
@@ -85,9 +94,13 @@ impl Kernel<Msg> for WriteKernel {
         for &f in &self.inputs {
             match ctx.fifos.try_pop(f) {
                 Some(Msg::OfmTile { bank, addr, tile }) => {
-                    let ok = self.banks.borrow_mut().write_port_b(bank as usize, addr as usize, tile);
+                    let ok =
+                        self.banks.borrow_mut().write_port_b(bank as usize, addr as usize, tile, ctx.cycle);
                     assert!(ok, "write unit owns port B of its bank(s)");
-                    ctx.counters.add("ofm_tiles_written", 1);
+                    let tiles = *self
+                        .tiles_counter
+                        .get_or_insert_with(|| ctx.counters.intern("ofm_tiles_written"));
+                    ctx.counters.add_id(tiles, 1);
                     self.written += 1;
                     return Progress::Busy;
                 }

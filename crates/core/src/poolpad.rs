@@ -258,7 +258,7 @@ mod tests {
                 for otx in 0..3 {
                     for mop in compile_tile_program(op, oty, otx) {
                         let active = mop.sels.iter().filter(|s| s.mask != 0).count();
-                        assert!(active >= 1 && active <= 4);
+                        assert!((1..=4).contains(&active));
                     }
                 }
             }

@@ -152,7 +152,7 @@ mod tests {
                 // Filter o keeps weights where (i + o) % 3 != 0, giving
                 // different densities per filter.
                 let o = i / (in_c * k * k);
-                if (i + o) % 3 == 0 {
+                if (i + o).is_multiple_of(3) {
                     Sm8::ZERO
                 } else {
                     Sm8::from_i32_saturating((i % 13) as i32 - 6)

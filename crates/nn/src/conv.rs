@@ -443,7 +443,7 @@ mod tests {
             1,
             3,
             (0..9)
-                .map(|i| if i % 2 == 0 { Sm8::from_i32_saturating(i as i32 - 4) } else { Sm8::ZERO })
+                .map(|i| if i % 2 == 0 { Sm8::from_i32_saturating(i - 4) } else { Sm8::ZERO })
                 .collect(),
             vec![3],
             Requantizer::IDENTITY,
@@ -491,7 +491,7 @@ mod tests {
             1,
             2,
             3,
-            (0..18).map(|i| Sm8::from_i32_saturating((i % 3) as i32)).collect(),
+            (0..18).map(|i| Sm8::from_i32_saturating(i % 3)).collect(),
             vec![0],
             Requantizer::IDENTITY,
             false,
@@ -513,7 +513,7 @@ mod tests {
             (0..out_c * in_c * k * k)
                 .map(|i| {
                     let h = (i as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 3);
-                    if h % 3 == 0 {
+                    if h.is_multiple_of(3) {
                         Sm8::ZERO
                     } else {
                         Sm8::from_i32_saturating(((h >> 8) % 255) as i32 - 127)

@@ -308,7 +308,7 @@ mod tests {
                 .collect(),
             (0..out_c as i64).map(|o| o * 7 - 11).collect(),
             Requantizer::from_ratio(1.0 / 16.0),
-            seed % 2 == 0,
+            seed.is_multiple_of(2),
         )
     }
 

@@ -90,7 +90,7 @@ mod tests {
         let rf = relu_f32(&f);
         let rq = relu_quant(&q);
         for (a, b) in rf.as_slice().iter().zip(rq.as_slice()) {
-            assert_eq!(*a >= 0.0, true);
+            assert!(*a >= 0.0);
             assert!(b.to_i32() >= 0);
             assert_eq!(b.to_i32(), (*a as i32).max(0));
         }

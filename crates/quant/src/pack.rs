@@ -257,7 +257,7 @@ mod tests {
         let d = PackedTile::pack(&tile_from_i32([1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]));
         let g = LockstepGroup::new([&a, &b, &c, &d]);
         assert_eq!(g.steps(), 6);
-        assert_eq!(g.bubbles(), (6 - 3) + (6 - 1) + 6 + 0);
+        assert_eq!(g.bubbles(), (6 - 3) + (6 - 1) + 6);
         let rows: Vec<_> = g.iter().collect();
         assert_eq!(rows.len(), 6);
         assert!(rows[0][0].is_some() && rows[0][2].is_none());

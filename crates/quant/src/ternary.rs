@@ -130,7 +130,7 @@ mod tests {
     fn requantizer_matches_eight_bit_formula() {
         let p = TernaryParams { threshold: 0.1, scale: 0.25 };
         let r = p.requantizer(0.02, 0.04);
-        assert!((r.ratio() - (0.02 * 0.25 / 0.04) as f64).abs() < 1e-6);
+        assert!((r.ratio() - 0.02 * 0.25 / 0.04).abs() < 1e-6);
     }
 
     proptest! {

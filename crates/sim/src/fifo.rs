@@ -1,7 +1,15 @@
 //! Hardware FIFO queues with registered-output, single-port semantics.
+//!
+//! Storage is a fixed-capacity power-of-two ring buffer with an inline
+//! staging slot (the output register), so pushes, pops and cycle commits
+//! are branch-light O(1) operations with no heap traffic after
+//! construction. Occupancy statistics accrue lazily against an internal
+//! cycle counter: the engine only commits the FIFOs that were actually
+//! touched in a cycle, and [`Fifo::sync`] settles the untouched stretch
+//! in O(1) when the FIFO is next used (the occupancy is constant while
+//! nobody touches it, so the accrual is exact).
 
 use crate::stats::FifoStats;
-use std::collections::VecDeque;
 
 /// Handle to a FIFO registered with an [`crate::Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,21 +55,34 @@ impl std::error::Error for PushError {}
 pub struct Fifo<T> {
     name: String,
     capacity: usize,
-    queue: VecDeque<T>,
+    /// Ring storage, `capacity.next_power_of_two()` slots.
+    buf: Box<[Option<T>]>,
+    /// Index mask (`buf.len() - 1`).
+    mask: usize,
+    /// Ring read position.
+    head: usize,
+    /// Elements visible to pops (excludes the staged element).
+    len: usize,
+    /// The output register: this cycle's push, visible next cycle.
     staged: Option<T>,
+    /// Cycles committed so far (the next cycle to account). Advanced by
+    /// [`end_cycle`](Fifo::end_cycle) and [`sync`](Fifo::sync).
+    now: u64,
     pushed_this_cycle: bool,
     popped_this_cycle: bool,
     stats: FifoStats,
-    /// Injected-fault stall counters: while non-zero, the corresponding
-    /// port refuses transfers (modeling a wedged upstream/downstream
-    /// handshake). Decremented each cycle.
-    forced_push_stall: u64,
-    forced_pop_stall: u64,
+    /// Injected-fault stall expiry (absolute cycle against `now`): while
+    /// `now < until`, the corresponding port refuses transfers (modeling a
+    /// wedged upstream/downstream handshake). `u64::MAX` wedges the port
+    /// permanently. Absolute expiries are invariant under both
+    /// fast-forwarding and event-driven cycle jumps.
+    push_stall_until: u64,
+    pop_stall_until: u64,
     /// Stall attempts observed this cycle, committed into the `last_*`
     /// pair at [`end_cycle`](Fifo::end_cycle). The committed pair survives
-    /// fast-forwarding (skipped cycles repeat the last executed one
-    /// verbatim), so deadlock snapshots are identical with and without
-    /// skipping.
+    /// fast-forwarding and parked-kernel stretches (skipped cycles repeat
+    /// the last executed one verbatim), so deadlock snapshots are
+    /// identical with and without skipping.
     push_stalled_this_cycle: bool,
     pop_stalled_this_cycle: bool,
     last_push_stalled: bool,
@@ -85,16 +106,21 @@ impl<T> Fifo<T> {
     /// data under registered-output semantics.
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "fifo capacity must be at least 1");
+        let slots = capacity.next_power_of_two();
         Fifo {
             name: name.into(),
             capacity,
-            queue: VecDeque::new(),
+            buf: (0..slots).map(|_| None).collect(),
+            mask: slots - 1,
+            head: 0,
+            len: 0,
             staged: None,
+            now: 0,
             pushed_this_cycle: false,
             popped_this_cycle: false,
             stats: FifoStats::default(),
-            forced_push_stall: 0,
-            forced_pop_stall: 0,
+            push_stall_until: 0,
+            pop_stall_until: 0,
             push_stalled_this_cycle: false,
             pop_stalled_this_cycle: false,
             last_push_stalled: false,
@@ -114,17 +140,17 @@ impl<T> Fifo<T> {
 
     /// Elements currently visible to pops (excludes the staged element).
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// Whether no elements are poppable this cycle.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len == 0
     }
 
     /// Total occupancy including the staged element.
     pub fn occupancy(&self) -> usize {
-        self.queue.len() + usize::from(self.staged.is_some())
+        self.len + usize::from(self.staged.is_some())
     }
 
     /// Attempts to push a value this cycle.
@@ -137,7 +163,7 @@ impl<T> Fifo<T> {
             self.stats.push_port_conflicts += 1;
             return Err(PushError::PortBusy);
         }
-        if self.forced_push_stall > 0 {
+        if self.now < self.push_stall_until {
             // Injected fault: the port looks full to the producer.
             self.stats.push_stalls += 1;
             self.push_stalled_this_cycle = true;
@@ -162,37 +188,61 @@ impl<T> Fifo<T> {
             self.stats.pop_port_conflicts += 1;
             return None;
         }
-        if self.forced_pop_stall > 0 {
+        if self.now < self.pop_stall_until {
             // Injected fault: the port looks empty to the consumer.
             self.stats.pop_stalls += 1;
             self.pop_stalled_this_cycle = true;
             return None;
         }
-        match self.queue.pop_front() {
-            Some(v) => {
-                self.popped_this_cycle = true;
-                self.stats.pops += 1;
-                Some(v)
-            }
-            None => {
-                self.stats.pop_stalls += 1;
-                self.pop_stalled_this_cycle = true;
-                None
-            }
+        if self.len == 0 {
+            self.stats.pop_stalls += 1;
+            self.pop_stalled_this_cycle = true;
+            return None;
         }
+        let v = self.buf[self.head].take();
+        debug_assert!(v.is_some());
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        self.popped_this_cycle = true;
+        self.stats.pops += 1;
+        v
     }
 
     /// Peeks at the head without consuming it (combinational read of the
     /// output register).
     pub fn peek(&self) -> Option<&T> {
-        self.queue.front()
+        if self.len == 0 {
+            None
+        } else {
+            self.buf[self.head].as_ref()
+        }
+    }
+
+    /// Settles occupancy statistics for the untouched stretch up to
+    /// `cycle`: while nobody pushed or popped, the visible length was
+    /// constant, so the accrual is exact and O(1). Called by the engine
+    /// before the first port operation of a cycle and before snapshots.
+    #[inline]
+    pub(crate) fn sync(&mut self, cycle: u64) {
+        if cycle > self.now {
+            debug_assert!(self.staged.is_none() && !self.pushed_this_cycle && !self.popped_this_cycle);
+            let n = cycle - self.now;
+            self.stats.high_water = self.stats.high_water.max(self.len);
+            self.stats.occupancy_sum += self.len as u64 * n;
+            self.stats.cycles += n;
+            self.now = cycle;
+        }
     }
 
     /// Commits the cycle: staged pushes become visible, ports free up,
-    /// occupancy statistics update. Called by the engine once per cycle.
+    /// occupancy statistics update. Called by the engine once per cycle in
+    /// which the FIFO was touched (every cycle under the dense stepper).
     pub fn end_cycle(&mut self) {
         if let Some(v) = self.staged.take() {
-            self.queue.push_back(v);
+            let tail = (self.head + self.len) & self.mask;
+            debug_assert!(self.buf[tail].is_none());
+            self.buf[tail] = Some(v);
+            self.len += 1;
         }
         self.pushed_this_cycle = false;
         self.popped_this_cycle = false;
@@ -200,32 +250,41 @@ impl<T> Fifo<T> {
         self.last_pop_stalled = self.pop_stalled_this_cycle;
         self.push_stalled_this_cycle = false;
         self.pop_stalled_this_cycle = false;
-        self.forced_push_stall = self.forced_push_stall.saturating_sub(1);
-        self.forced_pop_stall = self.forced_pop_stall.saturating_sub(1);
-        self.stats.high_water = self.stats.high_water.max(self.queue.len());
-        self.stats.occupancy_sum += self.queue.len() as u64;
+        self.stats.high_water = self.stats.high_water.max(self.len);
+        self.stats.occupancy_sum += self.len as u64;
         self.stats.cycles += 1;
+        self.now += 1;
     }
 
     /// Injects a `cycles`-long stall on one port (fault injection):
     /// `u64::MAX` wedges the port permanently. The stall begins with the
-    /// current cycle and decays in [`end_cycle`](Fifo::end_cycle).
+    /// current cycle and expires on its own once `cycles` have elapsed.
     pub fn inject_stall(&mut self, port: StallPort, cycles: u64) {
+        let until = if cycles == u64::MAX { u64::MAX } else { self.now.saturating_add(cycles) };
         match port {
-            StallPort::Push => self.forced_push_stall = self.forced_push_stall.max(cycles),
-            StallPort::Pop => self.forced_pop_stall = self.forced_pop_stall.max(cycles),
+            StallPort::Push => self.push_stall_until = self.push_stall_until.max(until),
+            StallPort::Pop => self.pop_stall_until = self.pop_stall_until.max(until),
         }
     }
 
     /// Remaining injected-stall cycles across both ports (0 when healthy).
-    /// The engine treats stall expiry as a wake event for fast-forwarding.
+    /// The engine treats stall expiry as a wake event for fast-forwarding
+    /// and for re-running parked kernels.
     pub fn forced_stall_remaining(&self) -> u64 {
-        self.forced_push_stall.max(self.forced_pop_stall)
+        let port = |until: u64, now: u64| {
+            if until == u64::MAX {
+                u64::MAX
+            } else {
+                until.saturating_sub(now)
+            }
+        };
+        port(self.push_stall_until, self.now).max(port(self.pop_stall_until, self.now))
     }
 
     /// Whether a producer failed to push during the most recently committed
-    /// cycle. Stable across fast-forwarding (skipped cycles replay the last
-    /// executed one), so deadlock snapshots agree with cycle-exact runs.
+    /// cycle. Stable across fast-forwarding and parked stretches (skipped
+    /// cycles replay the last executed one), so deadlock snapshots agree
+    /// with cycle-exact runs.
     pub fn last_push_stalled(&self) -> bool {
         self.last_push_stalled
     }
@@ -240,12 +299,8 @@ impl<T> Fifo<T> {
     /// no ports were used and nothing is staged, so only the occupancy
     /// statistics advance. Called by the engine when fast-forwarding.
     pub(crate) fn fast_forward(&mut self, n: u64) {
-        debug_assert!(self.staged.is_none() && !self.pushed_this_cycle && !self.popped_this_cycle);
-        self.forced_push_stall = self.forced_push_stall.saturating_sub(n);
-        self.forced_pop_stall = self.forced_pop_stall.saturating_sub(n);
-        self.stats.high_water = self.stats.high_water.max(self.queue.len());
-        self.stats.occupancy_sum += self.queue.len() as u64 * n;
-        self.stats.cycles += n;
+        let target = self.now.saturating_add(n);
+        self.sync(target);
     }
 
     /// Activity/stall statistics.
@@ -257,6 +312,12 @@ impl<T> Fifo<T> {
     /// detection).
     pub(crate) fn active_this_cycle(&self) -> bool {
         self.pushed_this_cycle || self.popped_this_cycle
+    }
+
+    /// Whether the read port was already used this cycle (so a failed pop
+    /// is a port conflict, not an empty/stall condition).
+    pub(crate) fn pop_port_used(&self) -> bool {
+        self.popped_this_cycle
     }
 }
 
@@ -356,6 +417,60 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_across_many_cycles() {
+        // Non-power-of-two capacity exercises the mask/rounding path; the
+        // ring must wrap head/tail indefinitely without reordering.
+        let mut f = Fifo::new("q", 3);
+        let mut next = 0u32;
+        let mut expect = 0u32;
+        for _ in 0..1000 {
+            if let Some(v) = f.try_pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+            if f.try_push(next).is_ok() {
+                next += 1;
+            }
+            f.end_cycle();
+            assert!(f.occupancy() <= f.capacity());
+        }
+        assert!(expect > 900, "sustained transfers: {expect}");
+    }
+
+    #[test]
+    fn lazy_sync_accrues_untouched_cycles_exactly() {
+        let mut f = Fifo::new("q", 4);
+        f.try_push(1).unwrap();
+        f.end_cycle(); // cycle 0 accounted, len 1 afterwards
+        // Nothing touches the FIFO for cycles 1..=9.
+        f.sync(10);
+        let s = f.stats();
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.occupancy_sum, 1 + 9, "cycle 0 at len 1 post-commit, then 9 at len 1");
+        assert_eq!(s.high_water, 1);
+        // Synced to cycle 10: operations and commits continue from there.
+        assert_eq!(f.try_pop(), Some(1));
+        f.end_cycle();
+        assert_eq!(f.stats().cycles, 11);
+    }
+
+    #[test]
+    fn injected_stall_expiry_is_absolute() {
+        let mut f = Fifo::new("q", 4);
+        f.try_push(1).unwrap();
+        f.end_cycle(); // now = 1
+        f.inject_stall(StallPort::Pop, 3); // wedged for cycles 1, 2, 3
+        assert_eq!(f.forced_stall_remaining(), 3);
+        assert_eq!(f.try_pop(), None, "stalled");
+        f.end_cycle(); // now = 2
+        // Skipping ahead must expire the stall at the same cycle as
+        // stepping through it.
+        f.sync(4);
+        assert_eq!(f.forced_stall_remaining(), 0);
+        assert_eq!(f.try_pop(), Some(1));
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = Fifo::<u8>::new("q", 0);
@@ -426,6 +541,7 @@ mod proptests {
                     }
                 }
                 prop_assert_eq!(fifo.len(), reference.len(), "visible length");
+                prop_assert_eq!(fifo.peek(), reference.front(), "head element");
             }
         }
     }

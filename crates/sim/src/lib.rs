@@ -63,9 +63,9 @@ pub mod trace;
 
 pub use barrier::Barrier;
 pub use engine::{
-    ConfigError, Ctx, Engine, EngineBuilder, FifoSet, FifoSnapshot, Horizon, Kernel, Progress,
-    RunReport, SimError,
+    ConfigError, Ctx, Engine, EngineBuilder, FifoSet, FifoSnapshot, Horizon, Kernel, NullObserver,
+    Observer, Progress, RunReport, SchedMode, SimError, TraceObserver, DEFAULT_PARK_HYSTERESIS,
 };
 pub use fifo::{Fifo, FifoId, PushError, StallPort};
-pub use stats::{Counters, FifoStats, KernelStats};
+pub use stats::{CounterId, Counters, FifoStats, KernelStats, SchedStats};
 pub use trace::Trace;

@@ -1,4 +1,5 @@
-//! Simulation statistics: kernel activity, FIFO occupancy, user counters.
+//! Simulation statistics: kernel activity, FIFO occupancy, user counters,
+//! scheduler accounting.
 
 use std::collections::BTreeMap;
 
@@ -66,11 +67,43 @@ impl FifoStats {
     }
 }
 
+/// Scheduler accounting for the event-driven engine. All counters stay
+/// zero under the dense stepper. These are *diagnostics about how the
+/// simulation was computed*, not architectural state: two bit-identical
+/// runs may legitimately differ here (e.g. dense vs. event-driven), so
+/// [`crate::RunReport`]'s equality ignores this block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Kernels parked on a FIFO wait list (or a sleep timer).
+    pub parks: u64,
+    /// Kernels re-enqueued by a FIFO occupancy edge, stall expiry or
+    /// sleep timer (spurious wakes included).
+    pub wakes: u64,
+    /// Executed cycles in which at least one kernel did not tick
+    /// (runnable set smaller than the kernel count).
+    pub lean_cycles: u64,
+    /// Cycles jumped over entirely because the runnable set was empty.
+    pub idle_jumped: u64,
+    /// Cycles in which at least one kernel actually ticked.
+    pub executed_cycles: u64,
+}
+
+/// Handle to an interned counter name, for string-free hot-path updates
+/// via [`Counters::add_id`]. Obtained from [`Counters::intern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
 /// Named activity counters recorded by kernels (e.g. `"macs"`,
 /// `"bank_reads"`). The power model converts these into toggle activity.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Names are interned: [`intern`](Counters::intern) maps a name to a
+/// [`CounterId`] once, and [`add_id`](Counters::add_id) is then a plain
+/// indexed add — kernels that fire every cycle should intern their
+/// counter names at construction instead of paying a map lookup per tick.
+#[derive(Debug, Clone, Default)]
 pub struct Counters {
-    values: BTreeMap<&'static str, u64>,
+    index: BTreeMap<&'static str, u32>,
+    values: Vec<u64>,
 }
 
 impl Counters {
@@ -79,19 +112,40 @@ impl Counters {
         Counters::default()
     }
 
-    /// Adds `n` to counter `name`.
+    /// Interns `name`, creating a zero-valued counter if new, and returns
+    /// its stable id.
+    pub fn intern(&mut self, name: &'static str) -> CounterId {
+        if let Some(&id) = self.index.get(name) {
+            return CounterId(id);
+        }
+        let id = u32::try_from(self.values.len()).expect("counter count fits u32");
+        self.index.insert(name, id);
+        self.values.push(0);
+        CounterId(id)
+    }
+
+    /// Adds `n` to the interned counter — O(1), no string comparison.
+    #[inline]
+    pub fn add_id(&mut self, id: CounterId, n: u64) {
+        self.values[id.0 as usize] += n;
+    }
+
+    /// Adds `n` to counter `name` (interning it on first use). Convenient
+    /// off the hot path; per-cycle updates should use
+    /// [`add_id`](Counters::add_id).
     pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.values.entry(name).or_insert(0) += n;
+        let id = self.intern(name);
+        self.add_id(id, n);
     }
 
     /// Reads counter `name` (0 when never recorded).
     pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        self.index.get(name).map_or(0, |&id| self.values[id as usize])
     }
 
     /// Iterates `(name, value)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.values.iter().map(|(&k, &v)| (k, v))
+        self.index.iter().map(|(&k, &id)| (k, self.values[id as usize]))
     }
 
     /// Merges another counter set into this one.
@@ -101,6 +155,15 @@ impl Counters {
         }
     }
 }
+
+impl PartialEq for Counters {
+    /// Name/value equality, independent of interning order.
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Counters {}
 
 #[cfg(test)]
 mod tests {
@@ -136,5 +199,34 @@ mod tests {
         assert_eq!(b.get("macs"), 16);
         assert_eq!(b.get("bank_reads"), 2);
         assert_eq!(b.iter().count(), 2);
+    }
+
+    #[test]
+    fn interned_ids_bypass_the_name_lookup() {
+        let mut c = Counters::new();
+        let macs = c.intern("macs");
+        let reads = c.intern("bank_reads");
+        assert_eq!(c.intern("macs"), macs, "interning is idempotent");
+        c.add_id(macs, 64);
+        c.add_id(macs, 64);
+        c.add_id(reads, 1);
+        c.add("macs", 2);
+        assert_eq!(c.get("macs"), 130);
+        assert_eq!(c.get("bank_reads"), 1);
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        let mut a = Counters::new();
+        a.intern("x");
+        a.intern("y");
+        a.add("y", 3);
+        let mut b = Counters::new();
+        let y = b.intern("y");
+        b.add_id(y, 3);
+        b.intern("x");
+        assert_eq!(a, b);
+        b.add("x", 1);
+        assert_ne!(a, b);
     }
 }

@@ -12,4 +12,11 @@ cargo clippy --all-targets -- -D warnings
 # gracefully (no panic, no hang — hence the hard timeout). Small config
 # keeps this a few seconds even on one core.
 timeout 120 ./target/release/zskip faults --hw 8 --json > /dev/null
+
+# Scheduler regression guard: a reduced hosted workload under both
+# steppers. Fails on divergence from the dense oracle, on the event
+# scheduler not engaging (no parks / no idle jumps), or on it timing
+# slower than dense — the win is structural on this workload, so the
+# wall-clock comparison holds even on a noisy box.
+timeout 300 ./target/release/sim_bench --check
 echo "verify: OK"

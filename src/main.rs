@@ -350,6 +350,7 @@ fn batch(p: &Parsed) {
 fn analyze(p: &Parsed) {
     use zskip::accel::LayerPackingStats;
     let density = parse_density(p, 13);
+    let conv3_density = density.density(4);
     let config = AccelConfig::for_variant(Variant::U256Opt);
     let qnet = zskip_bench::build_vgg16_with_density(density);
     println!(
@@ -377,6 +378,34 @@ fn analyze(p: &Parsed) {
     }
     println!("\n'vs ideal' is lockstep steps over per-lane-independent steps: the bubble");
     println!("cost the paper's future-work filter grouping recovers.");
+
+    // Scheduler engagement: run one representative engine-level block
+    // (conv3-scale, the profile's median-density layer class) under both
+    // steppers and show how the event-driven scheduler spent its cycles.
+    use zskip::accel::cycle::{run_instructions, run_instructions_dense};
+    use zskip::hls::AccelArch;
+    use zskip::quant::Sm8;
+    use zskip::tensor::Tensor;
+    let acfg = AccelConfig::from_arch(&AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 8192 }, 100.0);
+    let (qw, _, _) = zskip_bench::make_conv_layer(64, 64, 16, conv3_density, zskip_bench::HARNESS_SEED);
+    let img = Tensor::from_fn(64, 16, 16, |c, y, x| Sm8::from_i32_saturating(((c * 31 + y * 7 + x) % 200) as i32 - 100));
+    let (banks, scratch, instrs) = zskip_bench::build_engine_workload(&acfg, &qw, &img);
+    let dense =
+        run_instructions_dense(&acfg, banks.clone(), scratch.clone(), &instrs, u64::MAX).expect("dense block runs");
+    let event = run_instructions(&acfg, banks, scratch, &instrs, u64::MAX).expect("event block runs");
+    assert_eq!(dense.cycles, event.cycles, "schedulers must agree cycle-exactly");
+    assert_eq!(dense.report, event.report, "schedulers must agree on kernel stats");
+    let s = event.report.sched;
+    println!("\nEvent-driven scheduler on one engine-level block ({} cycles, bit-identical to dense):", event.cycles);
+    println!(
+        "  executed {} ({:.1}% lean), idle-jumped {}, parks {}, wakes {}",
+        s.executed_cycles,
+        if s.executed_cycles > 0 { s.lean_cycles as f64 / s.executed_cycles as f64 * 100.0 } else { 0.0 },
+        s.idle_jumped,
+        s.parks,
+        s.wakes
+    );
+    println!("  ('lean' cycles ticked only runnable kernels; dense ticks all {} every cycle)", dense.report.kernels.len());
 }
 
 fn faults(p: &Parsed) {
