@@ -83,7 +83,7 @@ fn main() {
                 }
             }
         }
-        qw.invalidate_nnz_cache();
+        qw.invalidate_caches();
         for (label, grouping) in [("lockstep (paper baseline)", false), ("grouped by nnz (future work)", true)] {
             let mut d = driver(32768, 16);
             d.filter_grouping = grouping;

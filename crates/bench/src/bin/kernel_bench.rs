@@ -1,0 +1,358 @@
+//! SIMD kernel-tier benchmark — emits `BENCH_kernels.json`.
+//!
+//! Measures the quantized datapath kernels at every CPU tier reachable on
+//! this host (scalar / SSE2 / AVX2, see `docs/KERNELS.md`):
+//!
+//! * **GEMM**: `conv2d_gemm_quant_tier` per tier on three VGG-16-shaped
+//!   layers at deep-compression densities. The scalar tier is the
+//!   register-blocked seed kernel; SIMD tiers must be bit-identical
+//!   (asserted here and property-tested in `crates/nn`).
+//! * **Packed conv**: the packed-nonzero span kernel (`conv2d_quant_into`)
+//!   per tier on the same layers — the path functional inference runs on.
+//! * **Allocations per image**: heap allocations of one quantized forward
+//!   pass through the allocating API vs. the [`Scratch`] arena after
+//!   warm-up, counted by a counting global allocator. Steady state must
+//!   be zero.
+//!
+//! `--check` exits nonzero if any SIMD tier is slower than scalar on a
+//! reference shape or the steady-state pass allocates — wired into
+//! `scripts/verify.sh`.
+//!
+//! Writes `BENCH_kernels.json` at the repository root plus the usual
+//! `experiments/kernel_bench.{txt,json}` artifacts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use zskip_bench::{make_conv_layer, write_artifacts};
+use zskip_json::{Json, ToJson};
+use zskip_nn::conv::conv2d_quant_into;
+use zskip_nn::eval::synthetic_inputs;
+use zskip_nn::gemm::conv2d_gemm_quant_tier;
+use zskip_nn::model::{Network, SyntheticModelConfig};
+use zskip_nn::simd::KernelTier;
+use zskip_nn::vgg16::vgg16_scaled_spec;
+use zskip_nn::Scratch;
+use zskip_quant::DensityProfile;
+use zskip_tensor::Tensor;
+
+/// Counts heap allocations so the zero-allocation contract is measurable
+/// from a release binary, not just the counting-allocator test.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; only adds a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One kernel × tier timing.
+struct TierTiming {
+    tier: &'static str,
+    ms: f64,
+    /// Scalar time over this tier's time (1.0 for scalar itself).
+    speedup: f64,
+}
+
+impl ToJson for TierTiming {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tier", self.tier.to_json()),
+            ("ms", self.ms.to_json()),
+            ("speedup", self.speedup.to_json()),
+        ])
+    }
+}
+
+struct ShapeResult {
+    layer: String,
+    out_c: usize,
+    in_c: usize,
+    hw: usize,
+    density: f64,
+    gemm: Vec<TierTiming>,
+    packed: Vec<TierTiming>,
+    best_tier: &'static str,
+    /// Scalar blocked GEMM over the best SIMD tier's GEMM.
+    best_gemm_speedup: f64,
+}
+
+impl ToJson for ShapeResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("layer", self.layer.to_json()),
+            ("out_c", self.out_c.to_json()),
+            ("in_c", self.in_c.to_json()),
+            ("hw", self.hw.to_json()),
+            ("density", self.density.to_json()),
+            ("gemm", self.gemm.to_json()),
+            ("packed", self.packed.to_json()),
+            ("best_tier", self.best_tier.to_json()),
+            ("best_gemm_speedup", self.best_gemm_speedup.to_json()),
+        ])
+    }
+}
+
+struct AllocResult {
+    /// Allocations for one image through the allocating `forward_quant`.
+    allocating_per_image: u64,
+    /// Allocations for one steady-state image through the scratch arena.
+    scratch_steady_per_image: u64,
+    /// Arena grow events after streaming several images (1 = warm-up only).
+    grow_events: u64,
+    /// Arena footprint after warm-up.
+    arena_bytes: usize,
+}
+
+impl ToJson for AllocResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("allocating_per_image", self.allocating_per_image.to_json()),
+            ("scratch_steady_per_image", self.scratch_steady_per_image.to_json()),
+            ("grow_events", self.grow_events.to_json()),
+            ("arena_bytes", self.arena_bytes.to_json()),
+        ])
+    }
+}
+
+struct Bench {
+    host_tiers: Vec<String>,
+    dispatch_tier: String,
+    shapes: Vec<ShapeResult>,
+    allocs: AllocResult,
+    /// Best SIMD GEMM speedup on the conv3_2-like shape (the acceptance
+    /// number: must be >= 2x).
+    conv3_2_gemm_speedup: f64,
+}
+
+impl ToJson for Bench {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("host_tiers", self.host_tiers.to_json()),
+            ("dispatch_tier", self.dispatch_tier.to_json()),
+            ("shapes", self.shapes.to_json()),
+            ("allocs", self.allocs.to_json()),
+            ("conv3_2_gemm_speedup", self.conv3_2_gemm_speedup.to_json()),
+        ])
+    }
+}
+
+/// Best-of-3 wall time of `f`, in seconds.
+fn time_best<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.expect("ran at least once"))
+}
+
+fn bench_shapes() -> Vec<ShapeResult> {
+    let layers: [(&str, usize, usize, usize, f64); 3] = [
+        ("conv1_1-like", 64, 3, 32, 0.58),
+        ("conv2_2-like", 128, 128, 16, 0.36),
+        ("conv3_2-like", 256, 256, 8, 0.29),
+    ];
+    let tiers = KernelTier::supported();
+    layers
+        .into_iter()
+        .map(|(name, out_c, in_c, hw, density)| {
+            let (qw, tiled, _) = make_conv_layer(out_c, in_c, hw, density, 7);
+            let input = tiled.to_tensor();
+
+            let mut gemm = Vec::new();
+            let mut scalar_gemm_ms = f64::NAN;
+            let mut oracle = None;
+            for &tier in &tiers {
+                let (s, out) = time_best(|| conv2d_gemm_quant_tier(&input, &qw, 1, 0, tier));
+                match &oracle {
+                    None => oracle = Some(out),
+                    Some(o) => assert_eq!(o, &out, "{name}: GEMM tier {tier} diverged from scalar"),
+                }
+                let ms = s * 1e3;
+                if tier == KernelTier::Scalar {
+                    scalar_gemm_ms = ms;
+                }
+                gemm.push(TierTiming { tier: tier.name(), ms, speedup: scalar_gemm_ms / ms });
+            }
+
+            let mut packed = Vec::new();
+            let mut scalar_packed_ms = f64::NAN;
+            let mut packed_oracle = None;
+            for &tier in &tiers {
+                let mut acc = Vec::new();
+                let mut out = Tensor::zeros(1, 1, 1);
+                let (s, ()) =
+                    time_best(|| conv2d_quant_into(&input, &qw, 1, 0, tier, &mut acc, &mut out));
+                match &packed_oracle {
+                    None => packed_oracle = Some(out.clone()),
+                    Some(o) => assert_eq!(o, &out, "{name}: packed tier {tier} diverged from scalar"),
+                }
+                let ms = s * 1e3;
+                if tier == KernelTier::Scalar {
+                    scalar_packed_ms = ms;
+                }
+                packed.push(TierTiming { tier: tier.name(), ms, speedup: scalar_packed_ms / ms });
+            }
+
+            let best = gemm.iter().skip(1).min_by(|a, b| a.ms.total_cmp(&b.ms));
+            let (best_tier, best_gemm_speedup) = match best {
+                Some(t) => (t.tier, t.speedup),
+                None => ("scalar", 1.0),
+            };
+            ShapeResult { layer: name.to_string(), out_c, in_c, hw, density, gemm, packed, best_tier, best_gemm_speedup }
+        })
+        .collect()
+}
+
+fn bench_allocs() -> AllocResult {
+    let spec = vgg16_scaled_spec(32);
+    let net = Network::synthetic(
+        spec.clone(),
+        &SyntheticModelConfig { seed: 1, density: DensityProfile::deep_compression_vgg16() },
+    );
+    let qnet = net.quantize(&synthetic_inputs(2, 1, spec.input));
+    let inputs = synthetic_inputs(3, 4, spec.input);
+
+    let mut scratch = Scratch::new();
+    // Warm-up image: grows the arena and fills the lazy weight caches.
+    let _ = qnet.forward_quant_scratch(&inputs[0], &mut scratch);
+    let arena_bytes = scratch.capacity_bytes();
+
+    // Allocating API (one already-warm image, so only per-layer tensors).
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let _ = qnet.forward_quant(&inputs[1]);
+    let allocating_per_image = ALLOCS.load(Ordering::Relaxed) - before;
+
+    // Scratch arena steady state over the remaining images.
+    let mut scratch_steady_per_image = 0;
+    for input in &inputs[1..] {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let _ = qnet.forward_quant_scratch(input, &mut scratch);
+        scratch_steady_per_image = (ALLOCS.load(Ordering::Relaxed) - before).max(scratch_steady_per_image);
+    }
+
+    AllocResult {
+        allocating_per_image,
+        scratch_steady_per_image,
+        grow_events: scratch.grow_events(),
+        arena_bytes,
+    }
+}
+
+fn render(bench: &Bench) -> String {
+    let mut text = String::new();
+    text.push_str(&format!(
+        "SIMD kernel tiers (host: {}; dispatch: {})\n\n",
+        bench.host_tiers.join(", "),
+        bench.dispatch_tier
+    ));
+    text.push_str(&format!(
+        "{:<14} {:>8} {:<8} {:>11} {:>9} {:>11} {:>9}\n",
+        "layer", "density", "tier", "gemm ms", "speedup", "packed ms", "speedup"
+    ));
+    for s in &bench.shapes {
+        for (g, p) in s.gemm.iter().zip(&s.packed) {
+            text.push_str(&format!(
+                "{:<14} {:>8.2} {:<8} {:>11.2} {:>8.2}x {:>11.2} {:>8.2}x\n",
+                s.layer, s.density, g.tier, g.ms, g.speedup, p.ms, p.speedup
+            ));
+        }
+    }
+    text.push('\n');
+    for s in &bench.shapes {
+        text.push_str(&format!(
+            "{}: best SIMD GEMM tier {} at {:.2}x over blocked scalar\n",
+            s.layer, s.best_tier, s.best_gemm_speedup
+        ));
+    }
+    let a = &bench.allocs;
+    text.push_str(&format!(
+        "\nallocations/image: {} (allocating API) -> {} (scratch arena, steady state)\n",
+        a.allocating_per_image, a.scratch_steady_per_image
+    ));
+    text.push_str(&format!(
+        "arena: {} grow event(s), {} KiB footprint after warm-up\n",
+        a.grow_events,
+        a.arena_bytes / 1024
+    ));
+    text
+}
+
+/// `--check` policy: every SIMD tier must beat scalar on every reference
+/// shape for both kernels, and steady state must not allocate.
+fn check(bench: &Bench) -> Result<(), String> {
+    for s in &bench.shapes {
+        for t in s.gemm.iter().chain(&s.packed).filter(|t| t.tier != "scalar") {
+            if t.speedup < 1.0 {
+                return Err(format!(
+                    "{}: tier {} is {:.2}x vs scalar (slower)",
+                    s.layer, t.tier, t.speedup
+                ));
+            }
+        }
+    }
+    if bench.allocs.scratch_steady_per_image != 0 {
+        return Err(format!(
+            "steady-state forward pass performed {} allocations",
+            bench.allocs.scratch_steady_per_image
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let bench = Bench {
+        host_tiers: KernelTier::supported().iter().map(|t| t.name().to_string()).collect(),
+        dispatch_tier: zskip_nn::dispatch().name().to_string(),
+        shapes: bench_shapes(),
+        allocs: bench_allocs(),
+        conv3_2_gemm_speedup: 0.0,
+    };
+    let conv3_2 = bench
+        .shapes
+        .iter()
+        .find(|s| s.layer == "conv3_2-like")
+        .map(|s| s.best_gemm_speedup)
+        .unwrap_or(0.0);
+    let bench = Bench { conv3_2_gemm_speedup: conv3_2, ..bench };
+
+    let text = render(&bench);
+    print!("{text}");
+
+    write_artifacts("kernel_bench", &text, &bench);
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::write(root.join("BENCH_kernels.json"), zskip_json::to_string_pretty(&bench))
+        .expect("write BENCH_kernels.json");
+
+    if check_mode {
+        if let Err(msg) = check(&bench) {
+            eprintln!("kernel_bench --check FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("kernel_bench --check OK");
+    }
+}

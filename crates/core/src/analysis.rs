@@ -132,7 +132,7 @@ mod tests {
         // keep_mod 1: every weight non-zero except values that hash to 0.
         let mut qw = layer(8, 4, 1);
         qw.w = (0..8 * 4 * 9).map(|_| Sm8::from_i32_saturating(3)).collect();
-        qw.invalidate_nnz_cache();
+        qw.invalidate_caches();
         let s = LayerPackingStats::analyze("dense", &qw, &config());
         assert_eq!(s.density, 1.0);
         assert_eq!(s.bubble_slots, 0);
@@ -157,7 +157,7 @@ mod tests {
     fn fully_zero_layer_skips_all_channels() {
         let mut qw = layer(4, 4, 1);
         qw.w.iter_mut().for_each(|w| *w = Sm8::ZERO);
-        qw.invalidate_nnz_cache();
+        qw.invalidate_caches();
         let s = LayerPackingStats::analyze("zero", &qw, &config());
         assert_eq!(s.skipped_channels, 4);
         assert_eq!(s.lockstep_steps, 0);

@@ -188,8 +188,11 @@ pub fn run_batch(
             let tx = tx.clone();
             let queues = &queues;
             scope.spawn(move || {
+                // One scratch arena per worker: host-side buffers warm up on
+                // the first job and are reused for the rest of the batch.
+                let mut scratch = zskip_nn::Scratch::new();
                 while let Some(job) = queues.next(w) {
-                    let result = driver.run_network(qnet, &inputs[job]);
+                    let result = driver.run_network_scratch(qnet, &inputs[job], &mut scratch);
                     if tx.send((job, w, result)).is_err() {
                         break; // collector gone: nothing left to report to
                     }
@@ -254,12 +257,13 @@ pub fn run_batch_resilient(
             let tx = tx.clone();
             let queues = &queues;
             scope.spawn(move || {
+                let mut scratch = zskip_nn::Scratch::new();
                 while let Some(job) = queues.next(w) {
                     let mut attempts = 0u32;
                     let mut backoff_cycles = 0u64;
                     let result = loop {
                         attempts += 1;
-                        match driver.run_network(qnet, &inputs[job]) {
+                        match driver.run_network_scratch(qnet, &inputs[job], &mut scratch) {
                             Ok(report) => break Ok(report),
                             Err(e) => {
                                 if attempts >= max_attempts || !e.is_transient() {

@@ -28,6 +28,10 @@ struct Run {
     at_barrier: bool,
 }
 
+// `Run` dominates the size (16 wide accumulators + an aligned tile), but
+// the enum lives once per long-lived kernel and `Run` is the state every
+// tick touches — boxing it would put a pointer chase in the hot path.
+#[allow(clippy::large_enum_variant)]
 enum State {
     Idle,
     Run(Run),

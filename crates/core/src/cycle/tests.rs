@@ -325,7 +325,7 @@ fn four_cycle_floor_limits_sparse_speedup() {
             }
         }
     }
-    nearly_empty.invalidate_nnz_cache();
+    nearly_empty.invalidate_caches();
     let (out1, one_cycles) = run_conv(&cfg, &nearly_empty, &input);
     assert_eq!(out1, conv2d_quant(&input, &nearly_empty, 1, 1));
 
@@ -342,7 +342,7 @@ fn fully_pruned_group_writes_bias_only_tiles() {
     let cfg = config();
     let mut qw = weights(4, 4, 5);
     qw.w.iter_mut().for_each(|w| *w = Sm8::ZERO);
-    qw.invalidate_nnz_cache();
+    qw.invalidate_caches();
     qw.relu = false;
     qw.requant = Requantizer::IDENTITY;
     qw.bias_acc = vec![7, -3, 0, 120];

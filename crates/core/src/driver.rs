@@ -34,9 +34,10 @@ use crate::layout::FmLayout;
 use crate::model;
 use crate::weights::GroupWeights;
 use zskip_nn::conv::QuantConvWeights;
-use zskip_nn::fc::fc_quant;
+use zskip_nn::fc::fc_quant_into;
 use zskip_nn::layer::LayerSpec;
 use zskip_nn::model::QuantizedNetwork;
+use zskip_nn::scratch::Scratch;
 use zskip_fault::SharedFaultPlan;
 use zskip_quant::grouping::FilterGrouping;
 use zskip_quant::Sm8;
@@ -535,13 +536,33 @@ impl Driver {
         qnet: &QuantizedNetwork,
         input: &Tensor<f32>,
     ) -> Result<InferenceReport, DriverError> {
+        let mut scratch = Scratch::new();
+        self.run_network_scratch(qnet, input, &mut scratch)
+    }
+
+    /// [`Driver::run_network`] reusing a caller-owned [`Scratch`] for the
+    /// host-side buffers (input quantization, FC ping-pong). The batch
+    /// engine keeps one arena per worker thread so streaming inference
+    /// stops re-allocating those buffers per image; the conv path still
+    /// runs through the simulated SoC's own tiled storage.
+    ///
+    /// # Errors
+    /// Same as [`Driver::run_network`].
+    pub fn run_network_scratch(
+        &self,
+        qnet: &QuantizedNetwork,
+        input: &Tensor<f32>,
+        scratch: &mut Scratch,
+    ) -> Result<InferenceReport, DriverError> {
         let mut soc = Soc::new(self.fault_plan.clone());
-        let mut act_q: Tensor<Sm8> = input.map(|v| qnet.input_params.quantize(v));
-        let mut fm = TiledFeatureMap::from_tensor(&act_q);
+        let (act_q, flat_a, flat_b) = scratch.host_buffers();
+        input.map_into(act_q, |v| qnet.input_params.quantize(v));
+        let mut fm = TiledFeatureMap::from_tensor(act_q);
         let mut layers = Vec::new();
         let mut conv_i = 0;
         let mut fc_i = 0;
-        let mut flat: Option<Vec<Sm8>> = None;
+        // Which FC ping-pong buffer holds the newest activations.
+        let mut flat: Option<bool> = None;
         let shapes =
             qnet.spec.shapes().map_err(|e| DriverError::InvalidNetwork(e.to_string()))?;
 
@@ -589,7 +610,7 @@ impl Driver {
                         stats,
                     });
                     fm = out;
-                    act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
+                    *act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
                     conv_i += 1;
                 }
                 LayerSpec::MaxPool { name, k, stride } => {
@@ -603,12 +624,25 @@ impl Driver {
                     )?;
                     layers.push(LayerReport { name: name.clone(), is_conv: false, dense_macs: 0, stats });
                     fm = out;
-                    act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
+                    *act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
                 }
                 LayerSpec::Fc { name, .. } => {
-                    // Host-side (ARM) execution, as in the paper.
-                    let input_flat: Vec<Sm8> = flat.take().unwrap_or_else(|| act_q.as_slice().to_vec());
-                    flat = Some(fc_quant(&input_flat, &qnet.fc[fc_i]));
+                    // Host-side (ARM) execution, as in the paper; the arena's
+                    // FC buffers alternate so nothing is copied or allocated.
+                    flat = Some(match flat {
+                        None => {
+                            fc_quant_into(act_q.as_slice(), &qnet.fc[fc_i], flat_a);
+                            false
+                        }
+                        Some(false) => {
+                            fc_quant_into(flat_a, &qnet.fc[fc_i], flat_b);
+                            true
+                        }
+                        Some(true) => {
+                            fc_quant_into(flat_b, &qnet.fc[fc_i], flat_a);
+                            false
+                        }
+                    });
                     fc_i += 1;
                     layers.push(LayerReport {
                         name: name.clone(),
@@ -624,7 +658,11 @@ impl Driver {
             }
         }
 
-        let output = flat.unwrap_or_else(|| act_q.as_slice().to_vec());
+        let output = match flat {
+            None => act_q.as_slice().to_vec(),
+            Some(false) => flat_a.clone(),
+            Some(true) => flat_b.clone(),
+        };
         let total_cycles = layers.iter().map(|l| l.stats.total_cycles).sum();
         let ddr_bytes = soc.ddr.bytes_read() + soc.ddr.bytes_written();
         Ok(InferenceReport { layers, output, total_cycles, ddr_bytes })

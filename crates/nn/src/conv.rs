@@ -1,5 +1,6 @@
 //! Convolution reference operators: float and integer-exact quantized.
 
+use crate::simd::{self, KernelTier};
 use std::sync::OnceLock;
 use zskip_quant::{PackedTile, Requantizer, Sm8};
 use zskip_tensor::{Shape, Tensor, Tile, TILE_DIM};
@@ -49,9 +50,10 @@ impl ConvWeights {
 /// parameters; the exact operands the accelerator consumes.
 ///
 /// Construct via [`QuantConvWeights::new`], which also sizes the internal
-/// per-filter nonzero cache. The data fields stay public for read access;
-/// code that mutates `w` in place after construction must call
-/// [`QuantConvWeights::invalidate_nnz_cache`] so nnz queries stay truthful.
+/// per-filter caches. The data fields stay public for read access; code
+/// that mutates `w` in place after construction must call
+/// [`QuantConvWeights::invalidate_caches`] so the cached nonzero counts
+/// and packed taps stay truthful.
 #[derive(Debug, Clone)]
 pub struct QuantConvWeights {
     /// Output channels.
@@ -71,6 +73,10 @@ pub struct QuantConvWeights {
     /// Lazily computed per-`(o, i)` nonzero counts, `out_c * in_c` entries.
     /// Not part of the logical value: ignored by `PartialEq`.
     nnz: OnceLock<Vec<u32>>,
+    /// Lazily computed per-`(o, i)` packed nonzero taps `(ky, kx, value)`,
+    /// pad-independent (see [`QuantConvWeights::raw_taps`]). Ignored by
+    /// `PartialEq` like `nnz`.
+    taps: OnceLock<Vec<Vec<(u8, u8, Sm8)>>>,
 }
 
 impl PartialEq for QuantConvWeights {
@@ -98,7 +104,17 @@ impl QuantConvWeights {
     ) -> Self {
         assert_eq!(w.len(), out_c * in_c * k * k, "weight count mismatch");
         assert_eq!(bias_acc.len(), out_c, "bias count mismatch");
-        QuantConvWeights { out_c, in_c, k, w, bias_acc, requant, relu, nnz: OnceLock::new() }
+        QuantConvWeights {
+            out_c,
+            in_c,
+            k,
+            w,
+            bias_acc,
+            requant,
+            relu,
+            nnz: OnceLock::new(),
+            taps: OnceLock::new(),
+        }
     }
 
     /// Weight at `[o][i][ky][kx]`.
@@ -125,11 +141,12 @@ impl QuantConvWeights {
         })
     }
 
-    /// Drops the cached nonzero counts. Must be called after mutating `w`
-    /// through the public field (e.g. re-sparsifying a layer in place);
-    /// the cache is rebuilt lazily on the next nnz query.
-    pub fn invalidate_nnz_cache(&mut self) {
+    /// Drops the cached nonzero counts and packed taps. Must be called
+    /// after mutating `w` through the public field (e.g. re-sparsifying a
+    /// layer in place); both caches are rebuilt lazily on the next query.
+    pub fn invalidate_caches(&mut self) {
         self.nnz = OnceLock::new();
+        self.taps = OnceLock::new();
     }
 
     /// Non-zero weight count of filter `(o, i)` (cached; the driver asks
@@ -154,41 +171,62 @@ impl QuantConvWeights {
         nonzero as f64 / self.w.len() as f64
     }
 
-    /// Packs every `(o, i)` filter to its nonzero taps `(dy, dx, value)` in
-    /// row-major tap order — the same offline packing the hardware's
-    /// scratchpad stream uses (paper §III-B). Kernels up to `4x4` reuse the
+    /// The per-`(o, i)` packed nonzero taps `(ky, kx, value)` in row-major
+    /// tap order — the same offline packing the hardware's scratchpad
+    /// stream uses (paper §III-B). Kernels up to `4x4` reuse the
     /// [`PackedTile`] tile encoding; larger kernels fall back to a scan.
-    /// `dy`/`dx` already fold in `-pad`, so consumers add them to the
-    /// stride-scaled output position directly.
+    ///
+    /// Taps are **pad-independent** (raw kernel coordinates), so they are
+    /// computed once per layer and memoized like the nnz table; consumers
+    /// subtract the pad at use time. The allocation-free inference path
+    /// relies on this: after the first forward pass no conv layer packs
+    /// its weights again.
+    pub fn raw_taps(&self) -> &[Vec<(u8, u8, Sm8)>] {
+        self.taps.get_or_init(|| {
+            let k = self.k;
+            (0..self.out_c * self.in_c)
+                .map(|f| {
+                    let (o, i) = (f / self.in_c, f % self.in_c);
+                    let filter = self.filter(o, i);
+                    let mut taps = Vec::with_capacity(self.filter_nnz(o, i));
+                    if k <= TILE_DIM {
+                        // Filter fits one hardware tile: go through the packed
+                        // form so the golden model exercises the same offsets.
+                        let mut tile = Tile::<Sm8>::zero();
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                tile[(ky, kx)] = filter[ky * k + kx];
+                            }
+                        }
+                        for e in PackedTile::pack(&tile).entries() {
+                            taps.push((e.offset / TILE_DIM as u8, e.offset % TILE_DIM as u8, e.value));
+                        }
+                    } else {
+                        for (idx, &v) in filter.iter().enumerate() {
+                            if !v.is_zero() {
+                                taps.push(((idx / k) as u8, (idx % k) as u8, v));
+                            }
+                        }
+                    }
+                    taps
+                })
+                .collect()
+        })
+    }
+
+    /// [`QuantConvWeights::raw_taps`] with `-pad` folded into each tap's
+    /// coordinates, materialized per call. Kept for consumers that want the
+    /// classic padded-offset form; the hot conv path uses `raw_taps`
+    /// directly to stay allocation-free.
     pub fn packed_taps(&self, pad: usize) -> Vec<Vec<(isize, isize, Sm8)>> {
-        let k = self.k;
-        (0..self.out_c * self.in_c)
-            .map(|f| {
-                let (o, i) = (f / self.in_c, f % self.in_c);
-                let filter = self.filter(o, i);
-                let mut taps = Vec::with_capacity(self.filter_nnz(o, i));
-                if k <= TILE_DIM {
-                    // Filter fits one hardware tile: go through the packed
-                    // form so the golden model exercises the same offsets.
-                    let mut tile = Tile::<Sm8>::zero();
-                    for ky in 0..k {
-                        for kx in 0..k {
-                            tile[(ky, kx)] = filter[ky * k + kx];
-                        }
-                    }
-                    for e in PackedTile::pack(&tile).entries() {
-                        let (ky, kx) = (e.offset as usize / TILE_DIM, e.offset as usize % TILE_DIM);
-                        taps.push((ky as isize - pad as isize, kx as isize - pad as isize, e.value));
-                    }
-                } else {
-                    for (idx, &v) in filter.iter().enumerate() {
-                        if !v.is_zero() {
-                            let (ky, kx) = (idx / k, idx % k);
-                            taps.push((ky as isize - pad as isize, kx as isize - pad as isize, v));
-                        }
-                    }
-                }
-                taps
+        self.raw_taps()
+            .iter()
+            .map(|taps| {
+                taps.iter()
+                    .map(|&(ky, kx, v)| {
+                        (ky as isize - pad as isize, kx as isize - pad as isize, v)
+                    })
+                    .collect()
             })
             .collect()
     }
@@ -231,13 +269,33 @@ pub fn conv2d_f32(input: &Tensor<f32>, weights: &ConvWeights, stride: usize, pad
 /// bit-identical to the dense scan [`conv2d_quant_dense`] — property tests
 /// pin the two together.
 pub fn conv2d_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usize, pad: usize) -> Tensor<Sm8> {
+    let mut out = Tensor::zeros(1, 1, 1);
+    let mut acc = Vec::new();
+    conv2d_quant_into(input, weights, stride, pad, simd::dispatch(), &mut acc, &mut out);
+    out
+}
+
+/// [`conv2d_quant`] with an explicit kernel tier and caller-owned scratch:
+/// `acc` is the per-output-channel `i64` accumulator plane and `out` the
+/// destination tensor, both reshaped in place and reused across calls (the
+/// scratch-arena inference path passes the same buffers every image, so
+/// steady-state conv layers allocate nothing).
+pub fn conv2d_quant_into(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+    tier: KernelTier,
+    acc: &mut Vec<i64>,
+    out: &mut Tensor<Sm8>,
+) {
     let s = input.shape();
     assert_eq!(s.c, weights.in_c, "input channels mismatch");
     let out_h = (s.h + 2 * pad - weights.k) / stride + 1;
     let out_w = (s.w + 2 * pad - weights.k) / stride + 1;
-    let taps = weights.packed_taps(pad);
+    let taps = weights.raw_taps();
     let in_data = input.as_slice();
-    let mut out = Tensor::zeros(weights.out_c, out_h, out_w);
+    out.reset(weights.out_c, out_h, out_w);
     let out_slice = out.as_mut_slice();
     // One i64 accumulator plane per output channel, visited tap-by-tap:
     // each nonzero tap contributes a shifted copy of an input row to a
@@ -245,13 +303,16 @@ pub fn conv2d_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usi
     // in-bounds; out-of-bounds taps read the zero padding and contribute
     // nothing). Integer accumulation is order-independent, so this is
     // bit-identical to the per-pixel scan.
-    let mut acc = vec![0i64; out_h * out_w];
+    acc.clear();
+    acc.resize(out_h * out_w, 0);
     for o in 0..weights.out_c {
         acc.fill(weights.bias_acc[o]);
         for (i, filter_taps) in taps[o * weights.in_c..(o + 1) * weights.in_c].iter().enumerate() {
             let ibase = i * s.h * s.w;
-            for &(dy, dx, w) in filter_taps {
-                let wv = w.to_i32() as i64;
+            for &(ky, kx, w) in filter_taps {
+                let dy = ky as isize - pad as isize;
+                let dx = kx as isize - pad as isize;
+                let wv = w.to_i32();
                 for y in 0..out_h {
                     let iy = (y * stride) as isize + dy;
                     if iy < 0 || iy >= s.h as isize {
@@ -270,12 +331,13 @@ pub fn conv2d_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usi
                     let irow = ibase + iy as usize * s.w;
                     let acc_run = &mut acc[y * out_w + x0..=y * out_w + x1];
                     if stride == 1 {
+                        // Contiguous input run: the SIMD axpy tier applies
+                        // this tap 8 or 16 outputs at a time.
                         let istart = (irow + x0).wrapping_add_signed(dx);
                         let in_run = &in_data[istart..istart + (x1 - x0 + 1)];
-                        for (a, &v) in acc_run.iter_mut().zip(in_run) {
-                            *a += wv * v.to_i32() as i64;
-                        }
+                        simd::axpy_i64(tier, acc_run, in_run, wv);
                     } else {
+                        let wv = wv as i64;
                         for (j, a) in acc_run.iter_mut().enumerate() {
                             let ix = ((x0 + j) * stride).wrapping_add_signed(dx);
                             *a += wv * in_data[irow + ix].to_i32() as i64;
@@ -285,11 +347,10 @@ pub fn conv2d_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usi
             }
         }
         let plane = &mut out_slice[o * out_h * out_w..(o + 1) * out_h * out_w];
-        for (dst, &a) in plane.iter_mut().zip(&acc) {
+        for (dst, &a) in plane.iter_mut().zip(acc.iter()) {
             *dst = if weights.relu { weights.requant.apply_relu(a) } else { weights.requant.apply(a) };
         }
     }
-    out
 }
 
 /// The dense reference scan: visits every weight, skipping zeros one by
@@ -500,9 +561,31 @@ mod tests {
         assert_eq!(qw.clone().filter_nnz(0, 1), 6);
         // In-place mutation through the public field requires invalidation.
         qw.w.iter_mut().for_each(|w| *w = Sm8::ZERO);
-        qw.invalidate_nnz_cache();
+        qw.invalidate_caches();
         assert_eq!(qw.output_filter_nnz(0), 0);
         assert_eq!(qw.density(), 0.0);
+    }
+
+    #[test]
+    fn taps_cache_survives_invalidation_and_matches_packed_taps() {
+        let mut qw = synthetic_qw(2, 2, 3, 11, false);
+        // Raw taps fold no pad; packed_taps(p) is the same set shifted.
+        let raw: Vec<Vec<(u8, u8, Sm8)>> = qw.raw_taps().to_vec();
+        for pad in 0..3usize {
+            let shifted = qw.packed_taps(pad);
+            for (r, s) in raw.iter().zip(&shifted) {
+                assert_eq!(r.len(), s.len());
+                for (&(ky, kx, v), &(dy, dx, sv)) in r.iter().zip(s) {
+                    assert_eq!(dy, ky as isize - pad as isize);
+                    assert_eq!(dx, kx as isize - pad as isize);
+                    assert_eq!(v, sv);
+                }
+            }
+        }
+        // After zeroing the weights and invalidating, the taps disappear.
+        qw.w.iter_mut().for_each(|w| *w = Sm8::ZERO);
+        qw.invalidate_caches();
+        assert!(qw.raw_taps().iter().all(|t| t.is_empty()));
     }
 
     fn synthetic_qw(out_c: usize, in_c: usize, k: usize, seed: u64, relu: bool) -> QuantConvWeights {

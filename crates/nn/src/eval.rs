@@ -59,13 +59,21 @@ pub fn compare(float_net: &Network, quant_net: &QuantizedNetwork, inputs: &[Tens
     let ends_in_softmax = matches!(float_net.spec.layers.last(), Some(crate::layer::LayerSpec::Softmax));
     let mut agree = 0usize;
     let mut sqnr_sum = 0f64;
+    // One arena + logit buffer for the whole sweep: after the first input
+    // the quantized side of the comparison stops allocating.
+    let mut scratch = crate::scratch::Scratch::new();
+    let mut logits = Vec::new();
     for input in inputs {
         let f = float_net.forward_f32(input);
-        let mut q = quant_net.forward_dequant(input);
-        if ends_in_softmax {
-            q = crate::fc::softmax(&q);
-        }
-        if argmax(&f) == argmax(&q) {
+        quant_net.forward_dequant_into(input, &mut scratch, &mut logits);
+        let softmaxed;
+        let q: &[f32] = if ends_in_softmax {
+            softmaxed = crate::fc::softmax(&logits);
+            &softmaxed
+        } else {
+            &logits
+        };
+        if argmax(&f) == argmax(q) {
             agree += 1;
         }
         let n = f.len().min(q.len());

@@ -63,19 +63,27 @@ pub fn fc_f32(input: &[f32], weights: &FcWeights, relu: bool) -> Vec<f32> {
 
 /// Integer-exact quantized FC forward.
 pub fn fc_quant(input: &[Sm8], weights: &QuantFcWeights) -> Vec<Sm8> {
+    let mut out = Vec::new();
+    fc_quant_into(input, weights, &mut out);
+    out
+}
+
+/// [`fc_quant`] writing into a caller-owned vector, cleared and refilled in
+/// place so its allocation is reused across calls (the scratch-arena
+/// inference path).
+pub fn fc_quant_into(input: &[Sm8], weights: &QuantFcWeights, out: &mut Vec<Sm8>) {
     assert_eq!(input.len(), weights.in_features, "fc input length mismatch");
-    (0..weights.out_features)
-        .map(|o| {
-            let row = &weights.w[o * weights.in_features..(o + 1) * weights.in_features];
-            let acc: i64 = weights.bias_acc[o]
-                + row.iter().zip(input).map(|(w, x)| w.mul_exact(*x) as i64).sum::<i64>();
-            if weights.relu {
-                weights.requant.apply_relu(acc)
-            } else {
-                weights.requant.apply(acc)
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend((0..weights.out_features).map(|o| {
+        let row = &weights.w[o * weights.in_features..(o + 1) * weights.in_features];
+        let acc: i64 = weights.bias_acc[o]
+            + row.iter().zip(input).map(|(w, x)| w.mul_exact(*x) as i64).sum::<i64>();
+        if weights.relu {
+            weights.requant.apply_relu(acc)
+        } else {
+            weights.requant.apply(acc)
+        }
+    }));
 }
 
 /// Numerically-stable softmax.

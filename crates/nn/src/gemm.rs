@@ -17,6 +17,7 @@
 //! identical; the `_naive` variants stay as property-test baselines.
 
 use crate::conv::{ConvWeights, QuantConvWeights};
+use crate::simd::{self, KernelTier, GEMM_I32_CHUNK_ROWS};
 use zskip_quant::Sm8;
 use zskip_tensor::{Shape, Tensor};
 
@@ -173,8 +174,82 @@ pub fn conv2d_gemm_f32_naive(
 }
 
 /// Integer-exact quantized convolution via im2col + blocked GEMM; must
-/// agree bit-for-bit with [`crate::conv::conv2d_quant`].
+/// agree bit-for-bit with [`crate::conv::conv2d_quant`]. Dispatches to the
+/// SIMD row-panel kernel when the runtime tier selection
+/// ([`crate::simd::dispatch`]) is wider than scalar.
 pub fn conv2d_gemm_quant(input: &Tensor<Sm8>, weights: &QuantConvWeights, stride: usize, pad: usize) -> Tensor<Sm8> {
+    conv2d_gemm_quant_tier(input, weights, stride, pad, simd::dispatch())
+}
+
+/// [`conv2d_gemm_quant`] with an explicit kernel tier.
+///
+/// * [`KernelTier::Scalar`] runs the register-tiled `4x4` micro-kernel
+///   below — the bit-exactness oracle.
+/// * SIMD tiers run a row-panel kernel: per output channel, an `i32`
+///   column-accumulator panel is updated one reduction row at a time by
+///   [`crate::simd::axpy_i32`] (skipping zero weights — the software analogue
+///   of the hardware's zero-weight skip), flushed into `i64` every
+///   [`GEMM_I32_CHUNK_ROWS`] rows so no `i32` lane can overflow.
+///
+/// Integer accumulation is order-independent, so all tiers are
+/// bit-identical (pinned by property test).
+pub fn conv2d_gemm_quant_tier(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+    tier: KernelTier,
+) -> Tensor<Sm8> {
+    if tier == KernelTier::Scalar {
+        return conv2d_gemm_quant_blocked(input, weights, stride, pad);
+    }
+    let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
+    let cols = mshape.h * mshape.w;
+    let rows = mshape.c;
+    let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
+    let out_slice = out.as_mut_slice();
+    let mut acc64 = vec![0i64; cols];
+    let mut acc32 = vec![0i32; cols];
+    for o in 0..weights.out_c {
+        let wrow = &weights.w[o * rows..(o + 1) * rows];
+        acc64.fill(weights.bias_acc[o]);
+        acc32.fill(0);
+        let mut pending = 0usize;
+        for (r, &wv) in wrow.iter().enumerate() {
+            let wv = wv.to_i32();
+            if wv == 0 {
+                continue;
+            }
+            simd::axpy_i32(tier, &mut acc32, &m[r * cols..(r + 1) * cols], wv);
+            pending += 1;
+            if pending == GEMM_I32_CHUNK_ROWS {
+                for (a64, a32) in acc64.iter_mut().zip(acc32.iter_mut()) {
+                    *a64 += *a32 as i64;
+                    *a32 = 0;
+                }
+                pending = 0;
+            }
+        }
+        if pending > 0 {
+            for (a64, a32) in acc64.iter_mut().zip(acc32.iter()) {
+                *a64 += *a32 as i64;
+            }
+        }
+        let plane = &mut out_slice[o * cols..(o + 1) * cols];
+        for (dst, &a) in plane.iter_mut().zip(acc64.iter()) {
+            *dst = if weights.relu { weights.requant.apply_relu(a) } else { weights.requant.apply(a) };
+        }
+    }
+    out
+}
+
+/// The register-tiled scalar GEMM (the [`KernelTier::Scalar`] body).
+fn conv2d_gemm_quant_blocked(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+) -> Tensor<Sm8> {
     let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
     let cols = mshape.h * mshape.w;
     let rows = mshape.c;
@@ -395,6 +470,29 @@ mod tests {
             // Bit-exact: compare raw bits, not approximate equality.
             for (a, b) in naive.as_slice().iter().zip(blocked.as_slice()) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Every reachable SIMD tier vs. the scalar blocked kernel: exact.
+        #[test]
+        fn simd_quant_gemm_is_bit_exact_vs_scalar(
+            out_c in 1usize..8,
+            in_c in 1usize..4,
+            hw in 3usize..10,
+            k in 1usize..4,
+            pad in 0usize..2,
+            stride in 1usize..3,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(hw + 2 * pad >= k);
+            let qw = quant_weights(out_c, in_c, k, seed);
+            let input = Tensor::from_fn(in_c, hw, hw, |c, y, x| {
+                Sm8::from_i32_saturating((((c * 53 + y * 19 + x * 5) as u64 ^ seed) % 255) as i32 - 127)
+            });
+            let scalar = conv2d_gemm_quant_tier(&input, &qw, stride, pad, crate::simd::KernelTier::Scalar);
+            for tier in crate::simd::KernelTier::supported() {
+                let got = conv2d_gemm_quant_tier(&input, &qw, stride, pad, tier);
+                prop_assert_eq!(&scalar, &got, "tier {}", tier);
             }
         }
 

@@ -13,7 +13,11 @@
 //!   quantization pipelines (the stand-in for the paper's Caffe flow),
 //! * [`vgg16`] — the VGG-16 network used as the paper's test vehicle,
 //! * [`eval`] — fidelity metrics substituting for the data-gated ImageNet
-//!   accuracy comparison (top-1 agreement, SQNR).
+//!   accuracy comparison (top-1 agreement, SQNR),
+//! * [`simd`] — SIMD kernel tiers (SSE2/AVX2) for the quantized inner
+//!   loops with runtime dispatch, scalar kept as the bit-exact oracle,
+//! * [`scratch`] — reusable buffer arena making the steady-state forward
+//!   pass allocation-free.
 
 pub mod conv;
 pub mod eval;
@@ -22,8 +26,12 @@ pub mod gemm;
 pub mod layer;
 pub mod model;
 pub mod pool;
+pub mod scratch;
+pub mod simd;
 pub mod vgg16;
 
 pub use layer::{LayerSpec, NetworkSpec};
 pub use model::{Network, QuantizedConvLayer, QuantizedNetwork, SyntheticModelConfig};
+pub use scratch::Scratch;
+pub use simd::{dispatch, select_tier, KernelTier, KERNEL_ENV};
 pub use vgg16::{vgg16_spec, VGG16_CONV_NAMES};

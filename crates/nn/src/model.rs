@@ -8,10 +8,11 @@
 //! realistically-scaled distributions — everything downstream (sparsity
 //! structure, zero-skipping, cycle counts, bit-exactness) is faithful.
 
-use crate::conv::{conv2d_f32, conv2d_quant, ConvWeights, QuantConvWeights};
-use crate::fc::{fc_f32, fc_quant, softmax, FcWeights, QuantFcWeights};
+use crate::conv::{conv2d_f32, conv2d_quant_into, ConvWeights, QuantConvWeights};
+use crate::fc::{fc_f32, fc_quant_into, softmax, FcWeights, QuantFcWeights};
 use crate::layer::{LayerSpec, NetworkSpec};
-use crate::pool::{maxpool_f32, maxpool_quant};
+use crate::pool::{maxpool_f32, maxpool_quant_into};
+use crate::scratch::Scratch;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use zskip_quant::{prune_to_density, DensityProfile, QuantParams, Requantizer, Sm8};
@@ -223,7 +224,7 @@ impl Network {
                     w.bias.iter().map(|&b| (b / (s_in * t.scale)).round() as i64).collect();
                 ql.weights.requant = t.requantizer(s_in, s_out);
                 ql.weights.relu = *relu;
-                ql.weights.invalidate_nnz_cache();
+                ql.weights.invalidate_caches();
                 ql.w_scale = t.scale;
                 conv_i += 1;
             }
@@ -265,37 +266,95 @@ pub struct QuantizedNetwork {
 impl QuantizedNetwork {
     /// Integer-exact forward pass (the software golden model). Returns the
     /// final quantized activations.
+    ///
+    /// Convenience wrapper over [`QuantizedNetwork::forward_quant_scratch`]
+    /// with a throwaway arena; streaming callers should hold a [`Scratch`]
+    /// and call the `_scratch` variant so steady-state images allocate
+    /// nothing.
     pub fn forward_quant(&self, input: &Tensor<f32>) -> Vec<Sm8> {
-        let mut act: Tensor<Sm8> = input.map(|v| self.input_params.quantize(v));
-        let mut conv_i = 0;
-        let mut fc_i = 0;
-        let mut flat: Option<Vec<Sm8>> = None;
-        for layer in &self.spec.layers {
-            match layer {
-                LayerSpec::Conv { stride, pad, .. } => {
-                    act = conv2d_quant(&act, &self.conv[conv_i].weights, *stride, *pad);
-                    conv_i += 1;
-                }
-                LayerSpec::MaxPool { k, stride, .. } => {
-                    act = maxpool_quant(&act, *k, *stride);
-                }
-                LayerSpec::Fc { .. } => {
-                    let input_flat: Vec<Sm8> = flat.take().unwrap_or_else(|| act.as_slice().to_vec());
-                    flat = Some(fc_quant(&input_flat, &self.fc[fc_i]));
-                    fc_i += 1;
-                }
-                LayerSpec::Softmax => {
-                    // Softmax is monotone; the quantized path carries logits
-                    // through (classification by argmax is unchanged).
+        let mut scratch = Scratch::new();
+        self.forward_quant_scratch(input, &mut scratch).to_vec()
+    }
+
+    /// Integer-exact forward pass through a caller-owned buffer arena.
+    /// Returns a borrow of the final quantized activations inside the
+    /// arena (copy it out before the next image).
+    ///
+    /// The first image through a network grows the arena and warms the
+    /// per-layer weight caches; after that the whole pass performs zero
+    /// heap allocations (`tests/alloc_free.rs` asserts this with a
+    /// counting allocator). Kernels run at [`Scratch::tier`].
+    pub fn forward_quant_scratch<'s>(&self, input: &Tensor<f32>, scratch: &'s mut Scratch) -> &'s [Sm8] {
+        let before = scratch.capacity_bytes();
+        let tier = scratch.tier();
+        let mut cur = 0usize;
+        let mut flat_cur: Option<usize> = None;
+        {
+            let Scratch { act, acc, flat, .. } = scratch;
+            input.map_into(&mut act[cur], |v| self.input_params.quantize(v));
+            let mut conv_i = 0;
+            let mut fc_i = 0;
+            for layer in &self.spec.layers {
+                match layer {
+                    LayerSpec::Conv { stride, pad, .. } => {
+                        let (lo, hi) = act.split_at_mut(1);
+                        let (src, dst) =
+                            if cur == 0 { (&lo[0], &mut hi[0]) } else { (&hi[0], &mut lo[0]) };
+                        conv2d_quant_into(src, &self.conv[conv_i].weights, *stride, *pad, tier, acc, dst);
+                        cur ^= 1;
+                        conv_i += 1;
+                    }
+                    LayerSpec::MaxPool { k, stride, .. } => {
+                        let (lo, hi) = act.split_at_mut(1);
+                        let (src, dst) =
+                            if cur == 0 { (&lo[0], &mut hi[0]) } else { (&hi[0], &mut lo[0]) };
+                        maxpool_quant_into(src, *k, *stride, dst);
+                        cur ^= 1;
+                    }
+                    LayerSpec::Fc { .. } => {
+                        match flat_cur {
+                            Some(fi) => {
+                                let (lo, hi) = flat.split_at_mut(1);
+                                let (src, dst) =
+                                    if fi == 0 { (&lo[0], &mut hi[0]) } else { (&hi[0], &mut lo[0]) };
+                                fc_quant_into(src, &self.fc[fc_i], dst);
+                                flat_cur = Some(1 - fi);
+                            }
+                            None => {
+                                fc_quant_into(act[cur].as_slice(), &self.fc[fc_i], &mut flat[0]);
+                                flat_cur = Some(0);
+                            }
+                        }
+                        fc_i += 1;
+                    }
+                    LayerSpec::Softmax => {
+                        // Softmax is monotone; the quantized path carries logits
+                        // through (classification by argmax is unchanged).
+                    }
                 }
             }
         }
-        flat.unwrap_or_else(|| act.as_slice().to_vec())
+        if scratch.capacity_bytes() != before {
+            scratch.grow_events += 1;
+        }
+        match flat_cur {
+            Some(fi) => &scratch.flat[fi],
+            None => scratch.act[cur].as_slice(),
+        }
     }
 
     /// Forward pass returning dequantized (approximate float) logits.
     pub fn forward_dequant(&self, input: &Tensor<f32>) -> Vec<f32> {
-        let out = self.forward_quant(input);
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        self.forward_dequant_into(input, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`QuantizedNetwork::forward_dequant`] through a caller-owned arena,
+    /// writing the logits into a reused vector (fidelity sweeps call this
+    /// per input without allocating on the quantized side).
+    pub fn forward_dequant_into(&self, input: &Tensor<f32>, scratch: &mut Scratch, out: &mut Vec<f32>) {
         // The last non-softmax boundary scale applies to the logits.
         let scale = self
             .spec
@@ -304,7 +363,9 @@ impl QuantizedNetwork {
             .rposition(|l| !matches!(l, LayerSpec::Softmax))
             .map(|i| self.activation_scales[i + 1])
             .unwrap_or(1.0);
-        out.iter().map(|&q| q.to_i32() as f32 * scale).collect()
+        let q = self.forward_quant_scratch(input, scratch);
+        out.clear();
+        out.extend(q.iter().map(|&v| v.to_i32() as f32 * scale));
     }
 
     /// Per-conv-layer weight density, in layer order.
@@ -410,6 +471,34 @@ mod tests {
         for d in qnet.conv_densities() {
             // Quantization can only add zeros (small weights round to 0).
             assert!(d <= 0.32, "density {d}");
+        }
+    }
+
+    #[test]
+    fn scratch_forward_matches_allocating_forward_and_stops_growing() {
+        let net = Network::synthetic(tiny_spec(), &SyntheticModelConfig::default());
+        let qnet = net.quantize(&[tiny_input(0)]);
+        let mut scratch = Scratch::new();
+        for i in 0..4 {
+            let input = tiny_input(200 + i);
+            let fresh = qnet.forward_quant(&input);
+            let reused = qnet.forward_quant_scratch(&input, &mut scratch).to_vec();
+            assert_eq!(fresh, reused, "image {i}");
+        }
+        // Same-shaped images: only the first pass may grow the arena.
+        assert_eq!(scratch.grow_events(), 1);
+    }
+
+    #[test]
+    fn scratch_forward_is_tier_independent() {
+        let net = Network::synthetic(tiny_spec(), &SyntheticModelConfig::default());
+        let qnet = net.quantize(&[tiny_input(0)]);
+        let input = tiny_input(42);
+        let mut base = Scratch::with_tier(crate::simd::KernelTier::Scalar);
+        let want = qnet.forward_quant_scratch(&input, &mut base).to_vec();
+        for tier in crate::simd::KernelTier::supported() {
+            let mut s = Scratch::with_tier(tier);
+            assert_eq!(qnet.forward_quant_scratch(&input, &mut s), &want[..], "tier {tier}");
         }
     }
 

@@ -26,19 +26,32 @@ pub fn maxpool_f32(input: &Tensor<f32>, k: usize, stride: usize) -> Tensor<f32> 
 /// Quantized max pooling: the maximum under the sign+magnitude value order.
 /// Bit-exact counterpart of the accelerator's MAX units (paper Fig. 5).
 pub fn maxpool_quant(input: &Tensor<Sm8>, k: usize, stride: usize) -> Tensor<Sm8> {
+    let mut out = Tensor::zeros(1, 1, 1);
+    maxpool_quant_into(input, k, stride, &mut out);
+    out
+}
+
+/// [`maxpool_quant`] writing into a caller-owned tensor, reshaped in place
+/// and reused across calls (the scratch-arena inference path).
+pub fn maxpool_quant_into(input: &Tensor<Sm8>, k: usize, stride: usize, out: &mut Tensor<Sm8>) {
     let s = input.shape();
     assert!(s.h >= k && s.w >= k, "pool window {k} larger than input {s}");
     let out_h = (s.h - k) / stride + 1;
     let out_w = (s.w - k) / stride + 1;
-    Tensor::from_fn(s.c, out_h, out_w, |c, y, x| {
-        let mut m = Sm8::MIN;
-        for dy in 0..k {
-            for dx in 0..k {
-                m = m.max(input[(c, y * stride + dy, x * stride + dx)]);
+    out.reset(s.c, out_h, out_w);
+    for c in 0..s.c {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let mut m = Sm8::MIN;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        m = m.max(input[(c, y * stride + dy, x * stride + dx)]);
+                    }
+                }
+                out[(c, y, x)] = m;
             }
         }
-        m
-    })
+    }
 }
 
 /// ReLU over a float tensor (used standalone when not fused into conv).

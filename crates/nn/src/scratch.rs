@@ -1,0 +1,115 @@
+//! Reusable buffer arena for allocation-free streaming inference.
+//!
+//! The accelerator owns a fixed set of on-chip buffers and streams every
+//! image through them; the software golden model historically allocated
+//! fresh tensors per layer per image. A [`Scratch`] holds the software
+//! analogue of that fixed buffer set — a ping-pong pair of activation
+//! tensors, one `i64` accumulator plane, and a ping-pong pair of FC
+//! vectors — and every `_into` operator reshapes them in place instead of
+//! allocating.
+//!
+//! # Lifetime rules
+//!
+//! * A `Scratch` belongs to one thread; the batch engine keeps one per
+//!   worker. It may be shared across *networks* — buffers only ever grow.
+//! * Buffers grow lazily: the **first** image through a given network
+//!   warms the arena (and the per-layer weight caches); every subsequent
+//!   image runs with **zero heap allocations**, asserted by a
+//!   counting-allocator test (`tests/alloc_free.rs`).
+//! * The slice returned by
+//!   [`QuantizedNetwork::forward_quant_scratch`](crate::model::QuantizedNetwork::forward_quant_scratch)
+//!   borrows the arena — copy it out before running the next image.
+//!
+//! See `docs/KERNELS.md` for how this composes with the SIMD kernel tiers.
+
+use crate::simd::{self, KernelTier};
+use zskip_quant::Sm8;
+use zskip_tensor::Tensor;
+
+/// Reusable buffers for the quantized forward pass, plus the kernel tier
+/// the pass should run with.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Ping-pong activation tensors (conv/pool layers alternate them).
+    pub(crate) act: [Tensor<Sm8>; 2],
+    /// Per-output-channel `i64` conv accumulator plane.
+    pub(crate) acc: Vec<i64>,
+    /// Ping-pong FC activation vectors.
+    pub(crate) flat: [Vec<Sm8>; 2],
+    tier: KernelTier,
+    pub(crate) grow_events: u64,
+}
+
+impl Scratch {
+    /// An empty arena using the process-wide dispatched kernel tier
+    /// ([`simd::dispatch`]); buffers grow on first use.
+    pub fn new() -> Self {
+        Self::with_tier(simd::dispatch())
+    }
+
+    /// An empty arena pinned to an explicit kernel tier (benchmarks and
+    /// tier-equivalence tests).
+    pub fn with_tier(tier: KernelTier) -> Self {
+        Scratch {
+            act: [Tensor::zeros(1, 1, 1), Tensor::zeros(1, 1, 1)],
+            acc: Vec::new(),
+            flat: [Vec::new(), Vec::new()],
+            tier,
+            grow_events: 0,
+        }
+    }
+
+    /// The kernel tier forward passes through this arena use.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// Total bytes currently reserved by the arena's buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        self.act.iter().map(|t| t.capacity()).sum::<usize>()
+            + self.acc.capacity() * std::mem::size_of::<i64>()
+            + self.flat.iter().map(|v| v.capacity()).sum::<usize>()
+    }
+
+    /// Number of forward passes that grew at least one buffer. Stays at 1
+    /// for a warmed arena streaming same-shaped images — surfaced by
+    /// `zskip analyze` as the steady-state allocation indicator.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Splits out the buffers the accelerator driver's **host-side** path
+    /// reuses across images: the input-quantization tensor and the FC
+    /// ping-pong pair. (The driver's conv layers run on the simulated SoC,
+    /// not through this arena.)
+    pub fn host_buffers(&mut self) -> (&mut Tensor<Sm8>, &mut Vec<Sm8>, &mut Vec<Sm8>) {
+        let (a, b) = self.flat.split_at_mut(1);
+        (&mut self.act[0], &mut a[0], &mut b[0])
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_arena_is_empty_and_uses_dispatch_tier() {
+        let s = Scratch::new();
+        assert_eq!(s.tier(), simd::dispatch());
+        assert_eq!(s.grow_events(), 0);
+        // The 1x1x1 placeholder tensors may reserve a few bytes; nothing else.
+        assert!(s.capacity_bytes() <= 16);
+    }
+
+    #[test]
+    fn with_tier_pins_the_tier() {
+        let s = Scratch::with_tier(KernelTier::Scalar);
+        assert_eq!(s.tier(), KernelTier::Scalar);
+    }
+}

@@ -125,6 +125,35 @@ mod tests {
     }
 
     #[test]
+    fn vgg_prefix_scratch_forward_matches_allocating_forward() {
+        // A truncated VGG-16 prefix (conv1_1, conv1_2, pool1) at reduced
+        // resolution: the real layer geometry exercising the scratch arena
+        // ping-pong, against the allocating path, on every reachable tier.
+        use crate::model::{Network, SyntheticModelConfig};
+        use crate::scratch::Scratch;
+        use zskip_tensor::Tensor;
+        let full = vgg16_scaled_spec(32);
+        let spec = NetworkSpec {
+            name: "vgg16-prefix".into(),
+            input: Shape::new(3, 16, 16),
+            layers: full.layers[..3].to_vec(),
+        };
+        let net = Network::synthetic(spec, &SyntheticModelConfig::default());
+        let input = Tensor::from_fn(3, 16, 16, |c, y, x| ((c * 256 + y * 16 + x) as f32 * 0.37).sin());
+        let qnet = net.quantize(&[input.clone()]);
+        let fresh = qnet.forward_quant(&input);
+        for tier in crate::simd::KernelTier::supported() {
+            let mut scratch = Scratch::with_tier(tier);
+            // Two passes: the second runs against a warmed arena.
+            let first = qnet.forward_quant_scratch(&input, &mut scratch).to_vec();
+            let second = qnet.forward_quant_scratch(&input, &mut scratch).to_vec();
+            assert_eq!(fresh, first, "tier {tier} (cold arena)");
+            assert_eq!(fresh, second, "tier {tier} (warm arena)");
+            assert_eq!(scratch.grow_events(), 1, "tier {tier} arena kept growing");
+        }
+    }
+
+    #[test]
     fn deepest_layers_have_highest_weight_to_activation_ratio() {
         // The paper attributes worst-case efficiency to deep layers where
         // weight data dominates FM data; confirm the geometry implies it.

@@ -1,0 +1,115 @@
+//! Cross-tier bit-exactness: every SIMD kernel tier reachable on the host
+//! must reproduce the scalar dense oracle exactly, over random shapes
+//! (including non-multiple-of-4 spatial dims that exercise the vector
+//! tails), kernel sizes 1/3/5/7, strides 1/2, and densities 0.0–1.0.
+
+use proptest::prelude::*;
+use zskip_nn::conv::{conv2d_quant_dense, conv2d_quant_into, QuantConvWeights};
+use zskip_nn::simd::KernelTier;
+use zskip_quant::{Requantizer, Sm8};
+use zskip_tensor::Tensor;
+
+/// Seeded weights with a target fraction of nonzero taps.
+fn synthetic_qw(out_c: usize, in_c: usize, k: usize, density: f64, seed: u64, relu: bool) -> QuantConvWeights {
+    QuantConvWeights::new(
+        out_c,
+        in_c,
+        k,
+        (0..out_c * in_c * k * k)
+            .map(|i| {
+                let h = (i as u64 + 1).wrapping_mul(seed | 1).wrapping_mul(0x9e3779b97f4a7c15);
+                if ((h >> 16) % 1000) as f64 >= density * 1000.0 {
+                    Sm8::ZERO
+                } else {
+                    Sm8::from_i32_saturating(((h >> 40) % 255) as i32 - 127)
+                }
+            })
+            .collect(),
+        (0..out_c as i64).map(|o| o * 17 - 40).collect(),
+        Requantizer::from_ratio(1.0 / 8.0),
+        relu,
+    )
+}
+
+fn synthetic_input(in_c: usize, h: usize, w: usize, seed: u64) -> Tensor<Sm8> {
+    Tensor::from_fn(in_c, h, w, |c, y, x| {
+        Sm8::from_i32_saturating((((c * 131 + y * 17 + x * 3) as u64 ^ seed) % 255) as i32 - 127)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn conv_tiers_are_bit_exact_vs_dense_oracle(
+        out_c in 1usize..4,
+        in_c in 1usize..4,
+        h in 3usize..13, // deliberately crosses non-multiple-of-4 sizes
+        w in 3usize..19, // and non-multiple-of-8/16 rows (SIMD tails)
+        k_idx in 0usize..4,
+        stride in 1usize..3,
+        pad in 0usize..3,
+        density_ppt in 0u64..=1000, // permille: spans 0.0..=1.0 density
+        seed in 0u64..1000,
+    ) {
+        let k = [1usize, 3, 5, 7][k_idx];
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let qw = synthetic_qw(out_c, in_c, k, density_ppt as f64 / 1000.0, seed, seed % 2 == 0);
+        let input = synthetic_input(in_c, h, w, seed);
+        let oracle = conv2d_quant_dense(&input, &qw, stride, pad);
+        for tier in KernelTier::supported() {
+            let mut acc = Vec::new();
+            let mut out = Tensor::zeros(1, 1, 1);
+            conv2d_quant_into(&input, &qw, stride, pad, tier, &mut acc, &mut out);
+            prop_assert_eq!(&oracle, &out, "tier {} diverged from dense oracle", tier);
+        }
+    }
+}
+
+#[test]
+fn all_zero_weights_yield_bias_only_output_on_every_tier() {
+    // Regression: a layer whose filters are entirely zero has empty packed
+    // tap lists; every tier must still emit the requantized bias (and the
+    // accumulator plane must be reset between output channels).
+    let qw = QuantConvWeights::new(
+        3,
+        2,
+        3,
+        vec![Sm8::ZERO; 3 * 2 * 3 * 3],
+        vec![5, -9, 127],
+        Requantizer::IDENTITY,
+        false,
+    );
+    let input = synthetic_input(2, 6, 7, 99);
+    for tier in KernelTier::supported() {
+        let mut acc = Vec::new();
+        let mut out = Tensor::zeros(1, 1, 1);
+        conv2d_quant_into(&input, &qw, 1, 1, tier, &mut acc, &mut out);
+        for o in 0..3usize {
+            let want = qw.requant.apply(qw.bias_acc[o]).to_i32();
+            for &v in out.channel(o) {
+                assert_eq!(v.to_i32(), want, "tier {tier}, channel {o}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_scratch_buffers_do_not_leak_between_layers() {
+    // The same (acc, out) pair driven through two layers of different
+    // geometry must give the same answers as fresh buffers — guards the
+    // reset/reshape discipline the arena relies on.
+    let qw_a = synthetic_qw(4, 2, 3, 0.6, 7, true);
+    let qw_b = synthetic_qw(2, 4, 1, 0.9, 8, false);
+    let input_a = synthetic_input(2, 9, 9, 1);
+    for tier in KernelTier::supported() {
+        let mut acc = Vec::new();
+        let mut out = Tensor::zeros(1, 1, 1);
+        conv2d_quant_into(&input_a, &qw_a, 1, 1, tier, &mut acc, &mut out);
+        let mid = out.clone();
+        assert_eq!(mid, conv2d_quant_dense(&input_a, &qw_a, 1, 1), "tier {tier} layer A");
+        // Feed layer A's output into layer B using the same buffers.
+        let mut out_b = Tensor::zeros(1, 1, 1);
+        conv2d_quant_into(&mid, &qw_b, 2, 0, tier, &mut acc, &mut out_b);
+        assert_eq!(out_b, conv2d_quant_dense(&mid, &qw_b, 2, 0), "tier {tier} layer B");
+    }
+}

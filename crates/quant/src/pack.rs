@@ -134,6 +134,17 @@ impl PackedTile {
     pub fn byte_len(&self) -> usize {
         1 + 2 * self.entries.len()
     }
+
+    /// Reconstructs the dense tile as 16 branch-free-decoded `i16` lanes —
+    /// the exact form a 16-wide SIMD register consumes after the paper's
+    /// 1-tile/cycle bank read. Zero slots decode to 0.
+    pub fn decode_dense_i16(&self) -> [i16; TILE_ELEMS] {
+        let mut out = [0i16; TILE_ELEMS];
+        for e in &self.entries {
+            out[e.offset as usize] = e.value.decode_i16();
+        }
+        out
+    }
 }
 
 /// Error decoding a packed weight stream.
@@ -279,6 +290,15 @@ mod tests {
             let p = PackedTile::pack(&t);
             prop_assert_eq!(p.unpack(), t);
             prop_assert_eq!(p.nnz(), vals.iter().filter(|&&v| v != 0).count());
+        }
+
+        #[test]
+        fn decode_dense_i16_matches_unpack(vals in proptest::array::uniform16(-127i32..=127)) {
+            let t = tile_from_i32(vals);
+            let lanes = PackedTile::pack(&t).decode_dense_i16();
+            for (i, v) in t.as_array().iter().enumerate() {
+                prop_assert_eq!(lanes[i] as i32, v.to_i32());
+            }
         }
 
         #[test]

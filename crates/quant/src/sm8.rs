@@ -22,6 +22,7 @@ use std::fmt;
 /// assert!(Sm8::NEG_ZERO == Sm8::ZERO);
 /// ```
 #[derive(Clone, Copy)]
+#[repr(transparent)]
 pub struct Sm8(u8);
 
 impl Sm8 {
@@ -103,6 +104,44 @@ impl Sm8 {
             -mag
         } else {
             mag
+        }
+    }
+
+    /// Branch-free decode to `i16`: `(mag ^ neg) - neg` where `neg` is the
+    /// sign bit arithmetically smeared to `0` or `-1`. Identical to
+    /// [`Sm8::to_i32`] for every bit pattern (including `-0`), but maps
+    /// 1:1 onto the lane-parallel form SIMD kernels use, so the scalar and
+    /// vector datapaths share one decode definition.
+    #[inline]
+    pub const fn decode_i16(self) -> i16 {
+        let mag = (self.0 & 0x7f) as i16;
+        // Shift the sign bit (bit 7) to bit 15, then arithmetic-shift it
+        // across the lane: 0x00.. for positive, 0xff.. for negative.
+        let neg = ((self.0 as i16) << 8) >> 15;
+        (mag ^ neg) - neg
+    }
+
+    /// Bulk branch-free decode of a slice into `i16` lanes.
+    ///
+    /// # Panics
+    /// Panics if `dst` is shorter than `src`.
+    #[inline]
+    pub fn decode_slice_i16(src: &[Sm8], dst: &mut [i16]) {
+        assert!(dst.len() >= src.len(), "decode destination too short");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.decode_i16();
+        }
+    }
+
+    /// Bulk branch-free decode of a slice, widened to `i32` lanes.
+    ///
+    /// # Panics
+    /// Panics if `dst` is shorter than `src`.
+    #[inline]
+    pub fn decode_slice_i32(src: &[Sm8], dst: &mut [i32]) {
+        assert!(dst.len() >= src.len(), "decode destination too short");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.decode_i16() as i32;
         }
     }
 }
@@ -294,6 +333,25 @@ mod tests {
         fn neg_is_involution(v in -127i32..=127) {
             let s = Sm8::from_i32_saturating(v);
             prop_assert_eq!(-(-s), s);
+        }
+
+        #[test]
+        fn branchfree_decode_matches_to_i32_for_all_bit_patterns(bits in 0u8..=255) {
+            let v = Sm8::from_bits(bits);
+            prop_assert_eq!(v.decode_i16() as i32, v.to_i32());
+        }
+
+        #[test]
+        fn bulk_decode_matches_elementwise(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+            let src: Vec<Sm8> = bytes.iter().map(|&b| Sm8::from_bits(b)).collect();
+            let mut d16 = vec![0i16; src.len()];
+            let mut d32 = vec![0i32; src.len()];
+            Sm8::decode_slice_i16(&src, &mut d16);
+            Sm8::decode_slice_i32(&src, &mut d32);
+            for (i, s) in src.iter().enumerate() {
+                prop_assert_eq!(d16[i] as i32, s.to_i32());
+                prop_assert_eq!(d32[i], s.to_i32());
+            }
         }
     }
 }

@@ -86,6 +86,32 @@ impl<T: Copy + Default> Tensor<T> {
         self.data
     }
 
+    /// Reshapes in place to `c x h x w`, filling every element with
+    /// `T::default()`. The backing allocation is reused (and never shrunk),
+    /// so repeated resets across layers of differing shapes stop allocating
+    /// once the buffer has grown to the largest shape — the contract the
+    /// scratch-arena inference path (`zskip-nn`) relies on.
+    pub fn reset(&mut self, c: usize, h: usize, w: usize) {
+        let shape = Shape::new(c, h, w);
+        self.shape = shape;
+        self.data.clear();
+        self.data.resize(shape.len(), T::default());
+    }
+
+    /// Capacity of the backing allocation in elements (>= `shape().len()`).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Applies `f` elementwise into an existing tensor, reshaping it to
+    /// match `self` and reusing its allocation — the zero-allocation
+    /// counterpart of [`Tensor::map`].
+    pub fn map_into<U: Copy + Default>(&self, out: &mut Tensor<U>, mut f: impl FnMut(T) -> U) {
+        out.shape = self.shape;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&v| f(v)));
+    }
+
     /// Element accessor returning `default` outside the bounds.
     ///
     /// This models reading from a zero-padded halo without materializing
@@ -220,5 +246,29 @@ mod tests {
     #[should_panic(expected = "data length")]
     fn from_vec_validates_length() {
         let _ = Tensor::from_vec(1, 2, 2, vec![0i32; 5]);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zeroes() {
+        let mut t = Tensor::from_fn(2, 4, 4, |_, _, _| 7i32);
+        let cap = t.capacity();
+        t.reset(1, 2, 2);
+        assert_eq!(t.shape(), Shape::new(1, 2, 2));
+        assert!(t.as_slice().iter().all(|&v| v == 0));
+        assert_eq!(t.capacity(), cap, "shrinking reset must keep the allocation");
+        // Growing past capacity is allowed (and grows capacity).
+        t.reset(4, 4, 4);
+        assert_eq!(t.shape().len(), 64);
+        assert!(t.capacity() >= 64);
+    }
+
+    #[test]
+    fn map_into_matches_map_and_reuses_buffer() {
+        let t = Tensor::from_fn(2, 3, 3, |c, y, x| (c * 9 + y * 3 + x) as i32);
+        let mut out = Tensor::<f32>::zeros(5, 5, 5); // wrong shape, gets reshaped
+        let cap = out.capacity();
+        t.map_into(&mut out, |v| v as f32 * 0.5);
+        assert_eq!(out, t.map(|v| v as f32 * 0.5));
+        assert_eq!(out.capacity(), cap, "smaller map_into must not reallocate");
     }
 }

@@ -24,7 +24,12 @@ pub const TILE_ELEMS: usize = TILE_DIM * TILE_DIM;
 /// assert_eq!(t[(2, 3)], 11);
 /// assert_eq!(t.as_array()[11], 11);
 /// ```
+/// 16-byte alignment: an `Sm8` tile then occupies exactly one aligned
+/// 16-byte line, so SIMD kernels can treat a tile row (or a whole byte
+/// tile) as one aligned vector load — the software mirror of the paper's
+/// one-SRAM-word-per-cycle tile read.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(align(16))]
 pub struct Tile<T>([T; TILE_ELEMS]);
 
 impl<T: fmt::Debug> fmt::Debug for Tile<T> {

@@ -19,4 +19,16 @@ timeout 120 ./target/release/zskip faults --hw 8 --json > /dev/null
 # slower than dense — the win is structural on this workload, so the
 # wall-clock comparison holds even on a noisy box.
 timeout 300 ./target/release/sim_bench --check
+
+# Kernel dispatch matrix: the SIMD bit-exactness property tests must pass
+# both at the host's native tier and pinned to the scalar oracle tier
+# (the tests themselves iterate every reachable tier; pinning the env
+# override exercises the ZSKIP_KERNEL fallback path end to end).
+cargo test -q -p zskip-nn --test kernel_tiers
+ZSKIP_KERNEL=scalar cargo test -q -p zskip-nn --test kernel_tiers
+
+# Kernel-tier performance gate: every SIMD tier must beat scalar on the
+# VGG-shaped reference layers, and the scratch arena's steady-state
+# forward pass must perform zero heap allocations.
+timeout 300 ./target/release/kernel_bench --check > /dev/null
 echo "verify: OK"

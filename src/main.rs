@@ -406,6 +406,40 @@ fn analyze(p: &Parsed) {
         s.wakes
     );
     println!("  ('lean' cycles ticked only runnable kernels; dense ticks all {} every cycle)", dense.report.kernels.len());
+
+    // Software datapath: which SIMD kernel tier this host dispatches to,
+    // and the golden model's steady-state allocation behaviour (a warmed
+    // scratch arena with zero grow events performs zero heap allocations
+    // per image — proven by the counting-allocator test, measured by
+    // `kernel_bench`; see docs/KERNELS.md).
+    use zskip::nn::simd::KernelTier;
+    use zskip::nn::Scratch;
+    let host_tiers: Vec<&str> = KernelTier::supported().iter().map(|t| t.name()).collect();
+    println!(
+        "\nSoftware kernel tier: {} (host supports: {}; override with {}=<tier>)",
+        zskip::nn::dispatch(),
+        host_tiers.join(", "),
+        zskip::nn::KERNEL_ENV
+    );
+    let surrogate = zskip::nn::vgg16::vgg16_scaled_spec(32);
+    let snet = Network::synthetic(
+        surrogate.clone(),
+        &SyntheticModelConfig { seed: zskip_bench::HARNESS_SEED, density: DensityProfile::deep_compression_vgg16() },
+    );
+    let sq = snet.quantize(&synthetic_inputs(2, 1, surrogate.input));
+    let probe = synthetic_inputs(3, 3, surrogate.input);
+    let mut arena = Scratch::new();
+    for input in &probe {
+        let _ = sq.forward_quant_scratch(input, &mut arena);
+    }
+    let steady = if arena.grow_events() <= 1 { "0" } else { "NONZERO (arena regrew!)" };
+    println!(
+        "Scratch arena ({} images, vgg16-32 surrogate): {} grow event(s), {} KiB, steady-state heap allocations/image: {}",
+        probe.len(),
+        arena.grow_events(),
+        arena.capacity_bytes() / 1024,
+        steady
+    );
 }
 
 fn faults(p: &Parsed) {
