@@ -13,10 +13,15 @@
 //!   pass through the allocating API vs. the [`Scratch`] arena after
 //!   warm-up, counted by a counting global allocator. Steady state must
 //!   be zero.
+//! * **Driver backends**: end-to-end images/s through
+//!   `Driver::run_network_scratch` on the scaled VGG-16 spec, per
+//!   execution backend (model vs cpu). The cpu backend replaces the
+//!   transaction model's per-tile functional sweep with the SIMD `_into`
+//!   kernels, so it must not be slower.
 //!
 //! `--check` exits nonzero if any SIMD tier is slower than scalar on a
-//! reference shape or the steady-state pass allocates — wired into
-//! `scripts/verify.sh`.
+//! reference shape, the steady-state pass allocates, or the cpu backend
+//! falls behind the model backend — wired into `scripts/verify.sh`.
 //!
 //! Writes `BENCH_kernels.json` at the repository root plus the usual
 //! `experiments/kernel_bench.{txt,json}` artifacts.
@@ -26,6 +31,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use zskip_bench::{make_conv_layer, write_artifacts};
+use zskip_core::config::AccelConfig;
+use zskip_core::driver::{BackendKind, Driver};
+use zskip_hls::Variant;
 use zskip_json::{Json, ToJson};
 use zskip_nn::conv::conv2d_quant_into;
 use zskip_nn::eval::synthetic_inputs;
@@ -134,11 +142,48 @@ impl ToJson for AllocResult {
     }
 }
 
+/// One driver backend's end-to-end throughput on the scaled VGG spec.
+struct BackendTiming {
+    backend: &'static str,
+    ms_per_image: f64,
+    images_per_s: f64,
+}
+
+impl ToJson for BackendTiming {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("backend", self.backend.to_json()),
+            ("ms_per_image", self.ms_per_image.to_json()),
+            ("images_per_s", self.images_per_s.to_json()),
+        ])
+    }
+}
+
+struct CpuBackendResult {
+    /// Input height/width of the scaled VGG-16 spec the backends ran.
+    hw: usize,
+    backends: Vec<BackendTiming>,
+    /// Cpu images/s over model images/s (the `--check` acceptance
+    /// number: must be >= 1).
+    cpu_speedup_vs_model: f64,
+}
+
+impl ToJson for CpuBackendResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hw", self.hw.to_json()),
+            ("backends", self.backends.to_json()),
+            ("cpu_speedup_vs_model", self.cpu_speedup_vs_model.to_json()),
+        ])
+    }
+}
+
 struct Bench {
     host_tiers: Vec<String>,
     dispatch_tier: String,
     shapes: Vec<ShapeResult>,
     allocs: AllocResult,
+    cpu_backend: CpuBackendResult,
     /// Best SIMD GEMM speedup on the conv3_2-like shape (the acceptance
     /// number: must be >= 2x).
     conv3_2_gemm_speedup: f64,
@@ -151,6 +196,7 @@ impl ToJson for Bench {
             ("dispatch_tier", self.dispatch_tier.to_json()),
             ("shapes", self.shapes.to_json()),
             ("allocs", self.allocs.to_json()),
+            ("cpu_backend", self.cpu_backend.to_json()),
             ("conv3_2_gemm_speedup", self.conv3_2_gemm_speedup.to_json()),
         ])
     }
@@ -262,6 +308,47 @@ fn bench_allocs() -> AllocResult {
     }
 }
 
+fn bench_cpu_backend() -> CpuBackendResult {
+    let hw = 32;
+    let spec = vgg16_scaled_spec(hw);
+    let net = Network::synthetic(
+        spec.clone(),
+        &SyntheticModelConfig { seed: 1, density: DensityProfile::deep_compression_vgg16() },
+    );
+    let qnet = net.quantize(&synthetic_inputs(2, 1, spec.input));
+    let inputs = synthetic_inputs(5, 2, spec.input);
+    let config = AccelConfig::for_variant(Variant::U256Opt);
+
+    let mut backends = Vec::new();
+    let mut golden: Option<Vec<zskip_quant::Sm8>> = None;
+    for backend in [BackendKind::Model, BackendKind::Cpu] {
+        let driver = Driver::new(config, backend);
+        let mut scratch = Scratch::new();
+        // Warm-up image: grows the arena and the per-layer weight caches.
+        let out = driver.run_network_scratch(&qnet, &inputs[0], &mut scratch).expect("runs").output;
+        match &golden {
+            None => golden = Some(out),
+            Some(g) => assert_eq!(g, &out, "{backend}: backend diverged from model"),
+        }
+        let (s, ()) = time_best(|| {
+            for input in &inputs {
+                driver.run_network_scratch(&qnet, input, &mut scratch).expect("runs");
+            }
+        });
+        let ms_per_image = s * 1e3 / inputs.len() as f64;
+        backends.push(BackendTiming {
+            backend: backend.name(),
+            ms_per_image,
+            images_per_s: 1e3 / ms_per_image,
+        });
+    }
+    let per_s = |name: &str| {
+        backends.iter().find(|b| b.backend == name).map(|b| b.images_per_s).unwrap_or(f64::NAN)
+    };
+    let cpu_speedup_vs_model = per_s("cpu") / per_s("model");
+    CpuBackendResult { hw, backends, cpu_speedup_vs_model }
+}
+
 fn render(bench: &Bench) -> String {
     let mut text = String::new();
     text.push_str(&format!(
@@ -298,6 +385,15 @@ fn render(bench: &Bench) -> String {
         a.grow_events,
         a.arena_bytes / 1024
     ));
+    let c = &bench.cpu_backend;
+    text.push_str(&format!("\ndriver backends (vgg16-{}, bit-identical outputs):\n", c.hw));
+    for b in &c.backends {
+        text.push_str(&format!(
+            "  {:<6} {:>8.2} ms/image  {:>7.2} images/s\n",
+            b.backend, b.ms_per_image, b.images_per_s
+        ));
+    }
+    text.push_str(&format!("  cpu backend at {:.2}x model throughput\n", c.cpu_speedup_vs_model));
     text
 }
 
@@ -320,6 +416,12 @@ fn check(bench: &Bench) -> Result<(), String> {
             bench.allocs.scratch_steady_per_image
         ));
     }
+    if bench.cpu_backend.cpu_speedup_vs_model < 1.0 {
+        return Err(format!(
+            "cpu backend is slower than the model backend's functional sweep ({:.2}x)",
+            bench.cpu_backend.cpu_speedup_vs_model
+        ));
+    }
     Ok(())
 }
 
@@ -330,6 +432,7 @@ fn main() {
         dispatch_tier: zskip_nn::dispatch().name().to_string(),
         shapes: bench_shapes(),
         allocs: bench_allocs(),
+        cpu_backend: bench_cpu_backend(),
         conv3_2_gemm_speedup: 0.0,
     };
     let conv3_2 = bench

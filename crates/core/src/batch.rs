@@ -424,6 +424,72 @@ mod tests {
     }
 
     #[test]
+    fn retry_exhaustion_surfaces_the_last_transient_error() {
+        use zskip_fault::{FaultKind, FaultPlan};
+        let qnet = small_qnet(8);
+        let inputs = synthetic_inputs(41, 1, qnet.spec.input);
+        let cfg = AccelConfig::for_variant(Variant::U256Opt);
+
+        // Site counters are cumulative across runs sharing a plan, and a
+        // fired fault aborts the run right after descriptor 0, 1, 2, ...
+        // So injecting at the first `max_attempts` indices keeps the site
+        // hot: every retry trips the next injection and the item runs out
+        // of attempts.
+        let policy = RetryPolicy { max_attempts: 3, base_backoff_cycles: 16 };
+        let mut plan = FaultPlan::new();
+        for at in 0..policy.max_attempts as u64 {
+            plan = plan.inject("dma:xfer", at, FaultKind::DmaCorrupt { xor: 0x40 });
+        }
+        let plan = plan.shared();
+        let driver = Driver::builder(cfg).fault_plan(plan.clone()).build().expect("valid config");
+        let report = run_batch_resilient(&driver, &qnet, &inputs, 1, policy);
+
+        assert_eq!(report.succeeded(), 0, "the hot site must exhaust every retry");
+        let item = &report.items[0];
+        assert_eq!(item.attempts, policy.max_attempts, "all attempts spent");
+        assert!(
+            matches!(item.result, Err(DriverError::Dma(_))),
+            "the last transient error surfaces per-item: {:?}",
+            item.result
+        );
+        assert!(item.result.as_ref().unwrap_err().is_transient());
+        // Exponential backoff: 16 before attempt 2, 32 before attempt 3.
+        assert_eq!(item.backoff_cycles, 16 + 32);
+        assert_eq!(
+            plan.lock().unwrap().fired().len(),
+            policy.max_attempts as usize,
+            "one injection per attempt"
+        );
+    }
+
+    #[test]
+    fn cpu_backend_batch_matches_model_batch_bit_exact() {
+        let qnet = small_qnet(8);
+        let inputs = synthetic_inputs(51, 5, qnet.spec.input);
+        let cfg = AccelConfig::for_variant(Variant::U256Opt);
+        let model = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 2)
+            .expect("model batch runs");
+        let cpu = run_batch(&Driver::new(cfg, BackendKind::Cpu), &qnet, &inputs, 2)
+            .expect("cpu batch runs");
+        for (m, c) in model.reports.iter().zip(&cpu.reports) {
+            assert_eq!(m.output, c.output, "bit-identical outputs");
+            assert_eq!(m.total_cycles, c.total_cycles, "same closed-form cycle model");
+        }
+        // And through the resilient engine.
+        let resilient = run_batch_resilient(
+            &Driver::new(cfg, BackendKind::Cpu),
+            &qnet,
+            &inputs,
+            2,
+            RetryPolicy::default(),
+        );
+        assert_eq!(resilient.succeeded(), inputs.len());
+        for (item, want) in resilient.items.iter().zip(&model.reports) {
+            assert_eq!(item.result.as_ref().expect("succeeds").output, want.output);
+        }
+    }
+
+    #[test]
     fn structural_errors_are_not_retried() {
         use zskip_hls::AccelArch;
         let qnet = small_qnet(64);

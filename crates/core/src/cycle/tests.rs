@@ -161,13 +161,16 @@ fn event_scheduler_matches_dense_on_vgg16_layer() {
     assert_eq!(out, conv2d_quant(&input, &qw, 1, 1), "and match the golden model");
 }
 
+/// A hosted-mode entry point under test.
+type HostedRun = fn(&AccelConfig, BankSet, Vec<u8>, HostModel, u64) -> Result<CycleOutcome, zskip_sim::SimError>;
+
 /// Adapter so the hosted entry points fit [`run_conv_outcome`]'s
 /// signature: splits the instruction stream into layers with the given
 /// staging latencies and wraps it into a [`HostModel`].
 fn hosted(
     staging: &'static [u64],
     poll_interval: u64,
-    run: fn(&AccelConfig, BankSet, Vec<u8>, HostModel, u64) -> Result<CycleOutcome, zskip_sim::SimError>,
+    run: HostedRun,
 ) -> impl Fn(&AccelConfig, BankSet, Vec<u8>, &[Instruction], u64) -> Result<CycleOutcome, zskip_sim::SimError> {
     move |cfg, banks, scratch, instrs, max| {
         let per_layer = instrs.len().div_ceil(staging.len());

@@ -8,52 +8,35 @@
 //!
 //! Responsibilities:
 //!
-//! * **striping**: large layers are subdivided into stripes whose input
-//!   and output both fit the SRAM banks (paper Fig. 2), with the halo
-//!   re-fetch overhead that inflates the ideal throughput by "~15% but
-//!   varies by layer";
-//! * **weight packing**: per OFM group, non-zero weights + offsets are
-//!   packed offline and staged in DDR;
-//! * **instruction generation**: one conv instruction per (stripe, group),
-//!   pool/pad instructions per stripe;
-//! * **DMA orchestration**: activations live in DDR between passes and
-//!   are moved stripe-by-stripe; compute overlaps IFM/OFM DMA
-//!   (double-buffering) while scratchpad weight preloads serialize — the
-//!   paper's weight-unpack overhead that hits deep layers hardest;
-//! * **scale-out**: with two accelerator instances (`512-opt`), stripes
-//!   are distributed round-robin and the instances run concurrently
-//!   ("each instance operates concurrently on separate stripes of FMs");
-//! * **host fallback**: FC layers and softmax execute on the ARM, as in
-//!   the paper.
+//! * **layer walking**: shape propagation, geometry checks, the explicit
+//!   pad pass before each padded convolution, and host (ARM) execution
+//!   of FC layers and softmax, as in the paper;
+//! * **backend dispatch**: each accelerator pass is handed to the
+//!   session's [`StripeBackend`](crate::exec::StripeBackend) — the
+//!   transaction-level model, the cycle-exact simulation, or the host
+//!   SIMD path ([`BackendKind`]);
+//! * **reporting**: per-layer [`PassStats`] roll up into an
+//!   [`InferenceReport`].
+//!
+//! The staged per-layer pipeline itself (striping, weight packing, DMA
+//! orchestration, multi-instance scale-out) lives in [`crate::exec`].
 
-use crate::bank::BankSet;
 use crate::config::AccelConfig;
-use crate::cycle;
-use crate::isa::{ConvInstr, Instruction, PoolPadInstr, PoolPadOp};
-use crate::layout::FmLayout;
-use crate::model;
-use crate::weights::GroupWeights;
+use crate::exec::{self, PassCtx};
+use crate::isa::PoolPadOp;
+use zskip_fault::SharedFaultPlan;
 use zskip_nn::conv::QuantConvWeights;
 use zskip_nn::fc::fc_quant_into;
 use zskip_nn::layer::LayerSpec;
 use zskip_nn::model::QuantizedNetwork;
 use zskip_nn::scratch::Scratch;
-use zskip_fault::SharedFaultPlan;
-use zskip_quant::grouping::FilterGrouping;
 use zskip_quant::Sm8;
-use zskip_sim::{Counters, SimError};
-use zskip_soc::ddr::DdrModel;
-use zskip_soc::dma::{DmaError, TILE_BYTES};
+use zskip_sim::SimError;
+use zskip_soc::dma::DmaError;
 use zskip_tensor::{Shape, Tensor, TiledFeatureMap};
 
-/// Which execution backend computes each stripe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BackendKind {
-    /// Transaction-level model: closed-form cycles (fast; default).
-    Model,
-    /// Cycle-exact simulation of all kernels (slow; for validation).
-    Cycle,
-}
+pub use crate::exec::{fm_to_bytes, BackendKind, SocHandle};
+pub use crate::report::{InferenceReport, LayerReport, PassStats};
 
 /// The inference driver.
 #[derive(Debug, Clone)]
@@ -74,125 +57,6 @@ pub struct Driver {
     pub zero_skipping: bool,
     /// Fault plan threaded into the SoC models and the cycle backend.
     fault_plan: Option<SharedFaultPlan>,
-}
-
-/// Statistics of one accelerator pass (pad, conv, or pool).
-#[derive(Debug, Clone, Default)]
-pub struct PassStats {
-    /// Compute cycles of the busiest instance.
-    pub compute_cycles: u64,
-    /// Per-instance compute cycles.
-    pub per_instance_cycles: Vec<u64>,
-    /// IFM + OFM DMA cycles (shared System I bus).
-    pub io_dma_cycles: u64,
-    /// Scratchpad weight preload cycles.
-    pub weight_dma_cycles: u64,
-    /// Wall cycles with the overlap policy:
-    /// `max(compute, io_dma) + weight_dma`.
-    pub total_cycles: u64,
-    /// Number of stripes.
-    pub stripes: usize,
-    /// Ideal-inflating striping factor: fetched input tile rows over the
-    /// un-striped minimum (>= 1).
-    pub striping_factor: f64,
-    /// Merged activity counters.
-    pub counters: Counters,
-}
-
-impl PassStats {
-    fn finish(&mut self) {
-        self.compute_cycles = self.per_instance_cycles.iter().copied().max().unwrap_or(0);
-        self.total_cycles = self.compute_cycles.max(self.io_dma_cycles) + self.weight_dma_cycles;
-    }
-
-    /// Accumulates another pass (e.g. pad + conv of the same layer).
-    pub fn merge(&mut self, other: &PassStats) {
-        self.compute_cycles += other.compute_cycles;
-        self.io_dma_cycles += other.io_dma_cycles;
-        self.weight_dma_cycles += other.weight_dma_cycles;
-        self.total_cycles += other.total_cycles;
-        self.stripes += other.stripes;
-        self.striping_factor = self.striping_factor.max(other.striping_factor);
-        self.counters.merge(&other.counters);
-    }
-}
-
-/// Per-layer inference report.
-#[derive(Debug, Clone)]
-pub struct LayerReport {
-    /// Layer name from the network spec.
-    pub name: String,
-    /// `true` for conv layers (the ones the paper's figures evaluate).
-    pub is_conv: bool,
-    /// Dense MAC count of the layer (pruning does not reduce this; the
-    /// paper's *effective* GOPS divides dense work by elapsed time).
-    pub dense_macs: u64,
-    /// Accelerator statistics (zeroed for host-executed layers).
-    pub stats: PassStats,
-}
-
-impl LayerReport {
-    /// Elapsed seconds at the configured clock.
-    pub fn seconds(&self, config: &AccelConfig) -> f64 {
-        self.stats.total_cycles as f64 * config.cycle_seconds()
-    }
-
-    /// Effective GOPS: dense ops (2 x MACs) over elapsed time.
-    pub fn effective_gops(&self, config: &AccelConfig) -> f64 {
-        let s = self.seconds(config);
-        if s == 0.0 {
-            0.0
-        } else {
-            2.0 * self.dense_macs as f64 / s / 1e9
-        }
-    }
-}
-
-/// Whole-network inference report.
-#[derive(Debug, Clone)]
-pub struct InferenceReport {
-    /// Per-layer reports, in execution order.
-    pub layers: Vec<LayerReport>,
-    /// Final quantized outputs (logits for classifier networks).
-    pub output: Vec<Sm8>,
-    /// Total accelerator cycles across layers.
-    pub total_cycles: u64,
-    /// Total DDR traffic in bytes.
-    pub ddr_bytes: u64,
-}
-
-impl InferenceReport {
-    /// Conv-layer reports only (the population of paper Figs. 7-8).
-    pub fn conv_layers(&self) -> impl Iterator<Item = &LayerReport> {
-        self.layers.iter().filter(|l| l.is_conv)
-    }
-
-    /// Mean effective GOPS across conv layers (paper Fig. 8 "average").
-    pub fn mean_gops(&self, config: &AccelConfig) -> f64 {
-        let v: Vec<f64> = self.conv_layers().map(|l| l.effective_gops(config)).collect();
-        if v.is_empty() {
-            0.0
-        } else {
-            v.iter().sum::<f64>() / v.len() as f64
-        }
-    }
-
-    /// Best conv-layer effective GOPS (paper Fig. 8 "peak").
-    pub fn peak_gops(&self, config: &AccelConfig) -> f64 {
-        self.conv_layers().map(|l| l.effective_gops(config)).fold(0.0, f64::max)
-    }
-
-    /// Mean MAC-array switching activity over the run: actually-issued
-    /// multiplies over peak slots. Feeds the power model's average-power
-    /// estimate (peak power uses activity 1.0).
-    pub fn mean_mac_activity(&self, config: &AccelConfig) -> f64 {
-        let macs: u64 = self.layers.iter().map(|l| l.stats.counters.get("macs")).sum();
-        let cycles: u64 = self.layers.iter().map(|l| l.stats.total_cycles).sum();
-        if cycles == 0 {
-            return 0.0;
-        }
-        (macs as f64 / (cycles as f64 * config.macs_per_cycle() as f64)).min(1.0)
-    }
 }
 
 /// Driver-level failure.
@@ -275,104 +139,6 @@ impl From<DmaError> for DriverError {
     }
 }
 
-/// Serializes a tiled FM into the DDR byte image (channel-major,
-/// row-major tiles, 16 bytes per tile).
-pub fn fm_to_bytes(fm: &TiledFeatureMap<Sm8>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(fm.tile_count() * TILE_BYTES);
-    for t in fm.as_tiles() {
-        for v in t.as_array() {
-            out.push(v.to_bits());
-        }
-    }
-    out
-}
-
-/// One stripe of a pass.
-#[derive(Debug, Clone, Copy)]
-struct Stripe {
-    /// Output tile rows [a, b).
-    out_a: usize,
-    out_b: usize,
-    /// Input tile rows [lo, hi) resident.
-    in_lo: usize,
-    in_hi: usize,
-}
-
-/// Input tile-row range needed for output tile rows `[a, b)`.
-fn input_rows_for(op: Option<PoolPadOp>, a: usize, b: usize, in_rows: usize) -> (usize, usize) {
-    let (lo, hi) = match op {
-        // Convolution on pre-padded input: out row r needs in rows r..r+2.
-        None => (a, b + 1),
-        Some(PoolPadOp::MaxPool { k, stride }) => {
-            let (k, s) = (k as usize, stride as usize);
-            (a * s, ((4 * b - 1) * s + k - 1) / 4 + 1)
-        }
-        Some(PoolPadOp::Pad { amount }) => {
-            let p = amount as usize;
-            ((4 * a).saturating_sub(p) / 4, (4 * b).saturating_sub(p).div_ceil(4).max(1))
-        }
-    };
-    (lo.min(in_rows), hi.min(in_rows).max(lo.min(in_rows)))
-}
-
-/// Plans stripes so input + output words fit the banks.
-fn plan_stripes(
-    layer: &str,
-    op: Option<PoolPadOp>,
-    out_rows: usize,
-    in_rows: usize,
-    words_in_per_row: usize,
-    words_out_per_row: usize,
-    bank_tiles: usize,
-) -> Result<Vec<Stripe>, DriverError> {
-    let fits = |a: usize, ro: usize| {
-        let (lo, hi) = input_rows_for(op, a, a + ro, in_rows);
-        (hi - lo) * words_in_per_row + ro * words_out_per_row <= bank_tiles
-    };
-    let mut stripes = Vec::new();
-    let mut a = 0;
-    while a < out_rows {
-        let mut ro = out_rows - a;
-        while ro > 1 && !fits(a, ro) {
-            ro -= 1;
-        }
-        if !fits(a, ro) {
-            let (lo, hi) = input_rows_for(op, a, a + 1, in_rows);
-            return Err(DriverError::LayerTooLarge {
-                layer: layer.to_string(),
-                needed: (hi - lo) * words_in_per_row + words_out_per_row,
-                capacity: bank_tiles,
-            });
-        }
-        let (in_lo, in_hi) = input_rows_for(op, a, a + ro, in_rows);
-        stripes.push(Stripe { out_a: a, out_b: a + ro, in_lo, in_hi });
-        a += ro;
-    }
-    Ok(stripes)
-}
-
-/// Mutable SoC context threaded through a network run.
-struct Soc {
-    ddr: DdrModel,
-    dma: zskip_soc::dma::DmaController,
-}
-
-impl Soc {
-    fn new(fault_plan: Option<SharedFaultPlan>) -> Soc {
-        // 1 GiB DDR4 region, default System I timing.
-        let mut dma = zskip_soc::dma::DmaController::new();
-        if let Some(plan) = fault_plan {
-            dma.set_fault_plan(plan);
-        }
-        Soc { ddr: DdrModel::new(1 << 30), dma }
-    }
-}
-
-/// DDR staging area for activations: ping-pong between two regions.
-const DDR_FM_A: usize = 0;
-const DDR_FM_B: usize = 256 << 20;
-const DDR_WEIGHTS: usize = 512 << 20;
-
 /// Validating builder for [`Driver`]. This is the preferred construction
 /// path: it rejects degenerate configurations up front instead of letting
 /// them surface as panics deep in a pass.
@@ -384,7 +150,7 @@ const DDR_WEIGHTS: usize = 512 << 20;
 ///     &AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 4096 },
 ///     100.0,
 /// );
-/// let driver = Driver::builder(config).backend(BackendKind::Model).build().unwrap();
+/// let driver = Driver::builder(config).backend(BackendKind::Cpu).build().unwrap();
 /// assert!(driver.functional);
 /// ```
 #[derive(Debug, Clone)]
@@ -448,8 +214,9 @@ impl DriverBuilder {
     /// # Errors
     /// [`DriverError::InvalidConfig`] when a structural parameter is zero,
     /// when `units != lanes` on the cycle backend (accumulator lanes map
-    /// 1:1 onto write units), or when stats-only mode is requested on the
-    /// cycle backend (its arithmetic cannot be turned off).
+    /// 1:1 onto write units), or when stats-only mode is requested off the
+    /// model backend (the cycle simulation cannot switch its arithmetic
+    /// off, and the CPU backend *is* the arithmetic).
     pub fn build(self) -> Result<Driver, DriverError> {
         let c = &self.config;
         for (name, v) in [
@@ -469,7 +236,7 @@ impl DriverBuilder {
                 c.units, c.lanes
             )));
         }
-        if self.backend == BackendKind::Cycle && !self.functional {
+        if self.backend != BackendKind::Model && !self.functional {
             return Err(DriverError::InvalidConfig(
                 "stats-only mode requires the model backend".into(),
             ));
@@ -486,32 +253,26 @@ impl DriverBuilder {
 }
 
 impl Driver {
-    /// Creates a driver. Thin shim kept for existing callers; prefer
-    /// [`Driver::builder`], which validates the configuration and can
-    /// attach a fault plan.
+    /// Creates a driver with the default flags. Routes through
+    /// [`Driver::builder`] so validation lives in exactly one place;
+    /// prefer the builder directly when the configuration is not known
+    /// to be valid, or to attach a fault plan.
+    ///
+    /// # Panics
+    /// On an invalid configuration (see [`DriverBuilder::build`]).
     pub fn new(config: AccelConfig, backend: BackendKind) -> Driver {
-        Driver {
-            config,
-            backend,
-            filter_grouping: false,
-            functional: true,
-            zero_skipping: true,
-            fault_plan: None,
-        }
+        Driver::builder(config).backend(backend).build().expect("invalid driver configuration")
     }
 
     /// A driver that reports throughput only (no arithmetic): used for
-    /// full-network sweeps where outputs are not inspected. Thin shim;
-    /// prefer `Driver::builder(config).functional(false).build()`.
+    /// full-network sweeps where outputs are not inspected. Routes
+    /// through [`Driver::builder`]; prefer
+    /// `Driver::builder(config).functional(false).build()`.
+    ///
+    /// # Panics
+    /// On an invalid configuration (see [`DriverBuilder::build`]).
     pub fn stats_only(config: AccelConfig) -> Driver {
-        Driver {
-            config,
-            backend: BackendKind::Model,
-            filter_grouping: false,
-            functional: false,
-            zero_skipping: true,
-            fault_plan: None,
-        }
+        Driver::builder(config).functional(false).build().expect("invalid driver configuration")
     }
 
     /// Starts a validating [`DriverBuilder`] for this configuration.
@@ -522,6 +283,11 @@ impl Driver {
     /// Attaches (or replaces) the fault plan after construction.
     pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
         self.fault_plan = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub(crate) fn fault_plan(&self) -> Option<&SharedFaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Runs full network inference on the simulated SoC.
@@ -541,10 +307,10 @@ impl Driver {
     }
 
     /// [`Driver::run_network`] reusing a caller-owned [`Scratch`] for the
-    /// host-side buffers (input quantization, FC ping-pong). The batch
-    /// engine keeps one arena per worker thread so streaming inference
-    /// stops re-allocating those buffers per image; the conv path still
-    /// runs through the simulated SoC's own tiled storage.
+    /// host-side buffers (input quantization, FC ping-pong) and — on the
+    /// CPU backend — the per-pass compute buffers. The batch engine keeps
+    /// one arena per worker thread so streaming inference stops
+    /// re-allocating those buffers per image.
     ///
     /// # Errors
     /// Same as [`Driver::run_network`].
@@ -554,10 +320,13 @@ impl Driver {
         input: &Tensor<f32>,
         scratch: &mut Scratch,
     ) -> Result<InferenceReport, DriverError> {
-        let mut soc = Soc::new(self.fault_plan.clone());
-        let (act_q, flat_a, flat_b) = scratch.host_buffers();
-        input.map_into(act_q, |v| qnet.input_params.quantize(v));
-        let mut fm = TiledFeatureMap::from_tensor(act_q);
+        let mut soc = SocHandle::with_plan(self.fault_plan.clone());
+        let backend = exec::backend(self.backend);
+        let mut fm = {
+            let (act_q, _, _) = scratch.host_buffers();
+            input.map_into(act_q, |v| qnet.input_params.quantize(v));
+            TiledFeatureMap::from_tensor(act_q)
+        };
         let mut layers = Vec::new();
         let mut conv_i = 0;
         let mut fc_i = 0;
@@ -586,22 +355,25 @@ impl Driver {
                     let mut src = fm;
                     // Explicit pad pass (hardware pad instruction).
                     if *pad > 0 {
-                        let (padded, pad_stats) = self.run_poolpad_pass(
+                        let s = src.logical_shape();
+                        let (padded, pad_stats) = backend.poolpad_pass(
+                            &mut PassCtx { driver: self, soc: &mut soc, scratch: &mut *scratch },
                             &format!("{name}/pad"),
                             &src,
                             PoolPadOp::Pad { amount: *pad as u8 },
-                            Shape::new(
-                                src.logical_shape().c,
-                                src.logical_shape().h + 2 * pad,
-                                src.logical_shape().w + 2 * pad,
-                            ),
-                            &mut soc,
+                            Shape::new(s.c, s.h + 2 * pad, s.w + 2 * pad),
                         )?;
                         stats.merge(&pad_stats);
                         src = padded;
                     }
                     let out_shape = shapes[li + 1];
-                    let (out, conv_stats) = self.run_conv_pass(name, &src, qw, out_shape, &mut soc)?;
+                    let (out, conv_stats) = backend.conv_pass(
+                        &mut PassCtx { driver: self, soc: &mut soc, scratch: &mut *scratch },
+                        name,
+                        &src,
+                        qw,
+                        out_shape,
+                    )?;
                     stats.merge(&conv_stats);
                     layers.push(LayerReport {
                         name: name.clone(),
@@ -610,25 +382,28 @@ impl Driver {
                         stats,
                     });
                     fm = out;
+                    let (act_q, _, _) = scratch.host_buffers();
                     *act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
                     conv_i += 1;
                 }
                 LayerSpec::MaxPool { name, k, stride } => {
                     let out_shape = shapes[li + 1];
-                    let (out, stats) = self.run_poolpad_pass(
+                    let (out, stats) = backend.poolpad_pass(
+                        &mut PassCtx { driver: self, soc: &mut soc, scratch: &mut *scratch },
                         name,
                         &fm,
                         PoolPadOp::MaxPool { k: *k as u8, stride: *stride as u8 },
                         out_shape,
-                        &mut soc,
                     )?;
                     layers.push(LayerReport { name: name.clone(), is_conv: false, dense_macs: 0, stats });
                     fm = out;
+                    let (act_q, _, _) = scratch.host_buffers();
                     *act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
                 }
                 LayerSpec::Fc { name, .. } => {
                     // Host-side (ARM) execution, as in the paper; the arena's
                     // FC buffers alternate so nothing is copied or allocated.
+                    let (act_q, flat_a, flat_b) = scratch.host_buffers();
                     flat = Some(match flat {
                         None => {
                             fc_quant_into(act_q.as_slice(), &qnet.fc[fc_i], flat_a);
@@ -658,393 +433,18 @@ impl Driver {
             }
         }
 
+        let (act_q, flat_a, flat_b) = scratch.host_buffers();
         let output = match flat {
             None => act_q.as_slice().to_vec(),
             Some(false) => flat_a.clone(),
             Some(true) => flat_b.clone(),
         };
         let total_cycles = layers.iter().map(|l| l.stats.total_cycles).sum();
-        let ddr_bytes = soc.ddr.bytes_read() + soc.ddr.bytes_written();
-        Ok(InferenceReport { layers, output, total_cycles, ddr_bytes })
+        Ok(InferenceReport { layers, output, total_cycles, ddr_bytes: soc.ddr_bytes() })
     }
 
-    /// Runs one convolution pass (input already padded; stride 1).
-    fn run_conv_pass(
-        &self,
-        name: &str,
-        input: &TiledFeatureMap<Sm8>,
-        qw: &QuantConvWeights,
-        out_shape: Shape,
-        soc: &mut Soc,
-    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        // Optional future-work filter grouping: reorder output channels by
-        // non-zero count so lockstep lanes balance; un-permuted on output.
-        let grouping = if self.filter_grouping {
-            let nnz: Vec<usize> = (0..qw.out_c).map(|o| qw.output_filter_nnz(o)).collect();
-            Some(FilterGrouping::by_nnz(&nnz, self.config.lanes))
-        } else {
-            None
-        };
-        let permuted;
-        let qw = if let Some(g) = &grouping {
-            permuted = permute_filters(qw, &g.order);
-            &permuted
-        } else {
-            qw
-        };
-
-        let in_rows = input.tiles_y();
-        let out = TiledFeatureMap::<Sm8>::zeros(out_shape);
-        let out_rows = out.tiles_y();
-        let words_in = input.channels().div_ceil(4) * input.tiles_x();
-        let words_out = out_shape.c.div_ceil(4) * out.tiles_x();
-        let stripes = plan_stripes(name, None, out_rows, in_rows, words_in, words_out, self.config.bank_tiles)?;
-
-        // Stage activations and packed weights in DDR.
-        let in_bytes = fm_to_bytes(input);
-        soc.ddr.write_block(DDR_FM_A, &in_bytes);
-        let groups: Vec<GroupWeights> = (0..qw.out_c.div_ceil(self.config.lanes))
-            .map(|g| {
-                GroupWeights::from_filters_with_skipping(
-                    qw,
-                    g * self.config.lanes,
-                    self.config.lanes,
-                    self.zero_skipping,
-                )
-            })
-            .collect();
-        let mut group_offsets = Vec::with_capacity(groups.len());
-        {
-            let mut w_all = Vec::new();
-            for g in &groups {
-                group_offsets.push(w_all.len());
-                w_all.extend_from_slice(&g.to_bytes());
-            }
-            soc.ddr.write_block(DDR_WEIGHTS, &w_all);
-        }
-
-        let mut stats = PassStats {
-            per_instance_cycles: vec![0; self.config.instances],
-            stripes: stripes.len(),
-            striping_factor: stripes.iter().map(|s| s.in_hi - s.in_lo).sum::<usize>() as f64
-                / in_rows.max(1) as f64,
-            ..Default::default()
-        };
-        let mut out_fm = out;
-
-        // Work distribution across instances: multi-stripe layers give each
-        // instance separate stripes (the paper's "each instance operates
-        // concurrently on separate stripes of FMs"); single-stripe layers
-        // (deep, small-FM) instead replicate the IFM stripe into both
-        // instances' banks and split the OFM groups between them.
-        let split_groups = stripes.len() < self.config.instances && self.config.instances > 1;
-
-        for (si, stripe) in stripes.iter().enumerate() {
-            let in_layout = FmLayout {
-                base: 0,
-                channels: input.channels(),
-                tiles_x: input.tiles_x(),
-                tile_rows: stripe.in_hi - stripe.in_lo,
-            };
-            let out_layout = FmLayout {
-                base: in_layout.end(),
-                channels: out_shape.c,
-                tiles_x: out_fm.tiles_x(),
-                tile_rows: stripe.out_b - stripe.out_a,
-            };
-
-            let parts = if split_groups { self.config.instances } else { 1 };
-            let chunk = groups.len().div_ceil(parts);
-            for part in 0..parts {
-                let instance = if split_groups { part } else { si % self.config.instances };
-                let group_range = (part * chunk)..((part + 1) * chunk).min(groups.len());
-                if group_range.is_empty() {
-                    continue;
-                }
-                let mut banks = BankSet::new(&self.config);
-
-                // DMA in: one descriptor per channel (replicated per part
-                // when groups are split — both instances need the IFMs).
-                stats.io_dma_cycles += self.dma_fm_stripe(
-                    soc,
-                    DDR_FM_A,
-                    input,
-                    stripe.in_lo..stripe.in_hi,
-                    &in_layout,
-                    &mut banks,
-                    true,
-                )?;
-
-                // Per-group: weight preload + conv instruction.
-                let mut scratchpad = Vec::new();
-                let mut instrs = Vec::new();
-                for gi in group_range {
-                    let g = &groups[gi];
-                    let bytes = g.total_bytes();
-                    let (_, wcycles) = soc.ddr.read_block(DDR_WEIGHTS + group_offsets[gi], bytes);
-                    stats.weight_dma_cycles += wcycles;
-                    let ofm_first = gi * self.config.lanes;
-                    let wgt_base = scratchpad.len() as u32;
-                    scratchpad.extend_from_slice(&g.to_bytes());
-                    let active = self.config.lanes.min(qw.out_c - ofm_first);
-                    let mut bias = [0i32; 4];
-                    for (lane, b) in bias.iter_mut().enumerate().take(active) {
-                        *b = qw.bias_acc[ofm_first + lane].clamp(i32::MIN as i64, i32::MAX as i64) as i32;
-                    }
-                    instrs.push(Instruction::Conv(ConvInstr {
-                        ofm_first: ofm_first as u16,
-                        ifm_count: qw.in_c as u16,
-                        ifm_base: 0,
-                        ifm_tiles_x: in_layout.tiles_x as u16,
-                        ifm_tile_rows: in_layout.tile_rows as u16,
-                        ifm_row_offset: (stripe.out_a - stripe.in_lo) as u16,
-                        ofm_base: out_layout.base as u32,
-                        ofm_tiles_x: out_layout.tiles_x as u16,
-                        ofm_tile_rows: out_layout.tile_rows as u16,
-                        wgt_base,
-                        bias,
-                        requant_mult: qw.requant.mult as u16,
-                        requant_shift: qw.requant.shift as u8,
-                        relu: qw.relu,
-                        active_lanes: active as u8,
-                    }));
-                }
-
-                let (cycles, result_banks) = self.execute(banks, scratchpad, &instrs, &mut stats.counters)?;
-                stats.per_instance_cycles[instance] += cycles;
-                let mut banks = result_banks;
-
-                // DMA out this part's OFM channels.
-                out_layout.load_channels(
-                    &banks,
-                    &mut out_fm,
-                    stripe.out_a..stripe.out_b,
-                    (part * chunk * self.config.lanes)..(((part + 1) * chunk * self.config.lanes).min(out_shape.c)),
-                );
-                stats.io_dma_cycles += self.dma_fm_stripe(
-                    soc,
-                    DDR_FM_B,
-                    &out_fm,
-                    stripe.out_a..stripe.out_b,
-                    &out_layout,
-                    &mut banks,
-                    false,
-                )?;
-            }
-        }
-
-        stats.finish();
-        // Tile-aligned compute fills whole tiles; cells beyond the logical
-        // extent are don't-cares that downstream boundary windows must
-        // read as zero.
-        out_fm.zero_round_up_region();
-        // Undo the grouping permutation so downstream layers see model
-        // channel order (host-side relabeling; free at DMA time).
-        if let Some(g) = &grouping {
-            out_fm = unpermute_channels(&out_fm, &g.order);
-        }
-        Ok((out_fm, stats))
-    }
-
-    /// Runs one pad or pool pass.
-    fn run_poolpad_pass(
-        &self,
-        name: &str,
-        input: &TiledFeatureMap<Sm8>,
-        op: PoolPadOp,
-        out_shape: Shape,
-        soc: &mut Soc,
-    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        let in_rows = input.tiles_y();
-        let mut out_fm = TiledFeatureMap::<Sm8>::zeros(out_shape);
-        let out_rows = out_fm.tiles_y();
-        let channels = input.channels();
-        let words_in = channels.div_ceil(4) * input.tiles_x();
-        let words_out = channels.div_ceil(4) * out_fm.tiles_x();
-        let stripes =
-            plan_stripes(name, Some(op), out_rows, in_rows, words_in, words_out, self.config.bank_tiles)?;
-
-        let in_bytes = fm_to_bytes(input);
-        soc.ddr.write_block(DDR_FM_A, &in_bytes);
-
-        let mut stats = PassStats {
-            per_instance_cycles: vec![0; self.config.instances],
-            stripes: stripes.len(),
-            striping_factor: stripes.iter().map(|s| s.in_hi - s.in_lo).sum::<usize>() as f64
-                / in_rows.max(1) as f64,
-            ..Default::default()
-        };
-
-        for (si, stripe) in stripes.iter().enumerate() {
-            let instance = si % self.config.instances;
-            let mut banks = BankSet::new(&self.config);
-            let in_layout = FmLayout {
-                base: 0,
-                channels,
-                tiles_x: input.tiles_x(),
-                tile_rows: stripe.in_hi - stripe.in_lo,
-            };
-            let out_layout = FmLayout {
-                base: in_layout.end(),
-                channels,
-                tiles_x: out_fm.tiles_x(),
-                tile_rows: stripe.out_b - stripe.out_a,
-            };
-            stats.io_dma_cycles += self
-                .dma_fm_stripe(soc, DDR_FM_A, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true)?;
-
-            let instr = Instruction::PoolPad(PoolPadInstr {
-                channels: channels as u16,
-                in_base: 0,
-                in_tiles_x: in_layout.tiles_x as u16,
-                in_tile_rows: in_layout.tile_rows as u16,
-                in_row_start: stripe.in_lo as u16,
-                out_base: out_layout.base as u32,
-                out_tiles_x: out_layout.tiles_x as u16,
-                out_tile_rows: out_layout.tile_rows as u16,
-                out_row_start: stripe.out_a as u16,
-                op,
-            });
-            let (cycles, result_banks) = self.execute(banks, Vec::new(), &[instr], &mut stats.counters)?;
-            stats.per_instance_cycles[instance] += cycles;
-            let mut banks = result_banks;
-            out_layout.load(&banks, &mut out_fm, stripe.out_a..stripe.out_b);
-            stats.io_dma_cycles += self
-                .dma_fm_stripe(soc, DDR_FM_B, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false)?;
-        }
-        stats.finish();
-        out_fm.zero_round_up_region();
-        Ok((out_fm, stats))
-    }
-
-    /// Executes an instruction batch on the configured backend.
-    fn execute(
-        &self,
-        mut banks: BankSet,
-        scratchpad: Vec<u8>,
-        instrs: &[Instruction],
-        counters: &mut Counters,
-    ) -> Result<(u64, BankSet), DriverError> {
-        match self.backend {
-            BackendKind::Model => {
-                let outcome = model::run_instructions_with_mode(
-                    &self.config,
-                    &mut banks,
-                    &scratchpad,
-                    instrs,
-                    counters,
-                    self.functional,
-                );
-                Ok((outcome.cycles, banks))
-            }
-            BackendKind::Cycle => {
-                let outcome = match &self.fault_plan {
-                    Some(plan) => cycle::run_instructions_with_faults(
-                        &self.config,
-                        banks,
-                        scratchpad,
-                        instrs,
-                        u64::MAX,
-                        plan.clone(),
-                    ),
-                    None => cycle::run_instructions(&self.config, banks, scratchpad, instrs, u64::MAX),
-                }
-                .map_err(DriverError::Sim)?;
-                counters.merge(&outcome.counters);
-                Ok((outcome.cycles, outcome.banks))
-            }
-        }
-    }
-
-    /// Moves one FM stripe between DDR and banks via the DMA engine,
-    /// returning the cycle cost. `to_banks` selects the direction.
-    ///
-    /// # Errors
-    /// [`DriverError::Dma`]: with a well-planned stripe this only happens
-    /// under injected faults (truncation, parity).
-    #[allow(clippy::too_many_arguments)]
-    fn dma_fm_stripe(
-        &self,
-        soc: &mut Soc,
-        ddr_base: usize,
-        fm: &TiledFeatureMap<Sm8>,
-        rows: std::ops::Range<usize>,
-        layout: &FmLayout,
-        banks: &mut BankSet,
-        to_banks: bool,
-    ) -> Result<u64, DriverError> {
-        use zskip_soc::dma::{DmaDescriptor, DmaDirection};
-        let mut cycles = 0;
-        let tiles_per_row = fm.tiles_x();
-        let rows_per_channel = fm.tiles_y();
-        for c in 0..fm.channels() {
-            let ddr_addr = ddr_base + (c * rows_per_channel + rows.start) * tiles_per_row * TILE_BYTES;
-            let desc = DmaDescriptor {
-                direction: if to_banks { DmaDirection::DdrToBank } else { DmaDirection::BankToDdr },
-                ddr_addr,
-                bank: FmLayout::bank_of(c),
-                bank_tile_index: layout.addr(c, 0, 0),
-                tiles: rows.len() * tiles_per_row,
-            };
-            cycles += soc.dma.run(&desc, &mut soc.ddr, banks).map_err(DriverError::Dma)?;
-        }
-        Ok(cycles)
-    }
-}
-
-/// Reorders a layer's output filters (weights + bias) by `order`.
-fn permute_filters(qw: &QuantConvWeights, order: &[usize]) -> QuantConvWeights {
-    let kk = qw.k * qw.k;
-    let per_filter = qw.in_c * kk;
-    let mut w = Vec::with_capacity(qw.w.len());
-    let mut bias = Vec::with_capacity(qw.bias_acc.len());
-    for &o in order {
-        w.extend_from_slice(&qw.w[o * per_filter..(o + 1) * per_filter]);
-        bias.push(qw.bias_acc[o]);
-    }
-    QuantConvWeights::new(qw.out_c, qw.in_c, qw.k, w, bias, qw.requant, qw.relu)
-}
-
-/// Un-permutes channels of an FM produced under a filter grouping.
-fn unpermute_channels(fm: &TiledFeatureMap<Sm8>, order: &[usize]) -> TiledFeatureMap<Sm8> {
-    let mut out = TiledFeatureMap::zeros(fm.logical_shape());
-    for (pos, &orig) in order.iter().enumerate() {
-        for ty in 0..fm.tiles_y() {
-            for tx in 0..fm.tiles_x() {
-                *out.tile_mut(orig, ty, tx) = *fm.tile(pos, ty, tx);
-            }
-        }
-    }
-    out
-}
-
-// `Soc` must be nameable by callers of the public pass runners.
-pub use self::soc_public::SocHandle;
-mod soc_public {
-    /// Opaque SoC handle for single-pass benchmarking entry points.
-    pub struct SocHandle(pub(super) super::Soc);
-
-    impl SocHandle {
-        /// Creates a fresh SoC context (1 GiB DDR, default timing).
-        pub fn new() -> SocHandle {
-            SocHandle(super::Soc::new(None))
-        }
-
-        /// A SoC context with a fault plan attached to its DMA engine.
-        pub fn with_faults(plan: zskip_fault::SharedFaultPlan) -> SocHandle {
-            SocHandle(super::Soc::new(Some(plan)))
-        }
-    }
-
-    impl Default for SocHandle {
-        fn default() -> Self {
-            Self::new()
-        }
-    }
-}
-
-impl Driver {
-    /// Single-layer conv entry point for benches/ablations.
+    /// Single-layer conv entry point for benches/ablations, on this
+    /// driver's backend.
     ///
     /// # Errors
     /// See [`Driver::run_network`].
@@ -1056,10 +456,18 @@ impl Driver {
         out_shape: Shape,
         soc: &mut SocHandle,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        self.run_conv_pass(name, input, qw, out_shape, &mut soc.0)
+        let mut scratch = Scratch::new();
+        exec::backend(self.backend).conv_pass(
+            &mut PassCtx { driver: self, soc, scratch: &mut scratch },
+            name,
+            input,
+            qw,
+            out_shape,
+        )
     }
 
-    /// Single-layer pool/pad entry point for benches/ablations.
+    /// Single-layer pool/pad entry point for benches/ablations, on this
+    /// driver's backend.
     ///
     /// # Errors
     /// See [`Driver::run_network`].
@@ -1071,44 +479,22 @@ impl Driver {
         out_shape: Shape,
         soc: &mut SocHandle,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        self.run_poolpad_pass(name, input, op, out_shape, &mut soc.0)
+        let mut scratch = Scratch::new();
+        exec::backend(self.backend).poolpad_pass(
+            &mut PassCtx { driver: self, soc, scratch: &mut scratch },
+            name,
+            input,
+            op,
+            out_shape,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::Error;
     use zskip_hls::AccelArch;
-    use zskip_nn::eval::synthetic_inputs;
-    use zskip_nn::layer::{conv3x3, maxpool2x2, NetworkSpec};
-    use zskip_nn::model::{Network, SyntheticModelConfig};
-    use zskip_quant::DensityProfile;
-
-    fn tiny_spec() -> NetworkSpec {
-        NetworkSpec {
-            name: "tiny".into(),
-            input: Shape::new(3, 12, 12),
-            layers: vec![
-                conv3x3("c1", 3, 6),
-                maxpool2x2("p1"),
-                conv3x3("c2", 6, 9),
-                maxpool2x2("p2"),
-                LayerSpec::Fc { name: "fc".into(), in_features: 9 * 3 * 3, out_features: 5, relu: false },
-            ],
-        }
-    }
-
-    fn quantized(density: f64, seed: u64) -> (QuantizedNetwork, Tensor<f32>) {
-        let spec = tiny_spec();
-        let net = Network::synthetic(
-            spec.clone(),
-            &SyntheticModelConfig { seed, density: DensityProfile::uniform(2, density) },
-        );
-        let calib = synthetic_inputs(seed ^ 1, 2, spec.input);
-        let qnet = net.quantize(&calib);
-        let input = synthetic_inputs(seed ^ 2, 1, spec.input).pop().expect("one input");
-        (qnet, input)
-    }
 
     fn config(bank_tiles: usize, instances: usize) -> AccelConfig {
         AccelConfig::from_arch(
@@ -1118,122 +504,62 @@ mod tests {
     }
 
     #[test]
-    fn model_backend_matches_software_reference_bit_exact() {
-        let (qnet, input) = quantized(0.6, 11);
-        let driver = Driver::new(config(4096, 1), BackendKind::Model);
-        let report = driver.run_network(&qnet, &input).expect("network runs");
-        assert_eq!(report.output, qnet.forward_quant(&input));
-        assert!(report.total_cycles > 0);
-        assert!(report.ddr_bytes > 0);
-        assert_eq!(report.conv_layers().count(), 2);
-    }
-
-    #[test]
-    fn cycle_backend_matches_software_reference_bit_exact() {
-        let (qnet, input) = quantized(0.5, 22);
-        let driver = Driver::new(config(4096, 1), BackendKind::Cycle);
-        let report = driver.run_network(&qnet, &input).expect("network runs");
-        assert_eq!(report.output, qnet.forward_quant(&input));
-    }
-
-    #[test]
-    fn model_and_cycle_backends_agree_on_cycles_within_tolerance() {
-        let (qnet, input) = quantized(0.4, 33);
-        let model = Driver::new(config(4096, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
-        let cycle = Driver::new(config(4096, 1), BackendKind::Cycle).run_network(&qnet, &input).unwrap();
-        assert_eq!(model.output, cycle.output, "functional equality");
-        let diff = model.total_cycles.abs_diff(cycle.total_cycles) as f64;
-        assert!(
-            diff <= 0.03 * cycle.total_cycles as f64 + 400.0,
-            "model {} vs cycle {}",
-            model.total_cycles,
-            cycle.total_cycles
-        );
-    }
-
-    #[test]
-    fn striping_preserves_results() {
-        let (qnet, input) = quantized(0.7, 44);
-        // Tiny banks: forces multiple stripes per layer.
-        let striped = Driver::new(config(20, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
-        assert_eq!(striped.output, qnet.forward_quant(&input));
-        let roomy = Driver::new(config(8192, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
-        let stripes_tight: usize = striped.layers.iter().map(|l| l.stats.stripes).sum();
-        let stripes_roomy: usize = roomy.layers.iter().map(|l| l.stats.stripes).sum();
-        assert!(stripes_tight > stripes_roomy, "{stripes_tight} vs {stripes_roomy}");
-        // Halo re-fetch shows up as striping factor > 1 on conv layers.
-        assert!(striped.conv_layers().any(|l| l.stats.striping_factor > 1.01));
-    }
-
-    #[test]
-    fn two_instances_cut_compute_on_striped_layers() {
-        let (qnet, input) = quantized(1.0, 55);
-        let one = Driver::new(config(20, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
-        let two = Driver::new(config(20, 2), BackendKind::Model).run_network(&qnet, &input).unwrap();
-        assert_eq!(two.output, qnet.forward_quant(&input));
-        let c1: u64 = one.conv_layers().map(|l| l.stats.compute_cycles).sum();
-        let c2: u64 = two.conv_layers().map(|l| l.stats.compute_cycles).sum();
-        assert!(c2 < c1, "scale-out must reduce busiest-instance compute: {c2} vs {c1}");
-    }
-
-    #[test]
-    fn filter_grouping_keeps_results_and_not_slower() {
-        let (qnet, input) = quantized(0.3, 66);
-        let mut plain = Driver::new(config(4096, 1), BackendKind::Model);
-        plain.filter_grouping = false;
-        let mut grouped = plain.clone();
-        grouped.filter_grouping = true;
-        let a = plain.run_network(&qnet, &input).unwrap();
-        let b = grouped.run_network(&qnet, &input).unwrap();
-        assert_eq!(a.output, b.output, "grouping must not change results");
-        let ca: u64 = a.conv_layers().map(|l| l.stats.compute_cycles).sum();
-        let cb: u64 = b.conv_layers().map(|l| l.stats.compute_cycles).sum();
-        assert!(cb <= ca + ca / 50, "grouping should not slow down: {cb} vs {ca}");
-    }
-
-    #[test]
-    fn pruned_network_runs_faster_than_dense() {
-        let (dense, input) = quantized(1.0, 77);
-        let (pruned, _) = quantized(0.3, 77);
-        let driver = Driver::new(config(4096, 1), BackendKind::Model);
-        let d = driver.run_network(&dense, &input).unwrap();
-        let p = driver.run_network(&pruned, &input).unwrap();
-        let cd: u64 = d.conv_layers().map(|l| l.stats.compute_cycles).sum();
-        let cp: u64 = p.conv_layers().map(|l| l.stats.compute_cycles).sum();
-        assert!(cp < cd, "zero-skipping must help: pruned {cp} vs dense {cd}");
-    }
-
-    #[test]
-    fn layer_too_large_is_reported() {
-        let (qnet, input) = quantized(1.0, 88);
-        let err = Driver::new(config(8, 1), BackendKind::Model).run_network(&qnet, &input).unwrap_err();
-        match err {
-            DriverError::LayerTooLarge { needed, capacity, .. } => {
-                assert!(needed > capacity);
-            }
-            other => panic!("expected LayerTooLarge, got {other:?}"),
-        }
-    }
-
-    #[test]
     fn builder_validates_configuration() {
         let err = Driver::builder(config(0, 1)).build().unwrap_err();
         assert_eq!(err, DriverError::InvalidConfig("bank_tiles must be nonzero".into()));
+        assert_eq!(Error::from(err).code(), "config.invalid");
 
         let mut cfg = config(4096, 1);
         cfg.lanes = 2; // units stays 4: illegal on the cycle backend.
         let err = Driver::builder(cfg).backend(BackendKind::Cycle).build().unwrap_err();
         assert!(matches!(err, DriverError::InvalidConfig(ref r) if r.contains("units == lanes")));
-        // The same geometry is fine on the model backend.
+        assert_eq!(Error::from(err).code(), "config.invalid");
+        // The same geometry is fine on the model and CPU backends.
         assert!(Driver::builder(cfg).build().is_ok());
+        assert!(Driver::builder(cfg).backend(BackendKind::Cpu).build().is_ok());
 
-        let err =
-            Driver::builder(config(4096, 1)).backend(BackendKind::Cycle).functional(false).build().unwrap_err();
-        assert!(matches!(err, DriverError::InvalidConfig(ref r) if r.contains("stats-only")));
+        // Stats-only mode exists only on the model backend: the cycle
+        // simulation cannot switch its arithmetic off, and the CPU
+        // backend is the arithmetic.
+        for backend in [BackendKind::Cycle, BackendKind::Cpu] {
+            let err = Driver::builder(config(4096, 1)).backend(backend).functional(false).build().unwrap_err();
+            assert!(matches!(err, DriverError::InvalidConfig(ref r) if r.contains("stats-only")));
+            assert_eq!(Error::from(err).code(), "config.invalid");
+        }
     }
 
     #[test]
-    fn builder_matches_legacy_constructors() {
+    fn every_zero_parameter_is_named_in_its_error() {
+        for (field, cfg) in [
+            ("units", {
+                let mut c = config(4096, 1);
+                c.units = 0;
+                c
+            }),
+            ("lanes", {
+                let mut c = config(4096, 1);
+                c.lanes = 0;
+                c
+            }),
+            ("instances", config(4096, 0)),
+            ("bank_tiles", config(0, 1)),
+            ("fifo_depth", {
+                let mut c = config(4096, 1);
+                c.fifo_depth = 0;
+                c
+            }),
+        ] {
+            let err = Driver::builder(cfg).build().unwrap_err();
+            assert!(
+                matches!(err, DriverError::InvalidConfig(ref r) if r.contains(field)),
+                "{field}: got {err:?}"
+            );
+            assert_eq!(Error::from(err).code(), "config.invalid");
+        }
+    }
+
+    #[test]
+    fn legacy_constructors_route_through_the_builder() {
         let built = Driver::builder(config(4096, 1)).backend(BackendKind::Cycle).build().unwrap();
         let legacy = Driver::new(config(4096, 1), BackendKind::Cycle);
         assert_eq!(built.backend, legacy.backend);
@@ -1245,98 +571,10 @@ mod tests {
     }
 
     #[test]
-    fn injected_dma_truncation_surfaces_as_structured_error() {
-        use zskip_fault::{FaultKind, FaultPlan};
-        let (qnet, input) = quantized(0.6, 11);
-        let plan = FaultPlan::new().inject("dma:xfer", 2, FaultKind::DmaTruncate { tiles: 1 }).shared();
-        let driver =
-            Driver::builder(config(4096, 1)).fault_plan(plan.clone()).build().expect("valid config");
-        let err = driver.run_network(&qnet, &input).unwrap_err();
-        assert!(
-            matches!(err, DriverError::Dma(DmaError::Truncated { .. })),
-            "expected truncation, got {err:?}"
-        );
-        assert_eq!(plan.lock().unwrap().fired().len(), 1, "exactly one fault fired");
-    }
-
-    #[test]
-    fn gops_reporting_is_consistent() {
-        let (qnet, input) = quantized(1.0, 99);
-        let cfg = config(4096, 1);
-        let report = Driver::new(cfg, BackendKind::Model).run_network(&qnet, &input).unwrap();
-        let mean = report.mean_gops(&cfg);
-        let peak = report.peak_gops(&cfg);
-        assert!(peak >= mean && mean > 0.0, "peak {peak} mean {mean}");
-        // Effective GOPS can never exceed peak arithmetic throughput for a
-        // dense (unpruned) network.
-        assert!(peak <= cfg.peak_gops() * 1.001, "peak {peak} vs hw {}", cfg.peak_gops());
-    }
-}
-
-#[cfg(test)]
-mod stripe_math_tests {
-    use super::*;
-
-    #[test]
-    fn conv_needs_one_halo_row_below() {
-        // Output tile rows [a, b) read input tile rows [a, b+1) (3x3 conv
-        // on pre-padded input anchored at the same tile row).
-        assert_eq!(input_rows_for(None, 0, 4, 100), (0, 5));
-        assert_eq!(input_rows_for(None, 7, 9, 100), (7, 10));
-        // Clamped at the input extent.
-        assert_eq!(input_rows_for(None, 7, 9, 9), (7, 9));
-    }
-
-    #[test]
-    fn pool_2x2_s2_maps_rows_two_to_one() {
-        let op = Some(PoolPadOp::MaxPool { k: 2, stride: 2 });
-        // Out tile row r covers element rows 4r..4r+4 -> in elements
-        // 8r..8r+8 -> in tile rows 2r..2r+2.
-        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 2));
-        assert_eq!(input_rows_for(op, 3, 5, 100), (6, 10));
-    }
-
-    #[test]
-    fn pool_3x3_s2_needs_overlap_row() {
-        let op = Some(PoolPadOp::MaxPool { k: 3, stride: 2 });
-        // Last element of out tile row 0 is row 3: window rows 6..9 ->
-        // in tile rows 0..3.
-        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 3));
-    }
-
-    #[test]
-    fn pad_shifts_rows_up_by_the_amount() {
-        let op = Some(PoolPadOp::Pad { amount: 1 });
-        // Out tile row 0 (elements 0..4) reads in elements -1..3 -> tile 0.
-        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 1));
-        // Out tile row 2 (elements 8..12) reads in elements 7..11 ->
-        // tiles 1..3.
-        assert_eq!(input_rows_for(op, 2, 3, 100), (1, 3));
-    }
-
-    #[test]
-    fn planner_covers_output_exactly_once_under_pressure() {
-        let stripes = plan_stripes("t", None, 17, 18, 10, 12, 80).expect("fits");
-        let mut next = 0;
-        for s in &stripes {
-            assert_eq!(s.out_a, next, "no gaps or overlaps");
-            assert!(s.out_b > s.out_a);
-            // Capacity respected.
-            assert!((s.in_hi - s.in_lo) * 10 + (s.out_b - s.out_a) * 12 <= 80);
-            next = s.out_b;
-        }
-        assert_eq!(next, 17);
-        assert!(stripes.len() > 1, "pressure must force striping");
-    }
-
-    #[test]
-    fn planner_reports_impossible_capacity() {
-        let err = plan_stripes("t", None, 4, 5, 10, 12, 20).unwrap_err();
-        match err {
-            DriverError::LayerTooLarge { needed, capacity, .. } => {
-                assert!(needed > capacity);
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+    #[should_panic(expected = "invalid driver configuration")]
+    fn legacy_constructor_panics_on_invalid_config() {
+        let mut cfg = config(4096, 1);
+        cfg.lanes = 2; // units stays 4: illegal on the cycle backend.
+        let _ = Driver::new(cfg, BackendKind::Cycle);
     }
 }

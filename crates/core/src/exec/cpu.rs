@@ -1,0 +1,130 @@
+//! [`BackendKind::Cpu`]: host SIMD kernels with modelled cycles.
+//!
+//! The fastest functional path: layer arithmetic runs through the
+//! `zskip-nn` SIMD `_into` kernels (tier-dispatched, allocation-free on
+//! a warmed [`Scratch`] arena), while cycle counts, activity counters
+//! and DDR traffic come from running the shared staged pipeline with
+//! the closed-form model's arithmetic switched off — which is exact,
+//! because those statistics are value-independent.
+//!
+//! Bit-identical outputs follow by transitivity: the SIMD kernels equal
+//! the scalar golden reference (cross-tier property suite,
+//! `tests/kernel_tiers.rs`), and the Model backend's functional path
+//! equals the same reference (`tests/backend_equivalence.rs`). Because
+//! the stats pass issues the very same DMA descriptor sequence, injected
+//! `dma:*` faults fire and surface identically too.
+//!
+//! [`BackendKind::Cpu`]: crate::exec::BackendKind::Cpu
+//! [`Scratch`]: zskip_nn::scratch::Scratch
+
+use super::pipeline::{self, Exec};
+use super::{PassCtx, StripeBackend};
+use crate::driver::DriverError;
+use crate::isa::PoolPadOp;
+use crate::report::PassStats;
+use zskip_nn::conv::{conv2d_quant_into, QuantConvWeights};
+use zskip_nn::pool::maxpool_quant_into;
+use zskip_quant::Sm8;
+use zskip_tensor::{Shape, Tensor, TiledFeatureMap, TILE_DIM};
+
+/// The host-SIMD backend (see module docs).
+pub(crate) struct CpuBackend;
+
+/// The stats-only executor the CPU backend charges cycles with.
+const STATS: Exec = Exec::Model { functional: false };
+
+impl StripeBackend for CpuBackend {
+    fn conv_pass(
+        &self,
+        ctx: &mut PassCtx<'_>,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        qw: &QuantConvWeights,
+        out_shape: Shape,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        // Cycles, counters, DDR traffic and fault behaviour from the
+        // staged pipeline; its (uncomputed) output tiles are discarded.
+        let (_, stats) = pipeline::conv_pass(ctx.driver, ctx.soc, STATS, name, input, qw, out_shape)?;
+        let (src, dst, acc, tier) = ctx.scratch.pass_buffers();
+        fm_to_tensor_into(input, src);
+        // The pipeline input is pre-padded by the explicit pad pass and
+        // stride-1 by the driver's geometry checks, so pad = 0 here
+        // yields exactly `out_shape`.
+        conv2d_quant_into(src, qw, 1, 0, tier, acc, dst);
+        debug_assert_eq!(dst.shape(), out_shape);
+        Ok((TiledFeatureMap::from_tensor(dst), stats))
+    }
+
+    fn poolpad_pass(
+        &self,
+        ctx: &mut PassCtx<'_>,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        op: PoolPadOp,
+        out_shape: Shape,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        let (_, stats) = pipeline::poolpad_pass(ctx.driver, ctx.soc, STATS, name, input, op, out_shape)?;
+        let (src, dst, _, _) = ctx.scratch.pass_buffers();
+        fm_to_tensor_into(input, src);
+        match op {
+            PoolPadOp::MaxPool { k, stride } => {
+                maxpool_quant_into(src, k as usize, stride as usize, dst);
+            }
+            PoolPadOp::Pad { amount } => pad_into(src, amount as usize, dst),
+        }
+        debug_assert_eq!(dst.shape(), out_shape);
+        Ok((TiledFeatureMap::from_tensor(dst), stats))
+    }
+}
+
+/// Densifies a tiled FM into `out` at its logical extent, reusing the
+/// allocation (the inverse of [`TiledFeatureMap::from_tensor`], which
+/// re-zeroes the round-up region on the way back).
+fn fm_to_tensor_into(fm: &TiledFeatureMap<Sm8>, out: &mut Tensor<Sm8>) {
+    let s = fm.logical_shape();
+    out.reset(s.c, s.h, s.w);
+    for c in 0..s.c {
+        for y in 0..s.h {
+            let (ty, iy) = (y / TILE_DIM, y % TILE_DIM);
+            for x in 0..s.w {
+                out[(c, y, x)] = fm.tile(c, ty, x / TILE_DIM)[(iy, x % TILE_DIM)];
+            }
+        }
+    }
+}
+
+/// Zero-pads `src` by `pad` on each spatial side into `dst`, reusing the
+/// allocation (the in-place analogue of [`Tensor::padded`]).
+fn pad_into(src: &Tensor<Sm8>, pad: usize, dst: &mut Tensor<Sm8>) {
+    let s = src.shape();
+    dst.reset(s.c, s.h + 2 * pad, s.w + 2 * pad);
+    for c in 0..s.c {
+        for y in 0..s.h {
+            for x in 0..s.w {
+                dst[(c, y + pad, x + pad)] = src[(c, y, x)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fm_round_trip_preserves_logical_extent() {
+        let t = Tensor::from_fn(3, 7, 5, |c, y, x| Sm8::from_i32_saturating((c * 17 + y * 5 + x) as i32 - 30));
+        let fm = TiledFeatureMap::from_tensor(&t);
+        let mut back = Tensor::zeros(1, 1, 1);
+        fm_to_tensor_into(&fm, &mut back);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn pad_into_matches_padded() {
+        let t = Tensor::from_fn(2, 6, 6, |c, y, x| Sm8::from_i32_saturating((c + y * 3 + x) as i32 - 8));
+        let mut dst = Tensor::zeros(1, 1, 1);
+        pad_into(&t, 2, &mut dst);
+        assert_eq!(dst, t.padded(2));
+    }
+}

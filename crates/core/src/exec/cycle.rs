@@ -1,0 +1,45 @@
+//! [`BackendKind::Cycle`]: the cycle-exact backend.
+//!
+//! Issues every instruction batch to the full kernel-level simulation
+//! (`crate::cycle`): 20 streaming kernels plus a main controller,
+//! connected by FIFOs on the `zskip-sim` engine. Slow, but the oracle
+//! the closed-form model is validated against; also the only backend
+//! where `fifo:*` fault injections have a meaning.
+//!
+//! [`BackendKind::Cycle`]: crate::exec::BackendKind::Cycle
+
+use super::pipeline::{self, Exec};
+use super::{PassCtx, StripeBackend};
+use crate::driver::DriverError;
+use crate::isa::PoolPadOp;
+use crate::report::PassStats;
+use zskip_nn::conv::QuantConvWeights;
+use zskip_quant::Sm8;
+use zskip_tensor::{Shape, TiledFeatureMap};
+
+/// The cycle-exact backend (see module docs).
+pub(crate) struct CycleBackend;
+
+impl StripeBackend for CycleBackend {
+    fn conv_pass(
+        &self,
+        ctx: &mut PassCtx<'_>,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        qw: &QuantConvWeights,
+        out_shape: Shape,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        pipeline::conv_pass(ctx.driver, ctx.soc, Exec::Cycle, name, input, qw, out_shape)
+    }
+
+    fn poolpad_pass(
+        &self,
+        ctx: &mut PassCtx<'_>,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        op: PoolPadOp,
+        out_shape: Shape,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        pipeline::poolpad_pass(ctx.driver, ctx.soc, Exec::Cycle, name, input, op, out_shape)
+    }
+}

@@ -1,0 +1,46 @@
+//! [`BackendKind::Model`]: the transaction-level backend.
+//!
+//! Issues every instruction batch to the closed-form cycle model
+//! (`crate::model`), which computes cycles from weight sparsity and
+//! geometry and — unless the driver runs in stats-only mode — the
+//! functional arithmetic from the golden reference kernels.
+//!
+//! [`BackendKind::Model`]: crate::exec::BackendKind::Model
+
+use super::pipeline::{self, Exec};
+use super::{PassCtx, StripeBackend};
+use crate::driver::DriverError;
+use crate::isa::PoolPadOp;
+use crate::report::PassStats;
+use zskip_nn::conv::QuantConvWeights;
+use zskip_quant::Sm8;
+use zskip_tensor::{Shape, TiledFeatureMap};
+
+/// The transaction-level backend (see module docs).
+pub(crate) struct ModelBackend;
+
+impl StripeBackend for ModelBackend {
+    fn conv_pass(
+        &self,
+        ctx: &mut PassCtx<'_>,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        qw: &QuantConvWeights,
+        out_shape: Shape,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        let exec = Exec::Model { functional: ctx.driver.functional };
+        pipeline::conv_pass(ctx.driver, ctx.soc, exec, name, input, qw, out_shape)
+    }
+
+    fn poolpad_pass(
+        &self,
+        ctx: &mut PassCtx<'_>,
+        name: &str,
+        input: &TiledFeatureMap<Sm8>,
+        op: PoolPadOp,
+        out_shape: Shape,
+    ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
+        let exec = Exec::Model { functional: ctx.driver.functional };
+        pipeline::poolpad_pass(ctx.driver, ctx.soc, exec, name, input, op, out_shape)
+    }
+}

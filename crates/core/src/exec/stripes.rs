@@ -1,0 +1,143 @@
+//! Stripe planning: subdividing a layer so input + output fit the banks.
+//!
+//! Large layers are subdivided into stripes whose input and output both
+//! fit the SRAM banks (paper Fig. 2), with the halo re-fetch overhead
+//! that inflates the ideal throughput by "~15% but varies by layer".
+//! The planner is pure geometry — every backend executes the same stripe
+//! plan, which is what makes their cycle counts and DMA traffic
+//! comparable.
+
+use crate::driver::DriverError;
+use crate::isa::PoolPadOp;
+
+/// One stripe of a pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Stripe {
+    /// Output tile rows [a, b).
+    pub(crate) out_a: usize,
+    pub(crate) out_b: usize,
+    /// Input tile rows [lo, hi) resident.
+    pub(crate) in_lo: usize,
+    pub(crate) in_hi: usize,
+}
+
+/// Input tile-row range needed for output tile rows `[a, b)`.
+pub(crate) fn input_rows_for(op: Option<PoolPadOp>, a: usize, b: usize, in_rows: usize) -> (usize, usize) {
+    let (lo, hi) = match op {
+        // Convolution on pre-padded input: out row r needs in rows r..r+2.
+        None => (a, b + 1),
+        Some(PoolPadOp::MaxPool { k, stride }) => {
+            let (k, s) = (k as usize, stride as usize);
+            (a * s, ((4 * b - 1) * s + k - 1) / 4 + 1)
+        }
+        Some(PoolPadOp::Pad { amount }) => {
+            let p = amount as usize;
+            ((4 * a).saturating_sub(p) / 4, (4 * b).saturating_sub(p).div_ceil(4).max(1))
+        }
+    };
+    (lo.min(in_rows), hi.min(in_rows).max(lo.min(in_rows)))
+}
+
+/// Plans stripes so input + output words fit the banks.
+pub(crate) fn plan_stripes(
+    layer: &str,
+    op: Option<PoolPadOp>,
+    out_rows: usize,
+    in_rows: usize,
+    words_in_per_row: usize,
+    words_out_per_row: usize,
+    bank_tiles: usize,
+) -> Result<Vec<Stripe>, DriverError> {
+    let fits = |a: usize, ro: usize| {
+        let (lo, hi) = input_rows_for(op, a, a + ro, in_rows);
+        (hi - lo) * words_in_per_row + ro * words_out_per_row <= bank_tiles
+    };
+    let mut stripes = Vec::new();
+    let mut a = 0;
+    while a < out_rows {
+        let mut ro = out_rows - a;
+        while ro > 1 && !fits(a, ro) {
+            ro -= 1;
+        }
+        if !fits(a, ro) {
+            let (lo, hi) = input_rows_for(op, a, a + 1, in_rows);
+            return Err(DriverError::LayerTooLarge {
+                layer: layer.to_string(),
+                needed: (hi - lo) * words_in_per_row + words_out_per_row,
+                capacity: bank_tiles,
+            });
+        }
+        let (in_lo, in_hi) = input_rows_for(op, a, a + ro, in_rows);
+        stripes.push(Stripe { out_a: a, out_b: a + ro, in_lo, in_hi });
+        a += ro;
+    }
+    Ok(stripes)
+}
+
+#[cfg(test)]
+mod stripe_math_tests {
+    use super::*;
+
+    #[test]
+    fn conv_needs_one_halo_row_below() {
+        // Output tile rows [a, b) read input tile rows [a, b+1) (3x3 conv
+        // on pre-padded input anchored at the same tile row).
+        assert_eq!(input_rows_for(None, 0, 4, 100), (0, 5));
+        assert_eq!(input_rows_for(None, 7, 9, 100), (7, 10));
+        // Clamped at the input extent.
+        assert_eq!(input_rows_for(None, 7, 9, 9), (7, 9));
+    }
+
+    #[test]
+    fn pool_2x2_s2_maps_rows_two_to_one() {
+        let op = Some(PoolPadOp::MaxPool { k: 2, stride: 2 });
+        // Out tile row r covers element rows 4r..4r+4 -> in elements
+        // 8r..8r+8 -> in tile rows 2r..2r+2.
+        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 2));
+        assert_eq!(input_rows_for(op, 3, 5, 100), (6, 10));
+    }
+
+    #[test]
+    fn pool_3x3_s2_needs_overlap_row() {
+        let op = Some(PoolPadOp::MaxPool { k: 3, stride: 2 });
+        // Last element of out tile row 0 is row 3: window rows 6..9 ->
+        // in tile rows 0..3.
+        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 3));
+    }
+
+    #[test]
+    fn pad_shifts_rows_up_by_the_amount() {
+        let op = Some(PoolPadOp::Pad { amount: 1 });
+        // Out tile row 0 (elements 0..4) reads in elements -1..3 -> tile 0.
+        assert_eq!(input_rows_for(op, 0, 1, 100), (0, 1));
+        // Out tile row 2 (elements 8..12) reads in elements 7..11 ->
+        // tiles 1..3.
+        assert_eq!(input_rows_for(op, 2, 3, 100), (1, 3));
+    }
+
+    #[test]
+    fn planner_covers_output_exactly_once_under_pressure() {
+        let stripes = plan_stripes("t", None, 17, 18, 10, 12, 80).expect("fits");
+        let mut next = 0;
+        for s in &stripes {
+            assert_eq!(s.out_a, next, "no gaps or overlaps");
+            assert!(s.out_b > s.out_a);
+            // Capacity respected.
+            assert!((s.in_hi - s.in_lo) * 10 + (s.out_b - s.out_a) * 12 <= 80);
+            next = s.out_b;
+        }
+        assert_eq!(next, 17);
+        assert!(stripes.len() > 1, "pressure must force striping");
+    }
+
+    #[test]
+    fn planner_reports_impossible_capacity() {
+        let err = plan_stripes("t", None, 4, 5, 10, 12, 20).unwrap_err();
+        match err {
+            DriverError::LayerTooLarge { needed, capacity, .. } => {
+                assert!(needed > capacity);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

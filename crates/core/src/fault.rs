@@ -356,9 +356,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         .collect();
 
     let mut trials = Vec::new();
-    // DMA faults on the model backend (the DMA path is backend-agnostic).
-    for kind in [FaultKind::DmaTruncate { tiles: 1 }, FaultKind::DmaCorrupt { xor: 0x40 }] {
-        trials.push(inference_trial("dma:xfer", 2, kind, BackendKind::Model, &qnet, input, &clean));
+    // DMA faults on the model and cpu backends (the DMA path is
+    // backend-agnostic, and cpu's functional output is bit-identical to
+    // model's, so the same clean reference serves both).
+    for backend in [BackendKind::Model, BackendKind::Cpu] {
+        for kind in [FaultKind::DmaTruncate { tiles: 1 }, FaultKind::DmaCorrupt { xor: 0x40 }] {
+            let mut trial = inference_trial("dma:xfer", 2, kind, backend, &qnet, input, &clean);
+            if backend != BackendKind::Model {
+                trial.site = format!("dma:xfer ({backend})");
+            }
+            trials.push(trial);
+        }
     }
     // FIFO faults on the cycle backend. The `done` queue is load-bearing
     // in every pass, so a stall there always lands: a bounded stall only
@@ -409,6 +417,8 @@ mod tests {
         let sites: std::collections::BTreeSet<&str> =
             report.trials.iter().map(|t| t.site.as_str()).collect();
         assert!(sites.len() >= 5, "sites: {sites:?}");
+        // The cpu backend is part of the matrix.
+        assert!(sites.contains("dma:xfer (cpu)"), "sites: {sites:?}");
     }
 
     #[test]

@@ -24,9 +24,13 @@
 //!   costs (validated cycle-for-cycle against [`cycle`] by property tests)
 //!   with functional results from the `zskip-nn` golden reference, fast
 //!   enough for full VGG-16 sweeps;
-//! * [`driver`] — the host-side driver: stripe planning under bank
-//!   capacity, weight packing, instruction generation, DMA orchestration
-//!   and multi-instance scale-out.
+//! * [`exec`] — the execution-backend layer: the staged per-layer stripe
+//!   pipeline (planning under bank capacity, weight packing, instruction
+//!   generation, DMA orchestration, multi-instance scale-out) and the
+//!   `StripeBackend` trait the interchangeable targets — transaction
+//!   model, cycle simulation, host SIMD — implement;
+//! * [`driver`] — the host-side driver: layer walking, geometry checks,
+//!   backend dispatch, host FC/softmax fallback, reporting.
 
 pub mod analysis;
 pub mod bank;
@@ -35,11 +39,13 @@ pub mod config;
 pub mod cycle;
 pub mod driver;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod isa;
 pub mod layout;
 pub mod model;
 pub mod poolpad;
+pub mod report;
 pub mod weights;
 
 pub use analysis::LayerPackingStats;
@@ -53,6 +59,7 @@ pub use driver::{
     SocHandle,
 };
 pub use error::Error;
+pub use exec::{PassCtx, StripeBackend};
 pub use fault::{run_campaign, CampaignConfig, CampaignReport, TrialOutcome, TrialResult};
 pub use isa::{ConvInstr, Instruction, PoolPadInstr, PoolPadOp};
 pub use layout::FmLayout;

@@ -1,0 +1,125 @@
+//! Inference statistics: per-pass, per-layer and whole-network reports.
+
+use crate::config::AccelConfig;
+use zskip_quant::Sm8;
+use zskip_sim::Counters;
+
+/// Statistics of one accelerator pass (pad, conv, or pool).
+#[derive(Debug, Clone, Default)]
+pub struct PassStats {
+    /// Compute cycles of the busiest instance.
+    pub compute_cycles: u64,
+    /// Per-instance compute cycles.
+    pub per_instance_cycles: Vec<u64>,
+    /// IFM + OFM DMA cycles (shared System I bus).
+    pub io_dma_cycles: u64,
+    /// Scratchpad weight preload cycles.
+    pub weight_dma_cycles: u64,
+    /// Wall cycles with the overlap policy:
+    /// `max(compute, io_dma) + weight_dma`.
+    pub total_cycles: u64,
+    /// Number of stripes.
+    pub stripes: usize,
+    /// Ideal-inflating striping factor: fetched input tile rows over the
+    /// un-striped minimum (>= 1).
+    pub striping_factor: f64,
+    /// Merged activity counters.
+    pub counters: Counters,
+}
+
+impl PassStats {
+    /// Folds per-instance cycles into the overlap-policy wall cycles.
+    pub(crate) fn finish(&mut self) {
+        self.compute_cycles = self.per_instance_cycles.iter().copied().max().unwrap_or(0);
+        self.total_cycles = self.compute_cycles.max(self.io_dma_cycles) + self.weight_dma_cycles;
+    }
+
+    /// Accumulates another pass (e.g. pad + conv of the same layer).
+    pub fn merge(&mut self, other: &PassStats) {
+        self.compute_cycles += other.compute_cycles;
+        self.io_dma_cycles += other.io_dma_cycles;
+        self.weight_dma_cycles += other.weight_dma_cycles;
+        self.total_cycles += other.total_cycles;
+        self.stripes += other.stripes;
+        self.striping_factor = self.striping_factor.max(other.striping_factor);
+        self.counters.merge(&other.counters);
+    }
+}
+
+/// Per-layer inference report.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer name from the network spec.
+    pub name: String,
+    /// `true` for conv layers (the ones the paper's figures evaluate).
+    pub is_conv: bool,
+    /// Dense MAC count of the layer (pruning does not reduce this; the
+    /// paper's *effective* GOPS divides dense work by elapsed time).
+    pub dense_macs: u64,
+    /// Accelerator statistics (zeroed for host-executed layers).
+    pub stats: PassStats,
+}
+
+impl LayerReport {
+    /// Elapsed seconds at the configured clock.
+    pub fn seconds(&self, config: &AccelConfig) -> f64 {
+        self.stats.total_cycles as f64 * config.cycle_seconds()
+    }
+
+    /// Effective GOPS: dense ops (2 x MACs) over elapsed time.
+    pub fn effective_gops(&self, config: &AccelConfig) -> f64 {
+        let s = self.seconds(config);
+        if s == 0.0 {
+            0.0
+        } else {
+            2.0 * self.dense_macs as f64 / s / 1e9
+        }
+    }
+}
+
+/// Whole-network inference report.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    /// Per-layer reports, in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Final quantized outputs (logits for classifier networks).
+    pub output: Vec<Sm8>,
+    /// Total accelerator cycles across layers.
+    pub total_cycles: u64,
+    /// Total DDR traffic in bytes.
+    pub ddr_bytes: u64,
+}
+
+impl InferenceReport {
+    /// Conv-layer reports only (the population of paper Figs. 7-8).
+    pub fn conv_layers(&self) -> impl Iterator<Item = &LayerReport> {
+        self.layers.iter().filter(|l| l.is_conv)
+    }
+
+    /// Mean effective GOPS across conv layers (paper Fig. 8 "average").
+    pub fn mean_gops(&self, config: &AccelConfig) -> f64 {
+        let v: Vec<f64> = self.conv_layers().map(|l| l.effective_gops(config)).collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    /// Best conv-layer effective GOPS (paper Fig. 8 "peak").
+    pub fn peak_gops(&self, config: &AccelConfig) -> f64 {
+        self.conv_layers().map(|l| l.effective_gops(config)).fold(0.0, f64::max)
+    }
+
+    /// Mean MAC-array switching activity over the run: actually-issued
+    /// multiplies over peak slots. Feeds the power model's average-power
+    /// estimate (peak power uses activity 1.0).
+    pub fn mean_mac_activity(&self, config: &AccelConfig) -> f64 {
+        let macs: u64 = self.layers.iter().map(|l| l.stats.counters.get("macs")).sum();
+        let cycles: u64 = self.layers.iter().map(|l| l.stats.total_cycles).sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        (macs as f64 / (cycles as f64 * config.macs_per_cycle() as f64)).min(1.0)
+    }
+}

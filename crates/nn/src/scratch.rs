@@ -80,11 +80,22 @@ impl Scratch {
 
     /// Splits out the buffers the accelerator driver's **host-side** path
     /// reuses across images: the input-quantization tensor and the FC
-    /// ping-pong pair. (The driver's conv layers run on the simulated SoC,
-    /// not through this arena.)
+    /// ping-pong pair. (The driver's conv layers run on the simulated SoC
+    /// or, on the CPU backend, through [`Scratch::pass_buffers`].)
     pub fn host_buffers(&mut self) -> (&mut Tensor<Sm8>, &mut Vec<Sm8>, &mut Vec<Sm8>) {
         let (a, b) = self.flat.split_at_mut(1);
         (&mut self.act[0], &mut a[0], &mut b[0])
+    }
+
+    /// Splits out the buffers the accelerator driver's **CPU backend**
+    /// uses for one pass: a source/destination activation-tensor pair,
+    /// the `i64` accumulator plane, and the kernel tier to compute with.
+    /// The pair aliases the forward-pass ping-pong tensors; a pass using
+    /// it must not interleave with `forward_quant_scratch` on the same
+    /// arena (they never do — an arena belongs to one session).
+    pub fn pass_buffers(&mut self) -> (&mut Tensor<Sm8>, &mut Tensor<Sm8>, &mut Vec<i64>, KernelTier) {
+        let (a, b) = self.act.split_at_mut(1);
+        (&mut a[0], &mut b[0], &mut self.acc, self.tier)
     }
 }
 

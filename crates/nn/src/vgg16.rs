@@ -140,7 +140,7 @@ mod tests {
         };
         let net = Network::synthetic(spec, &SyntheticModelConfig::default());
         let input = Tensor::from_fn(3, 16, 16, |c, y, x| ((c * 256 + y * 16 + x) as f32 * 0.37).sin());
-        let qnet = net.quantize(&[input.clone()]);
+        let qnet = net.quantize(std::slice::from_ref(&input));
         let fresh = qnet.forward_quant(&input);
         for tier in crate::simd::KernelTier::supported() {
             let mut scratch = Scratch::with_tier(tier);

@@ -5,7 +5,7 @@
 //! are branch-light O(1) operations with no heap traffic after
 //! construction. Occupancy statistics accrue lazily against an internal
 //! cycle counter: the engine only commits the FIFOs that were actually
-//! touched in a cycle, and [`Fifo::sync`] settles the untouched stretch
+//! touched in a cycle, and `Fifo::sync` settles the untouched stretch
 //! in O(1) when the FIFO is next used (the occupancy is constant while
 //! nobody touches it, so the accrual is exact).
 

@@ -8,6 +8,10 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 
+# API docs must build warning-free (broken intra-doc links and malformed
+# doc comments fail here, not on docs.rs).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 # Fault-matrix campaign: every single injected fault must degrade
 # gracefully (no panic, no hang — hence the hard timeout). Small config
 # keeps this a few seconds even on one core.

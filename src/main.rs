@@ -13,7 +13,7 @@
 //! Every flag-taking subcommand supports `--help`; flags are declared in
 //! one table per subcommand and parsed by a shared, panic-free parser.
 
-use zskip::accel::{AccelConfig, Driver};
+use zskip::accel::{AccelConfig, BackendKind, Driver};
 use zskip::hls::Variant;
 use zskip::nn::eval::synthetic_inputs;
 use zskip::nn::model::{Network, SyntheticModelConfig};
@@ -57,6 +57,8 @@ struct Command {
 const HW_HELP: &str = "input height/width of the synthetic network";
 const DENSITY_HELP: &str = "weight density: 'dc' (deep-compression VGG-16 profile) or a fraction";
 const VARIANT_HELP: &str = "accelerator variant: 16-unopt | 256-unopt | 256-opt | 512-opt";
+const BACKEND_HELP: &str =
+    "execution backend: model (transaction-level) | cycle (cycle-exact) | cpu (host SIMD)";
 
 const COMMANDS: &[Command] = &[
     Command {
@@ -81,6 +83,7 @@ const COMMANDS: &[Command] = &[
             Flag::val("--hw", "N", "64", HW_HELP),
             Flag::val("--density", "D", "dc", DENSITY_HELP),
             Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
+            Flag::val("--backend", "B", "model", BACKEND_HELP),
             Flag::boolean("--ternary", "quantize weights to ternary (-1/0/+1 magnitudes)"),
         ],
         run: infer,
@@ -95,6 +98,7 @@ const COMMANDS: &[Command] = &[
             Flag::val("--hw", "N", "32", HW_HELP),
             Flag::val("--density", "D", "dc", DENSITY_HELP),
             Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
+            Flag::val("--backend", "B", "model", BACKEND_HELP),
         ],
         run: batch,
     },
@@ -237,6 +241,10 @@ fn parse_variant(s: &str) -> Variant {
     }
 }
 
+fn parse_backend(p: &Parsed) -> BackendKind {
+    p.get("--backend").unwrap_or("model").parse().unwrap_or_else(|e: String| fail(&e))
+}
+
 fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
     match p.get("--density").unwrap_or("dc") {
         "dc" => DensityProfile::deep_compression_vgg16(),
@@ -284,18 +292,25 @@ fn sweep() {
 fn infer(p: &Parsed) {
     let hw: usize = p.parse_num("--hw", 64);
     let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
+    let backend = parse_backend(p);
     let ternary = p.has("--ternary");
     let density = parse_density(p, 13);
 
     let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
-    println!("running {} on {} ({} GMACs)...", spec.name, variant, spec.total_macs() / 1_000_000_000);
+    println!(
+        "running {} on {} ({} GMACs, {backend} backend)...",
+        spec.name,
+        variant,
+        spec.total_macs() / 1_000_000_000
+    );
     let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
     let calib = synthetic_inputs(2, 1, spec.input);
     let qnet = if ternary { net.quantize_ternary(&calib) } else { net.quantize(&calib) };
     let input = synthetic_inputs(3, 1, spec.input).pop().expect("one");
 
     let config = AccelConfig::for_variant(variant);
-    let driver = Driver::builder(config).build().unwrap_or_else(|e| fail(&e.to_string()));
+    let driver =
+        Driver::builder(config).backend(backend).build().unwrap_or_else(|e| fail(&e.to_string()));
     let report = driver.run_network(&qnet, &input).unwrap_or_else(|e| fail(&e.to_string()));
     assert_eq!(report.output, qnet.forward_quant(&input), "bit-exact vs golden model");
     println!("bit-exact vs the software golden model");
@@ -317,6 +332,7 @@ fn batch(p: &Parsed) {
     let n: usize = p.parse_num("--n", 8);
     let workers: usize = p.parse_num("--workers", 0);
     let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
+    let backend = parse_backend(p);
     let density = parse_density(p, 13);
 
     let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
@@ -326,8 +342,9 @@ fn batch(p: &Parsed) {
     let inputs = synthetic_inputs(3, n, spec.input);
 
     let config = AccelConfig::for_variant(variant);
-    let driver = Driver::builder(config).build().unwrap_or_else(|e| fail(&e.to_string()));
-    println!("running {} x {} on {}...", n, spec.name, variant);
+    let driver =
+        Driver::builder(config).backend(backend).build().unwrap_or_else(|e| fail(&e.to_string()));
+    println!("running {} x {} on {} ({backend} backend)...", n, spec.name, variant);
     let t0 = std::time::Instant::now();
     let report = zskip::accel::run_batch(&driver, &qnet, &inputs, workers)
         .unwrap_or_else(|e| fail(&e.to_string()));

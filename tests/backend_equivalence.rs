@@ -1,0 +1,342 @@
+//! Cross-backend differential harness: the Model, Cycle and Cpu backends
+//! must be interchangeable.
+//!
+//! * **Outputs**: bit-identical to each other and to the software golden
+//!   model (`forward_quant`) on random `NetworkSpec`s.
+//! * **Statistics**: Model and Cpu charge cycles with the same
+//!   closed-form model, so their cycle counts and DDR byte counts are
+//!   *equal*, not merely close; Cycle agrees within the documented
+//!   tolerance.
+//! * **Transient faults**: the staged pipeline issues the same DMA
+//!   descriptor sequence on every backend, and DMA fault detection is
+//!   value-independent — an injected `dma:*` fault must surface as the
+//!   same structured error everywhere.
+
+use proptest::prelude::*;
+use zskip::accel::{AccelConfig, BackendKind, Driver, DriverError, Error};
+use zskip::fault::{FaultKind, FaultPlan};
+use zskip::hls::AccelArch;
+use zskip::nn::eval::synthetic_inputs;
+use zskip::nn::layer::{conv3x3, maxpool2x2, LayerSpec, NetworkSpec};
+use zskip::nn::model::{Network, QuantizedNetwork, SyntheticModelConfig};
+use zskip::quant::DensityProfile;
+use zskip::soc::dma::DmaError;
+use zskip::tensor::{Shape, Tensor};
+
+fn config(bank_tiles: usize, instances: usize) -> AccelConfig {
+    AccelConfig::from_arch(&AccelArch { conv_units: 4, lanes: 4, instances, bank_tiles }, 100.0)
+}
+
+fn tiny_spec() -> NetworkSpec {
+    NetworkSpec {
+        name: "tiny".into(),
+        input: Shape::new(3, 12, 12),
+        layers: vec![
+            conv3x3("c1", 3, 6),
+            maxpool2x2("p1"),
+            conv3x3("c2", 6, 9),
+            maxpool2x2("p2"),
+            LayerSpec::Fc { name: "fc".into(), in_features: 9 * 3 * 3, out_features: 5, relu: false },
+        ],
+    }
+}
+
+fn quantized(density: f64, seed: u64) -> (QuantizedNetwork, Tensor<f32>) {
+    let spec = tiny_spec();
+    let net = Network::synthetic(
+        spec.clone(),
+        &SyntheticModelConfig { seed, density: DensityProfile::uniform(2, density) },
+    );
+    let calib = synthetic_inputs(seed ^ 1, 2, spec.input);
+    let qnet = net.quantize(&calib);
+    let input = synthetic_inputs(seed ^ 2, 1, spec.input).pop().expect("one input");
+    (qnet, input)
+}
+
+/// A random small network: 1-3 padded conv layers with random channel
+/// counts and kernel sizes, optionally pooled, optionally FC-capped.
+fn network_strategy() -> impl Strategy<Value = NetworkSpec> {
+    let conv = (1usize..=3, 2usize..=8, prop::bool::ANY);
+    (
+        8usize..=19,                 // input h/w
+        1usize..=3,                  // input channels
+        prop::collection::vec(conv, 1..=3),
+        prop::bool::ANY,             // pool after first conv
+        prop::bool::ANY,             // fc head
+    )
+        .prop_map(|(hw, in_c, convs, pool, fc)| {
+            let mut layers = Vec::new();
+            let mut c = in_c;
+            for (i, (k, out_c, relu)) in convs.into_iter().enumerate() {
+                layers.push(LayerSpec::Conv {
+                    name: format!("c{i}"),
+                    in_c: c,
+                    out_c,
+                    k,
+                    stride: 1,
+                    pad: k / 2,
+                    relu,
+                });
+                c = out_c;
+                if i == 0 && pool && hw >= 8 {
+                    layers.push(LayerSpec::MaxPool { name: "p".into(), k: 2, stride: 2 });
+                }
+            }
+            let mut spec = NetworkSpec { name: "rand".into(), input: Shape::new(in_c, hw, hw), layers };
+            if fc {
+                if let Ok(shapes) = spec.shapes() {
+                    let s = shapes.last().copied().expect("non-empty");
+                    spec.layers.push(LayerSpec::Fc {
+                        name: "fc".into(),
+                        in_features: s.c * s.h * s.w,
+                        out_features: 4,
+                        relu: false,
+                    });
+                }
+            }
+            spec
+        })
+        .prop_filter("kernel must fit every intermediate map", |spec| spec.shapes().is_ok())
+}
+
+fn quantize_spec(spec: &NetworkSpec, density: f64, seed: u64) -> (QuantizedNetwork, Tensor<f32>) {
+    let conv_count = spec.conv_layers().len();
+    let net = Network::synthetic(
+        spec.clone(),
+        &SyntheticModelConfig { seed, density: DensityProfile::uniform(conv_count, density) },
+    );
+    let qnet = net.quantize(&synthetic_inputs(seed ^ 1, 1, spec.input));
+    let input = synthetic_inputs(seed ^ 2, 1, spec.input).pop().expect("one");
+    (qnet, input)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Model and Cpu: bit-identical outputs AND identical statistics on
+    /// random specs (both run the same staged pipeline and closed-form
+    /// cycle model; only the functional arithmetic engine differs).
+    #[test]
+    fn cpu_and_model_backends_are_equivalent_on_random_specs(
+        spec in network_strategy(),
+        density in 0.1f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let (qnet, input) = quantize_spec(&spec, density, seed);
+        let cfg = config(2048, 1);
+        let model = Driver::new(cfg, BackendKind::Model).run_network(&qnet, &input).expect("fits");
+        let cpu = Driver::new(cfg, BackendKind::Cpu).run_network(&qnet, &input).expect("fits");
+        prop_assert_eq!(&model.output, &qnet.forward_quant(&input));
+        prop_assert_eq!(&cpu.output, &model.output);
+        prop_assert_eq!(cpu.total_cycles, model.total_cycles);
+        prop_assert_eq!(cpu.ddr_bytes, model.ddr_bytes);
+        prop_assert_eq!(cpu.layers.len(), model.layers.len());
+        for (c, m) in cpu.layers.iter().zip(&model.layers) {
+            prop_assert_eq!(&c.name, &m.name);
+            prop_assert_eq!(c.stats.total_cycles, m.stats.total_cycles);
+            prop_assert_eq!(c.stats.compute_cycles, m.stats.compute_cycles);
+            prop_assert_eq!(c.stats.io_dma_cycles, m.stats.io_dma_cycles);
+            prop_assert_eq!(c.stats.weight_dma_cycles, m.stats.weight_dma_cycles);
+            prop_assert_eq!(c.stats.stripes, m.stats.stripes);
+            prop_assert_eq!(c.stats.counters.get("macs"), m.stats.counters.get("macs"));
+        }
+    }
+}
+
+proptest! {
+    // The cycle backend is ~100x slower; fewer cases, smaller nets.
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// All three backends produce bit-identical outputs on random specs.
+    #[test]
+    fn all_three_backends_agree_on_random_specs(
+        hw in 6usize..=10,
+        out_c in 2usize..=6,
+        k in 1usize..=3,
+        density in 0.2f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let spec = NetworkSpec {
+            name: "rand3".into(),
+            input: Shape::new(2, hw, hw),
+            layers: vec![LayerSpec::Conv {
+                name: "c".into(),
+                in_c: 2,
+                out_c,
+                k,
+                stride: 1,
+                pad: k / 2,
+                relu: true,
+            }],
+        };
+        prop_assume!(spec.shapes().is_ok());
+        let (qnet, input) = quantize_spec(&spec, density, seed);
+        let cfg = config(1024, 1);
+        let golden = qnet.forward_quant(&input);
+        for backend in BackendKind::ALL {
+            let report = Driver::new(cfg, backend).run_network(&qnet, &input).expect("fits");
+            prop_assert_eq!(&report.output, &golden, "backend {}", backend);
+        }
+    }
+}
+
+#[test]
+fn every_backend_matches_software_reference_bit_exact() {
+    let (qnet, input) = quantized(0.6, 11);
+    let golden = qnet.forward_quant(&input);
+    for backend in BackendKind::ALL {
+        let report = Driver::new(config(4096, 1), backend).run_network(&qnet, &input).expect("runs");
+        assert_eq!(report.output, golden, "backend {backend}");
+        assert!(report.total_cycles > 0);
+        assert!(report.ddr_bytes > 0);
+        assert_eq!(report.conv_layers().count(), 2);
+    }
+}
+
+#[test]
+fn model_and_cycle_backends_agree_on_cycles_within_tolerance() {
+    let (qnet, input) = quantized(0.4, 33);
+    let model = Driver::new(config(4096, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
+    let cycle = Driver::new(config(4096, 1), BackendKind::Cycle).run_network(&qnet, &input).unwrap();
+    assert_eq!(model.output, cycle.output, "functional equality");
+    let diff = model.total_cycles.abs_diff(cycle.total_cycles) as f64;
+    assert!(
+        diff <= 0.03 * cycle.total_cycles as f64 + 400.0,
+        "model {} vs cycle {}",
+        model.total_cycles,
+        cycle.total_cycles
+    );
+}
+
+#[test]
+fn striping_preserves_results_on_every_backend() {
+    let (qnet, input) = quantized(0.7, 44);
+    let golden = qnet.forward_quant(&input);
+    for backend in [BackendKind::Model, BackendKind::Cpu] {
+        // Tiny banks: forces multiple stripes per layer.
+        let striped = Driver::new(config(20, 1), backend).run_network(&qnet, &input).unwrap();
+        assert_eq!(striped.output, golden, "backend {backend}");
+        let roomy = Driver::new(config(8192, 1), backend).run_network(&qnet, &input).unwrap();
+        let stripes_tight: usize = striped.layers.iter().map(|l| l.stats.stripes).sum();
+        let stripes_roomy: usize = roomy.layers.iter().map(|l| l.stats.stripes).sum();
+        assert!(stripes_tight > stripes_roomy, "{stripes_tight} vs {stripes_roomy}");
+        // Halo re-fetch shows up as striping factor > 1 on conv layers.
+        assert!(striped.conv_layers().any(|l| l.stats.striping_factor > 1.01));
+    }
+}
+
+#[test]
+fn two_instances_cut_compute_on_striped_layers() {
+    let (qnet, input) = quantized(1.0, 55);
+    for backend in [BackendKind::Model, BackendKind::Cpu] {
+        let one = Driver::new(config(20, 1), backend).run_network(&qnet, &input).unwrap();
+        let two = Driver::new(config(20, 2), backend).run_network(&qnet, &input).unwrap();
+        assert_eq!(two.output, qnet.forward_quant(&input));
+        let c1: u64 = one.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        let c2: u64 = two.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        assert!(c2 < c1, "scale-out must reduce busiest-instance compute: {c2} vs {c1}");
+    }
+}
+
+#[test]
+fn filter_grouping_keeps_results_and_not_slower() {
+    let (qnet, input) = quantized(0.3, 66);
+    for backend in [BackendKind::Model, BackendKind::Cpu] {
+        let plain = Driver::builder(config(4096, 1)).backend(backend).build().unwrap();
+        let grouped =
+            Driver::builder(config(4096, 1)).backend(backend).filter_grouping(true).build().unwrap();
+        let a = plain.run_network(&qnet, &input).unwrap();
+        let b = grouped.run_network(&qnet, &input).unwrap();
+        assert_eq!(a.output, b.output, "grouping must not change results ({backend})");
+        let ca: u64 = a.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        let cb: u64 = b.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        assert!(cb <= ca + ca / 50, "grouping should not slow down: {cb} vs {ca}");
+    }
+}
+
+#[test]
+fn pruned_network_runs_faster_than_dense() {
+    let (dense, input) = quantized(1.0, 77);
+    let (pruned, _) = quantized(0.3, 77);
+    for backend in [BackendKind::Model, BackendKind::Cpu] {
+        let driver = Driver::new(config(4096, 1), backend);
+        let d = driver.run_network(&dense, &input).unwrap();
+        let p = driver.run_network(&pruned, &input).unwrap();
+        let cd: u64 = d.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        let cp: u64 = p.conv_layers().map(|l| l.stats.compute_cycles).sum();
+        assert!(cp < cd, "zero-skipping must help: pruned {cp} vs dense {cd}");
+    }
+}
+
+#[test]
+fn layer_too_large_is_reported_identically() {
+    let (qnet, input) = quantized(1.0, 88);
+    for backend in BackendKind::ALL {
+        let err = Driver::new(config(8, 1), backend).run_network(&qnet, &input).unwrap_err();
+        match err {
+            DriverError::LayerTooLarge { needed, capacity, .. } => {
+                assert!(needed > capacity);
+            }
+            other => panic!("expected LayerTooLarge on {backend}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn gops_reporting_is_consistent() {
+    let (qnet, input) = quantized(1.0, 99);
+    let cfg = config(4096, 1);
+    for backend in [BackendKind::Model, BackendKind::Cpu] {
+        let report = Driver::new(cfg, backend).run_network(&qnet, &input).unwrap();
+        let mean = report.mean_gops(&cfg);
+        let peak = report.peak_gops(&cfg);
+        assert!(peak >= mean && mean > 0.0, "peak {peak} mean {mean}");
+        // Effective GOPS can never exceed peak arithmetic throughput for a
+        // dense (unpruned) network.
+        assert!(peak <= cfg.peak_gops() * 1.001, "peak {peak} vs hw {}", cfg.peak_gops());
+    }
+}
+
+/// One injected DMA fault must surface as the same structured error with
+/// the same stable code on every backend: the staged pipeline issues the
+/// identical descriptor sequence, and DMA fault detection is
+/// value-independent.
+#[test]
+fn transient_dma_faults_surface_identically_across_backends() {
+    let (qnet, input) = quantized(0.6, 11);
+    for (kind, want_code) in [
+        (FaultKind::DmaTruncate { tiles: 1 }, "dma.truncated"),
+        (FaultKind::DmaCorrupt { xor: 0x40 }, "dma.parity"),
+    ] {
+        for at in [0, 2, 7] {
+            let mut codes = Vec::new();
+            for backend in BackendKind::ALL {
+                let plan = FaultPlan::new().inject("dma:xfer", at, kind).shared();
+                let driver = Driver::builder(config(4096, 1))
+                    .backend(backend)
+                    .fault_plan(plan.clone())
+                    .build()
+                    .expect("valid config");
+                let err = driver.run_network(&qnet, &input).unwrap_err();
+                assert!(err.is_transient(), "{backend}: DMA faults are transient");
+                assert_eq!(plan.lock().unwrap().fired().len(), 1, "{backend}: exactly one fault fired");
+                codes.push(Error::from(err).code());
+            }
+            assert_eq!(codes, vec![want_code; 3], "fault {kind:?} at {at}");
+        }
+    }
+}
+
+#[test]
+fn injected_dma_truncation_surfaces_as_structured_error() {
+    let (qnet, input) = quantized(0.6, 11);
+    let plan = FaultPlan::new().inject("dma:xfer", 2, FaultKind::DmaTruncate { tiles: 1 }).shared();
+    let driver =
+        Driver::builder(config(4096, 1)).fault_plan(plan.clone()).build().expect("valid config");
+    let err = driver.run_network(&qnet, &input).unwrap_err();
+    assert!(
+        matches!(err, DriverError::Dma(DmaError::Truncated { .. })),
+        "expected truncation, got {err:?}"
+    );
+    assert_eq!(plan.lock().unwrap().fired().len(), 1, "exactly one fault fired");
+}
