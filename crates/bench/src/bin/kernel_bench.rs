@@ -18,10 +18,21 @@
 //!   execution backend (model vs cpu). The cpu backend replaces the
 //!   transaction model's per-tile functional sweep with the SIMD `_into`
 //!   kernels, so it must not be slower.
+//! * **Single image**: the cpu backend with the shared packed-weight
+//!   cache and auto worker count against the re-pack-per-image,
+//!   single-threaded baseline (the PR-5 path, selected with
+//!   `weight_cache(false)`). The speedup is the acceptance number: must
+//!   be >= 2x.
+//! * **Intra-image threading**: cpu-backend latency at 1/2/4/8 workers
+//!   plus the shared-cache hit/miss counters. Outputs are bit-identical
+//!   at every width (asserted here; property-tested in
+//!   `tests/kernel_tiers.rs`).
 //!
 //! `--check` exits nonzero if any SIMD tier is slower than scalar on a
-//! reference shape, the steady-state pass allocates, or the cpu backend
-//! falls behind the model backend — wired into `scripts/verify.sh`.
+//! reference shape, the steady-state pass allocates, the cpu backend
+//! falls behind the model backend, the single-image speedup is below 2x,
+//! or the auto-width multithreaded latency regresses past the
+//! single-threaded one — wired into `scripts/verify.sh`.
 //!
 //! Writes `BENCH_kernels.json` at the repository root plus the usual
 //! `experiments/kernel_bench.{txt,json}` artifacts.
@@ -33,15 +44,17 @@ use std::time::Instant;
 use zskip_bench::{make_conv_layer, write_artifacts};
 use zskip_core::config::AccelConfig;
 use zskip_core::driver::{BackendKind, Driver};
+use zskip_core::weight_cache_stats;
 use zskip_hls::Variant;
 use zskip_json::{Json, ToJson};
-use zskip_nn::conv::conv2d_quant_into;
+use zskip_nn::conv::{conv2d_quant_into, tap_cache_stats};
 use zskip_nn::eval::synthetic_inputs;
 use zskip_nn::gemm::conv2d_gemm_quant_tier;
-use zskip_nn::model::{Network, SyntheticModelConfig};
+use zskip_nn::model::{Network, QuantizedNetwork, SyntheticModelConfig};
 use zskip_nn::simd::KernelTier;
 use zskip_nn::vgg16::vgg16_scaled_spec;
-use zskip_nn::Scratch;
+use zskip_nn::{ConvPool, Scratch};
+use zskip_quant::cache::CacheStats;
 use zskip_quant::DensityProfile;
 use zskip_tensor::Tensor;
 
@@ -178,12 +191,81 @@ impl ToJson for CpuBackendResult {
     }
 }
 
+fn cache_to_json(s: &CacheStats) -> Json {
+    Json::obj([
+        ("entries", s.entries.to_json()),
+        ("hits", s.hits.to_json()),
+        ("misses", s.misses.to_json()),
+        ("bytes", s.bytes.to_json()),
+    ])
+}
+
+/// The tentpole acceptance number: optimized single-image cpu-backend
+/// latency (shared weight cache + auto workers) against the PR-5
+/// baseline (re-pack per image, single-threaded).
+struct SingleImageResult {
+    baseline_ms: f64,
+    optimized_ms: f64,
+    /// `baseline_ms / optimized_ms`; `--check` requires >= 2.
+    speedup: f64,
+}
+
+impl ToJson for SingleImageResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("baseline_ms", self.baseline_ms.to_json()),
+            ("optimized_ms", self.optimized_ms.to_json()),
+            ("speedup", self.speedup.to_json()),
+        ])
+    }
+}
+
+/// Cpu-backend latency at one intra-image worker count.
+struct WorkerTiming {
+    workers: usize,
+    ms_per_image: f64,
+}
+
+impl ToJson for WorkerTiming {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workers", self.workers.to_json()),
+            ("ms_per_image", self.ms_per_image.to_json()),
+        ])
+    }
+}
+
+struct IntraImageResult {
+    /// The host's available parallelism (`--threads 0`).
+    auto_workers: usize,
+    timings: Vec<WorkerTiming>,
+    /// Auto-width latency over single-threaded latency; `--check`
+    /// requires it to stay within a small noise tolerance of 1.
+    mt_vs_single: f64,
+    group_cache: CacheStats,
+    tap_cache: CacheStats,
+}
+
+impl ToJson for IntraImageResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("auto_workers", self.auto_workers.to_json()),
+            ("timings", self.timings.to_json()),
+            ("mt_vs_single", self.mt_vs_single.to_json()),
+            ("group_cache", cache_to_json(&self.group_cache)),
+            ("tap_cache", cache_to_json(&self.tap_cache)),
+        ])
+    }
+}
+
 struct Bench {
     host_tiers: Vec<String>,
     dispatch_tier: String,
     shapes: Vec<ShapeResult>,
     allocs: AllocResult,
     cpu_backend: CpuBackendResult,
+    single_image: SingleImageResult,
+    intra_image: IntraImageResult,
     /// Best SIMD GEMM speedup on the conv3_2-like shape (the acceptance
     /// number: must be >= 2x).
     conv3_2_gemm_speedup: f64,
@@ -197,6 +279,8 @@ impl ToJson for Bench {
             ("shapes", self.shapes.to_json()),
             ("allocs", self.allocs.to_json()),
             ("cpu_backend", self.cpu_backend.to_json()),
+            ("single_image", self.single_image.to_json()),
+            ("intra_image", self.intra_image.to_json()),
             ("conv3_2_gemm_speedup", self.conv3_2_gemm_speedup.to_json()),
         ])
     }
@@ -308,8 +392,8 @@ fn bench_allocs() -> AllocResult {
     }
 }
 
-fn bench_cpu_backend() -> CpuBackendResult {
-    let hw = 32;
+/// The scaled VGG-16 end-to-end workload shared by the driver benches.
+fn vgg_workload(hw: usize) -> (QuantizedNetwork, Vec<Tensor<f32>>, AccelConfig) {
     let spec = vgg16_scaled_spec(hw);
     let net = Network::synthetic(
         spec.clone(),
@@ -317,25 +401,41 @@ fn bench_cpu_backend() -> CpuBackendResult {
     );
     let qnet = net.quantize(&synthetic_inputs(2, 1, spec.input));
     let inputs = synthetic_inputs(5, 2, spec.input);
-    let config = AccelConfig::for_variant(Variant::U256Opt);
+    (qnet, inputs, AccelConfig::for_variant(Variant::U256Opt))
+}
 
+/// Best-of-3 ms/image of `driver` over `inputs` on a warmed scratch,
+/// returning the warm-up image's output for bit-identity checks.
+fn drive_ms_per_image(
+    driver: &Driver,
+    qnet: &QuantizedNetwork,
+    inputs: &[Tensor<f32>],
+) -> (f64, Vec<zskip_quant::Sm8>) {
+    let mut scratch = Scratch::new();
+    // Warm-up image: grows the arena, the worker pool and the caches.
+    let out = driver.run_network_scratch(qnet, &inputs[0], &mut scratch).expect("runs").output;
+    let (s, ()) = time_best(|| {
+        for input in inputs {
+            driver.run_network_scratch(qnet, input, &mut scratch).expect("runs");
+        }
+    });
+    (s * 1e3 / inputs.len() as f64, out)
+}
+
+fn bench_cpu_backend(
+    qnet: &QuantizedNetwork,
+    inputs: &[Tensor<f32>],
+    config: AccelConfig,
+) -> CpuBackendResult {
     let mut backends = Vec::new();
     let mut golden: Option<Vec<zskip_quant::Sm8>> = None;
     for backend in [BackendKind::Model, BackendKind::Cpu] {
         let driver = Driver::new(config, backend);
-        let mut scratch = Scratch::new();
-        // Warm-up image: grows the arena and the per-layer weight caches.
-        let out = driver.run_network_scratch(&qnet, &inputs[0], &mut scratch).expect("runs").output;
+        let (ms_per_image, out) = drive_ms_per_image(&driver, qnet, inputs);
         match &golden {
             None => golden = Some(out),
             Some(g) => assert_eq!(g, &out, "{backend}: backend diverged from model"),
         }
-        let (s, ()) = time_best(|| {
-            for input in &inputs {
-                driver.run_network_scratch(&qnet, input, &mut scratch).expect("runs");
-            }
-        });
-        let ms_per_image = s * 1e3 / inputs.len() as f64;
         backends.push(BackendTiming {
             backend: backend.name(),
             ms_per_image,
@@ -346,7 +446,90 @@ fn bench_cpu_backend() -> CpuBackendResult {
         backends.iter().find(|b| b.backend == name).map(|b| b.images_per_s).unwrap_or(f64::NAN)
     };
     let cpu_speedup_vs_model = per_s("cpu") / per_s("model");
-    CpuBackendResult { hw, backends, cpu_speedup_vs_model }
+    CpuBackendResult { hw: 32, backends, cpu_speedup_vs_model }
+}
+
+fn bench_single_image(
+    qnet: &QuantizedNetwork,
+    inputs: &[Tensor<f32>],
+    config: AccelConfig,
+) -> SingleImageResult {
+    // PR-5 path: re-pack weights per image, parse the scratchpad per
+    // instruction, single-threaded conv.
+    let baseline = Driver::builder(config)
+        .backend(BackendKind::Cpu)
+        .weight_cache(false)
+        .threads(1)
+        .build()
+        .expect("valid config");
+    // This PR's path: shared packed-weight cache, auto worker count.
+    let optimized =
+        Driver::builder(config).backend(BackendKind::Cpu).threads(0).build().expect("valid config");
+
+    let mut base_scratch = Scratch::new();
+    let mut opt_scratch = Scratch::new();
+    let base_out =
+        baseline.run_network_scratch(qnet, &inputs[0], &mut base_scratch).expect("runs").output;
+    let opt_out =
+        optimized.run_network_scratch(qnet, &inputs[0], &mut opt_scratch).expect("runs").output;
+    assert_eq!(base_out, opt_out, "optimized cpu path diverged from the baseline");
+
+    // Interleave the two configurations round by round so slow clock
+    // drift (thermal / frequency throttling over a long bench run) hits
+    // both equally instead of skewing the ratio.
+    let mut baseline_ms = f64::INFINITY;
+    let mut optimized_ms = f64::INFINITY;
+    for _ in 0..3 {
+        for (driver, scratch, best) in [
+            (&baseline, &mut base_scratch, &mut baseline_ms),
+            (&optimized, &mut opt_scratch, &mut optimized_ms),
+        ] {
+            let t0 = Instant::now();
+            for input in inputs {
+                driver.run_network_scratch(qnet, input, scratch).expect("runs");
+            }
+            *best = best.min(t0.elapsed().as_secs_f64() * 1e3 / inputs.len() as f64);
+        }
+    }
+    SingleImageResult { baseline_ms, optimized_ms, speedup: baseline_ms / optimized_ms }
+}
+
+fn bench_intra_image(
+    qnet: &QuantizedNetwork,
+    inputs: &[Tensor<f32>],
+    config: AccelConfig,
+) -> IntraImageResult {
+    let mut timings = Vec::new();
+    let mut golden: Option<Vec<zskip_quant::Sm8>> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let driver = Driver::builder(config)
+            .backend(BackendKind::Cpu)
+            .threads(workers)
+            .build()
+            .expect("valid config");
+        let (ms_per_image, out) = drive_ms_per_image(&driver, qnet, inputs);
+        match &golden {
+            None => golden = Some(out),
+            Some(g) => assert_eq!(g, &out, "{workers} workers: output diverged from 1 worker"),
+        }
+        timings.push(WorkerTiming { workers, ms_per_image });
+    }
+    let auto_workers = ConvPool::auto_threads();
+    let ms_at = |w: usize| {
+        timings
+            .iter()
+            .filter(|t| t.workers <= w)
+            .min_by(|a, b| a.workers.cmp(&b.workers).reverse())
+            .map(|t| t.ms_per_image)
+            .unwrap_or(f64::NAN)
+    };
+    IntraImageResult {
+        auto_workers,
+        mt_vs_single: ms_at(auto_workers) / ms_at(1),
+        timings,
+        group_cache: weight_cache_stats(),
+        tap_cache: tap_cache_stats(),
+    }
 }
 
 fn render(bench: &Bench) -> String {
@@ -394,6 +577,27 @@ fn render(bench: &Bench) -> String {
         ));
     }
     text.push_str(&format!("  cpu backend at {:.2}x model throughput\n", c.cpu_speedup_vs_model));
+    let si = &bench.single_image;
+    text.push_str(&format!(
+        "\nsingle image (cpu backend): {:.2} ms baseline (re-pack per image, 1 thread) -> {:.2} ms optimized (shared cache, auto threads): {:.2}x\n",
+        si.baseline_ms, si.optimized_ms, si.speedup
+    ));
+    let ii = &bench.intra_image;
+    text.push_str(&format!("\nintra-image workers (auto = {}):\n", ii.auto_workers));
+    for t in &ii.timings {
+        text.push_str(&format!("  {:>2} workers {:>8.2} ms/image\n", t.workers, t.ms_per_image));
+    }
+    text.push_str(&format!(
+        "  group cache: {} entries, {} hits / {} misses, {} KiB; tap cache: {} entries, {} hits / {} misses, {} KiB\n",
+        ii.group_cache.entries,
+        ii.group_cache.hits,
+        ii.group_cache.misses,
+        ii.group_cache.bytes / 1024,
+        ii.tap_cache.entries,
+        ii.tap_cache.hits,
+        ii.tap_cache.misses,
+        ii.tap_cache.bytes / 1024,
+    ));
     text
 }
 
@@ -422,17 +626,35 @@ fn check(bench: &Bench) -> Result<(), String> {
             bench.cpu_backend.cpu_speedup_vs_model
         ));
     }
+    if bench.single_image.speedup < 2.0 {
+        return Err(format!(
+            "single-image cpu speedup is {:.2}x vs the re-pack-per-image baseline (need >= 2x)",
+            bench.single_image.speedup
+        ));
+    }
+    // Auto-width multithreading must not be worse than single-threaded
+    // (10% tolerance for timer noise; on a single-core host auto == 1 and
+    // this compares a config with itself).
+    if bench.intra_image.mt_vs_single > 1.10 {
+        return Err(format!(
+            "multithreaded single-image latency regressed: {:.2}x the single-threaded latency",
+            bench.intra_image.mt_vs_single
+        ));
+    }
     Ok(())
 }
 
 fn main() {
     let check_mode = std::env::args().any(|a| a == "--check");
+    let (qnet, inputs, config) = vgg_workload(32);
     let bench = Bench {
         host_tiers: KernelTier::supported().iter().map(|t| t.name().to_string()).collect(),
         dispatch_tier: zskip_nn::dispatch().name().to_string(),
         shapes: bench_shapes(),
         allocs: bench_allocs(),
-        cpu_backend: bench_cpu_backend(),
+        cpu_backend: bench_cpu_backend(&qnet, &inputs, config),
+        single_image: bench_single_image(&qnet, &inputs, config),
+        intra_image: bench_intra_image(&qnet, &inputs, config),
         conv3_2_gemm_speedup: 0.0,
     };
     let conv3_2 = bench

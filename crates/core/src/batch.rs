@@ -490,6 +490,27 @@ mod tests {
     }
 
     #[test]
+    fn multithreaded_cpu_batch_stays_bit_exact_with_nested_pools() {
+        // Batch workers and intra-image conv workers compose: each batch
+        // worker's private scratch arena spins up its own ConvPool, so a
+        // 2-worker batch at --threads 3 runs 2x(1+2) threads total. The
+        // result must still be bit-identical to the sequential model run.
+        let qnet = small_qnet(8);
+        let inputs = synthetic_inputs(61, 6, qnet.spec.input);
+        let cfg = AccelConfig::for_variant(Variant::U256Opt);
+        let model = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 1)
+            .expect("model batch runs");
+        let mt_driver =
+            Driver::builder(cfg).backend(BackendKind::Cpu).threads(3).build().expect("valid config");
+        let mt = run_batch(&mt_driver, &qnet, &inputs, 2).expect("mt cpu batch runs");
+        assert_eq!(mt.reports.len(), model.reports.len());
+        for (m, c) in model.reports.iter().zip(&mt.reports) {
+            assert_eq!(m.output, c.output, "bit-identical outputs at any worker split");
+            assert_eq!(m.total_cycles, c.total_cycles, "same closed-form cycle model");
+        }
+    }
+
+    #[test]
     fn structural_errors_are_not_retried() {
         use zskip_hls::AccelArch;
         let qnet = small_qnet(64);

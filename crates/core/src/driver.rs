@@ -22,6 +22,7 @@
 //! orchestration, multi-instance scale-out) lives in [`crate::exec`].
 
 use crate::config::AccelConfig;
+use crate::exec::pipeline::fm_to_tensor_into;
 use crate::exec::{self, PassCtx};
 use crate::isa::PoolPadOp;
 use zskip_fault::SharedFaultPlan;
@@ -55,6 +56,16 @@ pub struct Driver {
     /// When `false`, pack every weight slot (zeros included): the ablation
     /// baseline without the paper's zero-weight skipping.
     pub zero_skipping: bool,
+    /// When `true` (the default), packed group weights are resolved
+    /// through the process-wide content-keyed cache, so packing and
+    /// serialization are a first-image cost instead of a per-image one.
+    /// `false` re-packs per image — the PR-5 baseline benchmarks compare
+    /// against.
+    pub weight_cache: bool,
+    /// Intra-image worker count for the CPU backend's conv kernels
+    /// (resolved — never 0; 1 means single-threaded). See
+    /// [`DriverBuilder::threads`].
+    pub threads: usize,
     /// Fault plan threaded into the SoC models and the cycle backend.
     fault_plan: Option<SharedFaultPlan>,
 }
@@ -160,6 +171,8 @@ pub struct DriverBuilder {
     filter_grouping: bool,
     functional: bool,
     zero_skipping: bool,
+    weight_cache: bool,
+    threads: usize,
     fault_plan: Option<SharedFaultPlan>,
 }
 
@@ -173,6 +186,8 @@ impl DriverBuilder {
             filter_grouping: false,
             functional: true,
             zero_skipping: true,
+            weight_cache: true,
+            threads: 1,
             fault_plan: None,
         }
     }
@@ -198,6 +213,26 @@ impl DriverBuilder {
     /// When `false`, pack every weight slot (the no-skipping ablation).
     pub fn zero_skipping(mut self, on: bool) -> DriverBuilder {
         self.zero_skipping = on;
+        self
+    }
+
+    /// When `false`, bypass the process-wide packed-weight cache and
+    /// re-pack group weights per image (the PR-5 baseline; benchmarks
+    /// use it to measure the cache's speedup honestly).
+    pub fn weight_cache(mut self, on: bool) -> DriverBuilder {
+        self.weight_cache = on;
+        self
+    }
+
+    /// Intra-image worker count for the CPU backend's conv kernels:
+    /// `1` (the default) is single-threaded, larger values split each
+    /// conv layer's output channels across that many threads — bit-exact
+    /// at any width (see `zskip-nn`'s `par` module). `0` resolves to the
+    /// host's available parallelism at [`DriverBuilder::build`] time.
+    /// Other backends compute on the simulated accelerator and ignore
+    /// this.
+    pub fn threads(mut self, threads: usize) -> DriverBuilder {
+        self.threads = threads;
         self
     }
 
@@ -247,6 +282,12 @@ impl DriverBuilder {
             filter_grouping: self.filter_grouping,
             functional: self.functional,
             zero_skipping: self.zero_skipping,
+            weight_cache: self.weight_cache,
+            threads: if self.threads == 0 {
+                zskip_nn::par::ConvPool::auto_threads()
+            } else {
+                self.threads
+            },
             fault_plan: self.fault_plan,
         })
     }
@@ -322,6 +363,9 @@ impl Driver {
     ) -> Result<InferenceReport, DriverError> {
         let mut soc = SocHandle::with_plan(self.fault_plan.clone());
         let backend = exec::backend(self.backend);
+        // Attach the intra-image worker pool (a warmup cost on the first
+        // image; a no-op when the arena already has this width).
+        scratch.set_threads(self.threads);
         let mut fm = {
             let (act_q, _, _) = scratch.host_buffers();
             input.map_into(act_q, |v| qnet.input_params.quantize(v));
@@ -383,7 +427,7 @@ impl Driver {
                     });
                     fm = out;
                     let (act_q, _, _) = scratch.host_buffers();
-                    *act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
+                    fm_to_tensor_into(&fm, act_q);
                     conv_i += 1;
                 }
                 LayerSpec::MaxPool { name, k, stride } => {
@@ -398,7 +442,7 @@ impl Driver {
                     layers.push(LayerReport { name: name.clone(), is_conv: false, dense_macs: 0, stats });
                     fm = out;
                     let (act_q, _, _) = scratch.host_buffers();
-                    *act_q = fm.to_tensor().cropped(out_shape.h, out_shape.w);
+                    fm_to_tensor_into(&fm, act_q);
                 }
                 LayerSpec::Fc { name, .. } => {
                     // Host-side (ARM) execution, as in the paper; the arena's
@@ -457,6 +501,7 @@ impl Driver {
         soc: &mut SocHandle,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
         let mut scratch = Scratch::new();
+        scratch.set_threads(self.threads);
         exec::backend(self.backend).conv_pass(
             &mut PassCtx { driver: self, soc, scratch: &mut scratch },
             name,

@@ -17,15 +17,17 @@
 //! [`BackendKind::Cpu`]: crate::exec::BackendKind::Cpu
 //! [`Scratch`]: zskip_nn::scratch::Scratch
 
-use super::pipeline::{self, Exec};
+use super::pipeline::{self, fm_to_tensor_into, Exec};
 use super::{PassCtx, StripeBackend};
 use crate::driver::DriverError;
 use crate::isa::PoolPadOp;
 use crate::report::PassStats;
-use zskip_nn::conv::{conv2d_quant_into, QuantConvWeights};
+use zskip_nn::conv::{conv2d_quant_into, conv2d_quant_into_pool, QuantConvWeights};
+use zskip_nn::gemm::{conv2d_gemm_quant_pool, conv2d_gemm_quant_tier};
 use zskip_nn::pool::maxpool_quant_into;
+use zskip_nn::simd::KernelTier;
 use zskip_quant::Sm8;
-use zskip_tensor::{Shape, Tensor, TiledFeatureMap, TILE_DIM};
+use zskip_tensor::{Shape, Tensor, TiledFeatureMap};
 
 /// The host-SIMD backend (see module docs).
 pub(crate) struct CpuBackend;
@@ -45,14 +47,34 @@ impl StripeBackend for CpuBackend {
         // Cycles, counters, DDR traffic and fault behaviour from the
         // staged pipeline; its (uncomputed) output tiles are discarded.
         let (_, stats) = pipeline::conv_pass(ctx.driver, ctx.soc, STATS, name, input, qw, out_shape)?;
-        let (src, dst, acc, tier) = ctx.scratch.pass_buffers();
+        let (src, dst, acc, tier, pool) = ctx.scratch.pass_buffers_pool();
         fm_to_tensor_into(input, src);
         // The pipeline input is pre-padded by the explicit pad pass and
         // stride-1 by the driver's geometry checks, so pad = 0 here
-        // yields exactly `out_shape`.
-        conv2d_quant_into(src, qw, 1, 0, tier, acc, dst);
-        debug_assert_eq!(dst.shape(), out_shape);
-        Ok((TiledFeatureMap::from_tensor(dst), stats))
+        // yields exactly `out_shape`. With a worker pool attached the
+        // output channels split across it — bit-exact at any width.
+        //
+        // Kernel choice: on SIMD tiers the row-panel GEMM is the fastest
+        // host path by a wide margin (see `BENCH_kernels.json`); on the
+        // scalar tier the packed direct conv wins, and keeping it there
+        // also exercises the accelerator-analogue kernel end-to-end under
+        // `ZSKIP_KERNEL=scalar`. All variants are bit-identical
+        // (cross-kernel property suite, `tests/kernel_tiers.rs`).
+        if tier == KernelTier::Scalar {
+            match pool {
+                Some(p) => conv2d_quant_into_pool(src, qw, 1, 0, tier, p, acc, dst),
+                None => conv2d_quant_into(src, qw, 1, 0, tier, acc, dst),
+            }
+            debug_assert_eq!(dst.shape(), out_shape);
+            Ok((TiledFeatureMap::from_tensor(dst), stats))
+        } else {
+            let out = match pool {
+                Some(p) => conv2d_gemm_quant_pool(src, qw, 1, 0, tier, p),
+                None => conv2d_gemm_quant_tier(src, qw, 1, 0, tier),
+            };
+            debug_assert_eq!(out.shape(), out_shape);
+            Ok((TiledFeatureMap::from_tensor(&out), stats))
+        }
     }
 
     fn poolpad_pass(
@@ -74,22 +96,6 @@ impl StripeBackend for CpuBackend {
         }
         debug_assert_eq!(dst.shape(), out_shape);
         Ok((TiledFeatureMap::from_tensor(dst), stats))
-    }
-}
-
-/// Densifies a tiled FM into `out` at its logical extent, reusing the
-/// allocation (the inverse of [`TiledFeatureMap::from_tensor`], which
-/// re-zeroes the round-up region on the way back).
-fn fm_to_tensor_into(fm: &TiledFeatureMap<Sm8>, out: &mut Tensor<Sm8>) {
-    let s = fm.logical_shape();
-    out.reset(s.c, s.h, s.w);
-    for c in 0..s.c {
-        for y in 0..s.h {
-            let (ty, iy) = (y / TILE_DIM, y % TILE_DIM);
-            for x in 0..s.w {
-                out[(c, y, x)] = fm.tile(c, ty, x / TILE_DIM)[(iy, x % TILE_DIM)];
-            }
-        }
     }
 }
 

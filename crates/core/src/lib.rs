@@ -58,6 +58,7 @@ pub use driver::{
     BackendKind, Driver, DriverBuilder, DriverError, InferenceReport, LayerReport, PassStats,
     SocHandle,
 };
+pub use exec::pipeline::weight_cache_stats;
 pub use error::Error;
 pub use exec::{PassCtx, StripeBackend};
 pub use fault::{run_campaign, CampaignConfig, CampaignReport, TrialOutcome, TrialResult};

@@ -111,6 +111,40 @@ pub fn run_instructions_with_mode(
     ModelOutcome { cycles, counters: counters.clone() }
 }
 
+/// Like [`run_instructions_with_mode`], with each conv instruction's
+/// group weights supplied **pre-parsed** — `groups[k]` pairs with the
+/// `k`-th conv instruction in stream order. The driver serialized the
+/// scratchpad image from those very groups, so skipping the per-image
+/// re-parse is a pure host-side optimization: cycles, counters and bank
+/// contents are identical to the scratchpad path.
+///
+/// # Panics
+/// Panics if `groups` has fewer entries than the stream has conv
+/// instructions.
+pub fn run_instructions_prepacked(
+    config: &AccelConfig,
+    banks: &mut BankSet,
+    instructions: &[Instruction],
+    counters: &mut Counters,
+    functional: bool,
+    groups: &[GroupWeights],
+) -> ModelOutcome {
+    let mut cycles = 0;
+    let mut conv_k = 0;
+    for i in instructions {
+        cycles += match i {
+            Instruction::Conv(c) => {
+                let g = &groups[conv_k];
+                conv_k += 1;
+                run_conv_with(config, banks, c, counters, functional, g)
+            }
+            Instruction::PoolPad(p) => run_poolpad(config, banks, p, counters, functional),
+        };
+    }
+    cycles += 4;
+    ModelOutcome { cycles, counters: counters.clone() }
+}
+
 fn in_layout(i: &ConvInstr) -> FmLayout {
     FmLayout {
         base: i.ifm_base as usize,
@@ -175,9 +209,20 @@ fn run_conv(
 ) -> u64 {
     let weights = GroupWeights::from_bytes(&scratchpad[i.wgt_base as usize..], i.ifm_count as usize, config.lanes)
         .expect("driver wrote a well-formed scratchpad image");
+    run_conv_with(config, banks, i, counters, functional, &weights)
+}
+
+fn run_conv_with(
+    config: &AccelConfig,
+    banks: &mut BankSet,
+    i: &ConvInstr,
+    counters: &mut Counters,
+    functional: bool,
+    weights: &GroupWeights,
+) -> u64 {
     let positions = i.ofm_tile_rows as u64 * i.ofm_tiles_x as u64;
     let requant = Requantizer { mult: i.requant_mult as u32, shift: i.requant_shift as u32 };
-    let cycles = conv_instruction_cycles(config, i, &weights);
+    let cycles = conv_instruction_cycles(config, i, weights);
 
     // Activity counters (same definitions as the cycle kernels).
     let mut applied = 0u64;

@@ -108,6 +108,12 @@ impl GroupWeights {
         (0..self.ifm_count).map(|i| self.ifm_bytes(i)).sum()
     }
 
+    /// Heap bytes held by this group (cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.tiles.iter().map(PackedTile::heap_bytes).sum::<usize>()
+            + self.tiles.capacity() * std::mem::size_of::<PackedTile>()
+    }
+
     /// Serializes to the scratchpad stream: per IFM, the `lanes` packed
     /// tiles concatenated.
     pub fn to_bytes(&self) -> Vec<u8> {

@@ -17,6 +17,7 @@
 //! identical; the `_naive` variants stay as property-test baselines.
 
 use crate::conv::{ConvWeights, QuantConvWeights};
+use crate::par::{ConvPool, SendPtr};
 use crate::simd::{self, KernelTier, GEMM_I32_CHUNK_ROWS};
 use zskip_quant::Sm8;
 use zskip_tensor::{Shape, Tensor};
@@ -211,35 +212,98 @@ pub fn conv2d_gemm_quant_tier(
     let mut acc64 = vec![0i64; cols];
     let mut acc32 = vec![0i32; cols];
     for o in 0..weights.out_c {
-        let wrow = &weights.w[o * rows..(o + 1) * rows];
-        acc64.fill(weights.bias_acc[o]);
-        acc32.fill(0);
-        let mut pending = 0usize;
-        for (r, &wv) in wrow.iter().enumerate() {
-            let wv = wv.to_i32();
-            if wv == 0 {
-                continue;
-            }
-            simd::axpy_i32(tier, &mut acc32, &m[r * cols..(r + 1) * cols], wv);
-            pending += 1;
-            if pending == GEMM_I32_CHUNK_ROWS {
-                for (a64, a32) in acc64.iter_mut().zip(acc32.iter_mut()) {
-                    *a64 += *a32 as i64;
-                    *a32 = 0;
-                }
-                pending = 0;
-            }
-        }
-        if pending > 0 {
-            for (a64, a32) in acc64.iter_mut().zip(acc32.iter()) {
-                *a64 += *a32 as i64;
-            }
-        }
         let plane = &mut out_slice[o * cols..(o + 1) * cols];
-        for (dst, &a) in plane.iter_mut().zip(acc64.iter()) {
-            *dst = if weights.relu { weights.requant.apply_relu(a) } else { weights.requant.apply(a) };
+        gemm_quant_channel(&m, cols, rows, weights, o, tier, &mut acc64, &mut acc32, plane);
+    }
+    out
+}
+
+/// One output channel of the SIMD row-panel quantized GEMM: the shared
+/// body of [`conv2d_gemm_quant_tier`] and [`conv2d_gemm_quant_pool`]. Each
+/// channel owns its accumulator panel and walks the reduction rows in
+/// ascending order, so the channel's result is independent of which thread
+/// (or how many) computes the other channels.
+#[allow(clippy::too_many_arguments)]
+fn gemm_quant_channel(
+    m: &[Sm8],
+    cols: usize,
+    rows: usize,
+    weights: &QuantConvWeights,
+    o: usize,
+    tier: KernelTier,
+    acc64: &mut [i64],
+    acc32: &mut [i32],
+    out_plane: &mut [Sm8],
+) {
+    let wrow = &weights.w[o * rows..(o + 1) * rows];
+    acc64.fill(weights.bias_acc[o]);
+    acc32.fill(0);
+    let mut pending = 0usize;
+    for (r, &wv) in wrow.iter().enumerate() {
+        let wv = wv.to_i32();
+        if wv == 0 {
+            continue;
+        }
+        simd::axpy_i32(tier, acc32, &m[r * cols..(r + 1) * cols], wv);
+        pending += 1;
+        if pending == GEMM_I32_CHUNK_ROWS {
+            for (a64, a32) in acc64.iter_mut().zip(acc32.iter_mut()) {
+                *a64 += *a32 as i64;
+                *a32 = 0;
+            }
+            pending = 0;
         }
     }
+    if pending > 0 {
+        for (a64, a32) in acc64.iter_mut().zip(acc32.iter()) {
+            *a64 += *a32 as i64;
+        }
+    }
+    for (dst, &a) in out_plane.iter_mut().zip(acc64.iter()) {
+        *dst = if weights.relu { weights.requant.apply_relu(a) } else { weights.requant.apply(a) };
+    }
+}
+
+/// [`conv2d_gemm_quant_tier`] with the output channels chunked across an
+/// intra-image worker pool: each participant takes a contiguous channel
+/// range and runs `gemm_quant_channel` per channel with its own
+/// accumulator panels. Bit-identical to the single-threaded row-panel
+/// kernel at any worker count (channels are computed by the same body in
+/// the same reduction order — only the executing thread varies). The
+/// scalar tier uses the row-panel body too (not the blocked micro-kernel);
+/// integer accumulation keeps that bit-exact as well.
+pub fn conv2d_gemm_quant_pool(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+    tier: KernelTier,
+    pool: &ConvPool,
+) -> Tensor<Sm8> {
+    let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
+    let cols = mshape.h * mshape.w;
+    let rows = mshape.c;
+    let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
+    let out_ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    let panels = pool.threads().min(weights.out_c.max(1));
+    let per = weights.out_c.div_ceil(panels);
+    let m = &m[..];
+    pool.run(panels, &|_, panel| {
+        let o_lo = panel * per;
+        let o_hi = ((panel + 1) * per).min(weights.out_c);
+        // The GEMM path allocates per call anyway (im2col); per-panel
+        // accumulators keep it simple. The allocation-free path is the
+        // direct conv in `crate::conv`.
+        let mut acc64 = vec![0i64; cols];
+        let mut acc32 = vec![0i32; cols];
+        for o in o_lo..o_hi {
+            // SAFETY: panels own disjoint channel ranges, so plane `o` has
+            // a single writer; `o < out_c` keeps it in bounds.
+            let plane =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.add(o * cols), cols) };
+            gemm_quant_channel(m, cols, rows, weights, o, tier, &mut acc64, &mut acc32, plane);
+        }
+    });
     out
 }
 

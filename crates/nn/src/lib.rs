@@ -14,8 +14,12 @@
 //! * [`vgg16`] — the VGG-16 network used as the paper's test vehicle,
 //! * [`eval`] — fidelity metrics substituting for the data-gated ImageNet
 //!   accuracy comparison (top-1 agreement, SQNR),
-//! * [`simd`] — SIMD kernel tiers (SSE2/AVX2) for the quantized inner
-//!   loops with runtime dispatch, scalar kept as the bit-exact oracle,
+//! * [`simd`] — SIMD kernel tiers (SSE2/AVX2/AVX-512) for the quantized
+//!   inner loops with runtime dispatch, scalar kept as the bit-exact
+//!   oracle,
+//! * [`par`] — the intra-image worker pool splitting one image's conv
+//!   layers across cores by output-channel panels, bit-exact at any
+//!   worker count,
 //! * [`scratch`] — reusable buffer arena making the steady-state forward
 //!   pass allocation-free.
 
@@ -25,6 +29,7 @@ pub mod fc;
 pub mod gemm;
 pub mod layer;
 pub mod model;
+pub mod par;
 pub mod pool;
 pub mod scratch;
 pub mod simd;
@@ -32,6 +37,7 @@ pub mod vgg16;
 
 pub use layer::{LayerSpec, NetworkSpec};
 pub use model::{Network, QuantizedConvLayer, QuantizedNetwork, SyntheticModelConfig};
+pub use par::ConvPool;
 pub use scratch::Scratch;
 pub use simd::{dispatch, select_tier, KernelTier, KERNEL_ENV};
 pub use vgg16::{vgg16_spec, VGG16_CONV_NAMES};

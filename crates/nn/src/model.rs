@@ -8,7 +8,7 @@
 //! realistically-scaled distributions — everything downstream (sparsity
 //! structure, zero-skipping, cycle counts, bit-exactness) is faithful.
 
-use crate::conv::{conv2d_f32, conv2d_quant_into, ConvWeights, QuantConvWeights};
+use crate::conv::{conv2d_f32, conv2d_quant_into, conv2d_quant_into_pool, ConvWeights, QuantConvWeights};
 use crate::fc::{fc_f32, fc_quant_into, softmax, FcWeights, QuantFcWeights};
 use crate::layer::{LayerSpec, NetworkSpec};
 use crate::pool::{maxpool_f32, maxpool_quant_into};
@@ -290,7 +290,7 @@ impl QuantizedNetwork {
         let mut cur = 0usize;
         let mut flat_cur: Option<usize> = None;
         {
-            let Scratch { act, acc, flat, .. } = scratch;
+            let Scratch { act, acc, flat, pool, .. } = scratch;
             input.map_into(&mut act[cur], |v| self.input_params.quantize(v));
             let mut conv_i = 0;
             let mut fc_i = 0;
@@ -300,7 +300,27 @@ impl QuantizedNetwork {
                         let (lo, hi) = act.split_at_mut(1);
                         let (src, dst) =
                             if cur == 0 { (&lo[0], &mut hi[0]) } else { (&hi[0], &mut lo[0]) };
-                        conv2d_quant_into(src, &self.conv[conv_i].weights, *stride, *pad, tier, acc, dst);
+                        match pool.as_deref() {
+                            Some(p) => conv2d_quant_into_pool(
+                                src,
+                                &self.conv[conv_i].weights,
+                                *stride,
+                                *pad,
+                                tier,
+                                p,
+                                acc,
+                                dst,
+                            ),
+                            None => conv2d_quant_into(
+                                src,
+                                &self.conv[conv_i].weights,
+                                *stride,
+                                *pad,
+                                tier,
+                                acc,
+                                dst,
+                            ),
+                        }
                         cur ^= 1;
                         conv_i += 1;
                     }

@@ -22,7 +22,9 @@
 //!
 //! See `docs/KERNELS.md` for how this composes with the SIMD kernel tiers.
 
+use crate::par::ConvPool;
 use crate::simd::{self, KernelTier};
+use std::sync::Arc;
 use zskip_quant::Sm8;
 use zskip_tensor::Tensor;
 
@@ -38,6 +40,12 @@ pub struct Scratch {
     pub(crate) flat: [Vec<Sm8>; 2],
     tier: KernelTier,
     pub(crate) grow_events: u64,
+    /// Intra-image worker pool. `None` (the default) is the
+    /// single-threaded path; [`Scratch::set_threads`] attaches a pool so
+    /// conv layers split their output channels across cores. Cloned
+    /// arenas share the pool handle (`ConvPool::run` serializes
+    /// concurrent jobs), but an arena still belongs to one thread.
+    pub(crate) pool: Option<Arc<ConvPool>>,
 }
 
 impl Scratch {
@@ -56,7 +64,31 @@ impl Scratch {
             flat: [Vec::new(), Vec::new()],
             tier,
             grow_events: 0,
+            pool: None,
         }
+    }
+
+    /// Attaches (or detaches) the intra-image worker pool. `threads <= 1`
+    /// drops the pool (single-threaded conv); larger values spawn
+    /// `threads - 1` persistent workers. A no-op when the arena already
+    /// has the requested width, so the driver can call this per image —
+    /// pool construction is a warmup cost, like the first buffer growth.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if self.threads() == threads {
+            return;
+        }
+        self.pool = if threads > 1 { Some(Arc::new(ConvPool::new(threads))) } else { None };
+    }
+
+    /// The intra-image worker count (1 = no pool, the default).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    /// The attached worker pool, if any.
+    pub fn pool(&self) -> Option<&ConvPool> {
+        self.pool.as_deref()
     }
 
     /// The kernel tier forward passes through this arena use.
@@ -97,6 +129,16 @@ impl Scratch {
         let (a, b) = self.act.split_at_mut(1);
         (&mut a[0], &mut b[0], &mut self.acc, self.tier)
     }
+
+    /// [`Scratch::pass_buffers`] plus the attached worker pool, for conv
+    /// passes that split output channels across it.
+    #[allow(clippy::type_complexity)]
+    pub fn pass_buffers_pool(
+        &mut self,
+    ) -> (&mut Tensor<Sm8>, &mut Tensor<Sm8>, &mut Vec<i64>, KernelTier, Option<&ConvPool>) {
+        let (a, b) = self.act.split_at_mut(1);
+        (&mut a[0], &mut b[0], &mut self.acc, self.tier, self.pool.as_deref())
+    }
 }
 
 impl Default for Scratch {
@@ -122,5 +164,24 @@ mod tests {
     fn with_tier_pins_the_tier() {
         let s = Scratch::with_tier(KernelTier::Scalar);
         assert_eq!(s.tier(), KernelTier::Scalar);
+    }
+
+    #[test]
+    fn set_threads_attaches_and_detaches_the_pool() {
+        let mut s = Scratch::new();
+        assert_eq!(s.threads(), 1);
+        assert!(s.pool().is_none());
+        s.set_threads(3);
+        assert_eq!(s.threads(), 3);
+        assert!(s.pool().is_some());
+        // Same width: no-op, pool identity preserved (no respawn).
+        let before = s.pool().map(|p| p as *const _);
+        s.set_threads(3);
+        assert_eq!(s.pool().map(|p| p as *const _), before);
+        s.set_threads(1);
+        assert_eq!(s.threads(), 1);
+        assert!(s.pool().is_none());
+        s.set_threads(0); // clamps to 1
+        assert_eq!(s.threads(), 1);
     }
 }

@@ -5,9 +5,10 @@
 //! and applies 4 weights per cycle in 8-bit sign+magnitude arithmetic
 //! (§III-A). The software golden model historically emulated that one
 //! scalar lane at a time; this module supplies the lane-parallel inner
-//! loops — a 16-wide AVX2 tier (one whole tile row per iteration) and an
-//! 8-wide SSE2 tier — behind a [`KernelTier`] selector, with the scalar
-//! loops kept as the bit-exactness oracle and unconditional fallback.
+//! loops — a 32-wide AVX-512 tier (two tile rows per iteration), a 16-wide
+//! AVX2 tier (one whole tile row per iteration) and an 8-wide SSE2 tier —
+//! behind a [`KernelTier`] selector, with the scalar loops kept as the
+//! bit-exactness oracle and unconditional fallback.
 //!
 //! # Exactness
 //!
@@ -29,7 +30,7 @@
 //!
 //! [`dispatch`] picks the widest tier the CPU supports, once, at first
 //! use. The `ZSKIP_KERNEL` environment variable (`scalar` | `sse2` |
-//! `avx2`) overrides the choice for testing and benchmarking; requesting
+//! `avx2` | `avx512`) overrides the choice for testing and benchmarking; requesting
 //! an unsupported or unknown tier falls back to the best supported one.
 //! See `docs/KERNELS.md` for the full dispatch rules and how to add a
 //! tier.
@@ -49,11 +50,14 @@ pub enum KernelTier {
     Sse2,
     /// 16-lane AVX2 kernels: one IFM tile row per iteration.
     Avx2,
+    /// 32-lane AVX-512 kernels (F + BW): two IFM tile rows per iteration.
+    Avx512,
 }
 
 impl KernelTier {
     /// Every tier, narrowest first.
-    pub const ALL: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Sse2, KernelTier::Avx2];
+    pub const ALL: [KernelTier; 4] =
+        [KernelTier::Scalar, KernelTier::Sse2, KernelTier::Avx2, KernelTier::Avx512];
 
     /// Stable lower-case name (the `ZSKIP_KERNEL` spelling).
     pub fn name(self) -> &'static str {
@@ -61,6 +65,7 @@ impl KernelTier {
             KernelTier::Scalar => "scalar",
             KernelTier::Sse2 => "sse2",
             KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
         }
     }
 
@@ -70,6 +75,7 @@ impl KernelTier {
             "scalar" => Some(KernelTier::Scalar),
             "sse2" => Some(KernelTier::Sse2),
             "avx2" => Some(KernelTier::Avx2),
+            "avx512" => Some(KernelTier::Avx512),
             _ => None,
         }
     }
@@ -82,6 +88,12 @@ impl KernelTier {
             KernelTier::Sse2 => is_x86_feature_detected!("sse2"),
             #[cfg(target_arch = "x86_64")]
             KernelTier::Avx2 => is_x86_feature_detected!("avx2"),
+            // BW is needed for the 32-lane i16 multiply/shift; F for the
+            // 512-bit integer adds and widening converts.
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512 => {
+                is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw")
+            }
             #[cfg(not(target_arch = "x86_64"))]
             _ => false,
         }
@@ -154,6 +166,8 @@ pub fn axpy_i64(tier: KernelTier, acc: &mut [i64], xs: &[Sm8], w: i32) {
         KernelTier::Sse2 => unsafe { x86::axpy_i64_sse2(acc, xs, w) },
         #[cfg(target_arch = "x86_64")]
         KernelTier::Avx2 => unsafe { x86::axpy_i64_avx2(acc, xs, w) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 => unsafe { x86::axpy_i64_avx512(acc, xs, w) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => axpy_i64_scalar(acc, xs, w),
     }
@@ -176,6 +190,8 @@ pub fn axpy_i32(tier: KernelTier, acc: &mut [i32], xs: &[Sm8], w: i32) {
         KernelTier::Sse2 => unsafe { x86::axpy_i32_sse2(acc, xs, w) },
         #[cfg(target_arch = "x86_64")]
         KernelTier::Avx2 => unsafe { x86::axpy_i32_avx2(acc, xs, w) },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx512 => unsafe { x86::axpy_i32_avx512(acc, xs, w) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => axpy_i32_scalar(acc, xs, w),
     }
@@ -223,6 +239,16 @@ mod x86 {
         _mm256_sub_epi16(_mm256_xor_si256(mag, neg), neg)
     }
 
+    /// Same decode, 32 lanes. The shift/multiply i16 ops are AVX-512BW;
+    /// the bitwise ops are AVX-512F.
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn decode32_avx512(b16: __m512i) -> __m512i {
+        let mag = _mm512_and_si512(b16, _mm512_set1_epi16(0x7f));
+        let neg = _mm512_srai_epi16::<15>(_mm512_slli_epi16::<8>(b16));
+        _mm512_sub_epi16(_mm512_xor_si512(mag, neg), neg)
+    }
+
     /// Same decode, 8 lanes, SSE2-only ops.
     #[inline]
     #[target_feature(enable = "sse2")]
@@ -242,6 +268,60 @@ mod x86 {
         _mm256_storeu_si256(acc as *mut __m256i, _mm256_add_epi64(a0, q0));
         let a1 = _mm256_loadu_si256(acc.add(4) as *const __m256i);
         _mm256_storeu_si256(acc.add(4) as *mut __m256i, _mm256_add_epi64(a1, q1));
+    }
+
+    /// Adds 16 sign-extended `i32` lanes into 16 consecutive `i64` slots.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn add_i32x16_into_i64(acc: *mut i64, v: __m512i) {
+        let q0 = _mm512_cvtepi32_epi64(_mm512_castsi512_si256(v));
+        let q1 = _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64::<1>(v));
+        let a0 = _mm512_loadu_si512(acc as *const _);
+        _mm512_storeu_si512(acc as *mut _, _mm512_add_epi64(a0, q0));
+        let a1 = _mm512_loadu_si512(acc.add(8) as *const _);
+        _mm512_storeu_si512(acc.add(8) as *mut _, _mm512_add_epi64(a1, q1));
+    }
+
+    /// 32-wide tap update: decode two tile rows of inputs, multiply by the
+    /// broadcast weight in `i16` (exact), widen through `i32` to `i64`.
+    /// Same dataflow as the AVX2 kernel at double width; the sub-32
+    /// remainder runs the scalar tail, so short valid-spans stay exact.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn axpy_i64_avx512(acc: &mut [i64], xs: &[Sm8], w: i32) {
+        let n = xs.len();
+        let wv = _mm512_set1_epi16(w as i16);
+        let mut i = 0;
+        while i + 32 <= n {
+            let bytes = _mm256_loadu_si256(xs.as_ptr().add(i) as *const __m256i);
+            let prod = _mm512_mullo_epi16(decode32_avx512(_mm512_cvtepu8_epi16(bytes)), wv);
+            let lo = _mm512_cvtepi16_epi32(_mm512_castsi512_si256(prod));
+            let hi = _mm512_cvtepi16_epi32(_mm512_extracti64x4_epi64::<1>(prod));
+            add_i32x16_into_i64(acc.as_mut_ptr().add(i), lo);
+            add_i32x16_into_i64(acc.as_mut_ptr().add(i + 16), hi);
+            i += 32;
+        }
+        super::axpy_i64_scalar(&mut acc[i..], &xs[i..], w);
+    }
+
+    /// 32-wide GEMM row update into `i32` accumulators.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn axpy_i32_avx512(acc: &mut [i32], xs: &[Sm8], w: i32) {
+        let n = xs.len();
+        let wv = _mm512_set1_epi16(w as i16);
+        let mut i = 0;
+        while i + 32 <= n {
+            let bytes = _mm256_loadu_si256(xs.as_ptr().add(i) as *const __m256i);
+            let prod = _mm512_mullo_epi16(decode32_avx512(_mm512_cvtepu8_epi16(bytes)), wv);
+            let lo = _mm512_cvtepi16_epi32(_mm512_castsi512_si256(prod));
+            let hi = _mm512_cvtepi16_epi32(_mm512_extracti64x4_epi64::<1>(prod));
+            let base = acc.as_mut_ptr().add(i);
+            let a0 = _mm512_loadu_si512(base as *const _);
+            _mm512_storeu_si512(base as *mut _, _mm512_add_epi32(a0, lo));
+            let a1 = _mm512_loadu_si512(base.add(16) as *const _);
+            _mm512_storeu_si512(base.add(16) as *mut _, _mm512_add_epi32(a1, hi));
+            i += 32;
+        }
+        super::axpy_i32_scalar(&mut acc[i..], &xs[i..], w);
     }
 
     /// 16-wide tap update: decode one tile row of inputs, multiply by the
@@ -350,7 +430,8 @@ mod tests {
             assert_eq!(KernelTier::parse(&t.name().to_uppercase()), Some(t));
             assert_eq!(t.to_string(), t.name());
         }
-        assert_eq!(KernelTier::parse("avx512"), None);
+        assert_eq!(KernelTier::parse("avx512"), Some(KernelTier::Avx512));
+        assert_eq!(KernelTier::parse("avx999"), None);
         assert_eq!(KernelTier::parse(""), None);
     }
 
@@ -392,7 +473,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn axpy_tiers_match_scalar(
-            n in 0usize..70, // crosses the 8- and 16-lane boundaries and tails
+            n in 0usize..70, // crosses the 8-, 16- and 32-lane boundaries and tails
             w in -127i32..=127,
             seed in 0u64..1000,
         ) {

@@ -80,4 +80,25 @@ fn steady_state_forward_pass_allocates_nothing() {
         );
     }
     assert_eq!(scratch.grow_events(), 1, "arena grew after warm-up");
+
+    // Multithreaded single-image path: attaching a 3-worker ConvPool and
+    // re-warming (thread spawn + wider accumulator arena may allocate)
+    // must restore a zero-allocation steady state — pooled dispatch uses
+    // pre-sized per-worker accumulator slices and a lock/condvar protocol
+    // that never touches the heap.
+    scratch.set_threads(3);
+    let mt_warm = qnet.forward_quant_scratch(&inputs[0], &mut scratch).to_vec();
+    assert_eq!(mt_warm, warm, "pooled forward pass stays bit-identical");
+    for input in &inputs[1..] {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let out = qnet.forward_quant_scratch(input, &mut scratch);
+        let len = out.len();
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(len, warm.len());
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state multithreaded forward pass must not touch the heap"
+        );
+    }
 }

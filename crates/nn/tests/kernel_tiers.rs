@@ -2,9 +2,14 @@
 //! must reproduce the scalar dense oracle exactly, over random shapes
 //! (including non-multiple-of-4 spatial dims that exercise the vector
 //! tails), kernel sizes 1/3/5/7, strides 1/2, and densities 0.0–1.0.
+//! The pooled (intra-image multithreaded) kernels must match the same
+//! oracle at every worker count — panel decomposition never reorders the
+//! integer accumulation within an output channel.
 
 use proptest::prelude::*;
-use zskip_nn::conv::{conv2d_quant_dense, conv2d_quant_into, QuantConvWeights};
+use zskip_nn::conv::{conv2d_quant_dense, conv2d_quant_into, conv2d_quant_into_pool, QuantConvWeights};
+use zskip_nn::gemm::{conv2d_gemm_quant_pool, conv2d_gemm_quant_tier};
+use zskip_nn::par::ConvPool;
 use zskip_nn::simd::KernelTier;
 use zskip_quant::{Requantizer, Sm8};
 use zskip_tensor::Tensor;
@@ -61,6 +66,36 @@ proptest! {
             let mut out = Tensor::zeros(1, 1, 1);
             conv2d_quant_into(&input, &qw, stride, pad, tier, &mut acc, &mut out);
             prop_assert_eq!(&oracle, &out, "tier {} diverged from dense oracle", tier);
+        }
+    }
+
+    #[test]
+    fn pooled_kernels_are_bit_exact_at_every_worker_count(
+        out_c in 1usize..6,
+        in_c in 1usize..4,
+        h in 3usize..11,
+        w in 3usize..15,
+        k_idx in 0usize..3,
+        workers in 1usize..8,
+        density_ppt in 0u64..=1000,
+        seed in 0u64..1000,
+    ) {
+        let k = [1usize, 3, 5][k_idx];
+        let pad = k / 2;
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let qw = synthetic_qw(out_c, in_c, k, density_ppt as f64 / 1000.0, seed, seed % 2 == 0);
+        let input = synthetic_input(in_c, h, w, seed);
+        let oracle = conv2d_quant_dense(&input, &qw, 1, pad);
+        let pool = ConvPool::new(workers);
+        for tier in KernelTier::supported() {
+            let mut acc = Vec::new();
+            let mut out = Tensor::zeros(1, 1, 1);
+            conv2d_quant_into_pool(&input, &qw, 1, pad, tier, &pool, &mut acc, &mut out);
+            prop_assert_eq!(&oracle, &out, "pooled packed kernel, tier {}, {} workers", tier, workers);
+            let gemm = conv2d_gemm_quant_pool(&input, &qw, 1, pad, tier, &pool);
+            prop_assert_eq!(&oracle, &gemm, "pooled gemm kernel, tier {}, {} workers", tier, workers);
+            let single = conv2d_gemm_quant_tier(&input, &qw, 1, pad, tier);
+            prop_assert_eq!(&oracle, &single, "row-panel gemm kernel, tier {}", tier);
         }
     }
 }

@@ -17,8 +17,11 @@
 //! * [`pack`] — the packed (offset, value) weight-tile format and the
 //!   lockstep 4-filter iteration that produces the paper's pipeline bubbles,
 //! * [`grouping`] — the paper's *future work*: grouping filters by non-zero
-//!   count so concurrently-applied filters have balanced work.
+//!   count so concurrently-applied filters have balanced work,
+//! * [`cache`] — a process-wide lock-lite cache so workers and sessions
+//!   share one copy of each derived packing instead of re-deriving it.
 
+pub mod cache;
 pub mod grouping;
 pub mod pack;
 pub mod prune;
@@ -26,6 +29,7 @@ pub mod quantize;
 pub mod sm8;
 pub mod ternary;
 
+pub use cache::{CacheStats, Fingerprint, WeightCache};
 pub use pack::{LockstepGroup, PackedEntry, PackedTile};
 pub use prune::{prune_to_density, sparsity, DensityProfile};
 pub use quantize::{QuantParams, Requantizer};

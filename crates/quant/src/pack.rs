@@ -135,6 +135,13 @@ impl PackedTile {
         1 + 2 * self.entries.len()
     }
 
+    /// Approximate heap bytes held by this packed tile — the entry vector's
+    /// capacity. Used by the shared weight cache ([`crate::cache`]) to
+    /// account resident artifact size.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<PackedEntry>()
+    }
+
     /// Reconstructs the dense tile as 16 branch-free-decoded `i16` lanes —
     /// the exact form a 16-wide SIMD register consumes after the paper's
     /// 1-tile/cycle bank read. Zero slots decode to 0.

@@ -59,6 +59,8 @@ const DENSITY_HELP: &str = "weight density: 'dc' (deep-compression VGG-16 profil
 const VARIANT_HELP: &str = "accelerator variant: 16-unopt | 256-unopt | 256-opt | 512-opt";
 const BACKEND_HELP: &str =
     "execution backend: model (transaction-level) | cycle (cycle-exact) | cpu (host SIMD)";
+const THREADS_HELP: &str =
+    "intra-image conv worker threads for the cpu backend (0 = host auto; others ignore)";
 
 const COMMANDS: &[Command] = &[
     Command {
@@ -84,6 +86,7 @@ const COMMANDS: &[Command] = &[
             Flag::val("--density", "D", "dc", DENSITY_HELP),
             Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
             Flag::val("--backend", "B", "model", BACKEND_HELP),
+            Flag::val("--threads", "T", "0", THREADS_HELP),
             Flag::boolean("--ternary", "quantize weights to ternary (-1/0/+1 magnitudes)"),
         ],
         run: infer,
@@ -99,6 +102,7 @@ const COMMANDS: &[Command] = &[
             Flag::val("--density", "D", "dc", DENSITY_HELP),
             Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
             Flag::val("--backend", "B", "model", BACKEND_HELP),
+            Flag::val("--threads", "T", "0", THREADS_HELP),
         ],
         run: batch,
     },
@@ -309,8 +313,11 @@ fn infer(p: &Parsed) {
     let input = synthetic_inputs(3, 1, spec.input).pop().expect("one");
 
     let config = AccelConfig::for_variant(variant);
-    let driver =
-        Driver::builder(config).backend(backend).build().unwrap_or_else(|e| fail(&e.to_string()));
+    let driver = Driver::builder(config)
+        .backend(backend)
+        .threads(p.parse_num("--threads", 0))
+        .build()
+        .unwrap_or_else(|e| fail(&e.to_string()));
     let report = driver.run_network(&qnet, &input).unwrap_or_else(|e| fail(&e.to_string()));
     assert_eq!(report.output, qnet.forward_quant(&input), "bit-exact vs golden model");
     println!("bit-exact vs the software golden model");
@@ -342,8 +349,11 @@ fn batch(p: &Parsed) {
     let inputs = synthetic_inputs(3, n, spec.input);
 
     let config = AccelConfig::for_variant(variant);
-    let driver =
-        Driver::builder(config).backend(backend).build().unwrap_or_else(|e| fail(&e.to_string()));
+    let driver = Driver::builder(config)
+        .backend(backend)
+        .threads(p.parse_num("--threads", 0))
+        .build()
+        .unwrap_or_else(|e| fail(&e.to_string()));
     println!("running {} x {} on {} ({backend} backend)...", n, spec.name, variant);
     let t0 = std::time::Instant::now();
     let report = zskip::accel::run_batch(&driver, &qnet, &inputs, workers)
@@ -445,17 +455,48 @@ fn analyze(p: &Parsed) {
     );
     let sq = snet.quantize(&synthetic_inputs(2, 1, surrogate.input));
     let probe = synthetic_inputs(3, 3, surrogate.input);
+    let auto_workers = zskip::nn::ConvPool::auto_threads();
+    println!("Intra-image conv workers: {auto_workers} at auto (host parallelism; --threads overrides)");
     let mut arena = Scratch::new();
+    arena.set_threads(auto_workers);
     for input in &probe {
         let _ = sq.forward_quant_scratch(input, &mut arena);
     }
     let steady = if arena.grow_events() <= 1 { "0" } else { "NONZERO (arena regrew!)" };
     println!(
-        "Scratch arena ({} images, vgg16-32 surrogate): {} grow event(s), {} KiB, steady-state heap allocations/image: {}",
+        "Scratch arena ({} images, vgg16-32 surrogate, {} worker(s)): {} grow event(s), {} KiB, steady-state heap allocations/image: {}",
         probe.len(),
+        auto_workers,
         arena.grow_events(),
         arena.capacity_bytes() / 1024,
         steady
+    );
+
+    // Shared weight caches: drive one image through the cpu backend so the
+    // packed-group cache is populated the way `infer`/`batch` populate it,
+    // then report both process-wide caches (packed scratchpad groups keyed
+    // by weight identity + lane/skip geometry, and the nn kernels' packed
+    // per-filter tap streams).
+    let cpu_driver = Driver::builder(AccelConfig::for_variant(Variant::U256Opt))
+        .backend(BackendKind::Cpu)
+        .build()
+        .expect("cpu driver builds");
+    let _ = cpu_driver.run_network(&sq, &probe[0]).expect("surrogate image runs");
+    let gc = zskip::accel::weight_cache_stats();
+    let tc = zskip::nn::conv::tap_cache_stats();
+    println!(
+        "Packed-group weight cache: {} entries ({:.1} MiB), {} hits / {} misses",
+        gc.entries,
+        gc.bytes as f64 / (1 << 20) as f64,
+        gc.hits,
+        gc.misses
+    );
+    println!(
+        "Packed-tap kernel cache:   {} entries ({:.1} MiB), {} hits / {} misses",
+        tc.entries,
+        tc.bytes as f64 / (1 << 20) as f64,
+        tc.hits,
+        tc.misses
     );
 }
 

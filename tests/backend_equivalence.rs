@@ -126,10 +126,22 @@ proptest! {
         let cfg = config(2048, 1);
         let model = Driver::new(cfg, BackendKind::Model).run_network(&qnet, &input).expect("fits");
         let cpu = Driver::new(cfg, BackendKind::Cpu).run_network(&qnet, &input).expect("fits");
+        // Intra-image multithreaded cpu backend: panel decomposition over a
+        // 3-worker pool must not change outputs or statistics either.
+        let mt = Driver::builder(cfg)
+            .backend(BackendKind::Cpu)
+            .threads(3)
+            .build()
+            .expect("valid config")
+            .run_network(&qnet, &input)
+            .expect("fits");
         prop_assert_eq!(&model.output, &qnet.forward_quant(&input));
         prop_assert_eq!(&cpu.output, &model.output);
+        prop_assert_eq!(&mt.output, &model.output);
         prop_assert_eq!(cpu.total_cycles, model.total_cycles);
+        prop_assert_eq!(mt.total_cycles, model.total_cycles);
         prop_assert_eq!(cpu.ddr_bytes, model.ddr_bytes);
+        prop_assert_eq!(mt.ddr_bytes, model.ddr_bytes);
         prop_assert_eq!(cpu.layers.len(), model.layers.len());
         for (c, m) in cpu.layers.iter().zip(&model.layers) {
             prop_assert_eq!(&c.name, &m.name);
