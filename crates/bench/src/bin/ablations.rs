@@ -39,7 +39,7 @@ impl ToJson for Ablations {
 
 fn driver(bank_tiles: usize, weight_bw: usize) -> Driver {
     let cfg = AccelConfig::from_arch(&AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles }, 100.0);
-    let mut d = Driver::stats_only(AccelConfig { weight_bytes_per_cycle: weight_bw, ..cfg });
+    let mut d = Driver::builder(AccelConfig { weight_bytes_per_cycle: weight_bw, ..cfg }).functional(false).build().unwrap();
     d.functional = false;
     d
 }

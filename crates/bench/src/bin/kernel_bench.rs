@@ -430,7 +430,7 @@ fn bench_cpu_backend(
     let mut backends = Vec::new();
     let mut golden: Option<Vec<zskip_quant::Sm8>> = None;
     for backend in [BackendKind::Model, BackendKind::Cpu] {
-        let driver = Driver::new(config, backend);
+        let driver = Driver::builder(config).backend(backend).build().unwrap();
         let (ms_per_image, out) = drive_ms_per_image(&driver, qnet, inputs);
         match &golden {
             None => golden = Some(out),

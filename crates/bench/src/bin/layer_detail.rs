@@ -14,7 +14,7 @@ fn main() {
         let qnet = build_vgg16(kind);
         for variant in [Variant::U256Opt, Variant::U512Opt] {
             let config = AccelConfig::for_variant(variant);
-            let report = Driver::stats_only(config)
+            let report = Driver::builder(config).functional(false).build().unwrap()
                 .run_network(&qnet, &Tensor::<f32>::zeros(3, 224, 224))
                 .expect("VGG-16 fits");
             let p = sweep_point_from_report(variant, kind, &config, &report);

@@ -37,7 +37,7 @@ fn main() {
     for variant in [Variant::U256Opt, Variant::U512Opt] {
         let synth = variant.synthesize();
         let config = zskip_core::AccelConfig::for_variant(variant);
-        let driver = zskip_core::Driver::stats_only(config);
+        let driver = zskip_core::Driver::builder(config).functional(false).build().unwrap();
         let input = zskip_tensor::Tensor::<f32>::zeros(3, 224, 224);
         let report = driver.run_network(&qnet, &input).expect("VGG-16 fits");
         let sweep = zskip_bench::sweep_point_from_report(variant, ModelKind::Pruned, &config, &report);

@@ -210,7 +210,8 @@ impl SweepPoint {
 /// backend (cycle counts are value-independent).
 pub fn run_sweep_point(variant: Variant, kind: ModelKind, qnet: &QuantizedNetwork) -> SweepPoint {
     let config = AccelConfig::for_variant(variant);
-    let driver = Driver::stats_only(config);
+    let driver =
+        Driver::builder(config).functional(false).build().expect("sweep config is valid");
     let input = Tensor::<f32>::zeros(3, 224, 224);
     let report = driver.run_network(qnet, &input).expect("VGG-16 fits the planner");
     sweep_point_from_report(variant, kind, &config, &report)

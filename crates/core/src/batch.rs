@@ -306,6 +306,10 @@ mod tests {
     use zskip_nn::model::{Network, SyntheticModelConfig};
     use zskip_quant::DensityProfile;
 
+    fn driver(cfg: AccelConfig, backend: BackendKind) -> Driver {
+        Driver::builder(cfg).backend(backend).build().expect("test config is valid")
+    }
+
     fn small_qnet(hw: usize) -> QuantizedNetwork {
         use zskip_nn::layer::{LayerSpec, NetworkSpec};
         use zskip_tensor::Shape;
@@ -326,7 +330,7 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let qnet = small_qnet(8);
-        let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+        let driver = driver(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
         let r = run_batch(&driver, &qnet, &[], 4).expect("empty batch");
         assert!(r.reports.is_empty());
         assert_eq!(r.steals, 0);
@@ -344,7 +348,7 @@ mod tests {
     fn all_jobs_are_accounted_for() {
         let qnet = small_qnet(8);
         let spec_input = qnet.spec.input;
-        let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+        let driver = driver(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
         let inputs = synthetic_inputs(11, 7, spec_input);
         let r = run_batch(&driver, &qnet, &inputs, 3).expect("runs");
         assert_eq!(r.reports.len(), 7);
@@ -356,7 +360,7 @@ mod tests {
     fn resilient_matches_plain_batch_when_fault_free() {
         let qnet = small_qnet(8);
         let spec_input = qnet.spec.input;
-        let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+        let driver = driver(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
         let inputs = synthetic_inputs(21, 5, spec_input);
         let plain = run_batch(&driver, &qnet, &inputs, 2).expect("plain batch");
         let resilient = run_batch_resilient(&driver, &qnet, &inputs, 2, RetryPolicy::default());
@@ -378,7 +382,7 @@ mod tests {
         let inputs = synthetic_inputs(31, 4, spec_input);
         let cfg = AccelConfig::for_variant(Variant::U256Opt);
 
-        let clean = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 2)
+        let clean = run_batch(&driver(cfg, BackendKind::Model), &qnet, &inputs, 2)
             .expect("fault-free reference");
 
         // One single-shot DMA parity fault: exactly one item of the batch
@@ -404,7 +408,7 @@ mod tests {
         let spec_input = qnet.spec.input;
         let inputs = synthetic_inputs(31, 4, spec_input);
         let cfg = AccelConfig::for_variant(Variant::U256Opt);
-        let clean = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 2)
+        let clean = run_batch(&driver(cfg, BackendKind::Model), &qnet, &inputs, 2)
             .expect("fault-free reference");
 
         let plan = FaultPlan::new().inject("dma:xfer", 3, FaultKind::DmaTruncate { tiles: 0 }).shared();
@@ -467,9 +471,9 @@ mod tests {
         let qnet = small_qnet(8);
         let inputs = synthetic_inputs(51, 5, qnet.spec.input);
         let cfg = AccelConfig::for_variant(Variant::U256Opt);
-        let model = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 2)
+        let model = run_batch(&driver(cfg, BackendKind::Model), &qnet, &inputs, 2)
             .expect("model batch runs");
-        let cpu = run_batch(&Driver::new(cfg, BackendKind::Cpu), &qnet, &inputs, 2)
+        let cpu = run_batch(&driver(cfg, BackendKind::Cpu), &qnet, &inputs, 2)
             .expect("cpu batch runs");
         for (m, c) in model.reports.iter().zip(&cpu.reports) {
             assert_eq!(m.output, c.output, "bit-identical outputs");
@@ -477,7 +481,7 @@ mod tests {
         }
         // And through the resilient engine.
         let resilient = run_batch_resilient(
-            &Driver::new(cfg, BackendKind::Cpu),
+            &driver(cfg, BackendKind::Cpu),
             &qnet,
             &inputs,
             2,
@@ -498,7 +502,7 @@ mod tests {
         let qnet = small_qnet(8);
         let inputs = synthetic_inputs(61, 6, qnet.spec.input);
         let cfg = AccelConfig::for_variant(Variant::U256Opt);
-        let model = run_batch(&Driver::new(cfg, BackendKind::Model), &qnet, &inputs, 1)
+        let model = run_batch(&driver(cfg, BackendKind::Model), &qnet, &inputs, 1)
             .expect("model batch runs");
         let mt_driver =
             Driver::builder(cfg).backend(BackendKind::Cpu).threads(3).build().expect("valid config");
@@ -520,7 +524,7 @@ mod tests {
             &AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 4 },
             100.0,
         );
-        let driver = Driver::new(cfg, BackendKind::Model);
+        let driver = driver(cfg, BackendKind::Model);
         let report = run_batch_resilient(&driver, &qnet, &inputs, 2, RetryPolicy::default());
         assert_eq!(report.succeeded(), 0);
         for item in &report.items {
@@ -538,7 +542,7 @@ mod tests {
             seed in 0u64..1000,
         ) {
             let qnet = small_qnet(8);
-            let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+            let driver = driver(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
             let inputs = synthetic_inputs(seed, batch, qnet.spec.input);
             let parallel = run_batch(&driver, &qnet, &inputs, workers).expect("batch runs");
             for (input, got) in inputs.iter().zip(&parallel.reports) {

@@ -28,6 +28,7 @@ use crate::isa::PoolPadOp;
 use zskip_fault::SharedFaultPlan;
 use zskip_nn::conv::QuantConvWeights;
 use zskip_nn::fc::fc_quant_into;
+use zskip_nn::simd::KernelTier;
 use zskip_nn::layer::LayerSpec;
 use zskip_nn::model::QuantizedNetwork;
 use zskip_nn::scratch::Scratch;
@@ -66,6 +67,9 @@ pub struct Driver {
     /// (resolved — never 0; 1 means single-threaded). See
     /// [`DriverBuilder::threads`].
     pub threads: usize,
+    /// SIMD kernel tier this session's forward passes run with (resolved
+    /// — always host-supported). See [`DriverBuilder::kernel`].
+    pub kernel_tier: KernelTier,
     /// Fault plan threaded into the SoC models and the cycle backend.
     fault_plan: Option<SharedFaultPlan>,
 }
@@ -173,12 +177,13 @@ pub struct DriverBuilder {
     zero_skipping: bool,
     weight_cache: bool,
     threads: usize,
+    kernel: Option<KernelTier>,
     fault_plan: Option<SharedFaultPlan>,
 }
 
 impl DriverBuilder {
-    /// Starts a builder from a configuration, with the [`Driver::new`]
-    /// defaults (model backend, functional, zero-skipping on).
+    /// Starts a builder from a configuration, with the defaults of the
+    /// legacy `Driver::new` (model backend, functional, zero-skipping on).
     pub fn new(config: AccelConfig) -> DriverBuilder {
         DriverBuilder {
             config,
@@ -188,6 +193,7 @@ impl DriverBuilder {
             zero_skipping: true,
             weight_cache: true,
             threads: 1,
+            kernel: None,
             fault_plan: None,
         }
     }
@@ -233,6 +239,17 @@ impl DriverBuilder {
     /// this.
     pub fn threads(mut self, threads: usize) -> DriverBuilder {
         self.threads = threads;
+        self
+    }
+
+    /// Pins the session's SIMD kernel tier. The default (`None`) is the
+    /// process-wide dispatch choice (`ZSKIP_KERNEL` override, else the
+    /// widest tier the host supports); an explicitly requested tier the
+    /// host cannot execute clamps to the best supported one, mirroring
+    /// [`zskip_nn::simd::select_tier`]'s stale-override policy. Check
+    /// [`Driver::kernel_tier`] after build to see what was resolved.
+    pub fn kernel(mut self, tier: KernelTier) -> DriverBuilder {
+        self.kernel = Some(tier);
         self
     }
 
@@ -288,30 +305,43 @@ impl DriverBuilder {
             } else {
                 self.threads
             },
+            kernel_tier: match self.kernel {
+                Some(t) if t.is_supported() => t,
+                Some(_) => KernelTier::best_supported(),
+                None => zskip_nn::dispatch(),
+            },
             fault_plan: self.fault_plan,
         })
     }
 }
 
 impl Driver {
-    /// Creates a driver with the default flags. Routes through
-    /// [`Driver::builder`] so validation lives in exactly one place;
-    /// prefer the builder directly when the configuration is not known
-    /// to be valid, or to attach a fault plan.
+    /// Creates a driver with the default flags, panicking on an invalid
+    /// configuration. Kept as a compatibility shim: it routes through
+    /// [`Driver::builder`], which is the supported construction path and
+    /// returns a structured [`DriverError::InvalidConfig`] instead of
+    /// panicking (see docs/ARCHITECTURE.md for the deprecation policy).
     ///
     /// # Panics
     /// On an invalid configuration (see [`DriverBuilder::build`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Driver::builder(config).backend(backend).build() and handle the error"
+    )]
     pub fn new(config: AccelConfig, backend: BackendKind) -> Driver {
         Driver::builder(config).backend(backend).build().expect("invalid driver configuration")
     }
 
-    /// A driver that reports throughput only (no arithmetic): used for
-    /// full-network sweeps where outputs are not inspected. Routes
-    /// through [`Driver::builder`]; prefer
+    /// A driver that reports throughput only (no arithmetic), panicking
+    /// on an invalid configuration. Kept as a compatibility shim; use
     /// `Driver::builder(config).functional(false).build()`.
     ///
     /// # Panics
     /// On an invalid configuration (see [`DriverBuilder::build`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Driver::builder(config).functional(false).build() and handle the error"
+    )]
     pub fn stats_only(config: AccelConfig) -> Driver {
         Driver::builder(config).functional(false).build().expect("invalid driver configuration")
     }
@@ -364,8 +394,10 @@ impl Driver {
         let mut soc = SocHandle::with_plan(self.fault_plan.clone());
         let backend = exec::backend(self.backend);
         // Attach the intra-image worker pool (a warmup cost on the first
-        // image; a no-op when the arena already has this width).
+        // image; a no-op when the arena already has this width) and pin
+        // the session's kernel tier on the arena.
         scratch.set_threads(self.threads);
+        scratch.set_tier(self.kernel_tier);
         let mut fm = {
             let (act_q, _, _) = scratch.host_buffers();
             input.map_into(act_q, |v| qnet.input_params.quantize(v));
@@ -500,7 +532,7 @@ impl Driver {
         out_shape: Shape,
         soc: &mut SocHandle,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        let mut scratch = Scratch::new();
+        let mut scratch = Scratch::with_tier(self.kernel_tier);
         scratch.set_threads(self.threads);
         exec::backend(self.backend).conv_pass(
             &mut PassCtx { driver: self, soc, scratch: &mut scratch },
@@ -524,7 +556,7 @@ impl Driver {
         out_shape: Shape,
         soc: &mut SocHandle,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        let mut scratch = Scratch::new();
+        let mut scratch = Scratch::with_tier(self.kernel_tier);
         exec::backend(self.backend).poolpad_pass(
             &mut PassCtx { driver: self, soc, scratch: &mut scratch },
             name,
@@ -603,8 +635,11 @@ mod tests {
         }
     }
 
+    // The deprecated shims must keep routing through the builder until
+    // they are removed; this is the one sanctioned in-repo use of them.
     #[test]
-    fn legacy_constructors_route_through_the_builder() {
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_route_through_the_builder() {
         let built = Driver::builder(config(4096, 1)).backend(BackendKind::Cycle).build().unwrap();
         let legacy = Driver::new(config(4096, 1), BackendKind::Cycle);
         assert_eq!(built.backend, legacy.backend);
@@ -616,10 +651,25 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "invalid driver configuration")]
-    fn legacy_constructor_panics_on_invalid_config() {
+    fn deprecated_constructor_panics_on_invalid_config() {
         let mut cfg = config(4096, 1);
         cfg.lanes = 2; // units stays 4: illegal on the cycle backend.
         let _ = Driver::new(cfg, BackendKind::Cycle);
+    }
+
+    #[test]
+    fn kernel_tier_resolves_and_clamps() {
+        use zskip_nn::simd::KernelTier;
+        // Default: the process-wide dispatch choice.
+        let d = Driver::builder(config(4096, 1)).build().unwrap();
+        assert_eq!(d.kernel_tier, zskip_nn::dispatch());
+        // Scalar is supported everywhere and pins exactly.
+        let d = Driver::builder(config(4096, 1)).kernel(KernelTier::Scalar).build().unwrap();
+        assert_eq!(d.kernel_tier, KernelTier::Scalar);
+        // An unsupported request clamps to the best supported tier.
+        let d = Driver::builder(config(4096, 1)).kernel(KernelTier::Avx512).build().unwrap();
+        assert!(d.kernel_tier.is_supported());
     }
 }

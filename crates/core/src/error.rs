@@ -17,6 +17,7 @@ use zskip_soc::host::{DeviceFault, HostError};
 use zskip_soc::BusError;
 
 use crate::driver::DriverError;
+use crate::serve::ServeError;
 
 /// Any failure in the zskip stack. Re-exported as `zskip::Error`.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +36,8 @@ pub enum Error {
     Host(HostError),
     /// Fault-injection layer failure.
     Fault(FaultError),
+    /// Serving-daemon failure (backpressure, protocol, shutdown).
+    Serve(ServeError),
     /// Invalid engine or driver configuration.
     InvalidConfig(String),
 }
@@ -74,6 +77,10 @@ impl Error {
             Error::Host(HostError::Device(DeviceFault::ErrorBit)) => "host.error-bit",
             Error::Fault(FaultError::Unresponsive { .. }) => "fault.unresponsive",
             Error::Fault(FaultError::Injected { .. }) => "fault.injected",
+            Error::Serve(ServeError::Overloaded { .. }) => "serve.overloaded",
+            Error::Serve(ServeError::Shutdown) => "serve.shutdown",
+            Error::Serve(ServeError::Protocol { .. }) => "serve.protocol",
+            Error::Serve(ServeError::BadRequest { .. }) => "serve.bad-request",
         }
     }
 
@@ -104,6 +111,7 @@ impl fmt::Display for Error {
             Error::Bus(e) => write!(f, "{e}"),
             Error::Host(e) => write!(f, "{e}"),
             Error::Fault(e) => write!(f, "{e}"),
+            Error::Serve(e) => write!(f, "{e}"),
             Error::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
@@ -119,6 +127,7 @@ impl std::error::Error for Error {
             Error::Bus(e) => Some(e),
             Error::Host(e) => Some(e),
             Error::Fault(e) => Some(e),
+            Error::Serve(e) => Some(e),
             Error::InvalidConfig(_) => None,
         }
     }
@@ -163,6 +172,12 @@ impl From<HostError> for Error {
 impl From<FaultError> for Error {
     fn from(e: FaultError) -> Error {
         Error::Fault(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Error {
+        Error::Serve(e)
     }
 }
 

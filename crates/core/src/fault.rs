@@ -344,9 +344,15 @@ fn batch_trial(qnet: &QuantizedNetwork, inputs: &[Tensor<f32>], clean: &[Vec<Sm8
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let (qnet, inputs) = campaign_net(cfg);
     let input = &inputs[0];
-    let clean_driver = Driver::new(accel_config(), BackendKind::Model);
+    let clean_driver = Driver::builder(accel_config())
+        .backend(BackendKind::Model)
+        .build()
+        .expect("campaign config is valid");
     let clean = clean_driver.run_network(&qnet, input).expect("fault-free run succeeds").output;
-    let clean_cycle = Driver::new(accel_config(), BackendKind::Cycle)
+    let clean_cycle = Driver::builder(accel_config())
+        .backend(BackendKind::Cycle)
+        .build()
+        .expect("campaign config is valid")
         .run_network(&qnet, input)
         .expect("fault-free cycle run succeeds")
         .output;

@@ -30,7 +30,13 @@
 //!   `StripeBackend` trait the interchangeable targets — transaction
 //!   model, cycle simulation, host SIMD — implement;
 //! * [`driver`] — the host-side driver: layer walking, geometry checks,
-//!   backend dispatch, host FC/softmax fallback, reporting.
+//!   backend dispatch, host FC/softmax fallback, reporting;
+//! * [`session`] — the curated host-facing surface: a validated
+//!   [`Session`] bundling one driver configuration with the shared batch
+//!   knobs, which every CLI subcommand routes through;
+//! * [`serve`] — the inference serving daemon: a bounded submission
+//!   queue with adaptive batching over the batch engine, plus the
+//!   newline-delimited JSON wire protocol (`zskip serve`).
 
 pub mod analysis;
 pub mod bank;
@@ -46,6 +52,8 @@ pub mod layout;
 pub mod model;
 pub mod poolpad;
 pub mod report;
+pub mod serve;
+pub mod session;
 pub mod weights;
 
 pub use analysis::LayerPackingStats;
@@ -64,4 +72,8 @@ pub use exec::{PassCtx, StripeBackend};
 pub use fault::{run_campaign, CampaignConfig, CampaignReport, TrialOutcome, TrialResult};
 pub use isa::{ConvInstr, Instruction, PoolPadInstr, PoolPadOp};
 pub use layout::FmLayout;
+pub use serve::{
+    RequestStats, ServeEngine, ServeError, ServeHandle, ServeReply, ServeStats,
+};
+pub use session::{BatchConfig, Session, SessionBuilder};
 pub use weights::GroupWeights;

@@ -96,6 +96,14 @@ impl Scratch {
         self.tier
     }
 
+    /// Re-pins the arena's kernel tier (clamped to what the host
+    /// supports). Buffers are tier-agnostic, so this is safe on a warmed
+    /// arena; the driver calls it per image so a session's configured
+    /// tier wins over whatever the arena was created with.
+    pub fn set_tier(&mut self, tier: KernelTier) {
+        self.tier = if tier.is_supported() { tier } else { KernelTier::best_supported() };
+    }
+
     /// Total bytes currently reserved by the arena's buffers.
     pub fn capacity_bytes(&self) -> usize {
         self.act.iter().map(|t| t.capacity()).sum::<usize>()
@@ -162,8 +170,14 @@ mod tests {
 
     #[test]
     fn with_tier_pins_the_tier() {
-        let s = Scratch::with_tier(KernelTier::Scalar);
+        let mut s = Scratch::with_tier(KernelTier::Scalar);
         assert_eq!(s.tier(), KernelTier::Scalar);
+        // Re-pinning an existing arena works and clamps to host support.
+        let best = KernelTier::best_supported();
+        s.set_tier(best);
+        assert_eq!(s.tier(), best);
+        s.set_tier(KernelTier::Avx512);
+        assert!(s.tier().is_supported());
     }
 
     #[test]

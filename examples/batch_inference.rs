@@ -29,7 +29,7 @@ fn main() {
 
     let batch = 16;
     let inputs = synthetic_inputs(11, batch, spec.input);
-    let driver = Driver::new(AccelConfig::for_variant(Variant::U256Opt), BackendKind::Model);
+    let driver = Driver::builder(AccelConfig::for_variant(Variant::U256Opt)).backend(BackendKind::Model).build().unwrap();
 
     println!("== batch of {batch} x {} on the worker pool ==", spec.name);
     let t0 = Instant::now();

@@ -51,7 +51,7 @@ fn main() {
         let calib = synthetic_inputs(6, 4, spec().input);
         let qnet = net.quantize(&calib);
 
-        let driver = Driver::new(config, BackendKind::Model);
+        let driver = Driver::builder(config).backend(BackendKind::Model).build().unwrap();
         let report = driver.run_network(&qnet, &inputs[0]).expect("fits");
         let mut grouped = driver.clone();
         grouped.filter_grouping = true;

@@ -6,9 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use zskip::accel::{AccelConfig, BackendKind, Driver};
 use zskip::hls::Variant;
 use zskip::nn::eval::synthetic_inputs;
+use zskip::prelude::*;
 use zskip::nn::layer::{conv3x3, maxpool2x2, LayerSpec, NetworkSpec};
 use zskip::nn::model::{Network, SyntheticModelConfig};
 use zskip::quant::DensityProfile;
@@ -41,11 +41,14 @@ fn main() {
     println!("conv weight densities after pruning+quantization: {:?}", qnet.conv_densities());
 
     // 3. Run inference on the simulated accelerator (256-opt variant:
-    //    4 conv units x 4 filter lanes x 16 values = 256 MACs/cycle).
+    //    4 conv units x 4 filter lanes x 16 values = 256 MACs/cycle)
+    //    through a Session — the same surface `zskip infer/batch/serve`
+    //    use.
     let config = AccelConfig::for_variant(Variant::U256Opt);
-    let driver = Driver::new(config, BackendKind::Model);
+    let session =
+        Session::builder(config).backend(BackendKind::Model).build().expect("valid config");
     let input = synthetic_inputs(3, 1, spec.input).pop().expect("one input");
-    let report = driver.run_network(&qnet, &input).expect("network fits the accelerator");
+    let report = session.infer(&qnet, &input).expect("network fits the accelerator");
 
     // 4. The accelerator must agree with the integer golden model exactly.
     let golden = qnet.forward_quant(&input);

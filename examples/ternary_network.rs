@@ -40,7 +40,7 @@ fn main() {
     println!("                    ternary {:?}", round3(&qt.conv_densities()));
 
     let config = AccelConfig::for_variant(Variant::U256Opt);
-    let driver = Driver::new(config, BackendKind::Model);
+    let driver = Driver::builder(config).backend(BackendKind::Model).build().unwrap();
     let input = synthetic_inputs(12, 1, spec.input).pop().expect("one");
 
     let r8 = driver.run_network(&q8, &input).expect("fits");

@@ -34,7 +34,7 @@ fn main() {
     let qnet = net.quantize(&calib);
 
     let config = AccelConfig::for_variant(Variant::U256Opt);
-    let driver = Driver::new(config, BackendKind::Model);
+    let driver = Driver::builder(config).backend(BackendKind::Model).build().unwrap();
     let input = synthetic_inputs(8, 1, spec.input).pop().expect("one input");
     let report = driver.run_network(&qnet, &input).expect("fits");
     assert_eq!(report.output, qnet.forward_quant(&input), "bit-exact vs golden model");
@@ -52,7 +52,7 @@ fn main() {
         println!("\n== throughput: VGG-16 224x224, 512-opt, {label} ==");
         let full = zskip_bench_model(density);
         let config = AccelConfig::for_variant(Variant::U512Opt);
-        let driver = Driver::stats_only(config);
+        let driver = Driver::builder(config).functional(false).build().unwrap();
         let input = zskip::tensor::Tensor::<f32>::zeros(3, 224, 224);
         let report = driver.run_network(&full, &input).expect("fits");
         println!("  layer      cycles        eff.GOPS");

@@ -35,4 +35,27 @@ ZSKIP_KERNEL=scalar cargo test -q -p zskip-nn --test kernel_tiers
 # VGG-shaped reference layers, and the scratch arena's steady-state
 # forward pass must perform zero heap allocations.
 timeout 300 ./target/release/kernel_bench --check > /dev/null
+
+# Serving-daemon smoke: a request burst plus shutdown through the wire
+# protocol must drain cleanly (exit 0, every request answered ok), and a
+# protocol-breaking line must make the daemon exit non-zero.
+serve_out=$(timeout 120 ./target/release/zskip serve --hw 32 --backend cpu <<'EOF'
+{"op":"infer","id":"v1","seed":3}
+{"op":"infer","id":"v2","seed":4}
+{"op":"infer","id":"v3","seed":5}
+{"op":"stats"}
+{"op":"shutdown"}
+EOF
+)
+[ "$(printf '%s\n' "$serve_out" | grep -c '"ok":true')" -ge 5 ] \
+  || { echo "verify: serve smoke missing ok responses"; exit 1; }
+printf '%s\n' "$serve_out" | grep -q '"op":"shutdown","draining":true' \
+  || { echo "verify: serve smoke missing shutdown ack"; exit 1; }
+if printf 'this is not json\n' | timeout 120 ./target/release/zskip serve --hw 32 --backend cpu > /dev/null; then
+  echo "verify: serve must exit non-zero on a protocol error"; exit 1
+fi
+
+# Serving-throughput gate: the daemon's queue + adaptive batcher must
+# deliver >= 0.9x the raw batch engine on the same offered burst.
+timeout 300 ./target/release/batch_bench --check
 echo "verify: OK"

@@ -23,8 +23,39 @@
 
 pub use zskip_core as accel;
 pub use zskip_core::Error;
+
+/// The curated public surface: everything a host application needs to
+/// configure and run inference — interactively, in batches, or as a
+/// serving daemon — in one import.
+///
+/// ```
+/// use zskip::prelude::*;
+/// # use zskip::hls::Variant;
+/// let session = Session::builder(AccelConfig::for_variant(Variant::U256Opt))
+///     .backend(BackendKind::Cpu)
+///     .kernel(KernelTier::Scalar)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(session.kernel_tier(), KernelTier::Scalar);
+/// ```
+///
+/// The legacy panic-on-invalid constructors (`Driver::new`,
+/// `Driver::stats_only`) are deprecated and intentionally absent here:
+/// new code goes through [`Session`](prelude::Session) or
+/// [`DriverBuilder`](prelude::DriverBuilder), whose `build()` returns
+/// [`prelude::Error`] with the stable code `config.invalid`.
+pub mod prelude {
+    pub use zskip_core::batch::RetryPolicy;
+    pub use zskip_core::serve::wire;
+    pub use zskip_core::{
+        AccelConfig, BackendKind, BatchConfig, Driver, DriverBuilder, Error, ServeEngine,
+        ServeError, ServeHandle, ServeReply, ServeStats, Session, SessionBuilder,
+    };
+    pub use zskip_nn::simd::KernelTier;
+}
 pub use zskip_fault as fault;
 pub use zskip_hls as hls;
+pub use zskip_json as json;
 pub use zskip_nn as nn;
 pub use zskip_perf as perf;
 pub use zskip_quant as quant;

@@ -5,18 +5,30 @@
 //! zskip sweep                     full VGG-16 variant/model sweep (Figs. 7-8 data)
 //! zskip infer [flags]             run inference end to end, verify vs golden model
 //! zskip batch [flags]             run a batch of inferences on a worker pool
+//! zskip serve [flags]             serving daemon: NDJSON requests over stdio or TCP
 //! zskip analyze [flags]           per-layer zero-skip packing analysis
 //! zskip faults [flags]            fault-injection survivability campaign
 //! zskip trace                     cycle-exact waveform of a small convolution
 //! ```
 //!
-//! Every flag-taking subcommand supports `--help`; flags are declared in
-//! one table per subcommand and parsed by a shared, panic-free parser.
+//! Every flag-taking subcommand supports `--help`; flags are declared
+//! declaratively and parsed by a shared, panic-free parser. The knobs
+//! common to `infer`/`batch`/`serve` — backend, threads, kernel tier,
+//! weight cache, and the batch shaping — live in shared flag *groups*
+//! ([`SESSION_FLAGS`], [`NETWORK_FLAGS`], [`BATCH_KNOB_FLAGS`]), so the
+//! subcommands cannot drift apart; all three route through one
+//! [`Session`] built by [`session_from_flags`].
 
-use zskip::accel::{AccelConfig, BackendKind, Driver};
+use std::sync::Arc;
+use std::time::Duration;
+
+use zskip::accel::serve::wire;
+use zskip::accel::session::{DEFAULT_BATCH_WINDOW_MS, DEFAULT_MAX_BATCH, DEFAULT_QUEUE_DEPTH};
+use zskip::accel::{AccelConfig, BackendKind, Driver, ServeEngine, Session, SessionBuilder};
 use zskip::hls::Variant;
 use zskip::nn::eval::synthetic_inputs;
-use zskip::nn::model::{Network, SyntheticModelConfig};
+use zskip::nn::model::{Network, QuantizedNetwork, SyntheticModelConfig};
+use zskip::nn::simd::KernelTier;
 use zskip::perf::AreaBreakdown;
 use zskip::quant::DensityProfile;
 
@@ -46,12 +58,21 @@ impl Flag {
 }
 
 /// One subcommand of the CLI. `run` receives the parsed flag values.
+/// `flag_groups` is a list of flag tables — subcommands share the common
+/// groups below and add their own specifics, so `--help`, parsing and
+/// defaults stay in lockstep across subcommands.
 struct Command {
     name: &'static str,
     usage_args: &'static str,
     summary: &'static str,
-    flags: &'static [Flag],
+    flag_groups: &'static [&'static [Flag]],
     run: fn(&Parsed),
+}
+
+impl Command {
+    fn flags(&self) -> impl Iterator<Item = &'static Flag> + '_ {
+        self.flag_groups.iter().flat_map(|g| g.iter())
+    }
 }
 
 const HW_HELP: &str = "input height/width of the synthetic network";
@@ -62,32 +83,56 @@ const BACKEND_HELP: &str =
 const THREADS_HELP: &str =
     "intra-image conv worker threads for the cpu backend (0 = host auto; others ignore)";
 
+/// The session knobs every inference-running subcommand shares; parsed
+/// into a [`Session`] by [`session_from_flags`].
+const SESSION_FLAGS: &[Flag] = &[
+    Flag::val("--backend", "B", "model", BACKEND_HELP),
+    Flag::val("--threads", "T", "0", THREADS_HELP),
+    Flag::val("--kernel", "K", "auto", "SIMD kernel tier: auto | scalar | sse2 | avx2 | avx512"),
+    Flag::val("--weight-cache", "on|off", "on", "process-wide packed-weight cache"),
+];
+
+/// The synthetic-network knobs shared by inference subcommands.
+const NETWORK_FLAGS: &[Flag] = &[
+    Flag::val("--density", "D", "dc", DENSITY_HELP),
+    Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
+];
+
+/// The batch shaping and admission-control knobs of the serving daemon.
+const BATCH_KNOB_FLAGS: &[Flag] = &[
+    Flag::val("--workers", "N", "0", "batch-pool worker threads (0 = auto)"),
+    Flag::val("--max-batch", "N", "8", "requests coalesced into one accelerator batch at most"),
+    Flag::val("--batch-window-ms", "MS", "2", "how long a forming batch waits for more requests"),
+    Flag::val("--queue-depth", "N", "64", "bounded submission-queue depth (admission control)"),
+];
+
 const COMMANDS: &[Command] = &[
     Command {
         name: "synth",
         usage_args: "[variant|all]",
         summary: "HLS synthesis summary and area breakdown",
-        flags: &[],
+        flag_groups: &[],
         run: |p| synth(p.positional.first().map(String::as_str).unwrap_or("all")),
     },
     Command {
         name: "sweep",
         usage_args: "",
         summary: "full VGG-16 variant/model sweep (paper Figs. 7-8 data)",
-        flags: &[],
+        flag_groups: &[],
         run: |_| sweep(),
     },
     Command {
         name: "infer",
         usage_args: "[flags]",
         summary: "run inference end to end, verify vs the golden model",
-        flags: &[
-            Flag::val("--hw", "N", "64", HW_HELP),
-            Flag::val("--density", "D", "dc", DENSITY_HELP),
-            Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
-            Flag::val("--backend", "B", "model", BACKEND_HELP),
-            Flag::val("--threads", "T", "0", THREADS_HELP),
-            Flag::boolean("--ternary", "quantize weights to ternary (-1/0/+1 magnitudes)"),
+        flag_groups: &[
+            &[
+                Flag::val("--hw", "N", "64", HW_HELP),
+                Flag::val("--seed", "S", "3", "input image seed (serve's {\"seed\":S} matches)"),
+                Flag::boolean("--ternary", "quantize weights to ternary (-1/0/+1 magnitudes)"),
+            ],
+            NETWORK_FLAGS,
+            SESSION_FLAGS,
         ],
         run: infer,
     },
@@ -95,40 +140,55 @@ const COMMANDS: &[Command] = &[
         name: "batch",
         usage_args: "[flags]",
         summary: "run a batch of inferences on a work-stealing worker pool",
-        flags: &[
-            Flag::val("--n", "N", "8", "number of images in the batch"),
-            Flag::val("--workers", "W", "0", "worker threads (0 = auto)"),
-            Flag::val("--hw", "N", "32", HW_HELP),
-            Flag::val("--density", "D", "dc", DENSITY_HELP),
-            Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
-            Flag::val("--backend", "B", "model", BACKEND_HELP),
-            Flag::val("--threads", "T", "0", THREADS_HELP),
+        flag_groups: &[
+            &[
+                Flag::val("--n", "N", "8", "number of images in the batch"),
+                Flag::val("--workers", "W", "0", "worker threads (0 = auto)"),
+                Flag::val("--hw", "N", "32", HW_HELP),
+            ],
+            NETWORK_FLAGS,
+            SESSION_FLAGS,
         ],
         run: batch,
+    },
+    Command {
+        name: "serve",
+        usage_args: "[flags]",
+        summary: "serving daemon: newline-delimited JSON requests over stdio or TCP",
+        flag_groups: &[
+            &[
+                Flag::val("--hw", "N", "32", HW_HELP),
+                Flag::val("--tcp", "ADDR", "off", "listen on a TCP address (e.g. 127.0.0.1:0) instead of stdio"),
+            ],
+            NETWORK_FLAGS,
+            SESSION_FLAGS,
+            BATCH_KNOB_FLAGS,
+        ],
+        run: serve,
     },
     Command {
         name: "analyze",
         usage_args: "[flags]",
         summary: "per-layer zero-skip packing analysis",
-        flags: &[Flag::val("--density", "D", "dc", DENSITY_HELP)],
+        flag_groups: &[NETWORK_FLAGS],
         run: analyze,
     },
     Command {
         name: "faults",
         usage_args: "[flags]",
         summary: "fault-injection survivability campaign (exit 1 unless all trials degrade gracefully)",
-        flags: &[
+        flag_groups: &[&[
             Flag::val("--hw", "N", "8", HW_HELP),
             Flag::val("--seed", "S", "7", "seed for synthetic weights and inputs"),
             Flag::boolean("--json", "emit the survivability report as JSON on stdout"),
-        ],
+        ]],
         run: faults,
     },
     Command {
         name: "trace",
         usage_args: "",
         summary: "cycle-exact waveform of a small convolution",
-        flags: &[],
+        flag_groups: &[],
         run: |_| trace(),
     },
 ];
@@ -174,15 +234,15 @@ fn print_usage() {
 fn print_command_help(cmd: &Command) {
     println!("usage: zskip {} {}", cmd.name, cmd.usage_args);
     println!("{}", cmd.summary);
-    if !cmd.flags.is_empty() {
+    if cmd.flags().next().is_some() {
         println!("\nflags:");
-        for f in cmd.flags {
+        for f in cmd.flags() {
             let head = match f.metavar {
                 Some(m) => format!("{} <{}>", f.name, m),
                 None => f.name.to_string(),
             };
             let default = f.default.map(|d| format!(" [default: {d}]")).unwrap_or_default();
-            println!("  {head:<16} {}{default}", f.help);
+            println!("  {head:<24} {}{default}", f.help);
         }
     }
 }
@@ -198,7 +258,7 @@ fn parse_args(cmd: &Command, args: &[String]) -> Parsed {
             print_command_help(cmd);
             std::process::exit(0);
         }
-        if let Some(flag) = cmd.flags.iter().find(|f| f.name == a) {
+        if let Some(flag) = cmd.flags().find(|f| f.name == a) {
             if flag.metavar.is_some() {
                 let Some(v) = args.get(i + 1) else {
                     fail(&format!("{} requires a value (zskip {} --help)", flag.name, cmd.name));
@@ -259,6 +319,42 @@ fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
     }
 }
 
+/// Builds the [`SessionBuilder`] every inference subcommand starts from,
+/// resolving the shared [`SESSION_FLAGS`] identically for all of them.
+fn session_from_flags(p: &Parsed, config: AccelConfig) -> SessionBuilder {
+    let mut builder = Session::builder(config)
+        .backend(parse_backend(p))
+        .threads(p.parse_num("--threads", 0));
+    match p.get("--kernel").unwrap_or("auto") {
+        "auto" => {}
+        k => match KernelTier::parse(k) {
+            Some(tier) => builder = builder.kernel(tier),
+            None => fail(&format!("--kernel takes auto | scalar | sse2 | avx2 | avx512, got '{k}'")),
+        },
+    }
+    match p.get("--weight-cache").unwrap_or("on") {
+        "on" => builder = builder.weight_cache(true),
+        "off" => builder = builder.weight_cache(false),
+        v => fail(&format!("--weight-cache takes on | off, got '{v}'")),
+    }
+    builder
+}
+
+/// Builds the synthetic scaled-VGG-16 network the inference subcommands
+/// share: same spec, seed and calibration for `infer`, `batch` and
+/// `serve`, so a served request is bit-comparable to a CLI inference.
+fn build_network(p: &Parsed, hw: usize, ternary: bool) -> QuantizedNetwork {
+    let density = parse_density(p, 13);
+    let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
+    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
+    let calib = synthetic_inputs(2, 1, spec.input);
+    if ternary {
+        net.quantize_ternary(&calib)
+    } else {
+        net.quantize(&calib)
+    }
+}
+
 fn synth(which: &str) {
     let variants: Vec<Variant> =
         if which == "all" { Variant::all().to_vec() } else { vec![parse_variant(which)] };
@@ -295,30 +391,22 @@ fn sweep() {
 
 fn infer(p: &Parsed) {
     let hw: usize = p.parse_num("--hw", 64);
+    let seed: u64 = p.parse_num("--seed", 3);
     let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
     let backend = parse_backend(p);
-    let ternary = p.has("--ternary");
-    let density = parse_density(p, 13);
 
-    let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
+    let qnet = build_network(p, hw, p.has("--ternary"));
     println!(
         "running {} on {} ({} GMACs, {backend} backend)...",
-        spec.name,
+        qnet.spec.name,
         variant,
-        spec.total_macs() / 1_000_000_000
+        qnet.spec.total_macs() / 1_000_000_000
     );
-    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
-    let calib = synthetic_inputs(2, 1, spec.input);
-    let qnet = if ternary { net.quantize_ternary(&calib) } else { net.quantize(&calib) };
-    let input = synthetic_inputs(3, 1, spec.input).pop().expect("one");
+    let input = synthetic_inputs(seed, 1, qnet.spec.input).pop().expect("one");
 
     let config = AccelConfig::for_variant(variant);
-    let driver = Driver::builder(config)
-        .backend(backend)
-        .threads(p.parse_num("--threads", 0))
-        .build()
-        .unwrap_or_else(|e| fail(&e.to_string()));
-    let report = driver.run_network(&qnet, &input).unwrap_or_else(|e| fail(&e.to_string()));
+    let session = session_from_flags(p, config).build().unwrap_or_else(|e| fail(&e.to_string()));
+    let report = session.infer(&qnet, &input).unwrap_or_else(|e| fail(&e.to_string()));
     assert_eq!(report.output, qnet.forward_quant(&input), "bit-exact vs golden model");
     println!("bit-exact vs the software golden model");
     println!(
@@ -337,27 +425,20 @@ fn infer(p: &Parsed) {
 fn batch(p: &Parsed) {
     let hw: usize = p.parse_num("--hw", 32);
     let n: usize = p.parse_num("--n", 8);
-    let workers: usize = p.parse_num("--workers", 0);
     let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
     let backend = parse_backend(p);
-    let density = parse_density(p, 13);
 
-    let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
-    let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
-    let calib = synthetic_inputs(2, 1, spec.input);
-    let qnet = net.quantize(&calib);
-    let inputs = synthetic_inputs(3, n, spec.input);
+    let qnet = build_network(p, hw, false);
+    let inputs = synthetic_inputs(3, n, qnet.spec.input);
 
     let config = AccelConfig::for_variant(variant);
-    let driver = Driver::builder(config)
-        .backend(backend)
-        .threads(p.parse_num("--threads", 0))
+    let session = session_from_flags(p, config)
+        .batch_workers(p.parse_num("--workers", 0))
         .build()
         .unwrap_or_else(|e| fail(&e.to_string()));
-    println!("running {} x {} on {} ({backend} backend)...", n, spec.name, variant);
+    println!("running {} x {} on {} ({backend} backend)...", n, qnet.spec.name, variant);
     let t0 = std::time::Instant::now();
-    let report = zskip::accel::run_batch(&driver, &qnet, &inputs, workers)
-        .unwrap_or_else(|e| fail(&e.to_string()));
+    let report = session.run_batch(&qnet, &inputs).unwrap_or_else(|e| fail(&e.to_string()));
     let wall = t0.elapsed().as_secs_f64();
     println!(
         "{} images in {:.2} s on {} workers ({:.2} images/s, {:.1} M simulated cycles/s, {} steals)",
@@ -374,11 +455,136 @@ fn batch(p: &Parsed) {
     }
 }
 
+fn serve(p: &Parsed) {
+    let hw: usize = p.parse_num("--hw", 32);
+    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
+    let backend = parse_backend(p);
+
+    let qnet = Arc::new(build_network(p, hw, false));
+    let session = session_from_flags(p, AccelConfig::for_variant(variant))
+        .batch_workers(p.parse_num("--workers", 0))
+        .max_batch(p.parse_num("--max-batch", DEFAULT_MAX_BATCH))
+        .batch_window(Duration::from_millis(
+            p.parse_num("--batch-window-ms", DEFAULT_BATCH_WINDOW_MS),
+        ))
+        .queue_depth(p.parse_num("--queue-depth", DEFAULT_QUEUE_DEPTH))
+        .build()
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let batch_cfg = *session.batch_config();
+    // The banner goes to stderr: in stdio mode stdout is the protocol
+    // channel and must carry nothing but response lines.
+    eprintln!(
+        "zskip serve: {} on {} ({backend} backend, kernel {}, max-batch {}, window {:?}, queue {})",
+        qnet.spec.name,
+        variant,
+        session.kernel_tier(),
+        batch_cfg.max_batch,
+        batch_cfg.batch_window,
+        batch_cfg.queue_depth,
+    );
+    let shape = qnet.spec.input;
+    let engine = ServeEngine::start(session, Arc::clone(&qnet));
+    let handle = engine.handle();
+
+    let protocol_errors = match p.get("--tcp") {
+        Some(addr) if addr != "off" => serve_tcp(&handle, shape, addr),
+        _ => {
+            // Not `stdin().lock()`: StdinLock is !Send, and the reader
+            // runs on the connection's scoped reader thread.
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let mut stdout = std::io::stdout();
+            let summary = wire::serve_connection(&handle, shape, stdin, &mut stdout)
+                .unwrap_or_else(|e| fail(&format!("stdio serve loop failed: {e}")));
+            summary.protocol_errors
+        }
+    };
+
+    // EOF or a shutdown op landed: drain in-flight batches, then report.
+    let stats = engine.join();
+    println!("{}", wire::render_stats(&stats));
+    eprintln!(
+        "zskip serve: drained cleanly ({} served, {} failed, {} rejected, p50 {} us, p99 {} us)",
+        stats.served,
+        stats.failed,
+        stats.rejected,
+        stats.p50_us(),
+        stats.p99_us()
+    );
+    if protocol_errors > 0 {
+        eprintln!("zskip serve: {protocol_errors} protocol error(s)");
+        std::process::exit(1);
+    }
+}
+
+/// TCP mode: accepts connections until a client requests shutdown, one
+/// handler thread per connection. Returns the total protocol errors.
+fn serve_tcp(handle: &zskip::accel::ServeHandle, shape: zskip::tensor::Shape, addr: &str) -> u64 {
+    use std::io::BufReader;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let listener =
+        std::net::TcpListener::bind(addr).unwrap_or_else(|e| fail(&format!("cannot bind {addr}: {e}")));
+    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| addr.to_string());
+    // Announce the bound address on stdout as a JSON line so harnesses
+    // binding port 0 can discover the real port.
+    use zskip::json::Json;
+    println!(
+        "{}",
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("listening".into())),
+            ("addr", Json::Str(local.clone())),
+        ])
+        .to_string_compact()
+    );
+    eprintln!("zskip serve: listening on {local}");
+    listener.set_nonblocking(true).unwrap_or_else(|e| fail(&format!("nonblocking accept: {e}")));
+    let protocol_errors = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        while !handle.is_shutdown() {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let handle = handle.clone();
+                    let errors = &protocol_errors;
+                    scope.spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        let Ok(read_half) = stream.try_clone() else { return };
+                        let mut writer = stream;
+                        match wire::serve_connection(
+                            &handle,
+                            shape,
+                            BufReader::new(read_half),
+                            &mut writer,
+                        ) {
+                            Ok(summary) => {
+                                errors.fetch_add(summary.protocol_errors, Ordering::Relaxed);
+                            }
+                            Err(e) => eprintln!("zskip serve: connection {peer} failed: {e}"),
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("zskip serve: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+        // Scope exit joins the per-connection threads: every connection's
+        // responses flush before the final drain summary prints.
+    });
+    protocol_errors.load(Ordering::Relaxed)
+}
+
 fn analyze(p: &Parsed) {
     use zskip::accel::LayerPackingStats;
     let density = parse_density(p, 13);
     let conv3_density = density.density(4);
-    let config = AccelConfig::for_variant(Variant::U256Opt);
+    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
+    let config = AccelConfig::for_variant(variant);
     let qnet = zskip_bench::build_vgg16_with_density(density);
     println!(
         "VGG-16 packing analysis ({} lanes, zero-skip floor 4 cycles/weight-tile)\n",
@@ -477,7 +683,7 @@ fn analyze(p: &Parsed) {
     // then report both process-wide caches (packed scratchpad groups keyed
     // by weight identity + lane/skip geometry, and the nn kernels' packed
     // per-filter tap streams).
-    let cpu_driver = Driver::builder(AccelConfig::for_variant(Variant::U256Opt))
+    let cpu_driver = Driver::builder(AccelConfig::for_variant(variant))
         .backend(BackendKind::Cpu)
         .build()
         .expect("cpu driver builds");
@@ -497,6 +703,15 @@ fn analyze(p: &Parsed) {
         tc.bytes as f64 / (1 << 20) as f64,
         tc.hits,
         tc.misses
+    );
+
+    // Serving limits: what `zskip serve` defaults to on this build, so an
+    // operator can size clients without starting the daemon.
+    println!(
+        "\nServe defaults: queue depth {DEFAULT_QUEUE_DEPTH} (admission control), batch window {DEFAULT_BATCH_WINDOW_MS} ms, max batch {DEFAULT_MAX_BATCH}"
+    );
+    println!(
+        "(override with zskip serve --queue-depth/--batch-window-ms/--max-batch; full wire protocol in docs/SERVING.md)"
     );
 }
 

@@ -124,8 +124,8 @@ proptest! {
     ) {
         let (qnet, input) = quantize_spec(&spec, density, seed);
         let cfg = config(2048, 1);
-        let model = Driver::new(cfg, BackendKind::Model).run_network(&qnet, &input).expect("fits");
-        let cpu = Driver::new(cfg, BackendKind::Cpu).run_network(&qnet, &input).expect("fits");
+        let model = Driver::builder(cfg).backend(BackendKind::Model).build().unwrap().run_network(&qnet, &input).expect("fits");
+        let cpu = Driver::builder(cfg).backend(BackendKind::Cpu).build().unwrap().run_network(&qnet, &input).expect("fits");
         // Intra-image multithreaded cpu backend: panel decomposition over a
         // 3-worker pool must not change outputs or statistics either.
         let mt = Driver::builder(cfg)
@@ -186,7 +186,7 @@ proptest! {
         let cfg = config(1024, 1);
         let golden = qnet.forward_quant(&input);
         for backend in BackendKind::ALL {
-            let report = Driver::new(cfg, backend).run_network(&qnet, &input).expect("fits");
+            let report = Driver::builder(cfg).backend(backend).build().unwrap().run_network(&qnet, &input).expect("fits");
             prop_assert_eq!(&report.output, &golden, "backend {}", backend);
         }
     }
@@ -197,7 +197,7 @@ fn every_backend_matches_software_reference_bit_exact() {
     let (qnet, input) = quantized(0.6, 11);
     let golden = qnet.forward_quant(&input);
     for backend in BackendKind::ALL {
-        let report = Driver::new(config(4096, 1), backend).run_network(&qnet, &input).expect("runs");
+        let report = Driver::builder(config(4096, 1)).backend(backend).build().unwrap().run_network(&qnet, &input).expect("runs");
         assert_eq!(report.output, golden, "backend {backend}");
         assert!(report.total_cycles > 0);
         assert!(report.ddr_bytes > 0);
@@ -208,8 +208,8 @@ fn every_backend_matches_software_reference_bit_exact() {
 #[test]
 fn model_and_cycle_backends_agree_on_cycles_within_tolerance() {
     let (qnet, input) = quantized(0.4, 33);
-    let model = Driver::new(config(4096, 1), BackendKind::Model).run_network(&qnet, &input).unwrap();
-    let cycle = Driver::new(config(4096, 1), BackendKind::Cycle).run_network(&qnet, &input).unwrap();
+    let model = Driver::builder(config(4096, 1)).backend(BackendKind::Model).build().unwrap().run_network(&qnet, &input).unwrap();
+    let cycle = Driver::builder(config(4096, 1)).backend(BackendKind::Cycle).build().unwrap().run_network(&qnet, &input).unwrap();
     assert_eq!(model.output, cycle.output, "functional equality");
     let diff = model.total_cycles.abs_diff(cycle.total_cycles) as f64;
     assert!(
@@ -226,9 +226,9 @@ fn striping_preserves_results_on_every_backend() {
     let golden = qnet.forward_quant(&input);
     for backend in [BackendKind::Model, BackendKind::Cpu] {
         // Tiny banks: forces multiple stripes per layer.
-        let striped = Driver::new(config(20, 1), backend).run_network(&qnet, &input).unwrap();
+        let striped = Driver::builder(config(20, 1)).backend(backend).build().unwrap().run_network(&qnet, &input).unwrap();
         assert_eq!(striped.output, golden, "backend {backend}");
-        let roomy = Driver::new(config(8192, 1), backend).run_network(&qnet, &input).unwrap();
+        let roomy = Driver::builder(config(8192, 1)).backend(backend).build().unwrap().run_network(&qnet, &input).unwrap();
         let stripes_tight: usize = striped.layers.iter().map(|l| l.stats.stripes).sum();
         let stripes_roomy: usize = roomy.layers.iter().map(|l| l.stats.stripes).sum();
         assert!(stripes_tight > stripes_roomy, "{stripes_tight} vs {stripes_roomy}");
@@ -241,8 +241,8 @@ fn striping_preserves_results_on_every_backend() {
 fn two_instances_cut_compute_on_striped_layers() {
     let (qnet, input) = quantized(1.0, 55);
     for backend in [BackendKind::Model, BackendKind::Cpu] {
-        let one = Driver::new(config(20, 1), backend).run_network(&qnet, &input).unwrap();
-        let two = Driver::new(config(20, 2), backend).run_network(&qnet, &input).unwrap();
+        let one = Driver::builder(config(20, 1)).backend(backend).build().unwrap().run_network(&qnet, &input).unwrap();
+        let two = Driver::builder(config(20, 2)).backend(backend).build().unwrap().run_network(&qnet, &input).unwrap();
         assert_eq!(two.output, qnet.forward_quant(&input));
         let c1: u64 = one.conv_layers().map(|l| l.stats.compute_cycles).sum();
         let c2: u64 = two.conv_layers().map(|l| l.stats.compute_cycles).sum();
@@ -271,7 +271,7 @@ fn pruned_network_runs_faster_than_dense() {
     let (dense, input) = quantized(1.0, 77);
     let (pruned, _) = quantized(0.3, 77);
     for backend in [BackendKind::Model, BackendKind::Cpu] {
-        let driver = Driver::new(config(4096, 1), backend);
+        let driver = Driver::builder(config(4096, 1)).backend(backend).build().unwrap();
         let d = driver.run_network(&dense, &input).unwrap();
         let p = driver.run_network(&pruned, &input).unwrap();
         let cd: u64 = d.conv_layers().map(|l| l.stats.compute_cycles).sum();
@@ -284,7 +284,7 @@ fn pruned_network_runs_faster_than_dense() {
 fn layer_too_large_is_reported_identically() {
     let (qnet, input) = quantized(1.0, 88);
     for backend in BackendKind::ALL {
-        let err = Driver::new(config(8, 1), backend).run_network(&qnet, &input).unwrap_err();
+        let err = Driver::builder(config(8, 1)).backend(backend).build().unwrap().run_network(&qnet, &input).unwrap_err();
         match err {
             DriverError::LayerTooLarge { needed, capacity, .. } => {
                 assert!(needed > capacity);
@@ -299,7 +299,7 @@ fn gops_reporting_is_consistent() {
     let (qnet, input) = quantized(1.0, 99);
     let cfg = config(4096, 1);
     for backend in [BackendKind::Model, BackendKind::Cpu] {
-        let report = Driver::new(cfg, backend).run_network(&qnet, &input).unwrap();
+        let report = Driver::builder(cfg).backend(backend).build().unwrap().run_network(&qnet, &input).unwrap();
         let mean = report.mean_gops(&cfg);
         let peak = report.peak_gops(&cfg);
         assert!(peak >= mean && mean > 0.0, "peak {peak} mean {mean}");

@@ -64,7 +64,7 @@ proptest! {
             &AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 2048 },
             100.0,
         );
-        let report = Driver::new(config, BackendKind::Model)
+        let report = Driver::builder(config).backend(BackendKind::Model).build().unwrap()
             .run_network(&qnet, &input)
             .expect("small networks always fit");
         prop_assert_eq!(report.output, qnet.forward_quant(&input));
@@ -107,8 +107,8 @@ proptest! {
             &AccelArch { conv_units: 4, lanes: 4, instances: 1, bank_tiles: 1024 },
             100.0,
         );
-        let a = Driver::new(config, BackendKind::Model).run_network(&qnet, &input).expect("fits");
-        let b = Driver::new(config, BackendKind::Cycle).run_network(&qnet, &input).expect("fits");
+        let a = Driver::builder(config).backend(BackendKind::Model).build().unwrap().run_network(&qnet, &input).expect("fits");
+        let b = Driver::builder(config).backend(BackendKind::Cycle).build().unwrap().run_network(&qnet, &input).expect("fits");
         prop_assert_eq!(&a.output, &b.output);
         prop_assert_eq!(a.output, qnet.forward_quant(&input));
     }
