@@ -10,7 +10,9 @@ pub struct AccelConfig {
     pub units: usize,
     /// Filter lanes per conv unit (4 full, 1 in `16-unopt`).
     pub lanes: usize,
-    /// Accelerator instances operating on separate stripes (1 or 2).
+    /// Accelerator instances scheduled over by the placement layer
+    /// (any N >= 1; the paper ships 1 and 2, larger counts model the
+    /// scale-out devices of [`crate::exec::sched::CostModel`]).
     pub instances: usize,
     /// Capacity of each SRAM bank in tile words.
     pub bank_tiles: usize,
@@ -31,6 +33,22 @@ impl AccelConfig {
     pub fn for_variant(variant: Variant) -> AccelConfig {
         let synth = variant.synthesize();
         Self::from_arch(&variant.arch(), synth.operating_mhz)
+    }
+
+    /// Builds the runtime configuration for `instances` copies of a
+    /// variant's datapath, with bank capacity dividing the fixed RAM
+    /// budget and the operating clock taken from the scale-out cost
+    /// model ([`crate::exec::sched::CostModel`]): the smallest device of
+    /// the ladder that fits, congestion-derated. One and two instances
+    /// reproduce [`AccelConfig::for_variant`] of the matching paper
+    /// variants.
+    ///
+    /// # Panics
+    /// When `instances` is zero (callers validate first; the driver
+    /// builder rejects zero instances with `config.invalid`).
+    pub fn for_variant_instances(variant: Variant, instances: usize) -> AccelConfig {
+        let cm = crate::exec::sched::CostModel::for_instances(variant, instances);
+        Self::from_arch(&cm.arch, cm.clock_mhz)
     }
 
     /// Builds a configuration from raw architecture parameters (used for
@@ -99,10 +117,26 @@ mod tests {
     }
 
     #[test]
-    fn bank_capacity_halves_for_two_instances() {
+    fn bank_capacity_divides_across_instances() {
+        // The paper's pair first: 512-opt is two instances on half banks.
         let one = AccelConfig::for_variant(Variant::U256Opt);
         let two = AccelConfig::for_variant(Variant::U512Opt);
         assert_eq!(one.bank_tiles, 2 * two.bank_tiles);
+        // And the generalized geometry: any N divides the same budget.
+        for n in [1, 2, 4, 8] {
+            let c = AccelConfig::for_variant_instances(Variant::U256Opt, n);
+            assert_eq!(c.instances, n);
+            assert_eq!(c.bank_tiles, one.bank_tiles / n);
+            assert_eq!(c.macs_per_cycle(), 256 * n as u64);
+        }
+    }
+
+    #[test]
+    fn for_variant_instances_reproduces_paper_clocks() {
+        let one = AccelConfig::for_variant_instances(Variant::U256Opt, 1);
+        assert_eq!(one.clock_mhz, AccelConfig::for_variant(Variant::U256Opt).clock_mhz);
+        let two = AccelConfig::for_variant_instances(Variant::U256Opt, 2);
+        assert_eq!(two.clock_mhz, AccelConfig::for_variant(Variant::U512Opt).clock_mhz);
     }
 
     #[test]

@@ -177,6 +177,7 @@ pub struct DriverBuilder {
     zero_skipping: bool,
     weight_cache: bool,
     threads: usize,
+    instances: Option<usize>,
     kernel: Option<KernelTier>,
     fault_plan: Option<SharedFaultPlan>,
 }
@@ -193,9 +194,21 @@ impl DriverBuilder {
             zero_skipping: true,
             weight_cache: true,
             threads: 1,
+            instances: None,
             kernel: None,
             fault_plan: None,
         }
+    }
+
+    /// Overrides the configuration's instance count, rescaling bank
+    /// capacity so the total simulated SRAM budget
+    /// (`bank_tiles x instances`) is preserved — the same geometry rule
+    /// `AccelArch::full` applies between the paper's 256-opt and
+    /// 512-opt. How the instances are occupied is the placement
+    /// scheduler's job ([`crate::exec::sched`]).
+    pub fn instances(mut self, instances: usize) -> DriverBuilder {
+        self.instances = Some(instances);
+        self
     }
 
     /// Selects the execution backend.
@@ -266,10 +279,26 @@ impl DriverBuilder {
     /// # Errors
     /// [`DriverError::InvalidConfig`] when a structural parameter is zero,
     /// when `units != lanes` on the cycle backend (accumulator lanes map
-    /// 1:1 onto write units), or when stats-only mode is requested off the
+    /// 1:1 onto write units), when stats-only mode is requested off the
     /// model backend (the cycle simulation cannot switch its arithmetic
-    /// off, and the CPU backend *is* the arithmetic).
-    pub fn build(self) -> Result<Driver, DriverError> {
+    /// off, and the CPU backend *is* the arithmetic), or when an
+    /// [`instances`](DriverBuilder::instances) override is zero or leaves
+    /// zero bank capacity after the RAM-preserving rescale.
+    pub fn build(mut self) -> Result<Driver, DriverError> {
+        if let Some(n) = self.instances {
+            if n == 0 {
+                return Err(DriverError::InvalidConfig("instances must be nonzero".into()));
+            }
+            let total = self.config.bank_tiles * self.config.instances;
+            self.config.instances = n;
+            self.config.bank_tiles = total / n;
+            if self.config.bank_tiles == 0 {
+                return Err(DriverError::InvalidConfig(format!(
+                    "{n} instances leave zero bank capacity \
+                     (total budget {total} tile words)"
+                )));
+            }
+        }
         let c = &self.config;
         for (name, v) in [
             ("units", c.units),
@@ -657,6 +686,26 @@ mod tests {
         let mut cfg = config(4096, 1);
         cfg.lanes = 2; // units stays 4: illegal on the cycle backend.
         let _ = Driver::new(cfg, BackendKind::Cycle);
+    }
+
+    #[test]
+    fn instances_override_rescales_bank_capacity() {
+        let d = Driver::builder(config(4096, 1)).instances(4).build().unwrap();
+        assert_eq!(d.config.instances, 4);
+        assert_eq!(d.config.bank_tiles, 1024, "RAM budget is preserved, not replicated");
+        // Rescaling down restores the budget.
+        let mut cfg = d.config;
+        cfg.clock_mhz = 100.0;
+        let back = Driver::builder(cfg).instances(1).build().unwrap();
+        assert_eq!(back.config.bank_tiles, 4096);
+
+        let err = Driver::builder(config(4096, 1)).instances(0).build().unwrap_err();
+        assert!(matches!(err, DriverError::InvalidConfig(ref r) if r.contains("instances")));
+        assert_eq!(Error::from(err).code(), "config.invalid");
+
+        let err = Driver::builder(config(2, 1)).instances(4).build().unwrap_err();
+        assert!(matches!(err, DriverError::InvalidConfig(ref r) if r.contains("bank capacity")));
+        assert_eq!(Error::from(err).code(), "config.invalid");
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`pipeline`] — the staged per-layer pipeline every backend shares:
 //!   stage FM + packed weights in DDR, execute stripes (DMA in →
 //!   instruction batch → DMA out), collect [`PassStats`] and counters;
+//! * [`sched`] — the multi-instance placement scheduler above the
+//!   pipeline: stripe-parallel, image-parallel and layer-pipelined
+//!   sharding across N instances, with the HLS-derived per-N cost model;
 //! * `stripes` — pure stripe-planning geometry under bank capacity;
 //! * `model` — [`BackendKind::Model`]: closed-form cycles, functional
 //!   arithmetic from the golden reference (fast; the default);
@@ -28,6 +31,7 @@ pub(crate) mod cpu;
 pub(crate) mod cycle;
 pub(crate) mod model;
 pub mod pipeline;
+pub mod sched;
 pub(crate) mod stripes;
 
 pub use pipeline::{fm_to_bytes, SocHandle};

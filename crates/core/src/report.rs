@@ -35,7 +35,16 @@ impl PassStats {
     }
 
     /// Accumulates another pass (e.g. pad + conv of the same layer).
+    /// Passes run back to back, so instance `k`'s cycles add
+    /// element-wise; `compute_cycles` stays the sum of per-pass maxima
+    /// (there is a barrier between passes, not between instances).
     pub fn merge(&mut self, other: &PassStats) {
+        if self.per_instance_cycles.len() < other.per_instance_cycles.len() {
+            self.per_instance_cycles.resize(other.per_instance_cycles.len(), 0);
+        }
+        for (mine, theirs) in self.per_instance_cycles.iter_mut().zip(&other.per_instance_cycles) {
+            *mine += theirs;
+        }
         self.compute_cycles += other.compute_cycles;
         self.io_dma_cycles += other.io_dma_cycles;
         self.weight_dma_cycles += other.weight_dma_cycles;

@@ -29,6 +29,7 @@ use crate::batch::{
 use crate::config::AccelConfig;
 use crate::driver::{BackendKind, Driver, DriverBuilder, InferenceReport};
 use crate::error::Error;
+use crate::exec::sched::{self, Placement, ShardReport};
 use zskip_fault::SharedFaultPlan;
 use zskip_nn::model::QuantizedNetwork;
 use zskip_nn::simd::KernelTier;
@@ -66,6 +67,10 @@ pub struct BatchConfig {
     pub queue_depth: usize,
     /// Per-request retry policy for transient faults.
     pub retry: RetryPolicy,
+    /// Multi-instance placement for sharded batches
+    /// ([`Session::run_sharded`]); `Auto` resolves per workload
+    /// (see [`Placement::resolve`]).
+    pub placement: Placement,
 }
 
 impl Default for BatchConfig {
@@ -76,6 +81,7 @@ impl Default for BatchConfig {
             batch_window: Duration::from_millis(DEFAULT_BATCH_WINDOW_MS),
             queue_depth: DEFAULT_QUEUE_DEPTH,
             retry: RetryPolicy::default(),
+            placement: Placement::Auto,
         }
     }
 }
@@ -111,6 +117,20 @@ impl SessionBuilder {
     /// Pins the session's SIMD kernel tier (see [`DriverBuilder::kernel`]).
     pub fn kernel(mut self, tier: KernelTier) -> SessionBuilder {
         self.driver = self.driver.kernel(tier);
+        self
+    }
+
+    /// Overrides the simulated instance count with the RAM-preserving
+    /// bank rescale (see [`DriverBuilder::instances`]).
+    pub fn instances(mut self, instances: usize) -> SessionBuilder {
+        self.driver = self.driver.instances(instances);
+        self
+    }
+
+    /// Multi-instance placement for [`Session::run_sharded`]
+    /// (see [`BatchConfig::placement`]).
+    pub fn placement(mut self, placement: Placement) -> SessionBuilder {
+        self.batch.placement = placement;
         self
     }
 
@@ -275,6 +295,21 @@ impl Session {
         inputs: &[Tensor<f32>],
     ) -> ResilientBatchReport {
         run_batch_resilient(&self.driver, qnet, inputs, self.batch.workers, self.batch.retry)
+    }
+
+    /// Runs a batch sharded across the configured simulated instances
+    /// under this session's [`BatchConfig::placement`], returning the
+    /// per-image reports plus the placement's simulated timeline.
+    /// Outputs are bit-identical to [`Session::infer`] per image.
+    ///
+    /// # Errors
+    /// See [`crate::exec::sched::run_sharded`].
+    pub fn run_sharded(
+        &self,
+        qnet: &QuantizedNetwork,
+        inputs: &[Tensor<f32>],
+    ) -> Result<ShardReport, Error> {
+        Ok(sched::run_sharded(&self.driver, qnet, inputs, self.batch.placement)?)
     }
 }
 

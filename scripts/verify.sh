@@ -55,7 +55,17 @@ if printf 'this is not json\n' | timeout 120 ./target/release/zskip serve --hw 3
   echo "verify: serve must exit non-zero on a protocol error"; exit 1
 fi
 
-# Serving-throughput gate: the daemon's queue + adaptive batcher must
-# deliver >= 0.9x the raw batch engine on the same offered burst.
+# Multi-instance sharding smoke: a 4-instance layer-pipelined batch must
+# run end to end, stay bit-exact vs the golden model (infer asserts it),
+# and report the placement it resolved.
+shard_out=$(timeout 300 ./target/release/zskip batch --hw 32 --n 4 --instances 4 --placement pipeline)
+printf '%s\n' "$shard_out" | grep -q 'pipeline placement' \
+  || { echo "verify: sharded batch did not report pipeline placement"; exit 1; }
+timeout 300 ./target/release/zskip infer --hw 32 --instances 4 --placement pipeline > /dev/null
+
+# Throughput gates: the daemon's queue + adaptive batcher must deliver
+# >= 0.9x the raw batch engine on the same offered burst, and the
+# placement scheduler must hit its simulated-time floors (image-parallel
+# >= 2.5x at 4 instances; pipeline beats image on single-image latency).
 timeout 300 ./target/release/batch_bench --check
 echo "verify: OK"

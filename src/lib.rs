@@ -48,8 +48,9 @@ pub mod prelude {
     pub use zskip_core::batch::RetryPolicy;
     pub use zskip_core::serve::wire;
     pub use zskip_core::{
-        AccelConfig, BackendKind, BatchConfig, Driver, DriverBuilder, Error, ServeEngine,
-        ServeError, ServeHandle, ServeReply, ServeStats, Session, SessionBuilder,
+        run_sharded, AccelConfig, BackendKind, BatchConfig, CostModel, Driver, DriverBuilder,
+        Error, Placement, ServeEngine, ServeError, ServeHandle, ServeReply, ServeStats, Session,
+        SessionBuilder, ShardReport,
     };
     pub use zskip_nn::simd::KernelTier;
 }

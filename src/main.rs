@@ -24,7 +24,9 @@ use std::time::Duration;
 
 use zskip::accel::serve::wire;
 use zskip::accel::session::{DEFAULT_BATCH_WINDOW_MS, DEFAULT_MAX_BATCH, DEFAULT_QUEUE_DEPTH};
-use zskip::accel::{AccelConfig, BackendKind, Driver, ServeEngine, Session, SessionBuilder};
+use zskip::accel::{
+    AccelConfig, BackendKind, Driver, Placement, ServeEngine, Session, SessionBuilder, ShardReport,
+};
 use zskip::hls::Variant;
 use zskip::nn::eval::synthetic_inputs;
 use zskip::nn::model::{Network, QuantizedNetwork, SyntheticModelConfig};
@@ -98,6 +100,18 @@ const NETWORK_FLAGS: &[Flag] = &[
     Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
 ];
 
+/// The multi-accelerator sharding knobs shared by every subcommand that
+/// can schedule over more than one instance (see docs/SCHEDULER.md).
+const SHARD_FLAGS: &[Flag] = &[
+    Flag::val(
+        "--instances",
+        "N",
+        "1",
+        "accelerator instances to schedule over (the bank RAM budget divides across them)",
+    ),
+    Flag::val("--placement", "P", "auto", "shard placement: auto | stripe | image | pipeline"),
+];
+
 /// The batch shaping and admission-control knobs of the serving daemon.
 const BATCH_KNOB_FLAGS: &[Flag] = &[
     Flag::val("--workers", "N", "0", "batch-pool worker threads (0 = auto)"),
@@ -133,6 +147,7 @@ const COMMANDS: &[Command] = &[
             ],
             NETWORK_FLAGS,
             SESSION_FLAGS,
+            SHARD_FLAGS,
         ],
         run: infer,
     },
@@ -148,6 +163,7 @@ const COMMANDS: &[Command] = &[
             ],
             NETWORK_FLAGS,
             SESSION_FLAGS,
+            SHARD_FLAGS,
         ],
         run: batch,
     },
@@ -162,6 +178,7 @@ const COMMANDS: &[Command] = &[
             ],
             NETWORK_FLAGS,
             SESSION_FLAGS,
+            SHARD_FLAGS,
             BATCH_KNOB_FLAGS,
         ],
         run: serve,
@@ -170,7 +187,7 @@ const COMMANDS: &[Command] = &[
         name: "analyze",
         usage_args: "[flags]",
         summary: "per-layer zero-skip packing analysis",
-        flag_groups: &[NETWORK_FLAGS],
+        flag_groups: &[NETWORK_FLAGS, SHARD_FLAGS],
         run: analyze,
     },
     Command {
@@ -309,6 +326,10 @@ fn parse_backend(p: &Parsed) -> BackendKind {
     p.get("--backend").unwrap_or("model").parse().unwrap_or_else(|e: String| fail(&e))
 }
 
+fn parse_placement(p: &Parsed) -> Placement {
+    p.get("--placement").unwrap_or("auto").parse().unwrap_or_else(|e: String| fail(&e))
+}
+
 fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
     match p.get("--density").unwrap_or("dc") {
         "dc" => DensityProfile::deep_compression_vgg16(),
@@ -324,7 +345,11 @@ fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
 fn session_from_flags(p: &Parsed, config: AccelConfig) -> SessionBuilder {
     let mut builder = Session::builder(config)
         .backend(parse_backend(p))
-        .threads(p.parse_num("--threads", 0));
+        .threads(p.parse_num("--threads", 0))
+        .placement(parse_placement(p));
+    if p.get("--instances").is_some() {
+        builder = builder.instances(p.parse_num("--instances", 1));
+    }
     match p.get("--kernel").unwrap_or("auto") {
         "auto" => {}
         k => match KernelTier::parse(k) {
@@ -406,7 +431,21 @@ fn infer(p: &Parsed) {
 
     let config = AccelConfig::for_variant(variant);
     let session = session_from_flags(p, config).build().unwrap_or_else(|e| fail(&e.to_string()));
-    let report = session.infer(&qnet, &input).unwrap_or_else(|e| fail(&e.to_string()));
+    let report = if session.driver().config.instances > 1 {
+        let shard = session
+            .run_sharded(&qnet, std::slice::from_ref(&input))
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        println!(
+            "sharded over {} instances ({} placement): makespan {} cycles, {:.2}x vs one instance",
+            shard.instances,
+            shard.placement,
+            shard.makespan_cycles,
+            shard.speedup()
+        );
+        shard.items.into_iter().next().expect("one image in, one report out")
+    } else {
+        session.infer(&qnet, &input).unwrap_or_else(|e| fail(&e.to_string()))
+    };
     assert_eq!(report.output, qnet.forward_quant(&input), "bit-exact vs golden model");
     println!("bit-exact vs the software golden model");
     println!(
@@ -437,6 +476,15 @@ fn batch(p: &Parsed) {
         .build()
         .unwrap_or_else(|e| fail(&e.to_string()));
     println!("running {} x {} on {} ({backend} backend)...", n, qnet.spec.name, variant);
+    if session.driver().config.instances > 1 {
+        let shard = session.run_sharded(&qnet, &inputs).unwrap_or_else(|e| fail(&e.to_string()));
+        print_shard_summary(&shard, &session.driver().config);
+        for (i, r) in shard.items.iter().enumerate() {
+            let top = zskip::nn::fc::argmax(&r.output).expect("non-empty");
+            println!("  image {i}: {} cycles, predicted class {top}", r.total_cycles);
+        }
+        return;
+    }
     let t0 = std::time::Instant::now();
     let report = session.run_batch(&qnet, &inputs).unwrap_or_else(|e| fail(&e.to_string()));
     let wall = t0.elapsed().as_secs_f64();
@@ -452,6 +500,38 @@ fn batch(p: &Parsed) {
     for (i, r) in report.reports.iter().enumerate() {
         let top = zskip::nn::fc::argmax(&r.output).expect("non-empty");
         println!("  image {i}: {} cycles, predicted class {top}", r.total_cycles);
+    }
+}
+
+/// Renders one sharded run's timeline: placement, throughput, and the
+/// per-instance utilization split the scheduler achieved.
+fn print_shard_summary(shard: &ShardReport, config: &AccelConfig) {
+    println!(
+        "sharded {} images over {} instances ({} placement): makespan {} cycles, \
+         {:.2}x vs one instance, {:.1} simulated images/s",
+        shard.items.len(),
+        shard.instances,
+        shard.placement,
+        shard.makespan_cycles,
+        shard.speedup(),
+        shard.images_per_s(config)
+    );
+    for (k, &busy) in shard.per_instance_busy.iter().enumerate() {
+        let pct = if shard.makespan_cycles > 0 {
+            busy as f64 / shard.makespan_cycles as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!("  instance {k}: {busy} busy cycles ({pct:.0}% of makespan)");
+    }
+    if shard.placement == Placement::Pipeline {
+        for (layer, bubbles) in &shard.layer_bubbles {
+            println!("  stage '{layer}': {bubbles} bubble cycles waiting on upstream");
+        }
+        println!(
+            "  weight staging: {} cycles hidden behind compute, {} exposed",
+            shard.staging_hidden_cycles, shard.staging_exposed_cycles
+        );
     }
 }
 
@@ -474,10 +554,13 @@ fn serve(p: &Parsed) {
     // The banner goes to stderr: in stdio mode stdout is the protocol
     // channel and must carry nothing but response lines.
     eprintln!(
-        "zskip serve: {} on {} ({backend} backend, kernel {}, max-batch {}, window {:?}, queue {})",
+        "zskip serve: {} on {} ({backend} backend, kernel {}, {} instance(s), {} placement, \
+         max-batch {}, window {:?}, queue {})",
         qnet.spec.name,
         variant,
         session.kernel_tier(),
+        session.driver().config.instances,
+        batch_cfg.placement,
         batch_cfg.max_batch,
         batch_cfg.batch_window,
         batch_cfg.queue_depth,
@@ -704,6 +787,31 @@ fn analyze(p: &Parsed) {
         tc.hits,
         tc.misses
     );
+
+    // Sharding: what the placement scheduler would do with this workload
+    // at --instances N — chosen placement, the cost model's device and
+    // derated clock, per-instance utilization, and (for the pipeline)
+    // where the inter-stage bubbles sit.
+    let instances: usize = p.parse_num("--instances", 1);
+    let placement = parse_placement(p);
+    let cost = zskip::accel::CostModel::for_instances(variant, instances.max(1));
+    println!(
+        "\nSharding at {} instance(s): {} at {:.1} MHz, ALM utilization {:.2}{}",
+        cost.instances,
+        cost.device,
+        cost.clock_mhz,
+        cost.alm_utilization,
+        if cost.fits { "" } else { " (DOES NOT FIT)" }
+    );
+    let shard_config = AccelConfig::for_variant_instances(variant, instances.max(1));
+    let shard_driver = Driver::builder(shard_config)
+        .backend(BackendKind::Model)
+        .build()
+        .expect("model driver builds");
+    let shard_inputs = synthetic_inputs(3, (2 * instances).max(4), surrogate.input);
+    let shard = zskip::accel::run_sharded(&shard_driver, &sq, &shard_inputs, placement)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    print_shard_summary(&shard, &shard_config);
 
     // Serving limits: what `zskip serve` defaults to on this build, so an
     // operator can size clients without starting the daemon.
