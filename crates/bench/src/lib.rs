@@ -293,11 +293,13 @@ pub fn make_conv_layer(
     density: f64,
     seed: u64,
 ) -> (zskip_nn::conv::QuantConvWeights, zskip_tensor::TiledFeatureMap<zskip_quant::Sm8>, zskip_tensor::Shape) {
+    use zskip_core::rng::SplitMix64;
     use zskip_quant::{Requantizer, Sm8};
     let n = out_c * in_c * 9;
+    let mut rng = SplitMix64::new(seed);
     let w: Vec<Sm8> = (0..n)
-        .map(|i| {
-            let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(seed);
+        .map(|_| {
+            let h = rng.next_u64();
             if (h >> 32) % 1000 < (density * 1000.0) as u64 {
                 Sm8::from_i32_saturating(((h >> 17) % 253) as i32 - 126)
             } else {

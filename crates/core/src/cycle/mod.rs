@@ -73,6 +73,7 @@ pub fn run_instructions(
         false,
         None,
         SchedMode::EventDriven,
+        None,
     )?;
     Ok(outcome)
 }
@@ -100,6 +101,7 @@ pub fn run_instructions_dense(
         false,
         None,
         SchedMode::Dense,
+        None,
     )?;
     Ok(outcome)
 }
@@ -131,6 +133,42 @@ pub fn run_instructions_with_faults(
         false,
         Some(plan),
         SchedMode::EventDriven,
+        None,
+    )?;
+    Ok(outcome)
+}
+
+/// The session-configurable entry point the exec pipeline uses: an
+/// optional fault plan plus an optional park-hysteresis override for the
+/// event scheduler (see [`zskip_sim::EngineBuilder::park_hysteresis`]).
+/// `None` for both is exactly [`run_instructions`]. The hysteresis is a
+/// scheduling-cost knob only — cycle counts and bank contents are
+/// bit-identical for every value (the `tune` module exploits this: it
+/// searches the knob for simulator wall time without perturbing the
+/// simulated score).
+///
+/// # Errors
+/// See [`run_instructions`].
+pub fn run_instructions_configured(
+    config: &AccelConfig,
+    banks: BankSet,
+    scratchpad: Vec<u8>,
+    instructions: &[Instruction],
+    max_cycles: u64,
+    plan: Option<SharedFaultPlan>,
+    park_hysteresis: Option<u32>,
+) -> Result<CycleOutcome, SimError> {
+    let (outcome, _) = run_instructions_inner(
+        config,
+        banks,
+        scratchpad,
+        Feed::Preloaded(instructions.to_vec()),
+        max_cycles,
+        None,
+        false,
+        plan,
+        SchedMode::EventDriven,
+        park_hysteresis,
     )?;
     Ok(outcome)
 }
@@ -162,6 +200,7 @@ pub fn run_instructions_fast(
         true,
         None,
         SchedMode::Dense,
+        None,
     )?;
     Ok(outcome)
 }
@@ -189,6 +228,7 @@ pub fn run_instructions_traced(
         false,
         None,
         SchedMode::EventDriven,
+        None,
     )?;
     Ok((outcome, trace.expect("tracing was enabled")))
 }
@@ -219,6 +259,7 @@ pub fn run_hosted(
         false,
         None,
         SchedMode::EventDriven,
+        None,
     )?;
     Ok(outcome)
 }
@@ -244,6 +285,7 @@ pub fn run_hosted_dense(
         false,
         None,
         SchedMode::Dense,
+        None,
     )?;
     Ok(outcome)
 }
@@ -268,6 +310,7 @@ fn run_instructions_inner(
     fast_forward: bool,
     fault_plan: Option<SharedFaultPlan>,
     sched: SchedMode,
+    park_hysteresis: Option<u32>,
 ) -> Result<(CycleOutcome, Option<zskip_sim::Trace>), SimError> {
     assert_eq!(config.units, config.lanes, "accumulator lanes map 1:1 onto write units");
     let units = config.units;
@@ -276,6 +319,9 @@ fn run_instructions_inner(
     let barrier = Rc::new(RefCell::new(Barrier::new(config.lanes)));
     let mut engine: Engine<Msg> = Engine::new();
     engine.set_scheduler(sched);
+    if let Some(ticks) = park_hysteresis {
+        engine.set_park_hysteresis(ticks);
+    }
     if let Some(capacity) = trace_cycles {
         engine.enable_trace(capacity);
     }

@@ -70,6 +70,11 @@ pub struct Driver {
     /// SIMD kernel tier this session's forward passes run with (resolved
     /// — always host-supported). See [`DriverBuilder::kernel`].
     pub kernel_tier: KernelTier,
+    /// Event-scheduler park hysteresis for the cycle backend (`None` =
+    /// the engine default). Simulator wall-time only; simulated cycle
+    /// counts are bit-identical for every value. See
+    /// [`DriverBuilder::park_hysteresis`].
+    pub park_hysteresis: Option<u32>,
     /// Fault plan threaded into the SoC models and the cycle backend.
     fault_plan: Option<SharedFaultPlan>,
 }
@@ -179,6 +184,7 @@ pub struct DriverBuilder {
     threads: usize,
     instances: Option<usize>,
     kernel: Option<KernelTier>,
+    park_hysteresis: Option<u32>,
     fault_plan: Option<SharedFaultPlan>,
 }
 
@@ -196,6 +202,7 @@ impl DriverBuilder {
             threads: 1,
             instances: None,
             kernel: None,
+            park_hysteresis: None,
             fault_plan: None,
         }
     }
@@ -266,6 +273,16 @@ impl DriverBuilder {
         self
     }
 
+    /// Park hysteresis for the cycle backend's event scheduler: blocked
+    /// kernels park after this many consecutive quiescent ticks (see
+    /// [`zskip_sim::EngineBuilder::park_hysteresis`]). Affects simulator
+    /// wall time only — simulated cycle counts and results are
+    /// bit-identical for every value. Other backends ignore it.
+    pub fn park_hysteresis(mut self, ticks: u32) -> DriverBuilder {
+        self.park_hysteresis = Some(ticks);
+        self
+    }
+
     /// Attaches a fault plan: the driver threads it into the DMA engine
     /// and (on the cycle backend) the simulation engine, so `dma:*` and
     /// `fifo:*` injections fire during [`Driver::run_network`].
@@ -322,6 +339,11 @@ impl DriverBuilder {
                 "stats-only mode requires the model backend".into(),
             ));
         }
+        if self.park_hysteresis == Some(0) {
+            return Err(DriverError::InvalidConfig(
+                "park_hysteresis must be nonzero (1 parks on the first blocked tick)".into(),
+            ));
+        }
         Ok(Driver {
             config: self.config,
             backend: self.backend,
@@ -339,6 +361,7 @@ impl DriverBuilder {
                 Some(_) => KernelTier::best_supported(),
                 None => zskip_nn::dispatch(),
             },
+            park_hysteresis: self.park_hysteresis,
             fault_plan: self.fault_plan,
         })
     }

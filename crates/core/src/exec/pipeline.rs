@@ -263,17 +263,15 @@ impl Exec {
                 Ok((outcome.cycles, banks))
             }
             Exec::Cycle => {
-                let outcome = match driver.fault_plan() {
-                    Some(plan) => cycle::run_instructions_with_faults(
-                        &driver.config,
-                        banks,
-                        scratchpad,
-                        instrs,
-                        u64::MAX,
-                        plan.clone(),
-                    ),
-                    None => cycle::run_instructions(&driver.config, banks, scratchpad, instrs, u64::MAX),
-                }
+                let outcome = cycle::run_instructions_configured(
+                    &driver.config,
+                    banks,
+                    scratchpad,
+                    instrs,
+                    u64::MAX,
+                    driver.fault_plan().cloned(),
+                    driver.park_hysteresis,
+                )
                 .map_err(DriverError::Sim)?;
                 counters.merge(&outcome.counters);
                 Ok((outcome.cycles, outcome.banks))

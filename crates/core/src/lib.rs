@@ -38,7 +38,16 @@
 //!   knobs, which every CLI subcommand routes through;
 //! * [`serve`] — the inference serving daemon: a bounded submission
 //!   queue with adaptive batching over the batch engine, plus the
-//!   newline-delimited JSON wire protocol (`zskip serve`).
+//!   newline-delimited JSON wire protocol (`zskip serve`);
+//! * [`rng`] — the workspace-wide seeded [`SplitMix64`](rng::SplitMix64)
+//!   generator, the one idiom behind every "seeded-deterministic"
+//!   contract in the repo;
+//! * [`tune`] — the design-space autotuner (`zskip tune`): typed search
+//!   spaces over the session and HLS-variant knobs, seeded coordinate
+//!   descent and SPSA searchers, cached evaluation, and the versioned
+//!   [`TunedConfig`] artifact that
+//!   [`SessionBuilder::from_tuned`](session::SessionBuilder::from_tuned)
+//!   loads.
 
 pub mod analysis;
 pub mod bank;
@@ -54,8 +63,10 @@ pub mod layout;
 pub mod model;
 pub mod poolpad;
 pub mod report;
+pub mod rng;
 pub mod serve;
 pub mod session;
+pub mod tune;
 pub mod weights;
 
 pub use analysis::LayerPackingStats;
@@ -79,4 +90,7 @@ pub use serve::{
     RequestStats, ServeEngine, ServeError, ServeHandle, ServeReply, ServeStats,
 };
 pub use session::{BatchConfig, Session, SessionBuilder};
+pub use tune::{
+    Objective, Provenance, SearchSpace, Searcher, SpaceKind, TuneOutcome, TunedConfig, Tuner,
+};
 pub use weights::GroupWeights;

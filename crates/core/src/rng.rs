@@ -1,0 +1,19 @@
+//! The one seeded-determinism idiom for the whole workspace.
+//!
+//! Every component that needs reproducible pseudo-randomness — fault-plan
+//! selection, synthetic test data, the [`tune`](crate::tune) searchers —
+//! draws from the same [`SplitMix64`] generator, defined once in the
+//! dependency-free `zskip-fault` crate and re-exported here so core
+//! consumers don't need to know where it lives. Same seed, same stream,
+//! on every host: the generator is pure integer arithmetic with no
+//! platform-dependent behavior.
+//!
+//! ```
+//! use zskip_core::rng::SplitMix64;
+//! let mut a = SplitMix64::new(9);
+//! let mut b = SplitMix64::new(9);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert!(a.next_below(10) < 10);
+//! ```
+
+pub use zskip_fault::{splitmix64, SplitMix64};

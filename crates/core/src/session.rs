@@ -101,6 +101,21 @@ impl SessionBuilder {
         SessionBuilder { driver: DriverBuilder::new(config), batch: BatchConfig::default() }
     }
 
+    /// Starts a builder from a [`TunedConfig`](crate::tune::TunedConfig)
+    /// artifact on disk (the output of `zskip tune`; the CLI's
+    /// `--config <file>` flag routes through this). Every knob of the
+    /// artifact is applied; callers may layer explicit overrides on the
+    /// returned builder before `build()` — that is how CLI flags win
+    /// over the artifact.
+    ///
+    /// # Errors
+    /// `config.invalid` when the file cannot be read or is not a valid
+    /// versioned artifact (see
+    /// [`TunedConfig::load`](crate::tune::TunedConfig::load)).
+    pub fn from_tuned(path: impl AsRef<std::path::Path>) -> Result<SessionBuilder, Error> {
+        Ok(crate::tune::TunedConfig::load(path)?.session())
+    }
+
     /// Selects the execution backend.
     pub fn backend(mut self, backend: BackendKind) -> SessionBuilder {
         self.driver = self.driver.backend(backend);
@@ -138,6 +153,13 @@ impl SessionBuilder {
     /// (see [`DriverBuilder::weight_cache`]).
     pub fn weight_cache(mut self, on: bool) -> SessionBuilder {
         self.driver = self.driver.weight_cache(on);
+        self
+    }
+
+    /// Event-scheduler park hysteresis for the cycle backend
+    /// (see [`DriverBuilder::park_hysteresis`]).
+    pub fn park_hysteresis(mut self, ticks: u32) -> SessionBuilder {
+        self.driver = self.driver.park_hysteresis(ticks);
         self
     }
 

@@ -163,9 +163,9 @@ impl FaultPlan {
     /// `[0, at_max)`. The same seed always yields the same plan.
     pub fn seeded(seed: u64, menu: &[(&str, FaultKind)], at_max: u64) -> FaultPlan {
         assert!(!menu.is_empty(), "fault menu must not be empty");
-        let mut s = seed;
-        let pick = (splitmix64(&mut s) % menu.len() as u64) as usize;
-        let at = if at_max == 0 { 0 } else { splitmix64(&mut s) % at_max };
+        let mut rng = SplitMix64::new(seed);
+        let pick = rng.next_below(menu.len() as u64) as usize;
+        let at = rng.next_below(at_max);
         let (site, kind) = menu[pick];
         FaultPlan::new().inject(site, at, kind)
     }
@@ -221,6 +221,57 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The workspace-wide seeded generator: a stateful wrapper around
+/// [`splitmix64`], so "seeded-deterministic" means one idiom everywhere —
+/// fault plans, synthetic test data, and the `tune` searchers all draw
+/// from this. Re-exported as `zskip_core::rng::SplitMix64`.
+///
+/// SplitMix64 passes BigCrush, has a full 2^64 period, and every seed is
+/// a good seed (no zero-state trap), which is all a reproducibility RNG
+/// needs. Not cryptographic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// A uniform draw in `[0, bound)`. `bound` 0 returns 0 (the empty
+    /// range has one representable answer, which keeps call sites free of
+    /// special cases). Uses plain modulo: the bias for any bound that
+    /// fits in practice (< 2^32) is below 2^-32, irrelevant for seeding.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// A uniform draw in `[0.0, 1.0)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sign: `+1` or `-1` (the SPSA perturbation direction).
+    pub fn next_sign(&mut self) -> i64 {
+        if self.next_u64() & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +305,36 @@ mod tests {
         assert_eq!(fifo[0].site, "fifo:work0:push");
         assert_eq!(p.pending().len(), 1);
         assert_eq!(p.pending()[0].site, "dma:xfer");
+    }
+
+    #[test]
+    fn splitmix64_struct_matches_free_function() {
+        let mut rng = SplitMix64::new(42);
+        let mut state = 42u64;
+        for _ in 0..64 {
+            assert_eq!(rng.next_u64(), splitmix64(&mut state));
+        }
+    }
+
+    #[test]
+    fn splitmix64_draws_are_in_range() {
+        let mut rng = SplitMix64::new(7);
+        assert_eq!(rng.next_below(0), 0, "empty range collapses to 0");
+        for bound in [1u64, 2, 3, 17, 1000] {
+            for _ in 0..32 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+        for _ in 0..256 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let s = rng.next_sign();
+            assert!(s == 1 || s == -1);
+        }
+        // Both signs actually occur.
+        let mut rng = SplitMix64::new(1);
+        let signs: Vec<i64> = (0..16).map(|_| rng.next_sign()).collect();
+        assert!(signs.contains(&1) && signs.contains(&-1));
     }
 
     #[test]

@@ -461,12 +461,8 @@ mod tests {
     }
 
     fn sm8_vec(seed: u64, n: usize) -> Vec<Sm8> {
-        (0..n)
-            .map(|i| {
-                let h = (i as u64 + 1).wrapping_mul(seed | 1).wrapping_mul(0x9e3779b97f4a7c15);
-                Sm8::from_bits((h >> 32) as u8)
-            })
-            .collect()
+        let mut rng = zskip_fault::SplitMix64::new(seed);
+        (0..n).map(|_| Sm8::from_bits(rng.next_u64() as u8)).collect()
     }
 
     proptest! {

@@ -14,15 +14,17 @@ use zskip_nn::simd::KernelTier;
 use zskip_quant::{Requantizer, Sm8};
 use zskip_tensor::Tensor;
 
-/// Seeded weights with a target fraction of nonzero taps.
+/// Seeded weights with a target fraction of nonzero taps, drawn from the
+/// workspace-wide `SplitMix64` stream.
 fn synthetic_qw(out_c: usize, in_c: usize, k: usize, density: f64, seed: u64, relu: bool) -> QuantConvWeights {
+    let mut rng = zskip_fault::SplitMix64::new(seed);
     QuantConvWeights::new(
         out_c,
         in_c,
         k,
         (0..out_c * in_c * k * k)
-            .map(|i| {
-                let h = (i as u64 + 1).wrapping_mul(seed | 1).wrapping_mul(0x9e3779b97f4a7c15);
+            .map(|_| {
+                let h = rng.next_u64();
                 if ((h >> 16) % 1000) as f64 >= density * 1000.0 {
                     Sm8::ZERO
                 } else {

@@ -68,4 +68,18 @@ timeout 300 ./target/release/zskip infer --hw 32 --instances 4 --placement pipel
 # placement scheduler must hit its simulated-time floors (image-parallel
 # >= 2.5x at 4 instances; pipeline beats image on single-image latency).
 timeout 300 ./target/release/batch_bench --check
+
+# Autotuner smoke: a tiny-budget deterministic tune must emit a loadable
+# artifact, and loading it back through --config must run end to end
+# (infer asserts bit-exactness vs the golden model internally).
+tune_out=$(mktemp -t zskip-tuned-XXXXXX.json)
+timeout 300 ./target/release/zskip tune --objective cycles --space hls --budget 8 --out "$tune_out" > /dev/null
+timeout 300 ./target/release/zskip infer --hw 32 --config "$tune_out" > /dev/null
+rm -f "$tune_out"
+
+# Autotuner gates: every objective's tuned config must score no worse
+# than the default, the cycles search must match/beat the best
+# hand-picked HLS variant, at least one software objective must improve
+# >= 10%, and the same-seed rerun must be byte-identical.
+timeout 300 ./target/release/tune_bench --check
 echo "verify: OK"

@@ -49,8 +49,9 @@ pub mod prelude {
     pub use zskip_core::serve::wire;
     pub use zskip_core::{
         run_sharded, AccelConfig, BackendKind, BatchConfig, CostModel, Driver, DriverBuilder,
-        Error, Placement, ServeEngine, ServeError, ServeHandle, ServeReply, ServeStats, Session,
-        SessionBuilder, ShardReport,
+        Error, Objective, Placement, SearchSpace, Searcher, ServeEngine, ServeError, ServeHandle,
+        ServeReply, ServeStats, Session, SessionBuilder, ShardReport, SpaceKind, TuneOutcome,
+        TunedConfig, Tuner,
     };
     pub use zskip_nn::simd::KernelTier;
 }

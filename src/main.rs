@@ -6,26 +6,33 @@
 //! zskip infer [flags]             run inference end to end, verify vs golden model
 //! zskip batch [flags]             run a batch of inferences on a worker pool
 //! zskip serve [flags]             serving daemon: NDJSON requests over stdio or TCP
+//! zskip tune [flags]              seeded design-space autotuner, emits a config artifact
 //! zskip analyze [flags]           per-layer zero-skip packing analysis
 //! zskip faults [flags]            fault-injection survivability campaign
 //! zskip trace                     cycle-exact waveform of a small convolution
 //! ```
 //!
 //! Every flag-taking subcommand supports `--help`; flags are declared
-//! declaratively and parsed by a shared, panic-free parser. The knobs
-//! common to `infer`/`batch`/`serve` — backend, threads, kernel tier,
-//! weight cache, and the batch shaping — live in shared flag *groups*
-//! ([`SESSION_FLAGS`], [`NETWORK_FLAGS`], [`BATCH_KNOB_FLAGS`]), so the
-//! subcommands cannot drift apart; all three route through one
-//! [`Session`] built by [`session_from_flags`].
+//! declaratively and parsed by a shared, panic-free parser. Flags with a
+//! closed set of values declare their choices in the table and are
+//! rejected with the stable `config.invalid` code before any work runs.
+//! The knobs common to `infer`/`batch`/`serve` — backend, threads,
+//! kernel tier, weight cache, and the batch shaping — live in shared
+//! flag *groups* ([`SESSION_FLAGS`], [`NETWORK_FLAGS`],
+//! [`BATCH_KNOB_FLAGS`]), so the subcommands cannot drift apart; all
+//! three resolve one [`TunedConfig`] via [`resolve_config`] (a
+//! `--config` artifact, when given, supplies the baseline and explicit
+//! flags override it) and route through one [`Session`].
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use zskip::accel::serve::wire;
 use zskip::accel::session::{DEFAULT_BATCH_WINDOW_MS, DEFAULT_MAX_BATCH, DEFAULT_QUEUE_DEPTH};
+use zskip::accel::tune::{DEFAULT_BUDGET, DEFAULT_SEED};
 use zskip::accel::{
-    AccelConfig, BackendKind, Driver, Placement, ServeEngine, Session, SessionBuilder, ShardReport,
+    AccelConfig, BackendKind, Driver, Objective, Placement, Provenance, SearchSpace, Searcher,
+    ServeEngine, ShardReport, SpaceKind, TunedConfig, Tuner,
 };
 use zskip::hls::Variant;
 use zskip::nn::eval::synthetic_inputs;
@@ -41,6 +48,10 @@ struct Flag {
     metavar: Option<&'static str>,
     /// Default shown in `--help` (value-taking flags only).
     default: Option<&'static str>,
+    /// Closed value set, validated by the parser itself: any other value
+    /// is rejected with the stable `config.invalid` code before the
+    /// subcommand runs. `None` = free-form (numbers, paths, ...).
+    choices: Option<&'static [&'static str]>,
     help: &'static str,
 }
 
@@ -51,11 +62,21 @@ impl Flag {
         default: &'static str,
         help: &'static str,
     ) -> Flag {
-        Flag { name, metavar: Some(metavar), default: Some(default), help }
+        Flag { name, metavar: Some(metavar), default: Some(default), choices: None, help }
+    }
+
+    const fn choice(
+        name: &'static str,
+        metavar: &'static str,
+        default: &'static str,
+        choices: &'static [&'static str],
+        help: &'static str,
+    ) -> Flag {
+        Flag { name, metavar: Some(metavar), default: Some(default), choices: Some(choices), help }
     }
 
     const fn boolean(name: &'static str, help: &'static str) -> Flag {
-        Flag { name, metavar: None, default: None, help }
+        Flag { name, metavar: None, default: None, choices: None, help }
     }
 }
 
@@ -85,19 +106,34 @@ const BACKEND_HELP: &str =
 const THREADS_HELP: &str =
     "intra-image conv worker threads for the cpu backend (0 = host auto; others ignore)";
 
-/// The session knobs every inference-running subcommand shares; parsed
-/// into a [`Session`] by [`session_from_flags`].
+const VARIANT_CHOICES: &[&str] = &["16-unopt", "256-unopt", "256-opt", "512-opt"];
+const BACKEND_CHOICES: &[&str] = &["model", "cycle", "cpu"];
+const KERNEL_CHOICES: &[&str] = &["auto", "scalar", "sse2", "avx2", "avx512"];
+const PLACEMENT_CHOICES: &[&str] = &["auto", "stripe", "image", "pipeline"];
+const ONOFF_CHOICES: &[&str] = &["on", "off"];
+const OBJECTIVE_CHOICES: &[&str] = &["latency", "throughput", "p99", "cycles"];
+const SPACE_CHOICES: &[&str] = &["software", "hls", "full"];
+const SEARCHER_CHOICES: &[&str] = &["cd", "spsa"];
+
+/// The session knobs every inference-running subcommand shares; resolved
+/// into a [`TunedConfig`] by [`resolve_config`].
 const SESSION_FLAGS: &[Flag] = &[
-    Flag::val("--backend", "B", "model", BACKEND_HELP),
+    Flag::choice("--backend", "B", "model", BACKEND_CHOICES, BACKEND_HELP),
     Flag::val("--threads", "T", "0", THREADS_HELP),
-    Flag::val("--kernel", "K", "auto", "SIMD kernel tier: auto | scalar | sse2 | avx2 | avx512"),
-    Flag::val("--weight-cache", "on|off", "on", "process-wide packed-weight cache"),
+    Flag::choice(
+        "--kernel",
+        "K",
+        "auto",
+        KERNEL_CHOICES,
+        "SIMD kernel tier: auto | scalar | sse2 | avx2 | avx512",
+    ),
+    Flag::choice("--weight-cache", "on|off", "on", ONOFF_CHOICES, "process-wide packed-weight cache"),
 ];
 
 /// The synthetic-network knobs shared by inference subcommands.
 const NETWORK_FLAGS: &[Flag] = &[
     Flag::val("--density", "D", "dc", DENSITY_HELP),
-    Flag::val("--variant", "V", "256-opt", VARIANT_HELP),
+    Flag::choice("--variant", "V", "256-opt", VARIANT_CHOICES, VARIANT_HELP),
 ];
 
 /// The multi-accelerator sharding knobs shared by every subcommand that
@@ -109,8 +145,24 @@ const SHARD_FLAGS: &[Flag] = &[
         "1",
         "accelerator instances to schedule over (the bank RAM budget divides across them)",
     ),
-    Flag::val("--placement", "P", "auto", "shard placement: auto | stripe | image | pipeline"),
+    Flag::choice(
+        "--placement",
+        "P",
+        "auto",
+        PLACEMENT_CHOICES,
+        "shard placement: auto | stripe | image | pipeline",
+    ),
 ];
+
+/// The tuned-config artifact loader shared by `infer`/`batch`/`serve`/
+/// `analyze`: the artifact supplies the baseline knobs, explicit flags
+/// override it (with a shadowing warning). See docs/TUNING.md.
+const CONFIG_FLAGS: &[Flag] = &[Flag::val(
+    "--config",
+    "FILE",
+    "none",
+    "tuned-config artifact from 'zskip tune' (explicit flags override its knobs)",
+)];
 
 /// The batch shaping and admission-control knobs of the serving daemon.
 const BATCH_KNOB_FLAGS: &[Flag] = &[
@@ -148,6 +200,7 @@ const COMMANDS: &[Command] = &[
             NETWORK_FLAGS,
             SESSION_FLAGS,
             SHARD_FLAGS,
+            CONFIG_FLAGS,
         ],
         run: infer,
     },
@@ -164,6 +217,7 @@ const COMMANDS: &[Command] = &[
             NETWORK_FLAGS,
             SESSION_FLAGS,
             SHARD_FLAGS,
+            CONFIG_FLAGS,
         ],
         run: batch,
     },
@@ -180,14 +234,44 @@ const COMMANDS: &[Command] = &[
             SESSION_FLAGS,
             SHARD_FLAGS,
             BATCH_KNOB_FLAGS,
+            CONFIG_FLAGS,
         ],
         run: serve,
+    },
+    Command {
+        name: "tune",
+        usage_args: "[flags]",
+        summary: "seeded design-space autotuner; writes a loadable best-config artifact",
+        flag_groups: &[&[
+            Flag::choice(
+                "--objective",
+                "O",
+                "cycles",
+                OBJECTIVE_CHOICES,
+                "what to minimize: latency | throughput | p99 | cycles (see docs/TUNING.md)",
+            ),
+            Flag::choice("--space", "S", "hls", SPACE_CHOICES, "search space: software | hls | full"),
+            Flag::choice(
+                "--searcher",
+                "A",
+                "cd",
+                SEARCHER_CHOICES,
+                "search algorithm: cd (coordinate descent) | spsa",
+            ),
+            Flag::val("--seed", "S", "0x5acade09", "search seed (decimal or 0x-prefixed hex)"),
+            Flag::val("--budget", "N", "96", "fresh-evaluation budget (cache hits are free)"),
+            Flag::val("--out", "FILE", "tuned.json", "where to write the artifact"),
+            Flag::val("--n", "N", "4", "images driving the throughput/p99 objectives"),
+            Flag::val("--hw", "N", "32", HW_HELP),
+            Flag::val("--density", "D", "dc", DENSITY_HELP),
+        ]],
+        run: tune,
     },
     Command {
         name: "analyze",
         usage_args: "[flags]",
         summary: "per-layer zero-skip packing analysis",
-        flag_groups: &[NETWORK_FLAGS, SHARD_FLAGS],
+        flag_groups: &[NETWORK_FLAGS, SHARD_FLAGS, CONFIG_FLAGS],
         run: analyze,
     },
     Command {
@@ -241,6 +325,13 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Rejects a bad configuration value with the same stable code the
+/// library's [`zskip::Error::code`] gives `Error::InvalidConfig`, so
+/// harnesses can match CLI and API failures with one string.
+fn fail_invalid(msg: &str) -> ! {
+    fail(&format!("error[config.invalid]: {msg}"));
+}
+
 fn print_usage() {
     eprintln!("usage: zskip <command> [flags]  (zskip <command> --help for details)\n");
     for c in COMMANDS {
@@ -280,6 +371,15 @@ fn parse_args(cmd: &Command, args: &[String]) -> Parsed {
                 let Some(v) = args.get(i + 1) else {
                     fail(&format!("{} requires a value (zskip {} --help)", flag.name, cmd.name));
                 };
+                if let Some(choices) = flag.choices {
+                    if !choices.contains(&v.as_str()) {
+                        fail_invalid(&format!(
+                            "{} takes {}, got '{v}'",
+                            flag.name,
+                            choices.join(" | ")
+                        ));
+                    }
+                }
                 parsed.values.push((flag.name, v.clone()));
                 i += 2;
             } else {
@@ -322,12 +422,16 @@ fn parse_variant(s: &str) -> Variant {
     }
 }
 
-fn parse_backend(p: &Parsed) -> BackendKind {
-    p.get("--backend").unwrap_or("model").parse().unwrap_or_else(|e: String| fail(&e))
-}
-
-fn parse_placement(p: &Parsed) -> Placement {
-    p.get("--placement").unwrap_or("auto").parse().unwrap_or_else(|e: String| fail(&e))
+/// Parses a `u64` seed flag, accepting decimal or `0x`-prefixed hex (the
+/// default tuner seed reads better in hex).
+fn parse_seed(p: &Parsed, name: &str, default: u64) -> u64 {
+    let Some(v) = p.get(name) else { return default };
+    let (radix, digits) = match v.strip_prefix("0x") {
+        Some(hex) => (16, hex),
+        None => (10, v),
+    };
+    u64::from_str_radix(digits, radix)
+        .unwrap_or_else(|_| fail(&format!("{name} takes a seed (decimal or 0x hex), got '{v}'")))
 }
 
 fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
@@ -340,29 +444,125 @@ fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
     }
 }
 
-/// Builds the [`SessionBuilder`] every inference subcommand starts from,
-/// resolving the shared [`SESSION_FLAGS`] identically for all of them.
-fn session_from_flags(p: &Parsed, config: AccelConfig) -> SessionBuilder {
-    let mut builder = Session::builder(config)
-        .backend(parse_backend(p))
-        .threads(p.parse_num("--threads", 0))
-        .placement(parse_placement(p));
-    if p.get("--instances").is_some() {
-        builder = builder.instances(p.parse_num("--instances", 1));
+/// A [`TunedConfig`] resolved from `--config` (when given) plus the
+/// explicit CLI flags, which always win.
+struct ResolvedConfig {
+    config: TunedConfig,
+    /// The artifact path, when `--config` was given.
+    source: Option<String>,
+    /// Shadowing notes: explicit flags that overrode a *differing*
+    /// artifact knob. Already warned to stderr; `analyze` re-prints them.
+    overrides: Vec<String>,
+}
+
+/// Resolves the session knobs every inference subcommand shares, with one
+/// precedence rule: `--config` artifact knobs are the baseline (else the
+/// stock defaults), and any explicitly-provided flag overrides its knob.
+/// An override that *changes* a loaded artifact's value warns on stderr —
+/// a tuned artifact silently degraded by a stray flag is the failure mode
+/// this guards against.
+fn resolve_config(p: &Parsed) -> ResolvedConfig {
+    let source = p.get("--config").map(str::to_string);
+    let mut config = match &source {
+        Some(path) => TunedConfig::load(path).unwrap_or_else(|e| fail_invalid(&e.to_string())),
+        // The CLI's historical default is threads 0 (host auto), not the
+        // builder's pinned single thread.
+        None => TunedConfig { threads: 0, ..TunedConfig::default() },
+    };
+    let loaded = source.is_some();
+    let mut overrides = Vec::new();
+    let mut shadow = |flag: &str, new: &str, old: String| {
+        if loaded && *new != old {
+            overrides.push(format!("{flag} {new} shadows tuned '{old}'"));
+        }
+    };
+    if let Some(v) = p.get("--variant") {
+        shadow("--variant", v, config.variant.label().to_string());
+        config.variant = parse_variant(v);
     }
-    match p.get("--kernel").unwrap_or("auto") {
-        "auto" => {}
-        k => match KernelTier::parse(k) {
-            Some(tier) => builder = builder.kernel(tier),
-            None => fail(&format!("--kernel takes auto | scalar | sse2 | avx2 | avx512, got '{k}'")),
-        },
+    if let Some(v) = p.get("--instances") {
+        shadow("--instances", v, config.instances.to_string());
+        config.instances = p.parse_num("--instances", 1);
     }
-    match p.get("--weight-cache").unwrap_or("on") {
-        "on" => builder = builder.weight_cache(true),
-        "off" => builder = builder.weight_cache(false),
-        v => fail(&format!("--weight-cache takes on | off, got '{v}'")),
+    if let Some(v) = p.get("--backend") {
+        shadow("--backend", v, config.backend.name().to_string());
+        config.backend = v.parse().unwrap_or_else(|e: String| fail_invalid(&e));
     }
-    builder
+    if let Some(v) = p.get("--threads") {
+        shadow("--threads", v, config.threads.to_string());
+        config.threads = p.parse_num("--threads", 0);
+    }
+    if let Some(v) = p.get("--kernel") {
+        shadow("--kernel", v, config.kernel.map(|k| k.name().to_string()).unwrap_or("auto".into()));
+        config.kernel = match v {
+            "auto" => None,
+            k => KernelTier::parse(k), // parser-validated; never None here
+        };
+    }
+    if let Some(v) = p.get("--weight-cache") {
+        shadow("--weight-cache", v, if config.weight_cache { "on" } else { "off" }.to_string());
+        config.weight_cache = v == "on";
+    }
+    if let Some(v) = p.get("--placement") {
+        shadow("--placement", v, config.placement.name().to_string());
+        config.placement = v.parse().unwrap_or_else(|e: String| fail_invalid(&e));
+    }
+    if let Some(v) = p.get("--workers") {
+        shadow("--workers", v, config.batch_workers.to_string());
+        config.batch_workers = p.parse_num("--workers", 0);
+    }
+    if let Some(v) = p.get("--max-batch") {
+        shadow("--max-batch", v, config.max_batch.to_string());
+        config.max_batch = p.parse_num("--max-batch", DEFAULT_MAX_BATCH);
+    }
+    if let Some(v) = p.get("--batch-window-ms") {
+        shadow("--batch-window-ms", v, config.batch_window_ms.to_string());
+        config.batch_window_ms = p.parse_num("--batch-window-ms", DEFAULT_BATCH_WINDOW_MS);
+    }
+    if let Some(v) = p.get("--queue-depth") {
+        shadow("--queue-depth", v, config.queue_depth.to_string());
+        config.queue_depth = p.parse_num("--queue-depth", DEFAULT_QUEUE_DEPTH);
+    }
+    for w in &overrides {
+        eprintln!(
+            "zskip: warning: {} (artifact {})",
+            w,
+            source.as_deref().unwrap_or("?")
+        );
+    }
+    ResolvedConfig { config, source, overrides }
+}
+
+/// Renders a resolved config's knobs as two aligned lines (shared by
+/// `tune` and `analyze --config`).
+fn print_tuned_knobs(c: &TunedConfig, indent: &str) {
+    let threads = if c.threads == 0 { "auto".to_string() } else { c.threads.to_string() };
+    println!(
+        "{indent}variant {} | instances {} | backend {} | threads {} | kernel {} | weight-cache {}",
+        c.variant.label(),
+        c.instances,
+        c.backend.name(),
+        threads,
+        c.kernel.map(|k| k.name()).unwrap_or("auto"),
+        if c.weight_cache { "on" } else { "off" },
+    );
+    println!(
+        "{indent}placement {} | park-hysteresis {} | batch workers {} | max-batch {} | window {} ms | queue {}",
+        c.placement.name(),
+        c.park_hysteresis.map(|t| t.to_string()).unwrap_or("default".into()),
+        c.batch_workers,
+        c.max_batch,
+        c.batch_window_ms,
+        c.queue_depth,
+    );
+}
+
+fn print_provenance(pr: &Provenance, indent: &str) {
+    println!(
+        "{indent}found by {} over the '{}' space minimizing {} (seed {:#x}, budget {}): \
+         score {:.3e} s, {} fresh evals, {} cache hits",
+        pr.searcher, pr.space, pr.objective, pr.seed, pr.budget, pr.score, pr.evals, pr.cache_hits,
+    );
 }
 
 /// Builds the synthetic scaled-VGG-16 network the inference subcommands
@@ -417,8 +617,9 @@ fn sweep() {
 fn infer(p: &Parsed) {
     let hw: usize = p.parse_num("--hw", 64);
     let seed: u64 = p.parse_num("--seed", 3);
-    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
-    let backend = parse_backend(p);
+    let resolved = resolve_config(p);
+    let variant = resolved.config.variant;
+    let backend = resolved.config.backend;
 
     let qnet = build_network(p, hw, p.has("--ternary"));
     println!(
@@ -430,7 +631,7 @@ fn infer(p: &Parsed) {
     let input = synthetic_inputs(seed, 1, qnet.spec.input).pop().expect("one");
 
     let config = AccelConfig::for_variant(variant);
-    let session = session_from_flags(p, config).build().unwrap_or_else(|e| fail(&e.to_string()));
+    let session = resolved.config.session().build().unwrap_or_else(|e| fail(&e.to_string()));
     let report = if session.driver().config.instances > 1 {
         let shard = session
             .run_sharded(&qnet, std::slice::from_ref(&input))
@@ -464,17 +665,14 @@ fn infer(p: &Parsed) {
 fn batch(p: &Parsed) {
     let hw: usize = p.parse_num("--hw", 32);
     let n: usize = p.parse_num("--n", 8);
-    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
-    let backend = parse_backend(p);
+    let resolved = resolve_config(p);
+    let variant = resolved.config.variant;
+    let backend = resolved.config.backend;
 
     let qnet = build_network(p, hw, false);
     let inputs = synthetic_inputs(3, n, qnet.spec.input);
 
-    let config = AccelConfig::for_variant(variant);
-    let session = session_from_flags(p, config)
-        .batch_workers(p.parse_num("--workers", 0))
-        .build()
-        .unwrap_or_else(|e| fail(&e.to_string()));
+    let session = resolved.config.session().build().unwrap_or_else(|e| fail(&e.to_string()));
     println!("running {} x {} on {} ({backend} backend)...", n, qnet.spec.name, variant);
     if session.driver().config.instances > 1 {
         let shard = session.run_sharded(&qnet, &inputs).unwrap_or_else(|e| fail(&e.to_string()));
@@ -537,19 +735,12 @@ fn print_shard_summary(shard: &ShardReport, config: &AccelConfig) {
 
 fn serve(p: &Parsed) {
     let hw: usize = p.parse_num("--hw", 32);
-    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
-    let backend = parse_backend(p);
+    let resolved = resolve_config(p);
+    let variant = resolved.config.variant;
+    let backend = resolved.config.backend;
 
     let qnet = Arc::new(build_network(p, hw, false));
-    let session = session_from_flags(p, AccelConfig::for_variant(variant))
-        .batch_workers(p.parse_num("--workers", 0))
-        .max_batch(p.parse_num("--max-batch", DEFAULT_MAX_BATCH))
-        .batch_window(Duration::from_millis(
-            p.parse_num("--batch-window-ms", DEFAULT_BATCH_WINDOW_MS),
-        ))
-        .queue_depth(p.parse_num("--queue-depth", DEFAULT_QUEUE_DEPTH))
-        .build()
-        .unwrap_or_else(|e| fail(&e.to_string()));
+    let session = resolved.config.session().build().unwrap_or_else(|e| fail(&e.to_string()));
     let batch_cfg = *session.batch_config();
     // The banner goes to stderr: in stdio mode stdout is the protocol
     // channel and must carry nothing but response lines.
@@ -662,11 +853,80 @@ fn serve_tcp(handle: &zskip::accel::ServeHandle, shape: zskip::tensor::Shape, ad
     protocol_errors.load(Ordering::Relaxed)
 }
 
+/// `zskip tune`: search a named space for the best config under an
+/// objective, print the trajectory summary, and write the artifact that
+/// `--config <file>` / [`SessionBuilder::from_tuned`] load back.
+///
+/// [`SessionBuilder::from_tuned`]: zskip::accel::SessionBuilder::from_tuned
+fn tune(p: &Parsed) {
+    let objective: Objective =
+        p.get("--objective").unwrap_or("cycles").parse().unwrap_or_else(|e: String| fail_invalid(&e));
+    let kind: SpaceKind =
+        p.get("--space").unwrap_or("hls").parse().unwrap_or_else(|e: String| fail_invalid(&e));
+    let searcher: Searcher =
+        p.get("--searcher").unwrap_or("cd").parse().unwrap_or_else(|e: String| fail_invalid(&e));
+    let space = SearchSpace::named(kind);
+    let seed = parse_seed(p, "--seed", DEFAULT_SEED);
+    let budget: u64 = p.parse_num("--budget", DEFAULT_BUDGET);
+    let hw: usize = p.parse_num("--hw", 32);
+    let n: usize = p.parse_num("--n", 4);
+    let out = p.get("--out").unwrap_or("tuned.json").to_string();
+
+    let qnet = build_network(p, hw, false);
+    let inputs = synthetic_inputs(3, n.max(1), qnet.spec.input);
+    println!(
+        "tuning {} for {} over the '{}' space ({} points) with {} (seed {seed:#x}, budget {budget})",
+        qnet.spec.name,
+        objective,
+        space.name(),
+        space.cardinality(),
+        searcher,
+    );
+    let t0 = std::time::Instant::now();
+    let outcome = Tuner::new(space, objective, &qnet, &inputs)
+        .searcher(searcher)
+        .seed(seed)
+        .budget(budget)
+        .run();
+    println!(
+        "searched {} fresh evaluations (+{} cache hits) in {:.1} s",
+        outcome.evals,
+        outcome.cache_hits,
+        t0.elapsed().as_secs_f64(),
+    );
+    println!(
+        "default {:.3e} s -> best {:.3e} s ({:.2}x)",
+        outcome.default_score,
+        outcome.best_score,
+        outcome.speedup(),
+    );
+    print_tuned_knobs(&outcome.best, "  ");
+    outcome.best.save(&out).unwrap_or_else(|e| fail(&e.to_string()));
+    println!("wrote {out} (load with --config {out} or SessionBuilder::from_tuned)");
+}
+
 fn analyze(p: &Parsed) {
     use zskip::accel::LayerPackingStats;
     let density = parse_density(p, 13);
     let conv3_density = density.density(4);
-    let variant = parse_variant(p.get("--variant").unwrap_or("256-opt"));
+    let resolved = resolve_config(p);
+    let variant = resolved.config.variant;
+    if let Some(path) = &resolved.source {
+        println!("tuned config: {path} (artifact v{})", zskip::accel::tune::ARTIFACT_VERSION);
+        print_tuned_knobs(&resolved.config, "  ");
+        match &resolved.config.provenance {
+            Some(pr) => print_provenance(pr, "  "),
+            None => println!("  no provenance recorded (hand-written artifact)"),
+        }
+        if resolved.overrides.is_empty() {
+            println!("  no CLI overrides: the artifact's knobs are in effect");
+        } else {
+            for w in &resolved.overrides {
+                println!("  override: {w}");
+            }
+        }
+        println!();
+    }
     let config = AccelConfig::for_variant(variant);
     let qnet = zskip_bench::build_vgg16_with_density(density);
     println!(
@@ -792,8 +1052,8 @@ fn analyze(p: &Parsed) {
     // at --instances N — chosen placement, the cost model's device and
     // derated clock, per-instance utilization, and (for the pipeline)
     // where the inter-stage bubbles sit.
-    let instances: usize = p.parse_num("--instances", 1);
-    let placement = parse_placement(p);
+    let instances = resolved.config.instances;
+    let placement = resolved.config.placement;
     let cost = zskip::accel::CostModel::for_instances(variant, instances.max(1));
     println!(
         "\nSharding at {} instance(s): {} at {:.1} MHz, ALM utilization {:.2}{}",
