@@ -27,12 +27,17 @@
 //!   plus the shared-cache hit/miss counters. Outputs are bit-identical
 //!   at every width (asserted here; property-tested in
 //!   `tests/kernel_tiers.rs`).
+//! * **ResNet block**: the 1x1 projection-conv fast path (im2col skipped,
+//!   the input borrowed as the patch matrix) against the generic im2col
+//!   lowering on a bottleneck-reduce shape, plus the quantized
+//!   residual-add cost relative to that conv.
 //!
 //! `--check` exits nonzero if any SIMD tier is slower than scalar on a
 //! reference shape, the steady-state pass allocates, the cpu backend
 //! falls behind the model backend, the single-image speedup is below 2x,
-//! or the auto-width multithreaded latency regresses past the
-//! single-threaded one — wired into `scripts/verify.sh`.
+//! the auto-width multithreaded latency regresses past the
+//! single-threaded one, or the 1x1 fast path is slower than the generic
+//! lowering — wired into `scripts/verify.sh`.
 //!
 //! Writes `BENCH_kernels.json` at the repository root plus the usual
 //! `experiments/kernel_bench.{txt,json}` artifacts.
@@ -258,6 +263,43 @@ impl ToJson for IntraImageResult {
     }
 }
 
+/// The residual-block section: the 1x1 projection fast path against the
+/// generic im2col lowering, plus the quantized residual-add overhead.
+struct ResnetBlockResult {
+    out_c: usize,
+    in_c: usize,
+    hw: usize,
+    density: f64,
+    tier: String,
+    /// Forced im2col lowering of the same 1x1 conv.
+    generic_ms: f64,
+    /// The pointwise fast path (input borrowed as the patch matrix).
+    pointwise_ms: f64,
+    /// `generic_ms / pointwise_ms`; `--check` requires >= 1.
+    pointwise_speedup: f64,
+    /// Quantized residual add of the two branch outputs.
+    add_ms: f64,
+    /// `add_ms / pointwise_ms` — the join cost relative to the conv.
+    add_overhead_vs_conv: f64,
+}
+
+impl ToJson for ResnetBlockResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("out_c", self.out_c.to_json()),
+            ("in_c", self.in_c.to_json()),
+            ("hw", self.hw.to_json()),
+            ("density", self.density.to_json()),
+            ("tier", self.tier.to_json()),
+            ("generic_ms", self.generic_ms.to_json()),
+            ("pointwise_ms", self.pointwise_ms.to_json()),
+            ("pointwise_speedup", self.pointwise_speedup.to_json()),
+            ("add_ms", self.add_ms.to_json()),
+            ("add_overhead_vs_conv", self.add_overhead_vs_conv.to_json()),
+        ])
+    }
+}
+
 struct Bench {
     host_tiers: Vec<String>,
     dispatch_tier: String,
@@ -266,6 +308,7 @@ struct Bench {
     cpu_backend: CpuBackendResult,
     single_image: SingleImageResult,
     intra_image: IntraImageResult,
+    resnet_block: ResnetBlockResult,
     /// Best SIMD GEMM speedup on the conv3_2-like shape (the acceptance
     /// number: must be >= 2x).
     conv3_2_gemm_speedup: f64,
@@ -281,6 +324,7 @@ impl ToJson for Bench {
             ("cpu_backend", self.cpu_backend.to_json()),
             ("single_image", self.single_image.to_json()),
             ("intra_image", self.intra_image.to_json()),
+            ("resnet_block", self.resnet_block.to_json()),
             ("conv3_2_gemm_speedup", self.conv3_2_gemm_speedup.to_json()),
         ])
     }
@@ -532,6 +576,87 @@ fn bench_intra_image(
     }
 }
 
+fn bench_resnet_block() -> ResnetBlockResult {
+    use zskip_core::rng::SplitMix64;
+    use zskip_nn::eltwise::add_quant;
+    use zskip_nn::gemm::conv2d_gemm_quant_tier_generic;
+    use zskip_quant::{Requantizer, Sm8};
+
+    // Bottleneck-reduce-like 1x1 projection: 256 channels down to 64,
+    // the shape where the im2col copy is largest relative to the GEMM.
+    let (out_c, in_c, hw, density) = (64usize, 256usize, 28usize, 0.45);
+    let mut rng = SplitMix64::new(11);
+    let w: Vec<Sm8> = (0..out_c * in_c)
+        .map(|_| {
+            let h = rng.next_u64();
+            if (h >> 32) % 1000 < (density * 1000.0) as u64 {
+                Sm8::from_i32_saturating(((h >> 17) % 253) as i32 - 126)
+            } else {
+                Sm8::ZERO
+            }
+        })
+        .collect();
+    let qw = zskip_nn::conv::QuantConvWeights::new(
+        out_c,
+        in_c,
+        1,
+        w,
+        vec![0; out_c],
+        Requantizer::from_ratio(1.0 / 64.0),
+        false,
+    );
+    let input = Tensor::from_fn(in_c, hw, hw, |c, y, x| {
+        Sm8::from_i32_saturating(((c * 31 + y * 7 + x) % 200) as i32 - 100)
+    });
+    let tier = zskip_nn::dispatch();
+
+    let fast = conv2d_gemm_quant_tier(&input, &qw, 1, 0, tier);
+    let generic = conv2d_gemm_quant_tier_generic(&input, &qw, 1, 0, tier);
+    assert_eq!(fast, generic, "1x1 fast path diverged from the im2col lowering");
+
+    // Interleave the two lowerings round by round so clock drift hits
+    // both equally instead of skewing the ratio.
+    const REPS: usize = 8;
+    let mut generic_ms = f64::INFINITY;
+    let mut pointwise_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let _ = conv2d_gemm_quant_tier_generic(&input, &qw, 1, 0, tier);
+        }
+        generic_ms = generic_ms.min(t0.elapsed().as_secs_f64() * 1e3 / REPS as f64);
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let _ = conv2d_gemm_quant_tier(&input, &qw, 1, 0, tier);
+        }
+        pointwise_ms = pointwise_ms.min(t0.elapsed().as_secs_f64() * 1e3 / REPS as f64);
+    }
+
+    // The residual join: quantized elementwise add of the branch outputs.
+    let skip = Tensor::from_fn(out_c, hw, hw, |c, y, x| {
+        Sm8::from_i32_saturating(((c * 13 + y * 5 + x * 3) % 200) as i32 - 100)
+    });
+    let (s, _) = time_best(|| {
+        for _ in 0..REPS {
+            let _ = add_quant(&fast, &skip, Requantizer::IDENTITY, Requantizer::IDENTITY, true);
+        }
+    });
+    let add_ms = s * 1e3 / REPS as f64;
+
+    ResnetBlockResult {
+        out_c,
+        in_c,
+        hw,
+        density,
+        tier: tier.name().to_string(),
+        generic_ms,
+        pointwise_ms,
+        pointwise_speedup: generic_ms / pointwise_ms,
+        add_ms,
+        add_overhead_vs_conv: add_ms / pointwise_ms,
+    }
+}
+
 fn render(bench: &Bench) -> String {
     let mut text = String::new();
     text.push_str(&format!(
@@ -598,6 +723,19 @@ fn render(bench: &Bench) -> String {
         ii.tap_cache.misses,
         ii.tap_cache.bytes / 1024,
     ));
+    let rb = &bench.resnet_block;
+    text.push_str(&format!(
+        "\nresnet block (1x1 projection {}->{} @ {}x{}, tier {}):\n",
+        rb.in_c, rb.out_c, rb.hw, rb.hw, rb.tier
+    ));
+    text.push_str(&format!(
+        "  generic im2col {:.3} ms -> pointwise fast path {:.3} ms ({:.2}x)\n",
+        rb.generic_ms, rb.pointwise_ms, rb.pointwise_speedup
+    ));
+    text.push_str(&format!(
+        "  residual add {:.3} ms ({:.2}x of the 1x1 conv)\n",
+        rb.add_ms, rb.add_overhead_vs_conv
+    ));
     text
 }
 
@@ -641,6 +779,12 @@ fn check(bench: &Bench) -> Result<(), String> {
             bench.intra_image.mt_vs_single
         ));
     }
+    if bench.resnet_block.pointwise_speedup < 1.0 {
+        return Err(format!(
+            "1x1 pointwise fast path is {:.2}x vs the generic im2col lowering (must not be slower)",
+            bench.resnet_block.pointwise_speedup
+        ));
+    }
     Ok(())
 }
 
@@ -655,6 +799,7 @@ fn main() {
         cpu_backend: bench_cpu_backend(&qnet, &inputs, config),
         single_image: bench_single_image(&qnet, &inputs, config),
         intra_image: bench_intra_image(&qnet, &inputs, config),
+        resnet_block: bench_resnet_block(),
         conv3_2_gemm_speedup: 0.0,
     };
     let conv3_2 = bench

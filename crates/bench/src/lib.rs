@@ -66,6 +66,7 @@ pub fn requantize_with_scales(net: &Network, scales: &[f32]) -> QuantizedNetwork
     use zskip_nn::fc::QuantFcWeights;
     use zskip_nn::layer::LayerSpec;
     use zskip_nn::model::QuantizedConvLayer;
+    use zskip_nn::plan::ExecPlan;
     use zskip_quant::{QuantParams, Requantizer};
 
     assert_eq!(scales.len(), net.spec.layers.len() + 1, "one scale per layer boundary");
@@ -115,6 +116,7 @@ pub fn requantize_with_scales(net: &Network, scales: &[f32]) -> QuantizedNetwork
     }
     QuantizedNetwork {
         spec: net.spec.clone(),
+        plan: ExecPlan::build(&net.spec).expect("network must be shape-valid"),
         input_params: QuantParams { scale: scales[0] },
         activation_scales: scales.to_vec(),
         conv,

@@ -22,11 +22,12 @@
 //! orchestration, multi-instance scale-out) lives in [`crate::exec`].
 
 use crate::config::AccelConfig;
-use crate::exec::pipeline::fm_to_tensor_into;
+use crate::exec::pipeline::{fm_to_tensor_into, slot_addr, DDR_FM_PAD, DDR_FM_STRIDE};
 use crate::exec::{self, PassCtx};
 use crate::isa::PoolPadOp;
 use zskip_fault::SharedFaultPlan;
 use zskip_nn::conv::QuantConvWeights;
+use zskip_nn::eltwise::{add_quant_phase1, add_quant_phase2, global_avgpool_quant_into};
 use zskip_nn::fc::fc_quant_into;
 use zskip_nn::simd::KernelTier;
 use zskip_nn::layer::LayerSpec;
@@ -450,20 +451,39 @@ impl Driver {
         // the session's kernel tier on the arena.
         scratch.set_threads(self.threads);
         scratch.set_tier(self.kernel_tier);
-        let mut fm = {
+        let shapes =
+            qnet.spec.shapes().map_err(|e| DriverError::InvalidNetwork(e.to_string()))?;
+        // The execution plan (topological order, activation liveness,
+        // slot assignment) is shared with the software golden model; the
+        // driver maps each slot to a fixed DDR feature-map region, so a
+        // skip-branch activation stays resident across the branch body.
+        let plan = &qnet.plan;
+        if plan.slots.max(1) * DDR_FM_STRIDE > DDR_FM_PAD {
+            return Err(DriverError::InvalidNetwork(format!(
+                "plan needs {} activation slots; the DDR feature-map window holds {}",
+                plan.slots,
+                DDR_FM_PAD / DDR_FM_STRIDE
+            )));
+        }
+        // Host-side mirror of each slot's resident activation (`None` =
+        // slot free). The plan's liveness pass decides when an entry is
+        // dropped; the input always starts in slot 0.
+        let mut slot_fms: Vec<Option<TiledFeatureMap<Sm8>>> =
+            (0..plan.slots.max(1)).map(|_| None).collect();
+        {
             let (act_q, _, _) = scratch.host_buffers();
             input.map_into(act_q, |v| qnet.input_params.quantize(v));
-            TiledFeatureMap::from_tensor(act_q)
-        };
+            slot_fms[0] = Some(TiledFeatureMap::from_tensor(act_q));
+        }
         let mut layers = Vec::new();
         let mut conv_i = 0;
         let mut fc_i = 0;
         // Which FC ping-pong buffer holds the newest activations.
         let mut flat: Option<bool> = None;
-        let shapes =
-            qnet.spec.shapes().map_err(|e| DriverError::InvalidNetwork(e.to_string()))?;
 
-        for (li, layer) in qnet.spec.layers.iter().enumerate() {
+        for step in &plan.steps {
+            let li = step.layer;
+            let layer = &qnet.spec.layers[li];
             match layer {
                 LayerSpec::Conv { name, stride, pad, k, .. } => {
                     if *stride != 1 {
@@ -478,29 +498,50 @@ impl Driver {
                             reason: format!("kernel {k}x{k} exceeds the 4x4 weight tile"),
                         });
                     }
+                    let src_slot = step.src.expect("conv reads a slot");
+                    let dst_slot = step.dst.expect("conv writes a slot");
                     let qw = &qnet.conv[conv_i].weights;
                     let mut stats = PassStats::default();
-                    let mut src = fm;
-                    // Explicit pad pass (hardware pad instruction).
-                    if *pad > 0 {
-                        let s = src.logical_shape();
-                        let (padded, pad_stats) = backend.poolpad_pass(
-                            &mut PassCtx { driver: self, soc: &mut soc, scratch: &mut *scratch },
+                    let src_fm = slot_fms[src_slot].as_ref().expect("producer already ran");
+                    let mut src_addr = slot_addr(src_slot);
+                    // Explicit pad pass (hardware pad instruction); the
+                    // padded intermediate lives in the DDR pad region,
+                    // never in a plan slot.
+                    let padded;
+                    let src_fm = if *pad > 0 {
+                        let s = src_fm.logical_shape();
+                        let (p, pad_stats) = backend.poolpad_pass(
+                            &mut PassCtx {
+                                driver: self,
+                                soc: &mut soc,
+                                scratch: &mut *scratch,
+                                src_addr,
+                                dst_addr: DDR_FM_PAD,
+                            },
                             &format!("{name}/pad"),
-                            &src,
+                            src_fm,
                             PoolPadOp::Pad { amount: *pad as u8 },
                             Shape::new(s.c, s.h + 2 * pad, s.w + 2 * pad),
                         )?;
                         stats.merge(&pad_stats);
-                        src = padded;
-                    }
-                    let out_shape = shapes[li + 1];
+                        src_addr = DDR_FM_PAD;
+                        padded = p;
+                        &padded
+                    } else {
+                        src_fm
+                    };
                     let (out, conv_stats) = backend.conv_pass(
-                        &mut PassCtx { driver: self, soc: &mut soc, scratch: &mut *scratch },
+                        &mut PassCtx {
+                            driver: self,
+                            soc: &mut soc,
+                            scratch: &mut *scratch,
+                            src_addr,
+                            dst_addr: slot_addr(dst_slot),
+                        },
                         name,
-                        &src,
+                        src_fm,
                         qw,
-                        out_shape,
+                        shapes[li + 1],
                     )?;
                     stats.merge(&conv_stats);
                     layers.push(LayerReport {
@@ -509,28 +550,100 @@ impl Driver {
                         dense_macs: layer.macs(shapes[li]),
                         stats,
                     });
-                    fm = out;
-                    let (act_q, _, _) = scratch.host_buffers();
-                    fm_to_tensor_into(&fm, act_q);
+                    slot_fms[dst_slot] = Some(out);
                     conv_i += 1;
                 }
                 LayerSpec::MaxPool { name, k, stride } => {
-                    let out_shape = shapes[li + 1];
+                    let src_slot = step.src.expect("pool reads a slot");
+                    let dst_slot = step.dst.expect("pool writes a slot");
+                    let src_fm = slot_fms[src_slot].as_ref().expect("producer already ran");
                     let (out, stats) = backend.poolpad_pass(
-                        &mut PassCtx { driver: self, soc: &mut soc, scratch: &mut *scratch },
+                        &mut PassCtx {
+                            driver: self,
+                            soc: &mut soc,
+                            scratch: &mut *scratch,
+                            src_addr: slot_addr(src_slot),
+                            dst_addr: slot_addr(dst_slot),
+                        },
                         name,
-                        &fm,
+                        src_fm,
                         PoolPadOp::MaxPool { k: *k as u8, stride: *stride as u8 },
-                        out_shape,
+                        shapes[li + 1],
                     )?;
                     layers.push(LayerReport { name: name.clone(), is_conv: false, dense_macs: 0, stats });
-                    fm = out;
-                    let (act_q, _, _) = scratch.host_buffers();
-                    fm_to_tensor_into(&fm, act_q);
+                    slot_fms[dst_slot] = Some(out);
+                }
+                // A Ref is a pure alias: its plan step re-emits the
+                // source slot, no data moves and no pass is issued.
+                LayerSpec::Ref { name, .. } => {
+                    layers.push(LayerReport {
+                        name: name.clone(),
+                        is_conv: false,
+                        dense_macs: 0,
+                        stats: PassStats::default(),
+                    });
+                }
+                LayerSpec::Add { name, relu, .. } => {
+                    // Host-side (ARM) residual join, like the FC layers:
+                    // both operands are rescaled to the output scale and
+                    // summed in i64 before the single saturation — the
+                    // exact order of the golden model's oracle.
+                    let (ra, rb) = qnet.add_requantizers(step);
+                    let dst_slot = step.dst.expect("add writes a slot");
+                    let a_fm = slot_fms[step.src.expect("add reads a slot")]
+                        .as_ref()
+                        .expect("producer already ran");
+                    let b_fm = slot_fms[step.operand.expect("add has an operand")]
+                        .as_ref()
+                        .expect("operand still resident");
+                    let (src_t, dst_t, acc, _) = scratch.pass_buffers();
+                    fm_to_tensor_into(a_fm, src_t);
+                    add_quant_phase1(src_t, ra, acc);
+                    fm_to_tensor_into(b_fm, src_t);
+                    add_quant_phase2(src_t, rb, *relu, acc, dst_t);
+                    let out = TiledFeatureMap::from_tensor(dst_t);
+                    layers.push(LayerReport {
+                        name: name.clone(),
+                        is_conv: false,
+                        dense_macs: 0,
+                        stats: PassStats::default(),
+                    });
+                    slot_fms[dst_slot] = Some(out);
+                }
+                LayerSpec::GlobalAvgPool { name } => {
+                    // Host-side: exact i64 channel sums, one requantize.
+                    let src_slot = step.src.expect("gap reads a slot");
+                    let dst_slot = step.dst.expect("gap writes a slot");
+                    let src_fm = slot_fms[src_slot].as_ref().expect("producer already ran");
+                    let s = src_fm.logical_shape();
+                    let r = qnet.gap_requantizer(step, s.h * s.w);
+                    let (src_t, dst_t, _, _) = scratch.pass_buffers();
+                    fm_to_tensor_into(src_fm, src_t);
+                    global_avgpool_quant_into(src_t, r, dst_t);
+                    let out = TiledFeatureMap::from_tensor(dst_t);
+                    layers.push(LayerReport {
+                        name: name.clone(),
+                        is_conv: false,
+                        dense_macs: 0,
+                        stats: PassStats::default(),
+                    });
+                    slot_fms[dst_slot] = Some(out);
+                }
+                LayerSpec::BatchNorm { .. } => {
+                    unreachable!("quantization folds batch-norm into the preceding conv")
                 }
                 LayerSpec::Fc { name, .. } => {
                     // Host-side (ARM) execution, as in the paper; the arena's
                     // FC buffers alternate so nothing is copied or allocated.
+                    if flat.is_none() {
+                        // Entering the flat head: densify the last
+                        // feature map out of its slot.
+                        let src_fm = slot_fms[step.src.expect("first fc reads a slot")]
+                            .as_ref()
+                            .expect("producer already ran");
+                        let (act_q, _, _) = scratch.host_buffers();
+                        fm_to_tensor_into(src_fm, act_q);
+                    }
                     let (act_q, flat_a, flat_b) = scratch.host_buffers();
                     flat = Some(match flat {
                         None => {
@@ -559,13 +672,25 @@ impl Driver {
                     // unchanged on logits.
                 }
             }
+            // The liveness pass retires slots whose activations have no
+            // further consumer: their DDR regions (and host mirrors) are
+            // free for reuse from the next step on.
+            for &f in &step.frees {
+                slot_fms[f] = None;
+            }
         }
 
-        let (act_q, flat_a, flat_b) = scratch.host_buffers();
         let output = match flat {
-            None => act_q.as_slice().to_vec(),
-            Some(false) => flat_a.clone(),
-            Some(true) => flat_b.clone(),
+            None => {
+                let fm = slot_fms[plan.output_slot.unwrap_or(0)]
+                    .as_ref()
+                    .expect("final activation stays resident");
+                let (act_q, _, _) = scratch.host_buffers();
+                fm_to_tensor_into(fm, act_q);
+                act_q.as_slice().to_vec()
+            }
+            Some(false) => scratch.host_buffers().1.clone(),
+            Some(true) => scratch.host_buffers().2.clone(),
         };
         let total_cycles = layers.iter().map(|l| l.stats.total_cycles).sum();
         Ok(InferenceReport { layers, output, total_cycles, ddr_bytes: soc.ddr_bytes() })
@@ -587,7 +712,13 @@ impl Driver {
         let mut scratch = Scratch::with_tier(self.kernel_tier);
         scratch.set_threads(self.threads);
         exec::backend(self.backend).conv_pass(
-            &mut PassCtx { driver: self, soc, scratch: &mut scratch },
+            &mut PassCtx {
+                driver: self,
+                soc,
+                scratch: &mut scratch,
+                src_addr: slot_addr(0),
+                dst_addr: slot_addr(1),
+            },
             name,
             input,
             qw,
@@ -610,7 +741,13 @@ impl Driver {
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
         let mut scratch = Scratch::with_tier(self.kernel_tier);
         exec::backend(self.backend).poolpad_pass(
-            &mut PassCtx { driver: self, soc, scratch: &mut scratch },
+            &mut PassCtx {
+                driver: self,
+                soc,
+                scratch: &mut scratch,
+                src_addr: slot_addr(0),
+                dst_addr: slot_addr(1),
+            },
             name,
             input,
             op,
@@ -685,30 +822,6 @@ mod tests {
             );
             assert_eq!(Error::from(err).code(), "config.invalid");
         }
-    }
-
-    // The deprecated shims must keep routing through the builder until
-    // they are removed; this is the one sanctioned in-repo use of them.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_route_through_the_builder() {
-        let built = Driver::builder(config(4096, 1)).backend(BackendKind::Cycle).build().unwrap();
-        let legacy = Driver::new(config(4096, 1), BackendKind::Cycle);
-        assert_eq!(built.backend, legacy.backend);
-        assert_eq!(built.functional, legacy.functional);
-        assert_eq!(built.zero_skipping, legacy.zero_skipping);
-
-        let stats = Driver::builder(config(4096, 1)).functional(false).build().unwrap();
-        assert_eq!(stats.functional, Driver::stats_only(config(4096, 1)).functional);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "invalid driver configuration")]
-    fn deprecated_constructor_panics_on_invalid_config() {
-        let mut cfg = config(4096, 1);
-        cfg.lanes = 2; // units stays 4: illegal on the cycle backend.
-        let _ = Driver::new(cfg, BackendKind::Cycle);
     }
 
     #[test]

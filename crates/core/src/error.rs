@@ -18,6 +18,7 @@ use zskip_soc::BusError;
 
 use crate::driver::DriverError;
 use crate::serve::ServeError;
+use zskip_nn::SpecError;
 
 /// Any failure in the zskip stack. Re-exported as `zskip::Error`.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +39,9 @@ pub enum Error {
     Fault(FaultError),
     /// Serving-daemon failure (backpressure, protocol, shutdown).
     Serve(ServeError),
+    /// Network-spec document failure (`--network FILE` loading or
+    /// validation — see [`zskip_nn::spec_io`]).
+    Spec(SpecError),
     /// Invalid engine or driver configuration.
     InvalidConfig(String),
 }
@@ -81,6 +85,7 @@ impl Error {
             Error::Serve(ServeError::Shutdown) => "serve.shutdown",
             Error::Serve(ServeError::Protocol { .. }) => "serve.protocol",
             Error::Serve(ServeError::BadRequest { .. }) => "serve.bad-request",
+            Error::Spec(_) => "spec.invalid",
         }
     }
 
@@ -112,6 +117,7 @@ impl fmt::Display for Error {
             Error::Host(e) => write!(f, "{e}"),
             Error::Fault(e) => write!(f, "{e}"),
             Error::Serve(e) => write!(f, "{e}"),
+            Error::Spec(e) => write!(f, "invalid network spec: {e}"),
             Error::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
@@ -128,6 +134,7 @@ impl std::error::Error for Error {
             Error::Host(e) => Some(e),
             Error::Fault(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Spec(e) => Some(e),
             Error::InvalidConfig(_) => None,
         }
     }
@@ -181,6 +188,12 @@ impl From<ServeError> for Error {
     }
 }
 
+impl From<SpecError> for Error {
+    fn from(e: SpecError) -> Error {
+        Error::Spec(e)
+    }
+}
+
 impl From<ConfigError> for Error {
     fn from(e: ConfigError) -> Error {
         Error::InvalidConfig(e.to_string())
@@ -206,6 +219,9 @@ mod tests {
         assert_eq!(e.code(), "bus.timeout");
         let e: Error = FaultError::Unresponsive { waited: 9 }.into();
         assert_eq!(e.code(), "fault.unresponsive");
+        let e: Error = zskip_nn::NetworkSpec::from_json("{").unwrap_err().into();
+        assert_eq!(e.code(), "spec.invalid");
+        assert!(e.to_string().starts_with("invalid network spec:"), "{e}");
     }
 
     #[test]

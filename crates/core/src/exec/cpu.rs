@@ -46,7 +46,7 @@ impl StripeBackend for CpuBackend {
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
         // Cycles, counters, DDR traffic and fault behaviour from the
         // staged pipeline; its (uncomputed) output tiles are discarded.
-        let (_, stats) = pipeline::conv_pass(ctx.driver, ctx.soc, STATS, name, input, qw, out_shape)?;
+        let (_, stats) = pipeline::conv_pass(ctx.driver, ctx.soc, STATS, name, input, qw, out_shape, ctx.src_addr, ctx.dst_addr)?;
         let (src, dst, acc, tier, pool) = ctx.scratch.pass_buffers_pool();
         fm_to_tensor_into(input, src);
         // The pipeline input is pre-padded by the explicit pad pass and
@@ -85,7 +85,7 @@ impl StripeBackend for CpuBackend {
         op: PoolPadOp,
         out_shape: Shape,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        let (_, stats) = pipeline::poolpad_pass(ctx.driver, ctx.soc, STATS, name, input, op, out_shape)?;
+        let (_, stats) = pipeline::poolpad_pass(ctx.driver, ctx.soc, STATS, name, input, op, out_shape, ctx.src_addr, ctx.dst_addr)?;
         let (src, dst, _, _) = ctx.scratch.pass_buffers();
         fm_to_tensor_into(input, src);
         match op {

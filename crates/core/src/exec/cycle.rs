@@ -29,7 +29,7 @@ impl StripeBackend for CycleBackend {
         qw: &QuantConvWeights,
         out_shape: Shape,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        pipeline::conv_pass(ctx.driver, ctx.soc, Exec::Cycle, name, input, qw, out_shape)
+        pipeline::conv_pass(ctx.driver, ctx.soc, Exec::Cycle, name, input, qw, out_shape, ctx.src_addr, ctx.dst_addr)
     }
 
     fn poolpad_pass(
@@ -40,6 +40,6 @@ impl StripeBackend for CycleBackend {
         op: PoolPadOp,
         out_shape: Shape,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
-        pipeline::poolpad_pass(ctx.driver, ctx.soc, Exec::Cycle, name, input, op, out_shape)
+        pipeline::poolpad_pass(ctx.driver, ctx.soc, Exec::Cycle, name, input, op, out_shape, ctx.src_addr, ctx.dst_addr)
     }
 }

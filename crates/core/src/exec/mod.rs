@@ -99,6 +99,13 @@ pub struct PassCtx<'a> {
     pub soc: &'a mut SocHandle,
     /// Per-session scratch arena (CPU-backend compute buffers).
     pub scratch: &'a mut Scratch,
+    /// DDR address of the region the pass's input feature map is staged
+    /// in — the producing plan slot's region during a network run
+    /// ([`pipeline::slot_addr`]).
+    pub src_addr: usize,
+    /// DDR address of the region the pass's output feature map is
+    /// written back to.
+    pub dst_addr: usize,
 }
 
 /// One execution target for the staged per-layer pipeline.

@@ -29,7 +29,7 @@ impl StripeBackend for ModelBackend {
         out_shape: Shape,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
         let exec = Exec::Model { functional: ctx.driver.functional };
-        pipeline::conv_pass(ctx.driver, ctx.soc, exec, name, input, qw, out_shape)
+        pipeline::conv_pass(ctx.driver, ctx.soc, exec, name, input, qw, out_shape, ctx.src_addr, ctx.dst_addr)
     }
 
     fn poolpad_pass(
@@ -41,6 +41,6 @@ impl StripeBackend for ModelBackend {
         out_shape: Shape,
     ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
         let exec = Exec::Model { functional: ctx.driver.functional };
-        pipeline::poolpad_pass(ctx.driver, ctx.soc, exec, name, input, op, out_shape)
+        pipeline::poolpad_pass(ctx.driver, ctx.soc, exec, name, input, op, out_shape, ctx.src_addr, ctx.dst_addr)
     }
 }

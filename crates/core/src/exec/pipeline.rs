@@ -38,10 +38,30 @@ use zskip_soc::ddr::DdrModel;
 use zskip_soc::dma::{DmaController, TILE_BYTES};
 use zskip_tensor::{Shape, Tensor, TiledFeatureMap, TILE_DIM};
 
-/// DDR staging area for activations: ping-pong between two regions.
-const DDR_FM_A: usize = 0;
-const DDR_FM_B: usize = 256 << 20;
+/// DDR feature-map region stride: each execution-plan slot owns one
+/// fixed region of this size, so a skip-branch activation stays resident
+/// in DDR without the next pass's output overwriting it (the classic
+/// linear chain degenerates to two regions — the old A/B ping-pong).
+/// 32 MiB holds the largest tiled VGG-16 feature map with room to spare.
+pub const DDR_FM_STRIDE: usize = 32 << 20;
+
+/// Scratch region for the explicit pad pass's intermediate feature map.
+/// The padded image is consumed immediately by the following conv pass,
+/// so it never occupies a plan slot.
+pub const DDR_FM_PAD: usize = 256 << 20;
+
 const DDR_WEIGHTS: usize = 512 << 20;
+
+/// Start of execution-plan slot `slot`'s DDR feature-map region.
+///
+/// # Panics
+/// Panics if the slot's region would collide with the pad scratch region
+/// (the driver checks a plan's slot count up front).
+pub fn slot_addr(slot: usize) -> usize {
+    let addr = slot * DDR_FM_STRIDE;
+    assert!(addr + DDR_FM_STRIDE <= DDR_FM_PAD, "slot {slot} exceeds the DDR feature-map window");
+    addr
+}
 
 /// Mutable SoC context threaded through a network run: the DDR model and
 /// the DMA engine the staged pipeline moves feature maps with. Opaque to
@@ -281,6 +301,10 @@ impl Exec {
 }
 
 /// Runs one staged convolution pass (input already padded; stride 1).
+/// `src_addr`/`dst_addr` are the DDR regions the input is staged in and
+/// the output is written back to — the plan slots' regions during a
+/// network run ([`slot_addr`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_pass(
     driver: &Driver,
     soc: &mut SocHandle,
@@ -289,6 +313,8 @@ pub(crate) fn conv_pass(
     input: &TiledFeatureMap<Sm8>,
     qw: &QuantConvWeights,
     out_shape: Shape,
+    src_addr: usize,
+    dst_addr: usize,
 ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
     // Optional future-work filter grouping: reorder output channels by
     // non-zero count so lockstep lanes balance; un-permuted on output.
@@ -317,7 +343,7 @@ pub(crate) fn conv_pass(
     // Stage activations and packed weights in DDR. Under a filter
     // grouping the permuted layer is image-local, so it bypasses the
     // shared cache (its fingerprint would be recomputed per image anyway).
-    soc.stage_fm(DDR_FM_A, input);
+    soc.stage_fm(src_addr, input);
     let packed = if grouping.is_some() {
         Arc::new(PackedLayerWeights::build(qw, driver.config.lanes, driver.zero_skipping))
     } else {
@@ -369,7 +395,7 @@ pub(crate) fn conv_pass(
             // DMA in: one descriptor per channel (replicated per part
             // when groups are split — both instances need the IFMs).
             stats.io_dma_cycles +=
-                dma_fm_stripe(soc, DDR_FM_A, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true)?;
+                dma_fm_stripe(soc, src_addr, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true)?;
 
             // Per-group: weight preload + conv instruction. The
             // scratchpad image is copied from the staged blob — the
@@ -429,7 +455,7 @@ pub(crate) fn conv_pass(
                     ..(((part + 1) * chunk * driver.config.lanes).min(out_shape.c)),
             );
             stats.io_dma_cycles +=
-                dma_fm_stripe(soc, DDR_FM_B, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false)?;
+                dma_fm_stripe(soc, dst_addr, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false)?;
         }
     }
 
@@ -446,7 +472,8 @@ pub(crate) fn conv_pass(
     Ok((out_fm, stats))
 }
 
-/// Runs one staged pad or pool pass.
+/// Runs one staged pad or pool pass (DDR regions as in [`conv_pass`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn poolpad_pass(
     driver: &Driver,
     soc: &mut SocHandle,
@@ -455,6 +482,8 @@ pub(crate) fn poolpad_pass(
     input: &TiledFeatureMap<Sm8>,
     op: PoolPadOp,
     out_shape: Shape,
+    src_addr: usize,
+    dst_addr: usize,
 ) -> Result<(TiledFeatureMap<Sm8>, PassStats), DriverError> {
     let in_rows = input.tiles_y();
     let mut out_fm = TiledFeatureMap::<Sm8>::zeros(out_shape);
@@ -472,7 +501,7 @@ pub(crate) fn poolpad_pass(
         driver.config.bank_tiles,
     )?;
 
-    soc.stage_fm(DDR_FM_A, input);
+    soc.stage_fm(src_addr, input);
 
     let mut stats = PassStats {
         per_instance_cycles: vec![0; driver.config.instances],
@@ -498,7 +527,7 @@ pub(crate) fn poolpad_pass(
             tile_rows: stripe.out_b - stripe.out_a,
         };
         stats.io_dma_cycles +=
-            dma_fm_stripe(soc, DDR_FM_A, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true)?;
+            dma_fm_stripe(soc, src_addr, input, stripe.in_lo..stripe.in_hi, &in_layout, &mut banks, true)?;
 
         let instr = Instruction::PoolPad(PoolPadInstr {
             channels: channels as u16,
@@ -518,7 +547,7 @@ pub(crate) fn poolpad_pass(
         let mut banks = result_banks;
         out_layout.load(&banks, &mut out_fm, stripe.out_a..stripe.out_b);
         stats.io_dma_cycles +=
-            dma_fm_stripe(soc, DDR_FM_B, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false)?;
+            dma_fm_stripe(soc, dst_addr, &out_fm, stripe.out_a..stripe.out_b, &out_layout, &mut banks, false)?;
     }
     stats.finish();
     out_fm.zero_round_up_region();

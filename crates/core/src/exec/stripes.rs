@@ -140,4 +140,105 @@ mod stripe_math_tests {
             other => panic!("unexpected {other:?}"),
         }
     }
+
+    mod planner_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Pass geometries as they occur on residual blocks: the conv
+        /// pass (including the 1x1 projection, where the output extent
+        /// equals the input extent), the skip-branch downsample pool, and
+        /// the pre-pad pass feeding the next conv.
+        fn geometry_strategy() -> impl Strategy<Value = (Option<PoolPadOp>, usize, usize)> {
+            let op = prop_oneof![
+                Just(None),
+                Just(Some(PoolPadOp::MaxPool { k: 2, stride: 2 })),
+                Just(Some(PoolPadOp::MaxPool { k: 3, stride: 2 })),
+                Just(Some(PoolPadOp::Pad { amount: 1 })),
+            ];
+            (op, 1usize..=40).prop_map(|(op, out_rows)| {
+                let in_rows = match op {
+                    // Conv on pre-padded input: one halo row below.
+                    None => out_rows + 1,
+                    Some(PoolPadOp::MaxPool { stride, .. }) => out_rows * stride as usize,
+                    Some(PoolPadOp::Pad { amount }) => {
+                        (4 * out_rows).saturating_sub(2 * amount as usize).div_ceil(4).max(1)
+                    }
+                };
+                (op, out_rows, in_rows)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Against the row-range oracle: a successful plan covers the
+            /// output rows exactly once in order, every stripe's resident
+            /// input range is exactly what `input_rows_for` demands, and
+            /// input + output words fit the bank on every stripe.
+            #[test]
+            fn plans_cover_output_exactly_once_within_capacity(
+                geom in geometry_strategy(),
+                words_in in 1usize..=16,
+                words_out in 1usize..=16,
+                bank_tiles in 1usize..=256,
+            ) {
+                let (op, out_rows, in_rows) = geom;
+                match plan_stripes("p", op, out_rows, in_rows, words_in, words_out, bank_tiles) {
+                    Ok(stripes) => {
+                        let mut next = 0;
+                        for s in &stripes {
+                            prop_assert_eq!(s.out_a, next, "gap or overlap at {}", s.out_a);
+                            prop_assert!(s.out_b > s.out_a, "empty stripe");
+                            let (lo, hi) = input_rows_for(op, s.out_a, s.out_b, in_rows);
+                            prop_assert_eq!((s.in_lo, s.in_hi), (lo, hi));
+                            prop_assert!(
+                                (hi - lo) * words_in + (s.out_b - s.out_a) * words_out <= bank_tiles,
+                                "stripe [{}, {}) over capacity", s.out_a, s.out_b
+                            );
+                            next = s.out_b;
+                        }
+                        prop_assert_eq!(next, out_rows, "output rows not fully covered");
+                    }
+                    Err(DriverError::LayerTooLarge { needed, capacity, .. }) => {
+                        // Failure is only legal when some single output row
+                        // already overflows the bank.
+                        prop_assert_eq!(capacity, bank_tiles);
+                        prop_assert!(needed > capacity);
+                        let overflow = (0..out_rows).any(|a| {
+                            let (lo, hi) = input_rows_for(op, a, a + 1, in_rows);
+                            (hi - lo) * words_in + words_out > bank_tiles
+                        });
+                        prop_assert!(overflow, "rejected a plannable layer");
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+                }
+            }
+
+            /// The planner is greedy-maximal: no stripe could have taken
+            /// one more output row without overflowing the bank (except
+            /// the last, which is bounded by the layer itself).
+            #[test]
+            fn stripes_are_maximal(
+                geom in geometry_strategy(),
+                words_in in 1usize..=16,
+                words_out in 1usize..=16,
+                bank_tiles in 1usize..=256,
+            ) {
+                let (op, out_rows, in_rows) = geom;
+                let Ok(stripes) = plan_stripes("p", op, out_rows, in_rows, words_in, words_out, bank_tiles)
+                else { return Ok(()) };
+                for s in &stripes {
+                    if s.out_b == out_rows {
+                        continue;
+                    }
+                    let (lo, hi) = input_rows_for(op, s.out_a, s.out_b + 1, in_rows);
+                    prop_assert!(
+                        (hi - lo) * words_in + (s.out_b + 1 - s.out_a) * words_out > bank_tiles,
+                        "stripe [{}, {}) left capacity on the table", s.out_a, s.out_b
+                    );
+                }
+            }
+        }
+    }
 }

@@ -402,6 +402,32 @@ pub(crate) mod tests {
         }
     }
 
+    // Migrated from the driver's deprecated-shim tests: the builder is
+    // the only sanctioned construction path (nothing in-repo calls the
+    // deprecated `Driver::new`/`Driver::stats_only` anymore), so what
+    // those tests pinned — the legacy defaults and structured rejection
+    // of invalid configurations — is asserted on `SessionBuilder` here.
+    #[test]
+    fn builder_provides_the_legacy_driver_defaults() {
+        let session = Session::builder(config()).backend(BackendKind::Cycle).build().unwrap();
+        assert_eq!(session.driver().backend, BackendKind::Cycle);
+        assert!(session.driver().functional, "legacy Driver::new default");
+        assert!(session.driver().zero_skipping, "legacy Driver::new default");
+
+        let stats = Session::builder(config()).functional(false).build().unwrap();
+        assert!(!stats.driver().functional, "the Driver::stats_only shape");
+        assert!(stats.driver().zero_skipping);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config_instead_of_panicking() {
+        let mut cfg = config();
+        cfg.lanes = 2; // units stays 4: illegal on the cycle backend.
+        let err = Session::builder(cfg).backend(BackendKind::Cycle).build().unwrap_err();
+        assert_eq!(err.code(), "config.invalid");
+        assert!(err.to_string().contains("units == lanes"), "{err}");
+    }
+
     #[test]
     fn session_pins_kernel_tier_and_batch_config() {
         let session = Session::builder(config())

@@ -245,4 +245,96 @@ mod tests {
         let qw = layer(4, 1, 5);
         let _ = GroupWeights::from_filters(&qw, 0, 4);
     }
+
+    mod packer_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random quantized layer over the kernel sizes residual blocks
+        /// use — including the 1x1 projection convs of skip branches,
+        /// whose weight tiles occupy a single offset.
+        fn layer_strategy() -> impl Strategy<Value = QuantConvWeights> {
+            (1usize..=9, 1usize..=6, prop_oneof![Just(1usize), Just(2), Just(3)], 0u64..10_000)
+                .prop_map(|(out_c, in_c, k, seed)| {
+                    let w: Vec<Sm8> = (0..out_c * in_c * k * k)
+                        .map(|i| {
+                            let h = (i as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 3);
+                            if h.is_multiple_of(3) {
+                                Sm8::ZERO
+                            } else {
+                                Sm8::from_i32_saturating((h % 255) as i32 - 127)
+                            }
+                        })
+                        .collect();
+                    QuantConvWeights::new(out_c, in_c, k, w, vec![0; out_c], Requantizer::IDENTITY, false)
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The packer against the scalar weights as oracle: for any
+            /// group over any kernel size (1x1 projections included),
+            /// every lane tile unpacks to exactly the source filter, the
+            /// scratchpad byte stream round-trips, and the lockstep step
+            /// count is the slowest lane's non-zero count.
+            #[test]
+            fn packed_groups_agree_with_scalar_weights(
+                qw in layer_strategy(),
+                group in 0usize..3,
+            ) {
+                let lanes = 4;
+                let ofm_first = group * lanes;
+                prop_assume!(ofm_first < qw.out_c);
+                let g = GroupWeights::from_filters(&qw, ofm_first, lanes);
+                prop_assert_eq!(g.ifm_count(), qw.in_c);
+                for ifm in 0..qw.in_c {
+                    let mut max_nnz = 0;
+                    for lane in 0..lanes {
+                        let tile = g.lane_tile(ifm, lane);
+                        let dense = tile.unpack();
+                        let o = ofm_first + lane;
+                        let mut nnz = 0;
+                        for ky in 0..TILE_DIM {
+                            for kx in 0..TILE_DIM {
+                                let want = if o < qw.out_c && ky < qw.k && kx < qw.k {
+                                    qw.at(o, ifm, ky, kx)
+                                } else {
+                                    Sm8::ZERO
+                                };
+                                prop_assert_eq!(dense[(ky, kx)], want, "lane {} ifm {} ({},{})", lane, ifm, ky, kx);
+                                if !want.is_zero() {
+                                    nnz += 1;
+                                }
+                            }
+                        }
+                        prop_assert_eq!(tile.nnz(), nnz);
+                        max_nnz = max_nnz.max(nnz);
+                    }
+                    prop_assert_eq!(g.steps(ifm), max_nnz);
+                }
+                let back = GroupWeights::from_bytes(&g.to_bytes(), qw.in_c, lanes).expect("round-trip");
+                prop_assert_eq!(back, g);
+            }
+
+            /// Zero-skipping never changes what the tiles decode to — the
+            /// dense (ablation) packing and the skipped packing unpack
+            /// identically, and skipping only removes work.
+            #[test]
+            fn skipping_is_a_pure_compression(qw in layer_strategy()) {
+                let skip = GroupWeights::from_filters_with_skipping(&qw, 0, 4, true);
+                let dense = GroupWeights::from_filters_with_skipping(&qw, 0, 4, false);
+                for ifm in 0..qw.in_c {
+                    for lane in 0..4 {
+                        prop_assert_eq!(
+                            skip.lane_tile(ifm, lane).unpack(),
+                            dense.lane_tile(ifm, lane).unpack()
+                        );
+                    }
+                    prop_assert!(skip.steps(ifm) <= dense.steps(ifm));
+                }
+                prop_assert!(skip.total_bytes() <= dense.total_bytes());
+            }
+        }
+    }
 }

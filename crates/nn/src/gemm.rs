@@ -65,6 +65,33 @@ pub fn im2col_f32(input: &Tensor<f32>, k: usize, stride: usize, pad: usize) -> (
     im2col(input, k, stride, pad, 0.0)
 }
 
+/// Whether this conv geometry makes im2col the identity: a 1x1 stride-1
+/// unpadded (pointwise) convolution's patch matrix *is* the input
+/// activation, channel-major — one row per input channel, one column per
+/// position. ResNet projection shortcuts are exactly this shape, so the
+/// quantized GEMM skips the lowering copy entirely and streams the input
+/// slice straight into the row-panel kernel.
+pub fn pointwise_is_identity(k: usize, stride: usize, pad: usize) -> bool {
+    k == 1 && stride == 1 && pad == 0
+}
+
+/// Lowers patches for the quantized GEMM, borrowing the input directly
+/// when [`pointwise_is_identity`] holds (and `force_im2col` is off).
+fn lower_patches<'a>(
+    input: &'a Tensor<Sm8>,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    force_im2col: bool,
+) -> (std::borrow::Cow<'a, [Sm8]>, Shape) {
+    if pointwise_is_identity(k, stride, pad) && !force_im2col {
+        let s = input.shape();
+        return (std::borrow::Cow::Borrowed(input.as_slice()), Shape::new(s.c, s.h, s.w));
+    }
+    let (m, shape) = im2col(input, k, stride, pad, Sm8::ZERO);
+    (std::borrow::Cow::Owned(m), shape)
+}
+
 /// Float convolution via im2col + blocked GEMM (`out = W x patches + bias`).
 pub fn conv2d_gemm_f32(
     input: &Tensor<f32>,
@@ -201,10 +228,36 @@ pub fn conv2d_gemm_quant_tier(
     pad: usize,
     tier: KernelTier,
 ) -> Tensor<Sm8> {
+    conv2d_gemm_quant_tier_impl(input, weights, stride, pad, tier, false)
+}
+
+/// [`conv2d_gemm_quant_tier`] with the pointwise fast path disabled: the
+/// im2col matrix is always materialized, even for geometries where
+/// [`pointwise_is_identity`] holds and the lowering is a pure copy. Kept
+/// as the baseline `kernel_bench`'s `resnet_block` section measures the
+/// 1x1 fast path against; results are bit-identical by construction.
+pub fn conv2d_gemm_quant_tier_generic(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+    tier: KernelTier,
+) -> Tensor<Sm8> {
+    conv2d_gemm_quant_tier_impl(input, weights, stride, pad, tier, true)
+}
+
+fn conv2d_gemm_quant_tier_impl(
+    input: &Tensor<Sm8>,
+    weights: &QuantConvWeights,
+    stride: usize,
+    pad: usize,
+    tier: KernelTier,
+    force_im2col: bool,
+) -> Tensor<Sm8> {
     if tier == KernelTier::Scalar {
-        return conv2d_gemm_quant_blocked(input, weights, stride, pad);
+        return conv2d_gemm_quant_blocked(input, weights, stride, pad, force_im2col);
     }
-    let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
+    let (m, mshape) = lower_patches(input, weights.k, stride, pad, force_im2col);
     let cols = mshape.h * mshape.w;
     let rows = mshape.c;
     let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
@@ -213,7 +266,7 @@ pub fn conv2d_gemm_quant_tier(
     let mut acc32 = vec![0i32; cols];
     for o in 0..weights.out_c {
         let plane = &mut out_slice[o * cols..(o + 1) * cols];
-        gemm_quant_channel(&m, cols, rows, weights, o, tier, &mut acc64, &mut acc32, plane);
+        gemm_quant_channel(&m[..], cols, rows, weights, o, tier, &mut acc64, &mut acc32, plane);
     }
     out
 }
@@ -280,7 +333,7 @@ pub fn conv2d_gemm_quant_pool(
     tier: KernelTier,
     pool: &ConvPool,
 ) -> Tensor<Sm8> {
-    let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
+    let (m, mshape) = lower_patches(input, weights.k, stride, pad, false);
     let cols = mshape.h * mshape.w;
     let rows = mshape.c;
     let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
@@ -313,8 +366,9 @@ fn conv2d_gemm_quant_blocked(
     weights: &QuantConvWeights,
     stride: usize,
     pad: usize,
+    force_im2col: bool,
 ) -> Tensor<Sm8> {
-    let (m, mshape) = im2col(input, weights.k, stride, pad, Sm8::ZERO);
+    let (m, mshape) = lower_patches(input, weights.k, stride, pad, force_im2col);
     let cols = mshape.h * mshape.w;
     let rows = mshape.c;
     let mut out = Tensor::zeros(weights.out_c, mshape.h, mshape.w);
@@ -580,5 +634,46 @@ mod tests {
             let blocked = conv2d_gemm_quant(&input, &qw, stride, pad);
             prop_assert_eq!(naive, blocked);
         }
+
+        // The 1x1 fast path (borrowed input as the patch matrix) vs. the
+        // forced-im2col generic path vs. naive: all bit-identical.
+        #[test]
+        fn pointwise_fast_path_is_bit_exact(
+            out_c in 1usize..8,
+            in_c in 1usize..5,
+            hw in 2usize..12,
+            seed in 0u64..500,
+        ) {
+            let qw = quant_weights(out_c, in_c, 1, seed);
+            let input = Tensor::from_fn(in_c, hw, hw, |c, y, x| {
+                Sm8::from_i32_saturating((((c * 97 + y * 23 + x * 3) as u64 ^ seed) % 255) as i32 - 127)
+            });
+            let naive = conv2d_gemm_quant_naive(&input, &qw, 1, 0);
+            for tier in crate::simd::KernelTier::supported() {
+                let fast = conv2d_gemm_quant_tier(&input, &qw, 1, 0, tier);
+                let generic = conv2d_gemm_quant_tier_generic(&input, &qw, 1, 0, tier);
+                prop_assert_eq!(&naive, &fast, "fast path, tier {}", tier);
+                prop_assert_eq!(&naive, &generic, "generic path, tier {}", tier);
+            }
+        }
+    }
+
+    #[test]
+    fn pointwise_lowering_borrows_the_input() {
+        let input = Tensor::from_fn(3, 4, 5, |c, y, x| {
+            Sm8::from_i32_saturating((c * 20 + y * 5 + x) as i32 - 30)
+        });
+        assert!(pointwise_is_identity(1, 1, 0));
+        assert!(!pointwise_is_identity(1, 2, 0));
+        assert!(!pointwise_is_identity(1, 1, 1));
+        assert!(!pointwise_is_identity(3, 1, 0));
+        let (m, shape) = lower_patches(&input, 1, 1, 0, false);
+        assert!(matches!(m, std::borrow::Cow::Borrowed(_)), "1x1 must not copy");
+        assert_eq!(shape, Shape::new(3, 4, 5));
+        assert_eq!(&m[..], input.as_slice());
+        let (forced, fshape) = lower_patches(&input, 1, 1, 0, true);
+        assert!(matches!(forced, std::borrow::Cow::Owned(_)));
+        assert_eq!(fshape, shape);
+        assert_eq!(&forced[..], input.as_slice());
     }
 }

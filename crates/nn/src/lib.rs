@@ -9,9 +9,17 @@
 //! * [`conv`], [`pool`], [`fc`] — float reference operators *and*
 //!   integer-exact quantized operators (the golden model the simulated
 //!   accelerator must match bit-for-bit),
+//! * [`eltwise`] — host-side elementwise operators: residual add, global
+//!   average pooling and batch-norm folding, float and quantized,
 //! * [`model`] — networks, synthetic seeded weight generation, pruning and
 //!   quantization pipelines (the stand-in for the paper's Caffe flow),
+//! * [`plan`] — DAG execution planning: topological walk order, activation
+//!   liveness, and slot assignment shared by the oracle and the driver,
 //! * [`vgg16`] — the VGG-16 network used as the paper's test vehicle,
+//! * [`resnet`] — residual networks (skip connections, 1×1 convs,
+//!   batch-norm folding, global average pooling),
+//! * [`spec_io`] — the JSON network-spec loader so new topologies need no
+//!   Rust code,
 //! * [`eval`] — fidelity metrics substituting for the data-gated ImageNet
 //!   accuracy comparison (top-1 agreement, SQNR),
 //! * [`simd`] — SIMD kernel tiers (SSE2/AVX2/AVX-512) for the quantized
@@ -24,20 +32,28 @@
 //!   pass allocation-free.
 
 pub mod conv;
+pub mod eltwise;
 pub mod eval;
 pub mod fc;
 pub mod gemm;
 pub mod layer;
 pub mod model;
 pub mod par;
+pub mod plan;
 pub mod pool;
+pub mod resnet;
 pub mod scratch;
 pub mod simd;
+pub mod spec_io;
 pub mod vgg16;
 
-pub use layer::{LayerSpec, NetworkSpec};
+pub use eltwise::BnWeights;
+pub use layer::{LayerRef, LayerSpec, NetworkSpec};
 pub use model::{Network, QuantizedConvLayer, QuantizedNetwork, SyntheticModelConfig};
 pub use par::ConvPool;
+pub use plan::{ExecPlan, PlanStep};
+pub use resnet::{resnet18_spec, resnet34_spec};
 pub use scratch::Scratch;
 pub use simd::{dispatch, select_tier, KernelTier, KERNEL_ENV};
+pub use spec_io::SpecError;
 pub use vgg16::{vgg16_spec, VGG16_CONV_NAMES};

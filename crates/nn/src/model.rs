@@ -9,10 +9,15 @@
 //! structure, zero-skipping, cycle counts, bit-exactness) is faithful.
 
 use crate::conv::{conv2d_f32, conv2d_quant_into, conv2d_quant_into_pool, ConvWeights, QuantConvWeights};
+use crate::eltwise::{
+    add_f32, add_quant_phase1, add_quant_phase2, batchnorm_f32, global_avgpool_f32,
+    global_avgpool_quant_into, BnWeights,
+};
 use crate::fc::{fc_f32, fc_quant_into, softmax, FcWeights, QuantFcWeights};
-use crate::layer::{LayerSpec, NetworkSpec};
+use crate::layer::{LayerRef, LayerSpec, NetworkSpec};
+use crate::plan::{ExecPlan, PlanStep};
 use crate::pool::{maxpool_f32, maxpool_quant_into};
-use crate::scratch::Scratch;
+use crate::scratch::{slot_pair, Scratch};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use zskip_quant::{prune_to_density, DensityProfile, QuantParams, Requantizer, Sm8};
@@ -27,6 +32,9 @@ pub struct Network {
     pub conv_weights: Vec<ConvWeights>,
     /// Weights for each FC layer, in layer order.
     pub fc_weights: Vec<FcWeights>,
+    /// Weights for each batch-norm layer, in layer order (empty for
+    /// BN-free networks; folded away by [`Network::fold_batchnorm`]).
+    pub bn_weights: Vec<BnWeights>,
 }
 
 /// Configuration for synthetic model generation.
@@ -49,11 +57,13 @@ impl Network {
     /// Gaussian weights (`std = sqrt(2 / fan_in)`), small biases, then
     /// magnitude pruning per the density profile.
     pub fn synthetic(spec: NetworkSpec, config: &SyntheticModelConfig) -> Network {
+        let shapes = spec.shapes().expect("network must be shape-valid");
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut conv_weights = Vec::new();
         let mut fc_weights = Vec::new();
+        let mut bn_weights = Vec::new();
         let mut conv_idx = 0;
-        for layer in &spec.layers {
+        for (li, layer) in spec.layers.iter().enumerate() {
             match layer {
                 LayerSpec::Conv { in_c, out_c, k, .. } => {
                     let fan_in = in_c * k * k;
@@ -80,10 +90,90 @@ impl Network {
                     }
                     fc_weights.push(w);
                 }
-                LayerSpec::MaxPool { .. } | LayerSpec::Softmax => {}
+                LayerSpec::BatchNorm { .. } => {
+                    // Realistic inference statistics: gamma near 1, small
+                    // beta/mean, variance strictly positive near 1.
+                    let c = shapes[li].c;
+                    let mut bn = BnWeights::identity(c);
+                    for i in 0..c {
+                        bn.gamma[i] = 1.0 + gaussian(&mut rng) * 0.1;
+                        bn.beta[i] = gaussian(&mut rng) * 0.05;
+                        bn.mean[i] = gaussian(&mut rng) * 0.05;
+                        bn.var[i] = (1.0 + gaussian(&mut rng) * 0.25).abs().max(0.05);
+                    }
+                    bn_weights.push(bn);
+                }
+                LayerSpec::MaxPool { .. }
+                | LayerSpec::Softmax
+                | LayerSpec::Ref { .. }
+                | LayerSpec::Add { .. }
+                | LayerSpec::GlobalAvgPool { .. } => {}
             }
         }
-        Network { spec, conv_weights, fc_weights }
+        Network { spec, conv_weights, fc_weights, bn_weights }
+    }
+
+    /// Folds every batch-norm layer into its preceding convolution's
+    /// weights in f32 — the standard inference-time transform: scale
+    /// output-channel `o`'s filters by `gamma[o] / sqrt(var[o] + eps)`
+    /// and map the bias through the same per-channel affine. The BN layer
+    /// disappears from the spec (its fused ReLU moves onto the conv) and
+    /// every `Ref`/`Add` reference is remapped to the compacted indices.
+    ///
+    /// [`Network::quantize`] calls this first when the spec carries
+    /// batch-norm, which pins the fold order: fold in f32, then quantize.
+    pub fn fold_batchnorm(&self) -> Network {
+        if !self.spec.has_batchnorm() {
+            return self.clone();
+        }
+        let mut layers: Vec<LayerSpec> = Vec::with_capacity(self.spec.layers.len());
+        // Old layer index -> index of the layer producing the same value
+        // in the folded spec (a BN maps to its host conv).
+        let mut index_map = vec![usize::MAX; self.spec.layers.len()];
+        let mut conv_weights = self.conv_weights.clone();
+        let mut conv_i = 0;
+        let mut bn_i = 0;
+        for (i, layer) in self.spec.layers.iter().enumerate() {
+            match layer {
+                LayerSpec::BatchNorm { relu, .. } => {
+                    let bn = &self.bn_weights[bn_i];
+                    bn_i += 1;
+                    let w = &mut conv_weights[conv_i - 1];
+                    let affine = bn.affine();
+                    assert_eq!(affine.len(), w.out_c, "one affine per conv output channel");
+                    let per_filter = w.in_c * w.k * w.k;
+                    for (o, &(a, b)) in affine.iter().enumerate() {
+                        for v in &mut w.w[o * per_filter..(o + 1) * per_filter] {
+                            *v *= a;
+                        }
+                        w.bias[o] = a * w.bias[o] + b;
+                    }
+                    let host = layers.last_mut().expect("validated: BN follows its conv");
+                    match host {
+                        LayerSpec::Conv { relu: conv_relu, .. } => *conv_relu = *relu,
+                        _ => unreachable!("validated: BN follows its conv"),
+                    }
+                    index_map[i] = layers.len() - 1;
+                }
+                _ => {
+                    let mut l = layer.clone();
+                    match &mut l {
+                        LayerSpec::Ref { from, .. } | LayerSpec::Add { from, .. } => {
+                            if let LayerRef::Layer(j) = from {
+                                *from = LayerRef::Layer(index_map[*j]);
+                            }
+                        }
+                        LayerSpec::Conv { .. } => conv_i += 1,
+                        _ => {}
+                    }
+                    layers.push(l);
+                    index_map[i] = layers.len() - 1;
+                }
+            }
+        }
+        let spec = NetworkSpec { name: self.spec.name.clone(), input: self.spec.input, layers };
+        debug_assert!(spec.shapes().is_ok(), "folding preserves validity");
+        Network { spec, conv_weights, fc_weights: self.fc_weights.clone(), bn_weights: Vec::new() }
     }
 
     /// Float forward pass, invoking `visit(layer_index, activation)` after
@@ -95,30 +185,51 @@ impl Network {
         mut visit: impl FnMut(usize, &Tensor<f32>),
     ) -> Vec<f32> {
         visit(0, input);
-        let mut act = input.clone();
+        // The float oracle favours clarity over memory: every boundary
+        // activation is kept so `Ref`/`Add` can reach back into the DAG
+        // (`acts[0]` is the input, `acts[i + 1]` the output of layer `i`).
+        let mut acts: Vec<Tensor<f32>> = Vec::with_capacity(self.spec.layers.len() + 1);
+        acts.push(input.clone());
         let mut conv_i = 0;
         let mut fc_i = 0;
+        let mut bn_i = 0;
         for (li, layer) in self.spec.layers.iter().enumerate() {
-            act = match layer {
-                LayerSpec::Conv { stride, pad, relu, .. } => {
-                    let out = conv2d_f32(&act, &self.conv_weights[conv_i], *stride, *pad, *relu);
-                    conv_i += 1;
-                    out
-                }
-                LayerSpec::MaxPool { k, stride, .. } => maxpool_f32(&act, *k, *stride),
-                LayerSpec::Fc { relu, .. } => {
-                    let out = fc_f32(act.as_slice(), &self.fc_weights[fc_i], *relu);
-                    fc_i += 1;
-                    Tensor::from_vec(out.len(), 1, 1, out)
-                }
-                LayerSpec::Softmax => {
-                    let out = softmax(act.as_slice());
-                    Tensor::from_vec(out.len(), 1, 1, out)
+            let next = {
+                let prev = acts.last().expect("non-empty");
+                let resolve = |r: &LayerRef| match r {
+                    LayerRef::Input => &acts[0],
+                    LayerRef::Layer(j) => &acts[j + 1],
+                };
+                match layer {
+                    LayerSpec::Conv { stride, pad, relu, .. } => {
+                        let out = conv2d_f32(prev, &self.conv_weights[conv_i], *stride, *pad, *relu);
+                        conv_i += 1;
+                        out
+                    }
+                    LayerSpec::MaxPool { k, stride, .. } => maxpool_f32(prev, *k, *stride),
+                    LayerSpec::Fc { relu, .. } => {
+                        let out = fc_f32(prev.as_slice(), &self.fc_weights[fc_i], *relu);
+                        fc_i += 1;
+                        Tensor::from_vec(out.len(), 1, 1, out)
+                    }
+                    LayerSpec::Softmax => {
+                        let out = softmax(prev.as_slice());
+                        Tensor::from_vec(out.len(), 1, 1, out)
+                    }
+                    LayerSpec::Ref { from, .. } => resolve(from).clone(),
+                    LayerSpec::Add { from, relu, .. } => add_f32(prev, resolve(from), *relu),
+                    LayerSpec::GlobalAvgPool { .. } => global_avgpool_f32(prev),
+                    LayerSpec::BatchNorm { relu, .. } => {
+                        let out = batchnorm_f32(prev, &self.bn_weights[bn_i], *relu);
+                        bn_i += 1;
+                        out
+                    }
                 }
             };
-            visit(li + 1, &act);
+            visit(li + 1, &next);
+            acts.push(next);
         }
-        act.into_vec()
+        acts.pop().expect("non-empty").into_vec()
     }
 
     /// Float forward pass.
@@ -129,7 +240,14 @@ impl Network {
     /// Quantizes this network to 8-bit sign+magnitude using the given
     /// calibration inputs to set activation scales (max-abs calibration).
     /// With no calibration inputs, all activation scales default to 1.0.
+    ///
+    /// Batch-norm folds **before** quantization ([`Network::fold_batchnorm`]
+    /// runs first when the spec carries BN), so the returned network's
+    /// spec is BN-free; calibration then sees the folded activations.
     pub fn quantize(&self, calibration: &[Tensor<f32>]) -> QuantizedNetwork {
+        if self.spec.has_batchnorm() {
+            return self.fold_batchnorm().quantize(calibration);
+        }
         let boundaries = self.spec.layers.len() + 1;
         let mut max_abs = vec![0f32; boundaries];
         for input in calibration {
@@ -189,11 +307,20 @@ impl Network {
                     });
                     fc_i += 1;
                 }
-                LayerSpec::MaxPool { .. } | LayerSpec::Softmax => {}
+                // Ref/Add/GAP carry no weights: their requantizers derive
+                // from the activation scales on demand (see
+                // [`QuantizedNetwork::add_requantizers`]).
+                LayerSpec::MaxPool { .. }
+                | LayerSpec::Softmax
+                | LayerSpec::Ref { .. }
+                | LayerSpec::Add { .. }
+                | LayerSpec::GlobalAvgPool { .. } => {}
+                LayerSpec::BatchNorm { .. } => unreachable!("folded above"),
             }
         }
         QuantizedNetwork {
             spec: self.spec.clone(),
+            plan: ExecPlan::build(&self.spec).expect("network must be shape-valid"),
             input_params: QuantParams { scale: scales[0] },
             activation_scales: scales,
             conv,
@@ -209,6 +336,11 @@ impl Network {
     /// the zero-skipping hardware exploits directly. FC layers stay 8-bit.
     pub fn quantize_ternary(&self, calibration: &[Tensor<f32>]) -> QuantizedNetwork {
         use zskip_quant::TernaryParams;
+        if self.spec.has_batchnorm() {
+            // Fold first so the layer walk below sees the same spec the
+            // 8-bit quantization produced.
+            return self.fold_batchnorm().quantize_ternary(calibration);
+        }
         // Start from the 8-bit quantization for activation scales and FC.
         let mut q = self.quantize(calibration);
         let mut conv_i = 0;
@@ -251,8 +383,12 @@ pub struct QuantizedConvLayer {
 /// A fully quantized network: the artifact handed to the accelerator driver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedNetwork {
-    /// The layer graph (shared with the float model).
+    /// The layer graph (shared with the float model; batch-norm-free —
+    /// quantization folds BN away).
     pub spec: NetworkSpec,
+    /// The DAG execution plan (slot assignment and liveness) the scratch
+    /// forward pass and the accelerator driver both walk.
+    pub plan: ExecPlan,
     /// Quantizer for network inputs.
     pub input_params: QuantParams,
     /// Activation scale at every layer boundary (len = layers + 1).
@@ -287,19 +423,19 @@ impl QuantizedNetwork {
     pub fn forward_quant_scratch<'s>(&self, input: &Tensor<f32>, scratch: &'s mut Scratch) -> &'s [Sm8] {
         let before = scratch.capacity_bytes();
         let tier = scratch.tier();
-        let mut cur = 0usize;
+        scratch.ensure_slots(self.plan.slots.max(1));
         let mut flat_cur: Option<usize> = None;
         {
-            let Scratch { act, acc, flat, pool, .. } = scratch;
-            input.map_into(&mut act[cur], |v| self.input_params.quantize(v));
+            let Scratch { slots, acc, flat, pool, .. } = scratch;
+            // The plan always places the network input in slot 0.
+            input.map_into(&mut slots[0], |v| self.input_params.quantize(v));
             let mut conv_i = 0;
             let mut fc_i = 0;
-            for layer in &self.spec.layers {
+            for step in &self.plan.steps {
+                let layer = &self.spec.layers[step.layer];
                 match layer {
                     LayerSpec::Conv { stride, pad, .. } => {
-                        let (lo, hi) = act.split_at_mut(1);
-                        let (src, dst) =
-                            if cur == 0 { (&lo[0], &mut hi[0]) } else { (&hi[0], &mut lo[0]) };
+                        let (src, dst) = slot_pair(slots, step.src.expect("conv reads a slot"), step.dst.expect("conv writes a slot"));
                         match pool.as_deref() {
                             Some(p) => conv2d_quant_into_pool(
                                 src,
@@ -321,15 +457,25 @@ impl QuantizedNetwork {
                                 dst,
                             ),
                         }
-                        cur ^= 1;
                         conv_i += 1;
                     }
                     LayerSpec::MaxPool { k, stride, .. } => {
-                        let (lo, hi) = act.split_at_mut(1);
-                        let (src, dst) =
-                            if cur == 0 { (&lo[0], &mut hi[0]) } else { (&hi[0], &mut lo[0]) };
+                        let (src, dst) = slot_pair(slots, step.src.expect("pool reads a slot"), step.dst.expect("pool writes a slot"));
                         maxpool_quant_into(src, *k, *stride, dst);
-                        cur ^= 1;
+                    }
+                    // A Ref is a pure alias: its plan step re-emits the
+                    // source slot (`dst == src`), no data moves.
+                    LayerSpec::Ref { .. } => {}
+                    LayerSpec::Add { relu, .. } => {
+                        let (ra, rb) = self.add_requantizers(step);
+                        add_quant_phase1(&slots[step.src.expect("add reads a slot")], ra, acc);
+                        let (b, dst) = slot_pair(slots, step.operand.expect("add has an operand"), step.dst.expect("add writes a slot"));
+                        add_quant_phase2(b, rb, *relu, acc, dst);
+                    }
+                    LayerSpec::GlobalAvgPool { .. } => {
+                        let (src, dst) = slot_pair(slots, step.src.expect("gap reads a slot"), step.dst.expect("gap writes a slot"));
+                        let r = self.gap_requantizer(step, src.shape().h * src.shape().w);
+                        global_avgpool_quant_into(src, r, dst);
                     }
                     LayerSpec::Fc { .. } => {
                         match flat_cur {
@@ -341,7 +487,8 @@ impl QuantizedNetwork {
                                 flat_cur = Some(1 - fi);
                             }
                             None => {
-                                fc_quant_into(act[cur].as_slice(), &self.fc[fc_i], &mut flat[0]);
+                                let src = &slots[step.src.expect("first fc reads a slot")];
+                                fc_quant_into(src.as_slice(), &self.fc[fc_i], &mut flat[0]);
                                 flat_cur = Some(0);
                             }
                         }
@@ -351,6 +498,9 @@ impl QuantizedNetwork {
                         // Softmax is monotone; the quantized path carries logits
                         // through (classification by argmax is unchanged).
                     }
+                    LayerSpec::BatchNorm { .. } => {
+                        unreachable!("quantize() folds batch-norm before execution")
+                    }
                 }
             }
         }
@@ -359,7 +509,36 @@ impl QuantizedNetwork {
         }
         match flat_cur {
             Some(fi) => &scratch.flat[fi],
-            None => scratch.act[cur].as_slice(),
+            None => scratch.slots[self.plan.output_slot.unwrap_or(0)].as_slice(),
+        }
+    }
+
+    /// Requantizers bringing an [`LayerSpec::Add`] step's two operands to
+    /// the layer's output scale (`s_operand / s_out` each): applied raw
+    /// (to `i32`), summed, then saturated once — the shared definition of
+    /// the quantized residual join for oracle and driver.
+    pub fn add_requantizers(&self, step: &PlanStep) -> (Requantizer, Requantizer) {
+        let s_out = self.activation_scales[step.layer + 1];
+        let ra = self.boundary_scale(step.src_layer) / s_out;
+        let rb = self.boundary_scale(step.operand_layer) / s_out;
+        (Requantizer::from_ratio(ra as f64), Requantizer::from_ratio(rb as f64))
+    }
+
+    /// Requantizer for a [`LayerSpec::GlobalAvgPool`] step over `n`
+    /// spatial positions: the `1/n` mean divisor folds into the scale
+    /// ratio, so the exact `i64` channel sum requantizes in one step.
+    pub fn gap_requantizer(&self, step: &PlanStep, n: usize) -> Requantizer {
+        let s_in = self.boundary_scale(step.src_layer);
+        let s_out = self.activation_scales[step.layer + 1];
+        Requantizer::from_ratio(s_in as f64 / (s_out as f64 * n as f64))
+    }
+
+    /// The activation scale at a plan step's input boundary (`None` = the
+    /// network input).
+    fn boundary_scale(&self, layer: Option<usize>) -> f32 {
+        match layer {
+            None => self.activation_scales[0],
+            Some(j) => self.activation_scales[j + 1],
         }
     }
 
@@ -522,6 +701,93 @@ mod tests {
         }
     }
 
+    /// A residual block with batch-norm, a projection shortcut, global
+    /// average pooling, and an FC head — every new layer type at once.
+    fn residual_spec() -> NetworkSpec {
+        use crate::layer::{conv1x1, LayerRef};
+        NetworkSpec {
+            name: "res-tiny".into(),
+            input: Shape::new(3, 8, 8),
+            layers: vec![
+                LayerSpec::Conv { name: "stem".into(), in_c: 3, out_c: 4, k: 3, stride: 1, pad: 1, relu: false },
+                LayerSpec::BatchNorm { name: "stem_bn".into(), relu: true },
+                LayerSpec::Conv { name: "c1".into(), in_c: 4, out_c: 4, k: 3, stride: 1, pad: 1, relu: false },
+                LayerSpec::BatchNorm { name: "c1_bn".into(), relu: true },
+                LayerSpec::Conv { name: "c2".into(), in_c: 4, out_c: 4, k: 3, stride: 1, pad: 1, relu: false },
+                LayerSpec::BatchNorm { name: "c2_bn".into(), relu: false },
+                LayerSpec::Add { name: "join".into(), from: LayerRef::Layer(1), relu: true },
+                maxpool2x2("pool"),
+                LayerSpec::Ref { name: "skip".into(), from: LayerRef::Layer(6) },
+                conv1x1("proj", 4, 6),
+                LayerSpec::BatchNorm { name: "proj_bn".into(), relu: false },
+                LayerSpec::GlobalAvgPool { name: "gap".into() },
+                LayerSpec::Fc { name: "fc".into(), in_features: 6, out_features: 5, relu: false },
+                LayerSpec::Softmax,
+            ],
+        }
+    }
+
+    #[test]
+    fn fold_batchnorm_matches_the_float_bn_oracle() {
+        let net = Network::synthetic(residual_spec(), &SyntheticModelConfig { seed: 11, ..Default::default() });
+        let folded = net.fold_batchnorm();
+        assert!(!folded.spec.has_batchnorm());
+        assert!(folded.bn_weights.is_empty());
+        assert_eq!(folded.spec.layers.len(), net.spec.layers.len() - 4);
+        for i in 0..4 {
+            let input = tiny_input(300 + i);
+            let a = net.forward_f32(&input);
+            let b = folded.forward_f32(&input);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-4, "fold drifted: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_quantized_forward_agrees_with_float_argmax() {
+        let net = Network::synthetic(residual_spec(), &SyntheticModelConfig { seed: 5, ..Default::default() });
+        let calib: Vec<Tensor<f32>> = (0..4).map(tiny_input).collect();
+        let qnet = net.quantize(&calib);
+        assert!(!qnet.spec.has_batchnorm(), "quantization folds BN away");
+        assert_eq!(qnet.plan.slots, 3, "skip branch holds a third slot");
+        let mut agree = 0;
+        let n = 8;
+        for i in 0..n {
+            let input = tiny_input(400 + i);
+            let f = net.forward_f32(&input);
+            let q = qnet.forward_dequant(&input);
+            if crate::fc::argmax(&f) == crate::fc::argmax(&q) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= n * 3 / 4, "agreement {agree}/{n}");
+    }
+
+    #[test]
+    fn residual_scratch_forward_is_warm_allocation_stable_and_tier_independent() {
+        let net = Network::synthetic(residual_spec(), &SyntheticModelConfig::default());
+        let qnet = net.quantize(&[tiny_input(0)]);
+        let mut scratch = Scratch::with_tier(crate::simd::KernelTier::Scalar);
+        let mut want = Vec::new();
+        for i in 0..4 {
+            let input = tiny_input(500 + i);
+            let fresh = qnet.forward_quant(&input);
+            let reused = qnet.forward_quant_scratch(&input, &mut scratch).to_vec();
+            assert_eq!(fresh, reused, "image {i}");
+            if i == 0 {
+                want = fresh;
+            }
+        }
+        assert_eq!(scratch.grow_events(), 1, "skip slots must reuse after warmup");
+        let input = tiny_input(500);
+        for tier in crate::simd::KernelTier::supported() {
+            let mut s = Scratch::with_tier(tier);
+            assert_eq!(qnet.forward_quant_scratch(&input, &mut s), &want[..], "tier {tier}");
+        }
+    }
+
     #[test]
     fn visit_sees_every_boundary() {
         let net = Network::synthetic(tiny_spec(), &SyntheticModelConfig::default());
@@ -530,6 +796,60 @@ mod tests {
         assert_eq!(seen.len(), 7);
         assert_eq!(seen[0].1, Shape::new(3, 8, 8));
         assert_eq!(seen[6].1, Shape::new(10, 1, 1));
+    }
+}
+
+#[cfg(test)]
+mod fold_order_tests {
+    use super::*;
+    use crate::layer::conv3x3;
+    use proptest::prelude::*;
+    use zskip_tensor::Shape;
+
+    fn bn_spec() -> NetworkSpec {
+        NetworkSpec {
+            name: "bn-prop".into(),
+            input: Shape::new(2, 6, 6),
+            layers: vec![
+                LayerSpec::Conv { name: "c1".into(), in_c: 2, out_c: 3, k: 3, stride: 1, pad: 1, relu: false },
+                LayerSpec::BatchNorm { name: "c1_bn".into(), relu: true },
+                conv3x3("c2", 3, 3),
+                LayerSpec::Add { name: "join".into(), from: LayerRef::Layer(1), relu: false },
+            ],
+        }
+    }
+
+    fn input(seed: u64) -> Tensor<f32> {
+        Tensor::from_fn(2, 6, 6, |c, y, x| (((c * 36 + y * 6 + x) as f32 + seed as f32) * 0.41).sin())
+    }
+
+    proptest! {
+        /// Pins the fold order: quantizing a BN-carrying network is
+        /// bit-identical to folding batch-norm in f32 first and then
+        /// quantizing, across random BN statistics and epsilons. Any
+        /// future change that quantizes first and folds integer weights
+        /// afterwards must reproduce this exactly.
+        #[test]
+        fn quantizing_with_bn_equals_folding_then_quantizing(
+            seed in 0u64..500,
+            gamma in proptest::collection::vec(0.2f32..3.0, 3),
+            beta in proptest::collection::vec(-0.5f32..0.5, 3),
+            mean in proptest::collection::vec(-0.5f32..0.5, 3),
+            var in proptest::collection::vec(0.05f32..4.0, 3),
+            eps in prop_oneof![Just(1e-5f32), Just(1e-3f32), Just(0.1f32)],
+        ) {
+            let mut net = Network::synthetic(
+                bn_spec(),
+                &SyntheticModelConfig { seed, ..Default::default() },
+            );
+            net.bn_weights = vec![BnWeights { gamma, beta, mean, var, eps }];
+            let calib: Vec<Tensor<f32>> = (0..2).map(input).collect();
+            let with_bn = net.quantize(&calib);
+            let folded_first = net.fold_batchnorm().quantize(&calib);
+            prop_assert_eq!(&with_bn, &folded_first);
+            let x = input(seed + 1000);
+            prop_assert_eq!(with_bn.forward_quant(&x), folded_first.forward_quant(&x));
+        }
     }
 }
 

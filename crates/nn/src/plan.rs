@@ -1,0 +1,333 @@
+//! Topologically-ordered execution plan with activation liveness.
+//!
+//! A [`NetworkSpec`] is already in topological order (references point
+//! strictly backwards), so planning is not about ordering — it is about
+//! *liveness*: deciding how long each activation must stay resident and
+//! packing activations into a minimal set of reusable slots. The plan is
+//! shared by the software golden model ([`crate::model::QuantizedNetwork`]'s
+//! scratch forward pass) and the accelerator driver, which maps each slot
+//! to a fixed DDR feature-map region — both walk the identical step
+//! sequence, which is what makes residual execution bit-identical across
+//! backends by construction.
+//!
+//! Slot allocation is a linear scan: each produced value takes the
+//! lowest-numbered free slot, and a value's slot frees only *after* its
+//! last consumer executes (an operator may never write over an input it
+//! is still reading). On a linear chain this degenerates to the two-slot
+//! ping-pong the VGG path has always used; a residual block briefly holds
+//! a third slot for the skip operand.
+
+use crate::layer::{LayerRef, LayerSpec, NetworkSpec, ShapeError};
+use zskip_tensor::Shape;
+
+/// One planned layer execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index of the layer in the spec.
+    pub layer: usize,
+    /// Slot holding the step's primary input (for [`LayerSpec::Ref`],
+    /// the referenced activation). `None` once execution has entered the
+    /// flat fully-connected head, where activations live in flat vectors
+    /// outside the slot pool.
+    pub src: Option<usize>,
+    /// Layer index whose output is the primary input (`None` = the
+    /// network input). Scale lookups key off this boundary.
+    pub src_layer: Option<usize>,
+    /// Slot holding [`LayerSpec::Add`]'s second operand.
+    pub operand: Option<usize>,
+    /// Layer index producing the second operand (`None` = network input).
+    pub operand_layer: Option<usize>,
+    /// Slot receiving the output. Equal to `src` for [`LayerSpec::Ref`]
+    /// (a pure alias — no data moves); `None` in the flat head.
+    pub dst: Option<usize>,
+    /// Slots whose contents die after this step executes.
+    pub frees: Vec<usize>,
+}
+
+/// The execution plan of one network: steps in topological order plus the
+/// slot pool and liveness summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPlan {
+    /// One step per spec layer, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// Number of activation slots the plan needs concurrently.
+    pub slots: usize,
+    /// Largest activation (in elements) each slot ever holds.
+    pub slot_elems: Vec<usize>,
+    /// Peak bytes of simultaneously-live activations (one byte per
+    /// quantized element) — what must stay resident in DDR.
+    pub peak_resident_bytes: usize,
+    /// Slot holding the final feature-map activation (`None` when the
+    /// network ends in the flat head or has no layers).
+    pub output_slot: Option<usize>,
+}
+
+impl ExecPlan {
+    /// Builds the plan for `spec`, validating the DAG along the way.
+    ///
+    /// # Errors
+    /// Returns the first [`ShapeError`] (the same validation as
+    /// [`NetworkSpec::shapes`]).
+    pub fn build(spec: &NetworkSpec) -> Result<ExecPlan, ShapeError> {
+        let shapes = spec.shapes()?;
+        let n = spec.layers.len();
+
+        // Value numbering: the network input is value 0; each layer
+        // produces a fresh value except `Ref`, which aliases its source
+        // (all consumers of the alias share the source's liveness).
+        let mut value_of_layer = vec![usize::MAX; n];
+        let mut value_shape: Vec<Shape> = vec![shapes[0]];
+        let value_of = |value_of_layer: &[usize], r: LayerRef| match r {
+            LayerRef::Input => 0,
+            LayerRef::Layer(j) => value_of_layer[j],
+        };
+        // Values in the flat FC head get no slot; usize::MAX marks them.
+        const FLAT: usize = usize::MAX - 1;
+        let mut flat = false;
+        for (i, layer) in spec.layers.iter().enumerate() {
+            value_of_layer[i] = match layer {
+                LayerSpec::Ref { from, .. } => value_of(&value_of_layer, *from),
+                LayerSpec::Fc { .. } | LayerSpec::Softmax => {
+                    flat = true;
+                    FLAT
+                }
+                _ => {
+                    debug_assert!(!flat, "validated by shapes()");
+                    value_shape.push(shapes[i + 1]);
+                    value_shape.len() - 1
+                }
+            };
+        }
+
+        // Liveness: a value's last use is the last step consuming it; the
+        // final network output (or the value feeding the flat head) stays
+        // live through the end.
+        let mut last_use = vec![0usize; value_shape.len()];
+        let prev_value = |value_of_layer: &[usize], i: usize| {
+            if i == 0 {
+                0
+            } else {
+                value_of_layer[i - 1]
+            }
+        };
+        for (i, layer) in spec.layers.iter().enumerate() {
+            let mut consume = |v: usize| {
+                if v != FLAT {
+                    last_use[v] = i;
+                }
+            };
+            match layer {
+                LayerSpec::Ref { from, .. } => consume(value_of(&value_of_layer, *from)),
+                LayerSpec::Add { from, .. } => {
+                    consume(prev_value(&value_of_layer, i));
+                    consume(value_of(&value_of_layer, *from));
+                }
+                _ => consume(prev_value(&value_of_layer, i)),
+            }
+        }
+        // Keep the final value alive past every step.
+        let final_value = prev_value(&value_of_layer, n);
+        if final_value != FLAT {
+            last_use[final_value] = n;
+        }
+
+        // Linear-scan slot assignment. A slot frees strictly *after* the
+        // last consumer runs, so a step's output can never land in a slot
+        // any of its inputs occupy.
+        let mut slot_of_value = vec![usize::MAX; value_shape.len()];
+        let mut free: Vec<usize> = Vec::new();
+        let mut allocated = 0usize;
+        let mut slot_elems: Vec<usize> = Vec::new();
+        let mut live_bytes = 0usize;
+        let mut peak_resident_bytes = value_shape[0].len();
+        let mut alloc = |free: &mut Vec<usize>,
+                         slot_elems: &mut Vec<usize>,
+                         live_bytes: &mut usize,
+                         v: usize| {
+            let slot = match free.pop() {
+                Some(s) => s,
+                None => {
+                    allocated += 1;
+                    slot_elems.push(0);
+                    allocated - 1
+                }
+            };
+            slot_elems[slot] = slot_elems[slot].max(value_shape[v].len());
+            *live_bytes += value_shape[v].len();
+            slot
+        };
+        slot_of_value[0] = alloc(&mut free, &mut slot_elems, &mut live_bytes, 0);
+
+        let mut steps = Vec::with_capacity(n);
+        for (i, layer) in spec.layers.iter().enumerate() {
+            let src_layer = match layer {
+                LayerSpec::Ref { from, .. } => match from {
+                    LayerRef::Input => None,
+                    LayerRef::Layer(j) => Some(*j),
+                },
+                _ if i == 0 => None,
+                _ => Some(i - 1),
+            };
+            let in_value = match layer {
+                LayerSpec::Ref { from, .. } => value_of(&value_of_layer, *from),
+                _ => prev_value(&value_of_layer, i),
+            };
+            let src = (in_value != FLAT).then(|| slot_of_value[in_value]);
+            let (operand, operand_layer) = match layer {
+                LayerSpec::Add { from, .. } => {
+                    let v = value_of(&value_of_layer, *from);
+                    let l = match from {
+                        LayerRef::Input => None,
+                        LayerRef::Layer(j) => Some(*j),
+                    };
+                    (Some(slot_of_value[v]), l)
+                }
+                _ => (None, None),
+            };
+            let out_value = value_of_layer[i];
+            let dst = if out_value == FLAT {
+                None
+            } else if matches!(layer, LayerSpec::Ref { .. }) {
+                src
+            } else {
+                Some(alloc(&mut free, &mut slot_elems, &mut live_bytes, out_value))
+            };
+            if let Some(d) = dst {
+                slot_of_value[out_value] = d;
+            }
+            peak_resident_bytes = peak_resident_bytes.max(live_bytes);
+            // Retire values whose last use was this step.
+            let mut frees = Vec::new();
+            let mut retire = |v: usize, frees: &mut Vec<usize>| {
+                if v != FLAT && last_use[v] == i && slot_of_value[v] != usize::MAX {
+                    frees.push(slot_of_value[v]);
+                    free.push(slot_of_value[v]);
+                    free.sort_unstable_by(|a, b| b.cmp(a));
+                    live_bytes -= value_shape[v].len();
+                    slot_of_value[v] = usize::MAX;
+                }
+            };
+            retire(in_value, &mut frees);
+            if let LayerSpec::Add { from, .. } = layer {
+                retire(value_of(&value_of_layer, *from), &mut frees);
+            }
+            steps.push(PlanStep { layer: i, src, src_layer, operand, operand_layer, dst, frees });
+        }
+
+        let output_slot = if final_value == FLAT {
+            None
+        } else {
+            Some(slot_of_value[final_value]).filter(|&s| s != usize::MAX)
+        };
+        Ok(ExecPlan { steps, slots: allocated, slot_elems, peak_resident_bytes, output_slot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{conv3x3, maxpool2x2};
+
+    fn linear_spec() -> NetworkSpec {
+        NetworkSpec {
+            name: "lin".into(),
+            input: Shape::new(3, 8, 8),
+            layers: vec![
+                conv3x3("c1", 3, 4),
+                conv3x3("c2", 4, 4),
+                maxpool2x2("p"),
+                conv3x3("c3", 4, 6),
+            ],
+        }
+    }
+
+    #[test]
+    fn linear_chain_degenerates_to_two_slot_ping_pong() {
+        let plan = ExecPlan::build(&linear_spec()).unwrap();
+        assert_eq!(plan.slots, 2, "a chain needs exactly in+out");
+        let dsts: Vec<usize> = plan.steps.iter().map(|s| s.dst.unwrap()).collect();
+        assert_eq!(dsts, vec![1, 0, 1, 0], "ping-pong between the two slots");
+        for s in &plan.steps {
+            assert_ne!(s.src, s.dst, "never write over the input being read");
+        }
+        assert_eq!(plan.output_slot, Some(0));
+    }
+
+    #[test]
+    fn residual_block_takes_a_third_slot() {
+        let spec = NetworkSpec {
+            name: "res".into(),
+            input: Shape::new(4, 8, 8),
+            layers: vec![
+                conv3x3("c1", 4, 4),
+                conv3x3("c2", 4, 4),
+                LayerSpec::Add { name: "join".into(), from: LayerRef::Input, relu: true },
+            ],
+        };
+        let plan = ExecPlan::build(&spec).unwrap();
+        assert_eq!(plan.slots, 3, "input stays live across the branch body");
+        let add = plan.steps.last().unwrap();
+        assert_eq!(add.operand, Some(0), "skip operand is the original input slot");
+        assert_eq!(add.operand_layer, None);
+        // After the join both operands die.
+        assert_eq!(add.frees.len(), 2);
+        // Peak residency: input + c1 out + c2 out live at once.
+        assert_eq!(plan.peak_resident_bytes, 3 * 4 * 8 * 8);
+    }
+
+    #[test]
+    fn ref_is_a_pure_alias() {
+        let spec = NetworkSpec {
+            name: "branch".into(),
+            input: Shape::new(2, 8, 8),
+            layers: vec![
+                conv3x3("c1", 2, 2),
+                LayerSpec::Ref { name: "skip".into(), from: LayerRef::Input },
+                conv3x3("c2", 2, 2),
+                LayerSpec::Add { name: "join".into(), from: LayerRef::Layer(0), relu: false },
+            ],
+        };
+        let plan = ExecPlan::build(&spec).unwrap();
+        let r = &plan.steps[1];
+        assert_eq!(r.src, r.dst, "ref re-emits its source slot");
+        assert_eq!(r.src_layer, None, "ref reads the network input");
+        assert!(r.frees.is_empty(), "the aliased input is consumed again by c2");
+        // c2 reads the alias (the input's slot), not c1's output.
+        assert_eq!(plan.steps[2].src, r.dst);
+        assert_eq!(plan.steps[3].operand_layer, Some(0));
+    }
+
+    #[test]
+    fn flat_head_leaves_the_slot_pool() {
+        let mut spec = linear_spec();
+        spec.layers.push(LayerSpec::Fc { name: "fc".into(), in_features: 6 * 4 * 4, out_features: 5, relu: false });
+        spec.layers.push(LayerSpec::Softmax);
+        let plan = ExecPlan::build(&spec).unwrap();
+        let fc = &plan.steps[4];
+        assert_eq!(fc.src, Some(0), "fc reads the last feature map");
+        assert_eq!(fc.dst, None, "fc output lives in the flat domain");
+        assert_eq!(plan.steps[5].src, None, "softmax consumes the flat vector");
+        assert_eq!(plan.output_slot, None);
+    }
+
+    #[test]
+    fn slot_elems_cover_every_resident_shape() {
+        let plan = ExecPlan::build(&linear_spec()).unwrap();
+        // Slot 0 holds the 3x8x8 input and later the 4x4x4 pool output and
+        // 4x8x8 c2 output; slot 1 holds the 4x8x8 conv outputs and the
+        // final 6x4x4.
+        assert_eq!(plan.slot_elems.len(), 2);
+        assert!(plan.slot_elems[0] >= 4 * 8 * 8);
+        assert!(plan.slot_elems[1] >= 4 * 8 * 8);
+    }
+
+    #[test]
+    fn empty_network_is_just_the_input() {
+        let spec = NetworkSpec { name: "id".into(), input: Shape::new(1, 4, 4), layers: vec![] };
+        let plan = ExecPlan::build(&spec).unwrap();
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.slots, 1);
+        assert_eq!(plan.output_slot, Some(0));
+        assert_eq!(plan.peak_resident_bytes, 16);
+    }
+}

@@ -34,6 +34,12 @@ use zskip_tensor::Tensor;
 pub struct Scratch {
     /// Ping-pong activation tensors (conv/pool layers alternate them).
     pub(crate) act: [Tensor<Sm8>; 2],
+    /// Plan-addressed activation slots for the quantized forward pass.
+    /// A linear chain uses two (the classic ping-pong degenerates to the
+    /// plan's two-slot assignment); a residual block briefly needs a
+    /// third to hold the skip-branch activation alive across the branch
+    /// body. Grown by [`Scratch::ensure_slots`].
+    pub(crate) slots: Vec<Tensor<Sm8>>,
     /// Per-output-channel `i64` conv accumulator plane.
     pub(crate) acc: Vec<i64>,
     /// Ping-pong FC activation vectors.
@@ -60,6 +66,7 @@ impl Scratch {
     pub fn with_tier(tier: KernelTier) -> Self {
         Scratch {
             act: [Tensor::zeros(1, 1, 1), Tensor::zeros(1, 1, 1)],
+            slots: Vec::new(),
             acc: Vec::new(),
             flat: [Vec::new(), Vec::new()],
             tier,
@@ -107,8 +114,19 @@ impl Scratch {
     /// Total bytes currently reserved by the arena's buffers.
     pub fn capacity_bytes(&self) -> usize {
         self.act.iter().map(|t| t.capacity()).sum::<usize>()
+            + self.slots.iter().map(|t| t.capacity()).sum::<usize>()
             + self.acc.capacity() * std::mem::size_of::<i64>()
             + self.flat.iter().map(|v| v.capacity()).sum::<usize>()
+    }
+
+    /// Ensures the arena holds at least `n` activation slots (an
+    /// [`crate::plan::ExecPlan`]'s concurrent-slot count). Slots only
+    /// ever accumulate, so an arena shared across networks keeps the
+    /// widest plan's pool.
+    pub fn ensure_slots(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(Tensor::zeros(1, 1, 1));
+        }
     }
 
     /// Number of forward passes that grew at least one buffer. Stays at 1
@@ -152,6 +170,22 @@ impl Scratch {
 impl Default for Scratch {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Borrows slot `src` immutably and slot `dst` mutably. The execution
+/// plan guarantees a step's output slot never aliases a live input slot.
+///
+/// # Panics
+/// Panics if `src == dst`.
+pub(crate) fn slot_pair<T>(v: &mut [T], src: usize, dst: usize) -> (&T, &mut T) {
+    assert_ne!(src, dst, "a step never writes over the slot it reads");
+    if src < dst {
+        let (lo, hi) = v.split_at_mut(dst);
+        (&lo[src], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(src);
+        (&hi[0], &mut lo[dst])
     }
 }
 

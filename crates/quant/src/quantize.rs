@@ -103,6 +103,15 @@ impl Requantizer {
     /// so both produce bit-identical OFM tiles.
     #[inline]
     pub fn apply(&self, acc: i64) -> Sm8 {
+        Sm8::from_i32_saturating(self.apply_raw(acc))
+    }
+
+    /// [`Requantizer::apply`] without the final Sm8 saturation: the
+    /// multiply-shift-round result clamped to `i32`. Elementwise add uses
+    /// this to rescale both operands to the output scale *before* the
+    /// single saturation at the join.
+    #[inline]
+    pub fn apply_raw(&self, acc: i64) -> i32 {
         let prod = acc * self.mult as i64;
         let rounded = if self.shift == 0 {
             prod
@@ -115,7 +124,7 @@ impl Requantizer {
                 -((-prod + half) >> self.shift)
             }
         };
-        Sm8::from_i32_saturating(rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+        rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32
     }
 
     /// Applies ReLU then requantization — the fused epilogue the

@@ -69,6 +69,27 @@ timeout 300 ./target/release/zskip infer --hw 32 --instances 4 --placement pipel
 # >= 2.5x at 4 instances; pipeline beats image on single-image latency).
 timeout 300 ./target/release/batch_bench --check
 
+# Graph-network smoke: the in-repo ResNet-18 spec must load, plan and run
+# end to end on the cpu backend (infer asserts bit-exactness vs the
+# golden DAG oracle internally), and `analyze` must walk the same DAG.
+timeout 300 ./target/release/zskip infer --network specs/resnet18.json --hw 32 --backend cpu > /dev/null
+analyze_out=$(timeout 300 ./target/release/zskip analyze --network specs/resnet18.json)
+printf '%s\n' "$analyze_out" | grep -q 'branch point' \
+  || { echo "verify: analyze --network did not report the residual branch points"; exit 1; }
+
+# Malformed specs must fail closed with the stable machine-readable code
+# and exit 2 (scripted callers branch on both).
+bad_spec=$(mktemp -t zskip-badspec-XXXXXX.json)
+printf '{"name": 1}\n' > "$bad_spec"
+set +e
+bad_out=$(timeout 120 ./target/release/zskip infer --network "$bad_spec" 2>&1)
+bad_rc=$?
+set -e
+rm -f "$bad_spec"
+[ "$bad_rc" -eq 2 ] || { echo "verify: malformed spec must exit 2 (got $bad_rc)"; exit 1; }
+printf '%s\n' "$bad_out" | grep -q 'error\[spec.invalid\]' \
+  || { echo "verify: malformed spec missing the spec.invalid error code"; exit 1; }
+
 # Autotuner smoke: a tiny-budget deterministic tune must emit a loadable
 # artifact, and loading it back through --config must run end to end
 # (infer asserts bit-exactness vs the golden model internally).

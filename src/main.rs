@@ -99,6 +99,8 @@ impl Command {
 }
 
 const HW_HELP: &str = "input height/width of the synthetic network";
+const NETWORK_SPEC_HELP: &str =
+    "JSON network-spec file (e.g. specs/resnet18.json; see docs/NETWORKS.md) instead of the built-in VGG-16";
 const DENSITY_HELP: &str = "weight density: 'dc' (deep-compression VGG-16 profile) or a fraction";
 const VARIANT_HELP: &str = "accelerator variant: 16-unopt | 256-unopt | 256-opt | 512-opt";
 const BACKEND_HELP: &str =
@@ -132,6 +134,7 @@ const SESSION_FLAGS: &[Flag] = &[
 
 /// The synthetic-network knobs shared by inference subcommands.
 const NETWORK_FLAGS: &[Flag] = &[
+    Flag::val("--network", "FILE", "vgg16", NETWORK_SPEC_HELP),
     Flag::val("--density", "D", "dc", DENSITY_HELP),
     Flag::choice("--variant", "V", "256-opt", VARIANT_CHOICES, VARIANT_HELP),
 ];
@@ -263,6 +266,7 @@ const COMMANDS: &[Command] = &[
             Flag::val("--out", "FILE", "tuned.json", "where to write the artifact"),
             Flag::val("--n", "N", "4", "images driving the throughput/p99 objectives"),
             Flag::val("--hw", "N", "32", HW_HELP),
+            Flag::val("--network", "FILE", "vgg16", NETWORK_SPEC_HELP),
             Flag::val("--density", "D", "dc", DENSITY_HELP),
         ]],
         run: tune,
@@ -330,6 +334,21 @@ fn fail(msg: &str) -> ! {
 /// harnesses can match CLI and API failures with one string.
 fn fail_invalid(msg: &str) -> ! {
     fail(&format!("error[config.invalid]: {msg}"));
+}
+
+/// Rejects a bad `--network` spec file with the stable code the library
+/// gives `Error::Spec` — unreadable file, malformed JSON, and DAG
+/// validation failures all land here.
+fn fail_spec(msg: &str) -> ! {
+    fail(&format!("error[spec.invalid]: {msg}"));
+}
+
+/// Loads and validates a `--network` JSON spec file.
+fn load_spec(path: &str) -> zskip::nn::NetworkSpec {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_spec(&format!("cannot read {path}: {e}")));
+    zskip::nn::NetworkSpec::from_json(&text)
+        .unwrap_or_else(|e| fail_spec(&format!("{path}: {e}")))
 }
 
 fn print_usage() {
@@ -436,7 +455,11 @@ fn parse_seed(p: &Parsed, name: &str, default: u64) -> u64 {
 
 fn parse_density(p: &Parsed, layers: usize) -> DensityProfile {
     match p.get("--density").unwrap_or("dc") {
-        "dc" => DensityProfile::deep_compression_vgg16(),
+        // The deep-compression profile is 13 per-layer entries; a loaded
+        // spec with a different conv count falls back to the profile's
+        // mean density, applied uniformly.
+        "dc" if layers == 13 => DensityProfile::deep_compression_vgg16(),
+        "dc" => DensityProfile::uniform(layers, 0.35),
         d => DensityProfile::uniform(
             layers,
             d.parse().unwrap_or_else(|_| fail(&format!("--density takes 'dc' or a fraction, got '{d}'"))),
@@ -565,12 +588,18 @@ fn print_provenance(pr: &Provenance, indent: &str) {
     );
 }
 
-/// Builds the synthetic scaled-VGG-16 network the inference subcommands
-/// share: same spec, seed and calibration for `infer`, `batch` and
-/// `serve`, so a served request is bit-comparable to a CLI inference.
+/// Builds the synthetic network the inference subcommands share: the
+/// scaled VGG-16, or any `--network FILE` JSON spec. Same spec, seed and
+/// calibration for `infer`, `batch` and `serve`, so a served request is
+/// bit-comparable to a CLI inference.
 fn build_network(p: &Parsed, hw: usize, ternary: bool) -> QuantizedNetwork {
-    let density = parse_density(p, 13);
-    let spec = zskip::nn::vgg16::vgg16_scaled_spec(hw);
+    let spec = match p.get("--network") {
+        Some(path) => load_spec(path),
+        None => zskip::nn::vgg16::vgg16_scaled_spec(hw),
+    };
+    let convs =
+        spec.layers.iter().filter(|l| matches!(l, zskip::nn::LayerSpec::Conv { .. })).count();
+    let density = parse_density(p, convs);
     let net = Network::synthetic(spec.clone(), &SyntheticModelConfig { seed: 1, density });
     let calib = synthetic_inputs(2, 1, spec.input);
     if ternary {
@@ -905,8 +934,107 @@ fn tune(p: &Parsed) {
     println!("wrote {out} (load with --config {out} or SessionBuilder::from_tuned)");
 }
 
+/// `zskip analyze --network FILE`: prints the spec's layer DAG — shapes,
+/// branch and join points, the execution plan's slot assignment and the
+/// peak DDR-resident activation footprint.
+fn analyze_network(path: &str) {
+    use zskip::nn::{ExecPlan, LayerRef, LayerSpec};
+    let spec = load_spec(path);
+    let shapes = spec.shapes().unwrap_or_else(|e| fail_spec(&format!("{path}: {e}")));
+    let plan = ExecPlan::build(&spec).unwrap_or_else(|e| fail_spec(&format!("{path}: {e}")));
+
+    // Fan-out per producer: index 0 is the network input, i + 1 is layer
+    // i's output. A producer with more than one consumer is a branch
+    // point; `Add` layers are the joins.
+    let mut fanout = vec![0usize; spec.layers.len() + 1];
+    let producer = |r: LayerRef| match r {
+        LayerRef::Input => 0,
+        LayerRef::Layer(j) => j + 1,
+    };
+    for (i, layer) in spec.layers.iter().enumerate() {
+        match layer {
+            LayerSpec::Ref { from, .. } => fanout[producer(*from)] += 1,
+            LayerSpec::Add { from, .. } => {
+                fanout[producer(*from)] += 1;
+                fanout[i] += 1; // the previous layer's output
+            }
+            _ => fanout[i] += 1,
+        }
+    }
+
+    let s = spec.input;
+    println!(
+        "{}: {} layers, input {}x{}x{}, {:.1} MMACs",
+        spec.name,
+        spec.layers.len(),
+        s.c,
+        s.h,
+        s.w,
+        spec.total_macs() as f64 / 1e6
+    );
+    println!(
+        "plan: {} activation slot(s), peak resident {} KiB{}\n",
+        plan.slots,
+        plan.peak_resident_bytes / 1024,
+        plan.output_slot.map(|o| format!(", output in slot {o}")).unwrap_or_default(),
+    );
+    println!("{:>4}  {:<16} {:<28} {:>12} {:>6}  notes", "#", "layer", "kind", "shape", "slot");
+    for (i, layer) in spec.layers.iter().enumerate() {
+        let relu_tag = |relu: bool| if relu { " +relu" } else { "" };
+        let ref_name = |r: LayerRef| match r {
+            LayerRef::Input => "input".to_string(),
+            LayerRef::Layer(j) => spec.layers[j].name().to_string(),
+        };
+        let kind = match layer {
+            LayerSpec::Conv { k, stride, pad, relu, .. } => {
+                format!("conv {k}x{k}/{stride} pad {pad}{}", relu_tag(*relu))
+            }
+            LayerSpec::MaxPool { k, stride, .. } => format!("maxpool {k}x{k}/{stride}"),
+            LayerSpec::Fc { relu, .. } => format!("fc (host){}", relu_tag(*relu)),
+            LayerSpec::Softmax => "softmax (host)".to_string(),
+            LayerSpec::Ref { from, .. } => format!("ref <- {}", ref_name(*from)),
+            LayerSpec::Add { from, relu, .. } => {
+                format!("add <- {}{} (join)", ref_name(*from), relu_tag(*relu))
+            }
+            LayerSpec::GlobalAvgPool { .. } => "global avgpool (host)".to_string(),
+            LayerSpec::BatchNorm { relu, .. } => format!("batchnorm{} (folds)", relu_tag(*relu)),
+        };
+        let out = shapes[i + 1];
+        let step = &plan.steps[i];
+        let slot = match step.dst {
+            Some(d) => format!("{d}"),
+            None => "flat".to_string(),
+        };
+        let mut notes = Vec::new();
+        if fanout[i + 1] > 1 {
+            notes.push(format!("branch point ({} consumers)", fanout[i + 1]));
+        }
+        if !step.frees.is_empty() {
+            let freed: Vec<String> = step.frees.iter().map(|f| f.to_string()).collect();
+            notes.push(format!("frees slot {}", freed.join(", ")));
+        }
+        println!(
+            "{:>4}  {:<16} {:<28} {:>12} {:>6}  {}",
+            i,
+            layer.name(),
+            kind,
+            format!("{}x{}x{}", out.c, out.h, out.w),
+            slot,
+            notes.join("; ")
+        );
+    }
+    if fanout[0] > 1 {
+        println!("\nnetwork input is a branch point ({} consumers)", fanout[0]);
+    }
+    println!("\nper-slot high-water marks (KiB): {:?}", plan.slot_elems.iter().map(|e| e / 1024).collect::<Vec<_>>());
+}
+
 fn analyze(p: &Parsed) {
     use zskip::accel::LayerPackingStats;
+    if let Some(path) = p.get("--network") {
+        analyze_network(path);
+        return;
+    }
     let density = parse_density(p, 13);
     let conv3_density = density.density(4);
     let resolved = resolve_config(p);

@@ -99,6 +99,115 @@ fn network_strategy() -> impl Strategy<Value = NetworkSpec> {
         .prop_filter("kernel must fit every intermediate map", |spec| spec.shapes().is_ok())
 }
 
+/// Builds one residual block: `w_in -> w_out` with an optional
+/// downsampling maxpool and 1x1-projection skip, optional batch-norm
+/// (folded into the convs at quantization time).
+fn push_residual_block(
+    layers: &mut Vec<LayerSpec>,
+    b: usize,
+    w_in: usize,
+    w_out: usize,
+    bn: bool,
+    down: bool,
+    join_relu: bool,
+) {
+    let conv = |name: String, in_c: usize, out_c: usize, k: usize, relu: bool| LayerSpec::Conv {
+        name,
+        in_c,
+        out_c,
+        k,
+        stride: 1,
+        pad: k / 2,
+        relu,
+    };
+    // `block_in` is the layer whose output both branches consume (or the
+    // network input when the block opens the network).
+    let block_in = match layers.len() {
+        0 => zskip::nn::LayerRef::Input,
+        n => zskip::nn::LayerRef::Layer(n - 1),
+    };
+    if down {
+        layers.push(LayerSpec::MaxPool { name: format!("b{b}_pool"), k: 2, stride: 2 });
+    }
+    layers.push(conv(format!("b{b}_c1"), w_in, w_out, 3, !bn));
+    if bn {
+        layers.push(LayerSpec::BatchNorm { name: format!("b{b}_bn1"), relu: true });
+    }
+    layers.push(conv(format!("b{b}_c2"), w_out, w_out, 3, false));
+    if bn {
+        layers.push(LayerSpec::BatchNorm { name: format!("b{b}_bn2"), relu: false });
+    }
+    if down || w_in != w_out {
+        // Projection skip: re-open the block input, mirror the pooling,
+        // project to the new width with a 1x1 conv.
+        let main_end = zskip::nn::LayerRef::Layer(layers.len() - 1);
+        layers.push(LayerSpec::Ref { name: format!("b{b}_skip"), from: block_in });
+        if down {
+            layers.push(LayerSpec::MaxPool { name: format!("b{b}_skip_pool"), k: 2, stride: 2 });
+        }
+        layers.push(conv(format!("b{b}_proj"), w_in, w_out, 1, false));
+        if bn {
+            layers.push(LayerSpec::BatchNorm { name: format!("b{b}_proj_bn"), relu: false });
+        }
+        layers.push(LayerSpec::Add { name: format!("b{b}_add"), from: main_end, relu: join_relu });
+    } else {
+        layers.push(LayerSpec::Add { name: format!("b{b}_add"), from: block_in, relu: join_relu });
+    }
+}
+
+/// A random residual (DAG) network: stem conv, 1-2 residual blocks
+/// (identity joins, or a downsampling block whose skip branch is a
+/// maxpool + 1x1 projection), optional batch-norm everywhere, optional
+/// global-average-pool + FC head.
+fn dag_network_strategy() -> impl Strategy<Value = NetworkSpec> {
+    (
+        (
+            8usize..=14, // input h/w
+            1usize..=3,  // input channels
+            2usize..=5,  // block width
+            1usize..=2,  // residual blocks
+        ),
+        (
+            prop::bool::ANY, // batch-norm
+            prop::bool::ANY, // downsample + project in the last block
+            prop::bool::ANY, // gap + fc head
+            prop::bool::ANY, // relu at the joins
+        ),
+    )
+        .prop_map(|((hw, in_c, w, blocks), (bn, down, head, join_relu))| {
+            let mut layers = vec![LayerSpec::Conv {
+                name: "stem".into(),
+                in_c,
+                out_c: w,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                relu: !bn,
+            }];
+            if bn {
+                layers.push(LayerSpec::BatchNorm { name: "stem_bn".into(), relu: true });
+            }
+            let mut width = w;
+            for b in 0..blocks {
+                let last = b + 1 == blocks;
+                let w_out = if last && down { width * 2 } else { width };
+                push_residual_block(&mut layers, b, width, w_out, bn, last && down, join_relu);
+                width = w_out;
+            }
+            if head {
+                layers.push(LayerSpec::GlobalAvgPool { name: "gap".into() });
+                layers.push(LayerSpec::Fc {
+                    name: "fc".into(),
+                    in_features: width,
+                    out_features: 4,
+                    relu: false,
+                });
+            }
+            NetworkSpec { name: "rand-dag".into(), input: Shape::new(in_c, hw, hw), layers }
+        })
+        .prop_filter("every shape must fit", |spec| spec.shapes().is_ok())
+}
+
 fn quantize_spec(spec: &NetworkSpec, density: f64, seed: u64) -> (QuantizedNetwork, Tensor<f32>) {
     let conv_count = spec.conv_layers().len();
     let net = Network::synthetic(
@@ -156,6 +265,48 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Model and Cpu on random *DAG* specs — skip connections, 1x1
+    /// projections, folded batch-norm, GAP heads: bit-identical outputs
+    /// and identical per-layer statistics, single- and multi-threaded.
+    #[test]
+    fn cpu_and_model_backends_are_equivalent_on_dag_specs(
+        spec in dag_network_strategy(),
+        density in 0.1f64..1.0,
+        seed in 0u64..10_000,
+    ) {
+        let (qnet, input) = quantize_spec(&spec, density, seed);
+        let cfg = config(2048, 1);
+        let model = Driver::builder(cfg).backend(BackendKind::Model).build().unwrap().run_network(&qnet, &input).expect("fits");
+        let cpu = Driver::builder(cfg).backend(BackendKind::Cpu).build().unwrap().run_network(&qnet, &input).expect("fits");
+        let mt = Driver::builder(cfg)
+            .backend(BackendKind::Cpu)
+            .threads(3)
+            .build()
+            .expect("valid config")
+            .run_network(&qnet, &input)
+            .expect("fits");
+        prop_assert_eq!(&model.output, &qnet.forward_quant(&input));
+        prop_assert_eq!(&cpu.output, &model.output);
+        prop_assert_eq!(&mt.output, &model.output);
+        prop_assert_eq!(cpu.total_cycles, model.total_cycles);
+        prop_assert_eq!(mt.total_cycles, model.total_cycles);
+        prop_assert_eq!(cpu.ddr_bytes, model.ddr_bytes);
+        prop_assert_eq!(cpu.layers.len(), model.layers.len());
+        for (c, m) in cpu.layers.iter().zip(&model.layers) {
+            prop_assert_eq!(&c.name, &m.name);
+            prop_assert_eq!(c.stats.total_cycles, m.stats.total_cycles);
+            prop_assert_eq!(c.stats.compute_cycles, m.stats.compute_cycles);
+            prop_assert_eq!(c.stats.io_dma_cycles, m.stats.io_dma_cycles);
+            prop_assert_eq!(c.stats.weight_dma_cycles, m.stats.weight_dma_cycles);
+            prop_assert_eq!(c.stats.stripes, m.stats.stripes);
+            prop_assert_eq!(c.stats.counters.get("macs"), m.stats.counters.get("macs"));
+        }
+    }
+}
+
+proptest! {
     // The cycle backend is ~100x slower; fewer cases, smaller nets.
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
@@ -188,6 +339,91 @@ proptest! {
         for backend in BackendKind::ALL {
             let report = Driver::builder(cfg).backend(backend).build().unwrap().run_network(&qnet, &input).expect("fits");
             prop_assert_eq!(&report.output, &golden, "backend {}", backend);
+        }
+    }
+
+    /// All three backends on small random residual blocks: bit-identical
+    /// outputs, and per-layer structure/work statistics agree everywhere
+    /// (cycle counts are pinned exactly between Model and Cpu only — the
+    /// cycle-exact engine has its own documented tolerance).
+    #[test]
+    fn all_three_backends_agree_on_dag_specs(
+        hw in 6usize..=8,
+        w in 2usize..=3,
+        bn in prop::bool::ANY,
+        down in prop::bool::ANY,
+        density in 0.2f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let mut layers = vec![LayerSpec::Conv {
+            name: "stem".into(), in_c: 2, out_c: w, k: 3, stride: 1, pad: 1, relu: true,
+        }];
+        push_residual_block(&mut layers, 0, w, if down { w * 2 } else { w }, bn, down, true);
+        let spec = NetworkSpec { name: "dag3".into(), input: Shape::new(2, hw, hw), layers };
+        prop_assume!(spec.shapes().is_ok());
+        let (qnet, input) = quantize_spec(&spec, density, seed);
+        let cfg = config(1024, 1);
+        let golden = qnet.forward_quant(&input);
+        let reports: Vec<_> = BackendKind::ALL
+            .iter()
+            .map(|&b| Driver::builder(cfg).backend(b).build().unwrap().run_network(&qnet, &input).expect("fits"))
+            .collect();
+        let (model, cycle, cpu) = (&reports[0], &reports[1], &reports[2]);
+        for (r, b) in reports.iter().zip(BackendKind::ALL) {
+            prop_assert_eq!(&r.output, &golden, "backend {}", b);
+            prop_assert_eq!(r.layers.len(), model.layers.len(), "backend {}", b);
+            for (l, m) in r.layers.iter().zip(&model.layers) {
+                prop_assert_eq!(&l.name, &m.name, "backend {}", b);
+                prop_assert_eq!(l.stats.stripes, m.stats.stripes, "backend {}", b);
+                prop_assert_eq!(
+                    l.stats.counters.get("macs"), m.stats.counters.get("macs"),
+                    "backend {} layer {}", b, &l.name
+                );
+            }
+        }
+        prop_assert_eq!(cpu.total_cycles, model.total_cycles);
+        prop_assert_eq!(cpu.ddr_bytes, model.ddr_bytes);
+        prop_assert_eq!(cycle.ddr_bytes, model.ddr_bytes);
+    }
+}
+
+/// A fixed residual network (downsampling block, projection skip, folded
+/// batch-norm) for the fault-equivalence test below.
+fn residual_fixture(seed: u64) -> (QuantizedNetwork, Tensor<f32>) {
+    let mut layers = vec![LayerSpec::Conv {
+        name: "stem".into(), in_c: 2, out_c: 3, k: 3, stride: 1, pad: 1, relu: true,
+    }];
+    push_residual_block(&mut layers, 0, 3, 3, true, false, true);
+    push_residual_block(&mut layers, 1, 3, 6, true, true, true);
+    let spec = NetworkSpec { name: "res-fixture".into(), input: Shape::new(2, 12, 12), layers };
+    quantize_spec(&spec, 0.6, seed)
+}
+
+/// The DAG plan walk must not change fault equivalence: on a residual
+/// network, one injected DMA fault surfaces as the same structured error
+/// with the same stable code on every backend.
+#[test]
+fn transient_dma_faults_surface_identically_on_dag_networks() {
+    let (qnet, input) = residual_fixture(21);
+    for (kind, want_code) in [
+        (FaultKind::DmaTruncate { tiles: 1 }, "dma.truncated"),
+        (FaultKind::DmaCorrupt { xor: 0x40 }, "dma.parity"),
+    ] {
+        for at in [0, 2, 7] {
+            let mut codes = Vec::new();
+            for backend in BackendKind::ALL {
+                let plan = FaultPlan::new().inject("dma:xfer", at, kind).shared();
+                let driver = Driver::builder(config(4096, 1))
+                    .backend(backend)
+                    .fault_plan(plan.clone())
+                    .build()
+                    .expect("valid config");
+                let err = driver.run_network(&qnet, &input).unwrap_err();
+                assert!(err.is_transient(), "{backend}: DMA faults are transient");
+                assert_eq!(plan.lock().unwrap().fired().len(), 1, "{backend}: exactly one fault fired");
+                codes.push(Error::from(err).code());
+            }
+            assert_eq!(codes, vec![want_code; 3], "fault {kind:?} at {at}");
         }
     }
 }

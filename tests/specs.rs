@@ -1,0 +1,29 @@
+//! The in-repo `specs/*.json` artifacts stay byte-identical to the
+//! `zskip::nn::resnet` builders. Regenerate with `ZSKIP_BLESS=1 cargo
+//! test --test specs` after changing a builder.
+
+use zskip::nn::{resnet18_spec, resnet34_spec, NetworkSpec};
+
+fn check(file: &str, spec: NetworkSpec) {
+    let path = format!("{}/specs/{file}", env!("CARGO_MANIFEST_DIR"));
+    let rendered = spec.to_json();
+    if std::env::var_os("ZSKIP_BLESS").is_some() {
+        std::fs::write(&path, &rendered).expect("bless spec artifact");
+        return;
+    }
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run with ZSKIP_BLESS=1 to generate)"));
+    assert_eq!(text, rendered, "{path} is stale: rerun with ZSKIP_BLESS=1");
+    let parsed = NetworkSpec::from_json(&text).expect("artifact parses");
+    assert_eq!(parsed, spec, "{path} does not parse back to the builder spec");
+}
+
+#[test]
+fn resnet18_artifact_matches_builder() {
+    check("resnet18.json", resnet18_spec());
+}
+
+#[test]
+fn resnet34_artifact_matches_builder() {
+    check("resnet34.json", resnet34_spec());
+}
